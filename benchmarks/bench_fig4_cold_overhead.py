@@ -1,0 +1,62 @@
+"""Figure 4: cold-start overheads (cold/warm client-time ratios)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.config import Provider
+from repro.experiments.perf_cost import PerfCostExperiment
+from repro.reporting.figures import figure4_cold_overhead_series
+from repro.reporting.tables import format_table
+
+
+def _run(experiment_config, simulation_config):
+    experiment = PerfCostExperiment(config=experiment_config, simulation=simulation_config)
+    results = {}
+    for name, sizes in (("image-recognition", (2048,)), ("compression", (2048,)), ("graph-bfs", (2048,))):
+        results[name] = experiment.run(name, providers=(Provider.AWS, Provider.GCP), memory_sizes=sizes)
+    return results
+
+
+def test_figure4_cold_start_overheads(benchmark, experiment_config, simulation_config):
+    results = run_once(benchmark, lambda: _run(experiment_config, simulation_config))
+    rows = []
+    for result in results.values():
+        rows.extend(figure4_cold_overhead_series(result))
+    print("\n" + format_table(rows))
+
+    ratios = {(row["benchmark"], row["provider"]): row["median_ratio"] for row in rows}
+
+    # image-recognition has the largest cold overhead: cold runs are several
+    # times (up to ~10x) slower than warm ones due to the model download.
+    assert ratios[("image-recognition", "aws")] > 3.0
+    # compression, a long-running function, hides its cold start almost fully.
+    assert ratios[("compression", "aws")] < 1.5
+    assert ratios[("image-recognition", "aws")] > ratios[("graph-bfs", "aws")] > ratios[("compression", "aws")]
+    # Every ratio is above one: cold is never faster than warm.
+    assert all(value > 1.0 for value in ratios.values())
+
+
+def test_figure4_gcp_highmem_cold_penalty(benchmark, experiment_config, simulation_config):
+    """The previously unreported contrast: more memory helps AWS cold starts
+    but hurts GCP cold starts (Section 6.2 Q2)."""
+    experiment = PerfCostExperiment(config=experiment_config, simulation=simulation_config)
+
+    def run():
+        return {
+            provider: experiment.run("graph-bfs", providers=(provider,), memory_sizes=(256, 2048))
+            for provider in (Provider.AWS, Provider.GCP)
+        }
+
+    results = run_once(benchmark, run)
+    overheads = {}
+    for provider, result in results.items():
+        for config in result.configs:
+            overheads[(provider, config.memory_mb)] = config.cold_start_overhead().median_ratio
+    print("\ncold/warm ratios:", {f"{p.value}@{m}MB": round(v, 2) for (p, m), v in overheads.items()})
+
+    aws_change = overheads[(Provider.AWS, 2048)] / overheads[(Provider.AWS, 256)]
+    gcp_change = overheads[(Provider.GCP, 2048)] / overheads[(Provider.GCP, 256)]
+    # On GCP the relative cold-start penalty grows with memory much more than
+    # on AWS (where larger allocations speed up initialisation).
+    assert gcp_change > aws_change

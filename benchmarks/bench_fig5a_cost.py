@@ -1,0 +1,56 @@
+"""Figure 5a: compute cost of one million invocations versus memory configuration."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.config import Provider
+from repro.experiments.cost_analysis import CostAnalysis
+from repro.experiments.perf_cost import PerfCostExperiment
+from repro.reporting.figures import figure5a_cost_series
+from repro.reporting.tables import format_table
+
+
+def _run(experiment_config, simulation_config):
+    experiment = PerfCostExperiment(config=experiment_config, simulation=simulation_config)
+    uploader = experiment.run(
+        "uploader", providers=(Provider.AWS, Provider.GCP, Provider.AZURE), memory_sizes=(128, 512, 1024, 3008)
+    )
+    recognition = experiment.run(
+        "image-recognition", providers=(Provider.AWS, Provider.GCP), memory_sizes=(1024, 2048, 3008)
+    )
+    return uploader, recognition
+
+
+def test_figure5a_cost_of_million_invocations(benchmark, experiment_config, simulation_config):
+    uploader, recognition = run_once(benchmark, lambda: _run(experiment_config, simulation_config))
+    rows = figure5a_cost_series(uploader) + figure5a_cost_series(recognition)
+    print("\n" + format_table(rows))
+
+    uploader_costs = {
+        row["memory_mb"]: row["cost_per_1M_usd"]
+        for row in figure5a_cost_series(uploader)
+        if row["provider"] == "aws" and row["start_type"] == "warm"
+    }
+    # For the I/O-bound uploader, every memory expansion increases the cost:
+    # the shorter runtime does not compensate for the more expensive memory.
+    memories = sorted(uploader_costs)
+    assert all(uploader_costs[a] <= uploader_costs[b] for a, b in zip(memories, memories[1:]))
+
+    recognition_costs = {
+        row["memory_mb"]: row["cost_per_1M_usd"]
+        for row in figure5a_cost_series(recognition)
+        if row["provider"] == "aws" and row["start_type"] == "warm"
+    }
+    # For compute-bound image-recognition the cost grows far slower than the
+    # memory because execution time shrinks (cost increases "negligibly").
+    assert recognition_costs[3008] < recognition_costs[1024] * (3008 / 1024) * 0.8
+
+    # Azure's dynamically allocated deployment cannot be tuned and is more
+    # expensive than the cheapest AWS configuration.
+    azure_costs = [
+        row["cost_per_1M_usd"]
+        for row in figure5a_cost_series(uploader)
+        if row["provider"] == "azure" and row["start_type"] == "warm"
+    ]
+    assert min(azure_costs) > min(uploader_costs.values())

@@ -1,0 +1,47 @@
+"""Figure 7: container-eviction curves and the D_warm = D_init * 2^-p model."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.config import Language, Provider
+from repro.experiments.eviction_model import EvictionModelExperiment
+from repro.reporting.figures import figure7_eviction_series
+from repro.reporting.tables import format_table
+
+
+def test_figure7_container_eviction_model(benchmark, experiment_config, simulation_config):
+    experiment = EvictionModelExperiment(config=experiment_config, simulation=simulation_config)
+    result = run_once(
+        benchmark,
+        lambda: experiment.run(
+            provider=Provider.AWS,
+            d_init_values=(8, 12, 20),
+            memory_values=(128, 1536),
+            languages=(Language.PYTHON, Language.NODEJS),
+            code_sizes_mb=(0.008, 250.0),
+            function_times_s=(1.0, 10.0),
+        ),
+    )
+    rows = figure7_eviction_series(result)
+    print("\n" + format_table(rows[:24]))
+    model = result.model
+    assert model is not None
+    print(f"\nfitted period = {model.period_s:.0f} s, R^2 = {model.r_squared:.4f}")
+
+    # The fitted eviction period is the paper's 380 seconds and the analytical
+    # model explains the observations with R^2 > 0.99.
+    assert model.period_s == 380.0
+    assert model.r_squared > 0.99
+
+    # Model predictions track the observed counts within one container for
+    # every scenario (Figures 7a-7f).
+    for row in rows:
+        assert abs(row["warm_observed"] - row["warm_predicted"]) <= 1.0
+
+    # The half-life behaviour: after one period about half of the containers
+    # survive, after two periods about a quarter.
+    one_period = [row for row in rows if row["periods"] == 1 and row["d_init"] == 20]
+    two_periods = [row for row in rows if row["periods"] == 2 and row["d_init"] == 20]
+    assert all(row["warm_observed"] == 10 for row in one_period)
+    assert all(row["warm_observed"] == 5 for row in two_periods)

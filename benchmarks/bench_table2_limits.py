@@ -1,0 +1,29 @@
+"""Table 2: comparison of commercial FaaS providers' policies and limits."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.reporting.tables import format_table, table2_platform_limits
+
+
+def test_table2_platform_limits(benchmark):
+    rows = run_once(benchmark, table2_platform_limits)
+    print("\n" + format_table(rows))
+
+    by_provider = {row["policy"]: row for row in rows}
+    assert set(by_provider) == {"AWS Lambda", "Azure Functions", "Google Cloud Functions"}
+    # Time limits: 15 min (AWS) > 10 min (Azure consumption) > 9 min (GCP).
+    assert by_provider["AWS Lambda"]["time_limit_min"] == 15.0
+    assert by_provider["Azure Functions"]["time_limit_min"] == 10.0
+    assert by_provider["Google Cloud Functions"]["time_limit_min"] == 9.0
+    # Azure is the only provider with dynamic memory allocation.
+    assert "Dynamic" in by_provider["Azure Functions"]["memory_allocation"]
+    assert "Static" in by_provider["AWS Lambda"]["memory_allocation"]
+    # Deployment limits: AWS 250 MB, GCP 100 MB.
+    assert by_provider["AWS Lambda"]["deployment_limit_mb"] == 250
+    assert by_provider["Google Cloud Functions"]["deployment_limit_mb"] == 100
+    # Concurrency limits: 1000 / 200 / 100.
+    assert by_provider["AWS Lambda"]["concurrency_limit"] == 1000
+    assert by_provider["Azure Functions"]["concurrency_limit"] == 200
+    assert by_provider["Google Cloud Functions"]["concurrency_limit"] == 100

@@ -1,0 +1,34 @@
+"""Table 3: the SeBS application suite (names, languages, dependencies)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.reporting.tables import format_table, table3_applications
+
+
+def test_table3_applications(benchmark):
+    rows = run_once(benchmark, table3_applications)
+    print("\n" + format_table(rows))
+
+    names = {row["name"] for row in rows}
+    assert names == {
+        "dynamic-html",
+        "uploader",
+        "thumbnailer",
+        "video-processing",
+        "compression",
+        "data-vis",
+        "image-recognition",
+        "graph-pagerank",
+        "graph-mst",
+        "graph-bfs",
+    }
+    # Exactly one application requires a non-pip (native) dependency: ffmpeg.
+    native = [row["name"] for row in rows if row["native_dependencies"] == "yes"]
+    assert native == ["video-processing"]
+    # Three applications ship both Python and Node.js implementations.
+    bilingual = [row["name"] for row in rows if "Node.js" in row["languages"]]
+    assert sorted(bilingual) == ["dynamic-html", "thumbnailer", "uploader"]
+    # Categories cover all six workload types of the specification.
+    assert {row["type"] for row in rows} == {"webapps", "multimedia", "utilities", "inference", "scientific"}

@@ -1,0 +1,42 @@
+"""Table 4: local characterization of every benchmark (real kernel executions)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.benchmarks.base import InputSize
+from repro.experiments.characterization import CharacterizationExperiment
+from repro.reporting.tables import format_table
+
+
+def test_table4_local_characterization(benchmark, experiment_config, simulation_config):
+    experiment = CharacterizationExperiment(
+        config=experiment_config,
+        simulation=simulation_config,
+        repetitions=5,
+        size=InputSize.TEST,
+    )
+    characterization = run_once(benchmark, experiment.run)
+    rows = characterization.to_rows()
+    print("\n" + format_table(rows))
+
+    by_name = {row["benchmark"]: row for row in rows}
+    assert len(rows) == 10
+
+    # Relative ordering of computational weight from Table 4: the website
+    # backend is the cheapest, the multimedia pipeline the most expensive.
+    assert by_name["dynamic-html"]["warm_time_ms"] < by_name["graph-bfs"]["warm_time_ms"]
+    assert by_name["graph-bfs"]["warm_time_ms"] < by_name["video-processing"]["warm_time_ms"]
+
+    # Graph benchmarks and inference are CPU bound (≈99% CPU in the paper).
+    for name in ("graph-bfs", "graph-pagerank", "graph-mst"):
+        assert by_name[name]["cpu_utilization_pct"] > 80.0
+
+    # Every kernel really executed: positive times and output sizes everywhere.
+    for row in rows:
+        assert row["cold_time_ms"] > 0 and row["warm_time_ms"] > 0
+        assert row["output_bytes"] > 0
+
+    # The storage-backed benchmarks moved real bytes through the object store.
+    for name in ("uploader", "thumbnailer", "compression", "video-processing", "data-vis"):
+        assert by_name[name]["storage_write_bytes"] > 0

@@ -1,0 +1,33 @@
+"""Table 5: warm benchmark performance on AWS Lambda versus an EC2 t2.micro VM."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.faas_vs_iaas import FaasVsIaasExperiment
+from repro.reporting.tables import format_table
+
+
+def test_table5_faas_vs_iaas(benchmark, experiment_config, simulation_config):
+    experiment = FaasVsIaasExperiment(config=experiment_config, simulation=simulation_config)
+    result = run_once(
+        benchmark,
+        lambda: experiment.run(benchmarks=("uploader", "thumbnailer", "compression", "image-recognition", "graph-bfs")),
+    )
+    rows = result.to_rows()
+    print("\n" + format_table(rows))
+
+    for row in rows:
+        # FaaS is slower than the VM with local data (overheads of 1.4x-4x in
+        # the paper), and equalising storage narrows the gap for the
+        # storage-bound benchmarks (for compute-only kernels such as graph-bfs
+        # the two IaaS deployments are statistically identical).
+        assert row["overhead"] > 1.0
+        assert row["overhead_s3"] <= row["overhead"] * 1.1
+        assert 1.0 <= row["overhead"] < 8.0
+        # The VM can serve a substantial request rate at full utilisation.
+        assert row["iaas_local_req_per_hour"] >= row["iaas_s3_req_per_hour"] * 0.9
+
+    by_name = {row["benchmark"]: row for row in rows}
+    # compression is the slowest benchmark in wall-clock terms on every deployment.
+    assert by_name["compression"]["faas_s"] == max(row["faas_s"] for row in rows)

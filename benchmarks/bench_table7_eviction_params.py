@@ -1,0 +1,47 @@
+"""Table 7: the parameter space of the container-eviction experiment."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.config import Language, Provider
+from repro.experiments.eviction_model import TABLE7_PARAMETERS, EvictionModelExperiment, EvictionParameters
+from repro.reporting.tables import format_table
+
+
+def test_table7_parameter_space_is_exercised(benchmark, experiment_config, simulation_config):
+    """Sweep the extreme points of every Table 7 dimension and show that the
+    observed eviction behaviour is identical — the policy is agnostic to
+    memory, runtime, language and code-package size."""
+    experiment = EvictionModelExperiment(config=experiment_config, simulation=simulation_config)
+    extremes = [
+        EvictionParameters(d_init=20, delta_t_s=761.0, memory_mb=128, language=Language.PYTHON,
+                           code_package_mb=0.008, function_time_s=1.0),
+        EvictionParameters(d_init=20, delta_t_s=761.0, memory_mb=1536, language=Language.PYTHON,
+                           code_package_mb=0.008, function_time_s=1.0),
+        EvictionParameters(d_init=20, delta_t_s=761.0, memory_mb=128, language=Language.NODEJS,
+                           code_package_mb=0.008, function_time_s=1.0),
+        EvictionParameters(d_init=20, delta_t_s=761.0, memory_mb=128, language=Language.PYTHON,
+                           code_package_mb=250.0, function_time_s=1.0),
+        EvictionParameters(d_init=20, delta_t_s=761.0, memory_mb=128, language=Language.PYTHON,
+                           code_package_mb=0.008, function_time_s=10.0),
+    ]
+
+    def run():
+        return [experiment.observe(Provider.AWS, parameters) for parameters in extremes]
+
+    observations = run_once(benchmark, run)
+    rows = [obs.to_row() for obs in observations]
+    print("\n# Table 7 parameter ranges:", TABLE7_PARAMETERS)
+    print(format_table(rows))
+
+    # Paper parameter ranges are what the experiment declares.
+    assert TABLE7_PARAMETERS["d_init"] == (1, 20)
+    assert TABLE7_PARAMETERS["delta_t_s"] == (1, 1600)
+    assert TABLE7_PARAMETERS["memory_mb"] == (128, 1536)
+    assert TABLE7_PARAMETERS["sleep_time_s"] == (1, 10)
+
+    # After two full periods, every variation keeps exactly 20 / 2^2 = 5 warm
+    # containers: the eviction policy ignores all of these function properties.
+    warm_counts = {obs.warm_containers for obs in observations}
+    assert warm_counts == {5}

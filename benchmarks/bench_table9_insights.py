@@ -1,0 +1,45 @@
+"""Table 9: the insight summary, cross-checked against quick simulator runs."""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.config import Provider, StartType
+from repro.experiments.base import deploy_benchmark
+from repro.reporting.tables import format_table, table9_insights
+from repro.simulator.providers import create_platform
+
+
+def test_table9_insight_summary(benchmark, simulation_config):
+    rows = run_once(benchmark, table9_insights)
+    print("\n" + format_table(rows))
+    assert len(rows) == 15
+    # Every insight names the experiment of this reproduction that covers it.
+    assert all(row["experiment"] for row in rows)
+    # Eight of the fifteen results are insights not reported by prior work.
+    novel = [row for row in rows if row["novel"]]
+    assert len(novel) == 8
+
+
+def test_table9_headline_claims_hold_in_the_simulator(benchmark, simulation_config):
+    """Spot-check two headline insights directly against the platforms."""
+
+    def run():
+        measurements = {}
+        for provider in (Provider.AWS, Provider.GCP):
+            platform = create_platform(provider, simulation=simulation_config)
+            fname = deploy_benchmark(platform, "thumbnailer", memory_mb=2048)
+            platform.invoke(fname, payload={})
+            times = []
+            while len(times) < 20:
+                record = platform.invoke(fname, payload={})
+                if record.success and record.start_type is StartType.WARM:
+                    times.append(record.provider_time_s)
+            measurements[provider] = float(np.median(times))
+        return measurements
+
+    measurements = run_once(benchmark, run)
+    print("\nwarm provider-time medians:", {p.value: round(v, 4) for p, v in measurements.items()})
+    # Insight 1: AWS Lambda achieves the best performance.
+    assert measurements[Provider.AWS] < measurements[Provider.GCP]

@@ -1,0 +1,45 @@
+"""Shared fixtures of the benchmark harness.
+
+Every file in this directory regenerates one table or figure of the paper
+with ``pytest --benchmark-only``.  The experiments run against the simulated
+providers with a reduced-but-representative sample count so that the whole
+harness completes in minutes; pass ``--paper-scale`` to use the paper's
+full N = 200 samples and 50-invocation batches.
+
+Each target both *times* the experiment (via pytest-benchmark) and *prints*
+the regenerated rows/series (run with ``-s`` to see them), and asserts the
+qualitative shape the paper reports — who wins, by roughly what factor,
+where the crossovers fall.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ExperimentConfig, SimulationConfig
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="use the paper's full sample counts (N=200, batches of 50)",
+    )
+
+
+@pytest.fixture(scope="session")
+def experiment_config(request) -> ExperimentConfig:
+    if request.config.getoption("--paper-scale"):
+        return ExperimentConfig(samples=200, batch_size=50, seed=42)
+    return ExperimentConfig(samples=30, batch_size=10, seed=42)
+
+
+@pytest.fixture(scope="session")
+def simulation_config() -> SimulationConfig:
+    return SimulationConfig(seed=42)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""FaaS-vs-IaaS break-even study (Table 5 + Table 6).
+
+Measures warm performance of a set of benchmarks on the simulated AWS Lambda
+and on a t2.micro-class VM (with local and S3-like storage), then computes
+the request rate at which the pay-as-you-go function becomes more expensive
+than renting the VM around the clock.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.config import ExperimentConfig, Provider, SimulationConfig
+from repro.experiments.cost_analysis import CostAnalysis
+from repro.experiments.faas_vs_iaas import FaasVsIaasExperiment
+from repro.experiments.perf_cost import PerfCostExperiment
+from repro.reporting.tables import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmarks", nargs="+", default=["uploader", "thumbnailer", "graph-bfs"])
+    parser.add_argument("--samples", type=int, default=30)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    config = ExperimentConfig(samples=args.samples, batch_size=max(5, args.samples // 3), seed=args.seed)
+    simulation = SimulationConfig(seed=args.seed)
+    table5 = FaasVsIaasExperiment(config=config, simulation=simulation)
+    perf_cost = PerfCostExperiment(config=config, simulation=simulation)
+
+    table5_rows = []
+    table6_rows = []
+    for name in args.benchmarks:
+        comparison = table5.run_benchmark(name)
+        table5_rows.append(comparison.to_row())
+        result = perf_cost.run(name, providers=(Provider.AWS,), memory_sizes=(512, 1024, 2048))
+        points = CostAnalysis(result).break_even(
+            iaas_local_requests_per_hour=comparison.iaas_local_requests_per_hour,
+            iaas_cloud_requests_per_hour=comparison.iaas_cloud_requests_per_hour,
+        )
+        for label, point in points.items():
+            row = point.to_row()
+            row["kind"] = label
+            table6_rows.append(row)
+
+    print("# FaaS vs IaaS warm performance (Table 5)")
+    print(format_table(table5_rows))
+    print("\n# Break-even request rates (Table 6)")
+    print(format_table(table6_rows))
+    print(
+        "\nReading: below the break-even rate the serverless deployment is cheaper; "
+        "above it, a fully utilised VM wins — provided it can sustain the rate."
+    )
+
+
+if __name__ == "__main__":
+    main()

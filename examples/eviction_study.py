@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Container-eviction study: recover the AWS eviction policy and use it.
+
+Reproduces Section 6.5: submit batches of invocations, wait, count surviving
+warm containers, fit the ``D_warm = D_init * 2^-floor(dT/380s)`` model, and
+then apply Equation 2 to plan a container-warming strategy that avoids cold
+starts without provisioned concurrency.
+"""
+
+from __future__ import annotations
+
+from repro.config import ExperimentConfig, Language, Provider, SimulationConfig
+from repro.experiments.eviction_model import EvictionModelExperiment
+from repro.models.eviction import optimal_initial_batch
+from repro.reporting.figures import figure7_eviction_series
+from repro.reporting.tables import format_table
+
+
+def main() -> None:
+    experiment = EvictionModelExperiment(
+        config=ExperimentConfig(samples=10, batch_size=10, seed=13),
+        simulation=SimulationConfig(seed=13),
+    )
+    result = experiment.run(
+        provider=Provider.AWS,
+        d_init_values=(8, 12, 20),
+        memory_values=(128, 1536),
+        languages=(Language.PYTHON, Language.NODEJS),
+        code_sizes_mb=(0.008, 250.0),
+        function_times_s=(1.0, 10.0),
+    )
+
+    print("# Warm-container survival (Figure 7, first 20 rows)")
+    print(format_table(figure7_eviction_series(result)[:20]))
+
+    model = result.model
+    assert model is not None
+    print(f"\nfitted eviction period: {model.period_s:.0f} s (R^2 = {model.r_squared:.4f})")
+    print("prediction for 20 containers after 0/380/760/1140 s:",
+          [model.predict(20, dt) for dt in (0.0, 380.0, 760.0, 1140.0)])
+
+    # Equation 2: how many invocations keep n instances warm for a workload
+    # with runtime t, without paying for provisioned concurrency.
+    for instances, runtime in ((100, 3.8), (500, 1.0), (50, 30.0)):
+        batch = optimal_initial_batch(instances, runtime, period_s=model.period_s)
+        print(f"keep {instances:4d} instances of a {runtime:5.1f}s function warm -> "
+              f"re-invoke a batch of {batch} every {model.period_s:.0f} s")
+
+
+if __name__ == "__main__":
+    main()

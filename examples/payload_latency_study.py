@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Invocation-overhead study: latency versus payload size (Figure 6).
+
+Synchronises the client and cloud clocks with the minimum-RTT protocol, then
+sweeps the invocation payload from 1 kB to 5.9 MB for cold and warm starts on
+all three providers and fits the linear latency model per series.
+"""
+
+from __future__ import annotations
+
+from repro.config import ExperimentConfig, Provider, SimulationConfig, StartType
+from repro.experiments.invocation_overhead import InvocationOverheadExperiment
+from repro.reporting.figures import figure6_invocation_overhead_series
+from repro.reporting.tables import format_table
+
+
+def main() -> None:
+    experiment = InvocationOverheadExperiment(
+        config=ExperimentConfig(samples=30, batch_size=10, seed=5),
+        simulation=SimulationConfig(seed=5),
+    )
+    providers = (Provider.AWS, Provider.GCP, Provider.AZURE)
+    result = experiment.run(providers=providers, repetitions=6)
+
+    print("# Invocation overhead vs payload size (Figure 6)")
+    print(format_table(figure6_invocation_overhead_series(result)))
+
+    print("\n# Clock-drift estimates used to align client and cloud timestamps")
+    for provider, estimate in result.drift_estimates.items():
+        print(f"  {provider.value:5s}: offset {estimate.offset_s * 1000:+8.2f} ms, "
+              f"min RTT {estimate.min_rtt_s * 1000:6.2f} ms after {estimate.exchanges} exchanges")
+
+    print("\n# Linearity of the latency(payload) relationship")
+    for provider in providers:
+        for start_type in (StartType.WARM, StartType.COLD):
+            try:
+                model = result.model(provider, start_type)
+            except Exception:
+                continue
+            verdict = "linear" if model.is_linear else "erratic"
+            print(f"  {provider.value:5s} {start_type.value:4s}: adj R^2 = {model.fit.adjusted_r_squared:5.2f} "
+                  f"({verdict}), +{model.latency_per_mb_s * 1000:.0f} ms per MB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Perf-Cost study: compare providers and memory sizes for one application.
+
+Reproduces the core of Section 6.2/6.3 for a single benchmark: warm and cold
+performance across AWS, GCP and Azure (Figure 3/4) plus the cost of a million
+invocations per configuration (Figure 5a), printed as plain-text tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.config import ExperimentConfig, Provider, SimulationConfig
+from repro.experiments.perf_cost import PerfCostExperiment
+from repro.reporting.figures import (
+    figure3_performance_series,
+    figure4_cold_overhead_series,
+    figure5a_cost_series,
+)
+from repro.reporting.tables import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benchmark", nargs="?", default="thumbnailer")
+    parser.add_argument("--samples", type=int, default=40)
+    parser.add_argument("--memory", type=int, nargs="+", default=[256, 1024, 2048])
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    experiment = PerfCostExperiment(
+        config=ExperimentConfig(samples=args.samples, batch_size=max(5, args.samples // 4), seed=args.seed),
+        simulation=SimulationConfig(seed=args.seed),
+    )
+    result = experiment.run(
+        args.benchmark,
+        providers=(Provider.AWS, Provider.GCP, Provider.AZURE),
+        memory_sizes=tuple(args.memory),
+    )
+
+    print(f"# Warm performance of {args.benchmark} (Figure 3)")
+    print(format_table(figure3_performance_series(result)))
+    print(f"\n# Cold-start overhead of {args.benchmark} (Figure 4)")
+    print(format_table(figure4_cold_overhead_series(result)))
+    print(f"\n# Cost of one million invocations (Figure 5a)")
+    print(format_table(figure5a_cost_series(result)))
+
+    best = result.best_configuration(Provider.AWS)
+    metrics = best.warm_metrics()
+    print(
+        f"\nBest AWS configuration: {best.memory_mb} MB — "
+        f"median warm client time {metrics.client_time.median * 1000:.1f} ms, "
+        f"95% CI [{metrics.client_time.confidence_intervals[0.95].low * 1000:.1f}, "
+        f"{metrics.client_time.confidence_intervals[0.95].high * 1000:.1f}] ms"
+    )
+
+
+if __name__ == "__main__":
+    main()

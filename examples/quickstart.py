@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: deploy a benchmark on a simulated FaaS platform and invoke it.
+
+Mirrors the basic SeBS workflow: build the code package, create the function,
+create an HTTP trigger, invoke it (cold and warm) and read the provider logs
+and billing information.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import InputSize, Language, Provider, SimulationConfig, create_platform, deploy_benchmark
+from repro.benchmarks.base import BenchmarkContext
+from repro.benchmarks.registry import get_benchmark
+from repro.config import TriggerType
+from repro.faas.platform import LogQueryType
+
+
+def main() -> None:
+    # 1. Create a simulated AWS Lambda deployment (fully offline, seeded).
+    platform = create_platform(Provider.AWS, SimulationConfig(seed=2024), execute_kernels=True)
+
+    # 2. Package and deploy the thumbnailer benchmark with 1024 MB of memory.
+    function_name = deploy_benchmark(
+        platform, "thumbnailer", memory_mb=1024, language=Language.PYTHON, input_size=InputSize.SMALL
+    )
+    print(f"deployed {function_name!r} on {platform.name}")
+    print(f"  package size: {platform.get_function(function_name).package.size_mb:.1f} MB")
+
+    # 3. Generate a real invocation payload: the input generator uploads a
+    #    synthetic image to the platform's object storage, exactly as the
+    #    original toolkit uploads benchmark inputs to a cloud bucket.
+    benchmark = get_benchmark("thumbnailer")
+    context = BenchmarkContext(storage=platform.object_store, rng=np.random.default_rng(7))
+    event = benchmark.generate_input(InputSize.SMALL, context)
+
+    # 4. Invoke through the HTTP trigger: the first call is a cold start.
+    trigger = platform.create_trigger(function_name, TriggerType.HTTP)
+    for attempt in range(3):
+        record = trigger.invoke(event)
+        print(
+            f"  invocation {attempt + 1}: {record.start_type.value:5s} "
+            f"client={record.client_time_s * 1000:7.1f} ms  "
+            f"benchmark={record.benchmark_time_s * 1000:7.1f} ms  "
+            f"cost=${record.cost.total * 1e6:.2f}/1M  "
+            f"thumbnail={record.output.get('thumbnail_size')}"
+        )
+
+    # 5. Query provider-side logs, as `sebs.py` does after an experiment.
+    times = platform.query_logs(function_name, LogQueryType.TIME)
+    memory = platform.query_logs(function_name, LogQueryType.MEMORY)
+    print(f"  provider log: {len(times)} invocations, median time {np.median(times) * 1000:.1f} ms, "
+          f"median memory {np.median(memory):.0f} MB")
+
+
+if __name__ == "__main__":
+    main()

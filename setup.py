@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only enables the
+legacy editable-install path (``pip install -e . --no-use-pep517``) on
+machines where PEP 517 builds are unavailable offline.
+"""
+
+from setuptools import setup
+
+setup()

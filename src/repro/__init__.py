@@ -1,0 +1,89 @@
+"""SeBS reproduction: a Serverless Benchmark Suite for FaaS computing.
+
+This package reproduces the system described in *SeBS: A Serverless Benchmark
+Suite for Function-as-a-Service Computing* (Copik et al., ACM Middleware
+2021) as an offline, fully simulated library:
+
+* :mod:`repro.benchmarks` — the application suite (web apps, multimedia,
+  utilities, ML inference, graph processing) with real executable kernels;
+* :mod:`repro.faas` — the abstract FaaS platform model: packaging, limits,
+  triggers, billing, invocation records;
+* :mod:`repro.simulator` — behavioural simulators of AWS Lambda, Azure
+  Functions, Google Cloud Functions and an IaaS VM baseline;
+* :mod:`repro.experiments` — the Perf-Cost, Invoc-Overhead, Eviction-Model
+  and characterization experiments;
+* :mod:`repro.models` — the analytical models (container eviction, payload
+  latency, cold-start overhead, break-even);
+* :mod:`repro.stats`, :mod:`repro.metrics`, :mod:`repro.reporting` — the
+  measurement and reporting methodology.
+
+Quickstart::
+
+    from repro import Provider, SimulationConfig, create_platform, deploy_benchmark
+
+    platform = create_platform(Provider.AWS, SimulationConfig(seed=1))
+    fname = deploy_benchmark(platform, "thumbnailer", memory_mb=1024)
+    record = platform.invoke(fname, payload={})
+    print(record.client_time_s, record.cost.total)
+"""
+
+from .config import (
+    DYNAMIC_MEMORY,
+    ExperimentConfig,
+    FunctionConfig,
+    Language,
+    Provider,
+    SimulationConfig,
+    StartType,
+    TriggerType,
+)
+from .benchmarks import (
+    Benchmark,
+    BenchmarkContext,
+    InputSize,
+    WorkProfile,
+    default_registry,
+    get_benchmark,
+    list_benchmarks,
+)
+from .experiments.base import deploy_benchmark
+from .faas import CodePackage, FaaSPlatform, InvocationRecord, billing_model_for, limits_for
+from .simulator import (
+    AWSLambdaSimulator,
+    AzureFunctionsSimulator,
+    GoogleCloudFunctionsSimulator,
+    IaaSPlatform,
+    create_platform,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "DYNAMIC_MEMORY",
+    "ExperimentConfig",
+    "FunctionConfig",
+    "Language",
+    "Provider",
+    "SimulationConfig",
+    "StartType",
+    "TriggerType",
+    "Benchmark",
+    "BenchmarkContext",
+    "InputSize",
+    "WorkProfile",
+    "default_registry",
+    "get_benchmark",
+    "list_benchmarks",
+    "deploy_benchmark",
+    "CodePackage",
+    "FaaSPlatform",
+    "InvocationRecord",
+    "billing_model_for",
+    "limits_for",
+    "AWSLambdaSimulator",
+    "AzureFunctionsSimulator",
+    "GoogleCloudFunctionsSimulator",
+    "IaaSPlatform",
+    "create_platform",
+]

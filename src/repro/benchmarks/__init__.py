@@ -1,0 +1,43 @@
+"""The SeBS application suite (Table 3).
+
+Six workload categories are represented, as in the paper:
+
+* **Web applications** — ``dynamic-html`` (template rendering),
+  ``uploader`` (fetch a file from a URL and upload it to cloud storage).
+* **Multimedia** — ``thumbnailer`` (image resizing, Python and Node.js
+  variants), ``video-processing`` (watermark + GIF conversion).
+* **Utilities** — ``compression`` (zip a document project),
+  ``data-vis`` (DNA sequence visualisation backend).
+* **Inference** — ``image-recognition`` (ResNet-50 style image
+  classification).
+* **Scientific** — ``graph-bfs``, ``graph-pagerank``, ``graph-mst``
+  (irregular graph computations).
+
+Every benchmark is a real, executable Python kernel plus an input generator
+(parameterised by size) and a calibrated :class:`~repro.benchmarks.base.WorkProfile`
+that the cloud simulator uses to derive execution durations for arbitrary
+memory configurations.
+"""
+
+from .base import (
+    Benchmark,
+    BenchmarkCategory,
+    BenchmarkContext,
+    BenchmarkResult,
+    InputSize,
+    WorkProfile,
+)
+from .registry import BenchmarkRegistry, default_registry, get_benchmark, list_benchmarks
+
+__all__ = [
+    "Benchmark",
+    "BenchmarkCategory",
+    "BenchmarkContext",
+    "BenchmarkResult",
+    "InputSize",
+    "WorkProfile",
+    "BenchmarkRegistry",
+    "default_registry",
+    "get_benchmark",
+    "list_benchmarks",
+]

@@ -1,0 +1,204 @@
+"""Benchmark abstractions shared by every SeBS application.
+
+A benchmark consists of three pieces, mirroring the original toolkit:
+
+* an **input generator** that produces invocation payloads of a requested
+  size and uploads any required input files to persistent storage;
+* a **kernel** — the actual function body, written once in a high-level
+  language and wrapped by provider-specific entry points; here the kernel is
+  a plain Python callable receiving a JSON-like event and a
+  :class:`BenchmarkContext`;
+* a **work profile** describing the kernel's resource requirements
+  (reference compute time, peak memory, storage traffic, output size, cold
+  initialisation cost, code-package size).  The cloud simulator uses the
+  profile to derive execution durations under arbitrary memory allocations,
+  while local characterization (Table 4) measures the kernel for real.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..config import Language
+from ..exceptions import BenchmarkError, InputGenerationError
+from ..storage.object_store import ObjectStore
+
+
+class BenchmarkCategory(str, enum.Enum):
+    """Workload categories from Table 3."""
+
+    WEBAPPS = "webapps"
+    MULTIMEDIA = "multimedia"
+    UTILITIES = "utilities"
+    INFERENCE = "inference"
+    SCIENTIFIC = "scientific"
+
+
+class InputSize(str, enum.Enum):
+    """Input-size presets supported by every benchmark's generator."""
+
+    TEST = "test"
+    SMALL = "small"
+    LARGE = "large"
+
+    @property
+    def scale(self) -> float:
+        """Relative scale factor with respect to the small size."""
+        return {InputSize.TEST: 0.1, InputSize.SMALL: 1.0, InputSize.LARGE: 4.0}[self]
+
+
+@dataclass(frozen=True)
+class WorkProfile:
+    """Calibrated resource requirements of a benchmark kernel.
+
+    The reference values correspond to the paper's local characterization on
+    an AWS ``z1d.metal`` machine (Table 4) and to warm cloud executions at a
+    memory size with a full vCPU.
+
+    Attributes
+    ----------
+    warm_compute_s:
+        Pure compute time of a warm execution at a full CPU share.
+    cold_init_s:
+        Additional initialisation time of a cold execution (interpreter and
+        dependency import, model deserialisation, …) at a full CPU share.
+    instructions:
+        Retired-instruction estimate of a warm execution (Table 4).
+    cpu_utilization:
+        Fraction of wall-clock time spent on the CPU; I/O-bound kernels such
+        as ``uploader`` have low values.
+    peak_memory_mb:
+        Peak resident memory of the kernel.
+    storage_read_bytes / storage_write_bytes:
+        Persistent-storage traffic of one invocation.
+    storage_read_requests / storage_write_requests:
+        Number of storage API calls of one invocation.
+    output_bytes:
+        Size of the response returned to the client (drives the egress-cost
+        analysis of Section 6.3 Q4).
+    code_package_mb:
+        Size of the deployment package (drives cold-start deployment time).
+    min_memory_mb:
+        Smallest allocation under which the kernel fits; smaller allocations
+        fail with an out-of-memory error (observed on GCP, Section 6.2 Q3).
+    """
+
+    warm_compute_s: float
+    cold_init_s: float
+    instructions: float
+    cpu_utilization: float
+    peak_memory_mb: float
+    storage_read_bytes: int = 0
+    storage_write_bytes: int = 0
+    storage_read_requests: int = 0
+    storage_write_requests: int = 0
+    output_bytes: int = 1024
+    code_package_mb: float = 1.0
+    min_memory_mb: int = 128
+
+    def scaled(self, factor: float) -> "WorkProfile":
+        """Return a profile with compute, I/O and output scaled by ``factor``."""
+        return replace(
+            self,
+            warm_compute_s=self.warm_compute_s * factor,
+            instructions=self.instructions * factor,
+            storage_read_bytes=int(self.storage_read_bytes * factor),
+            storage_write_bytes=int(self.storage_write_bytes * factor),
+            output_bytes=max(1, int(self.output_bytes * factor)),
+        )
+
+    @property
+    def io_bound(self) -> bool:
+        """Heuristic used in reporting: CPU utilisation below 60%."""
+        return self.cpu_utilization < 0.6
+
+
+@dataclass
+class BenchmarkContext:
+    """Execution context handed to a benchmark kernel.
+
+    Mirrors what the SeBS function wrapper provides on a real platform:
+    access to persistent storage through the abstract interface, the input
+    bucket names, and a seeded random generator for kernels that synthesise
+    data on the fly.
+    """
+
+    storage: ObjectStore
+    input_bucket: str = "sebs-input"
+    output_bucket: str = "sebs-output"
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+    environment: Mapping[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class BenchmarkResult:
+    """Outcome of running a benchmark kernel locally."""
+
+    benchmark: str
+    result: Mapping[str, Any]
+    output_bytes: int
+
+    def to_json(self) -> str:
+        return json.dumps({"benchmark": self.benchmark, "result": dict(self.result)})
+
+
+class Benchmark(abc.ABC):
+    """Base class of every SeBS application."""
+
+    #: Unique benchmark name, e.g. ``"dynamic-html"``.
+    name: str = ""
+    #: Workload category (Table 3).
+    category: BenchmarkCategory = BenchmarkCategory.WEBAPPS
+    #: Languages in which the original suite implements the benchmark.
+    languages: tuple[Language, ...] = (Language.PYTHON,)
+    #: Third-party dependencies listed in Table 3 (informational).
+    dependencies: tuple[str, ...] = ()
+    #: Whether the benchmark requires a non-pip/native dependency (ffmpeg).
+    requires_native_dependencies: bool = False
+
+    def __init__(self) -> None:
+        if not self.name:
+            raise BenchmarkError(f"{type(self).__name__} does not define a benchmark name")
+
+    # ------------------------------------------------------------------ API
+    @abc.abstractmethod
+    def generate_input(self, size: InputSize, context: BenchmarkContext) -> dict[str, Any]:
+        """Create an invocation payload of the requested ``size``.
+
+        Implementations may upload auxiliary files (images, videos, archives)
+        to ``context.storage`` and reference them from the returned payload,
+        exactly as the original generators upload inputs to cloud buckets.
+        """
+
+    @abc.abstractmethod
+    def run(self, event: Mapping[str, Any], context: BenchmarkContext) -> dict[str, Any]:
+        """Execute the benchmark kernel for ``event`` and return its result."""
+
+    @abc.abstractmethod
+    def profile(self, size: InputSize = InputSize.SMALL, language: Language = Language.PYTHON) -> WorkProfile:
+        """Return the calibrated work profile for ``size`` and ``language``."""
+
+    # ----------------------------------------------------------- conveniences
+    def execute(self, event: Mapping[str, Any], context: BenchmarkContext) -> BenchmarkResult:
+        """Run the kernel and wrap its output in a :class:`BenchmarkResult`."""
+        result = self.run(event, context)
+        if not isinstance(result, Mapping):
+            raise BenchmarkError(f"benchmark {self.name!r} returned a non-mapping result")
+        encoded = json.dumps(result, default=str).encode("utf-8")
+        return BenchmarkResult(benchmark=self.name, result=result, output_bytes=len(encoded))
+
+    def supported_sizes(self) -> tuple[InputSize, ...]:
+        return (InputSize.TEST, InputSize.SMALL, InputSize.LARGE)
+
+    def validate_size(self, size: InputSize) -> None:
+        if size not in self.supported_sizes():
+            raise InputGenerationError(f"benchmark {self.name!r} does not support input size {size.value!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<Benchmark {self.name} ({self.category.value})>"

@@ -1,0 +1,12 @@
+"""Machine-learning inference benchmarks: image-recognition."""
+
+from .image_recognition import ImageRecognitionBenchmark
+from .resnet import ResNetLite, build_resnet_lite, serialize_weights, deserialize_weights
+
+__all__ = [
+    "ImageRecognitionBenchmark",
+    "ResNetLite",
+    "build_resnet_lite",
+    "serialize_weights",
+    "deserialize_weights",
+]

@@ -1,0 +1,115 @@
+"""``image-recognition``: classify an image with a ResNet-style network.
+
+The paper's benchmark serves a pretrained ResNet-50 with PyTorch on images
+from the MLPerf fake-resnet test set.  Its defining performance features are
+(1) the largest deployment package in the suite — PyTorch must be stripped to
+fit the 250 MB AWS limit, (2) a cold start dominated by downloading and
+deserialising the model from persistent storage (cold executions are on
+average up to ten times slower than warm ones, Figure 4), and (3)
+compute-bound warm inference (98.7% CPU in Table 4).
+
+The reproduction keeps all three: the model weights are generated once,
+uploaded to the input bucket, downloaded and deserialised on the first
+invocation of a sandbox (the kernel caches the model in a module-level slot,
+exactly how real functions cache state in the language worker between warm
+invocations), and inference runs a real NumPy convolutional network.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ...config import Language
+from ..base import Benchmark, BenchmarkCategory, BenchmarkContext, InputSize, WorkProfile
+from ..multimedia.imaging import Image
+from .resnet import ResNetLite, build_resnet_lite, deserialize_weights, serialize_weights
+
+
+class ImageRecognitionBenchmark(Benchmark):
+    """ResNet-style image classification with storage-hosted weights."""
+
+    name = "image-recognition"
+    category = BenchmarkCategory.INFERENCE
+    languages = (Language.PYTHON,)
+    dependencies = ("pytorch", "torchvision")
+
+    _MODEL_KEY = "models/resnet-lite.npz"
+    #: Input image edge length per size preset (square images).
+    _SIZE_TO_EDGE = {InputSize.TEST: 32, InputSize.SMALL: 64, InputSize.LARGE: 128}
+    _NUM_CLASSES = 1000
+
+    def __init__(self) -> None:
+        super().__init__()
+        # Model cache emulating the language worker's module-global state:
+        # populated on the first (cold) invocation, reused by warm ones.
+        self._cached_model: ResNetLite | None = None
+        self._cached_model_key: str | None = None
+
+    def generate_input(self, size: InputSize, context: BenchmarkContext) -> dict[str, Any]:
+        self.validate_size(size)
+        bucket = context.storage.create_bucket(context.input_bucket)
+        if not bucket.exists(self._MODEL_KEY):
+            model = build_resnet_lite(num_classes=self._NUM_CLASSES)
+            bucket.put(self._MODEL_KEY, serialize_weights(model), content_type="application/octet-stream")
+        edge = self._SIZE_TO_EDGE[size]
+        image = Image.generate(edge, edge, context.rng)
+        image_key = f"images/inference-input-{size.value}.srim"
+        bucket.put(image_key, image.to_bytes(), content_type="image/x-srim")
+        return {
+            "model_bucket": context.input_bucket,
+            "model_key": self._MODEL_KEY,
+            "input_bucket": context.input_bucket,
+            "input_key": image_key,
+            "top_k": 5,
+        }
+
+    def reset_cache(self) -> None:
+        """Drop the cached model, forcing the next run to behave like a cold start."""
+        self._cached_model = None
+        self._cached_model_key = None
+
+    def run(self, event: Mapping[str, Any], context: BenchmarkContext) -> dict[str, Any]:
+        model_bucket = str(event["model_bucket"])
+        model_key = str(event["model_key"])
+        cache_key = f"{model_bucket}/{model_key}"
+        cold_model_load = self._cached_model is None or self._cached_model_key != cache_key
+        if cold_model_load:
+            payload = context.storage.download(model_bucket, model_key)
+            self._cached_model = deserialize_weights(payload)
+            self._cached_model_key = cache_key
+        model = self._cached_model
+        assert model is not None
+
+        image_data = context.storage.download(str(event["input_bucket"]), str(event["input_key"]))
+        image = Image.from_bytes(image_data)
+        predictions = model.predict(image.pixels, top_k=int(event.get("top_k", 5)))
+        return {
+            "predictions": [{"label": label, "probability": round(prob, 6)} for label, prob in predictions],
+            "top_label": predictions[0][0],
+            "cold_model_load": cold_model_load,
+            "model_parameters": model.parameter_count(),
+        }
+
+    def profile(self, size: InputSize = InputSize.SMALL, language: Language = Language.PYTHON) -> WorkProfile:
+        # Table 4: warm 124.8 ms, cold 1268 ms (model download + import), 621 M
+        # instructions, 98.7% CPU.  The deployment package is pinned just under
+        # the 250 MB AWS limit; the model adds ~100 MB of storage reads on a
+        # cold start.  GCP kills the 512 MB configuration (Section 6.2 Q3), so
+        # the minimum viable allocation is 1024 MB.
+        edge = self._SIZE_TO_EDGE[size]
+        image_bytes = edge * edge * 3 + 12
+        model_bytes = 100 * 1024 * 1024
+        return WorkProfile(
+            warm_compute_s=0.1248 * size.scale,
+            cold_init_s=1.143,
+            instructions=6.21e8 * size.scale,
+            cpu_utilization=0.987,
+            peak_memory_mb=480.0,
+            storage_read_bytes=image_bytes + model_bytes // 50,
+            storage_write_bytes=0,
+            storage_read_requests=2,
+            storage_write_requests=0,
+            output_bytes=700,
+            code_package_mb=240.0,
+            min_memory_mb=512,
+        )

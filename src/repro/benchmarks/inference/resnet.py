@@ -1,0 +1,176 @@
+"""A compact ResNet-style convolutional network implemented in NumPy.
+
+The original ``image-recognition`` benchmark serves a pretrained ResNet-50
+with PyTorch; the deployment package has to be stripped down to fit AWS
+Lambda's 250 MB limit, and the cold start is dominated by downloading and
+deserialising the model from storage (Section 4.2 and 6.2 Q2).  PyTorch is
+not available offline, so this module provides a small residual CNN —
+convolution, batch-norm-style normalisation, ReLU, residual blocks, global
+average pooling, and a linear classifier — built on NumPy.  The architecture
+keeps the structural elements that make the benchmark interesting (a
+multi-megabyte serialised weight file that must be fetched and deserialised
+before the first inference, followed by compute-bound matrix work per
+inference) while staying fast enough for unit tests.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...exceptions import BenchmarkError
+
+
+def _conv2d(inputs: np.ndarray, kernels: np.ndarray, stride: int = 1) -> np.ndarray:
+    """Valid-padding 2D convolution via im2col.
+
+    ``inputs`` has shape (channels_in, height, width); ``kernels`` has shape
+    (channels_out, channels_in, k, k).
+    """
+    c_in, height, width = inputs.shape
+    c_out, c_in_k, k, k2 = kernels.shape
+    if c_in != c_in_k or k != k2:
+        raise BenchmarkError("kernel shape does not match the input channels")
+    out_h = (height - k) // stride + 1
+    out_w = (width - k) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise BenchmarkError("input is smaller than the convolution kernel")
+    # im2col: gather k*k*c_in patches for every output position.
+    cols = np.empty((c_in * k * k, out_h * out_w), dtype=np.float64)
+    idx = 0
+    for dy in range(k):
+        for dx in range(k):
+            patch = inputs[:, dy : dy + out_h * stride : stride, dx : dx + out_w * stride : stride]
+            cols[idx * c_in : (idx + 1) * c_in] = patch.reshape(c_in, -1)
+            idx += 1
+    weights = kernels.transpose(0, 2, 3, 1).reshape(c_out, -1)
+    result = weights @ cols
+    return result.reshape(c_out, out_h, out_w)
+
+
+def _pad(inputs: np.ndarray, padding: int) -> np.ndarray:
+    if padding == 0:
+        return inputs
+    return np.pad(inputs, ((0, 0), (padding, padding), (padding, padding)), mode="constant")
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def _normalize(x: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Per-channel normalisation (an inference-time batch-norm stand-in)."""
+    mean = x.mean(axis=(1, 2), keepdims=True)
+    std = x.std(axis=(1, 2), keepdims=True)
+    return (x - mean) / (std + eps)
+
+
+@dataclass
+class ResidualBlock:
+    """Two 3x3 convolutions with a skip connection."""
+
+    conv1: np.ndarray
+    conv2: np.ndarray
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = _relu(_normalize(_conv2d(_pad(x, 1), self.conv1)))
+        out = _normalize(_conv2d(_pad(out, 1), self.conv2))
+        return _relu(out + x)
+
+
+@dataclass
+class ResNetLite:
+    """A small residual network: stem conv → residual blocks → classifier."""
+
+    stem: np.ndarray
+    blocks: list[ResidualBlock]
+    classifier_weights: np.ndarray
+    classifier_bias: np.ndarray
+    labels: list[str] = field(default_factory=list)
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.classifier_weights.shape[0])
+
+    def forward(self, image: np.ndarray) -> np.ndarray:
+        """Return class logits for an RGB image of shape (height, width, 3)."""
+        if image.ndim != 3 or image.shape[2] != 3:
+            raise BenchmarkError("expected an RGB image of shape (height, width, 3)")
+        x = image.astype(np.float64).transpose(2, 0, 1) / 255.0
+        x = _relu(_normalize(_conv2d(_pad(x, 1), self.stem, stride=2)))
+        for block in self.blocks:
+            x = block.forward(x)
+        pooled = x.mean(axis=(1, 2))
+        return self.classifier_weights @ pooled + self.classifier_bias
+
+    def predict(self, image: np.ndarray, top_k: int = 5) -> list[tuple[str, float]]:
+        """Return the ``top_k`` (label, probability) pairs for ``image``."""
+        logits = self.forward(image)
+        shifted = logits - logits.max()
+        probabilities = np.exp(shifted) / np.exp(shifted).sum()
+        order = np.argsort(probabilities)[::-1][:top_k]
+        labels = self.labels or [f"class-{i}" for i in range(self.num_classes)]
+        return [(labels[i], float(probabilities[i])) for i in order]
+
+    def parameter_count(self) -> int:
+        count = self.stem.size + self.classifier_weights.size + self.classifier_bias.size
+        for block in self.blocks:
+            count += block.conv1.size + block.conv2.size
+        return int(count)
+
+
+def build_resnet_lite(
+    num_classes: int = 1000,
+    channels: int = 16,
+    num_blocks: int = 4,
+    seed: int = 1234,
+) -> ResNetLite:
+    """Construct a randomly initialised :class:`ResNetLite` ("pretrained" stand-in)."""
+    if num_classes <= 0 or channels <= 0 or num_blocks < 0:
+        raise BenchmarkError("invalid network configuration")
+    rng = np.random.default_rng(seed)
+    scale = 1.0 / np.sqrt(channels * 9)
+    stem = rng.normal(0, scale, size=(channels, 3, 3, 3))
+    blocks = [
+        ResidualBlock(
+            conv1=rng.normal(0, scale, size=(channels, channels, 3, 3)),
+            conv2=rng.normal(0, scale, size=(channels, channels, 3, 3)),
+        )
+        for _ in range(num_blocks)
+    ]
+    classifier_weights = rng.normal(0, 1.0 / np.sqrt(channels), size=(num_classes, channels))
+    classifier_bias = np.zeros(num_classes)
+    labels = [f"imagenet-class-{i:04d}" for i in range(num_classes)]
+    return ResNetLite(stem, blocks, classifier_weights, classifier_bias, labels)
+
+
+def serialize_weights(model: ResNetLite) -> bytes:
+    """Serialise the model weights into a single .npz payload."""
+    arrays: dict[str, np.ndarray] = {
+        "stem": model.stem,
+        "classifier_weights": model.classifier_weights,
+        "classifier_bias": model.classifier_bias,
+    }
+    for index, block in enumerate(model.blocks):
+        arrays[f"block{index}_conv1"] = block.conv1
+        arrays[f"block{index}_conv2"] = block.conv2
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    return buffer.getvalue()
+
+
+def deserialize_weights(payload: bytes, labels: list[str] | None = None) -> ResNetLite:
+    """Reconstruct a :class:`ResNetLite` from :func:`serialize_weights` output."""
+    with np.load(io.BytesIO(payload)) as archive:
+        stem = archive["stem"]
+        classifier_weights = archive["classifier_weights"]
+        classifier_bias = archive["classifier_bias"]
+        blocks = []
+        index = 0
+        while f"block{index}_conv1" in archive:
+            blocks.append(ResidualBlock(conv1=archive[f"block{index}_conv1"], conv2=archive[f"block{index}_conv2"]))
+            index += 1
+    model_labels = labels or [f"imagenet-class-{i:04d}" for i in range(classifier_weights.shape[0])]
+    return ResNetLite(stem, blocks, classifier_weights, classifier_bias, model_labels)

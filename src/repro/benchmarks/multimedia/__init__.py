@@ -1,0 +1,6 @@
+"""Multimedia benchmarks: thumbnailer and video-processing."""
+
+from .thumbnailer import ThumbnailerBenchmark
+from .video_processing import VideoProcessingBenchmark
+
+__all__ = ["ThumbnailerBenchmark", "VideoProcessingBenchmark"]

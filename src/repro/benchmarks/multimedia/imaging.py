@@ -1,0 +1,131 @@
+"""Minimal in-memory image representation and operations.
+
+The original ``thumbnailer`` uses Pillow (Python) or sharp (Node.js) and the
+``video-processing`` benchmark drives a static ffmpeg build.  Neither native
+dependency is available offline, so this module provides the small subset of
+imaging functionality the kernels need — an RGB raster with nearest-neighbour
+and box-filter resizing, watermark compositing, and a simple uncompressed
+serialisation format — implemented on NumPy arrays.  The operations perform
+real per-pixel work so the kernels keep their compute-bound character.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...exceptions import BenchmarkError
+
+#: Magic prefix of the serialised image format ("SeBS raster image").
+_MAGIC = b"SRIM"
+
+
+@dataclass
+class Image:
+    """An RGB image backed by a ``(height, width, 3)`` uint8 array."""
+
+    pixels: np.ndarray
+
+    def __post_init__(self) -> None:
+        pixels = np.asarray(self.pixels)
+        if pixels.ndim != 3 or pixels.shape[2] != 3:
+            raise BenchmarkError("image pixels must have shape (height, width, 3)")
+        self.pixels = pixels.astype(np.uint8, copy=False)
+
+    @property
+    def width(self) -> int:
+        return int(self.pixels.shape[1])
+
+    @property
+    def height(self) -> int:
+        return int(self.pixels.shape[0])
+
+    @classmethod
+    def generate(cls, width: int, height: int, rng: np.random.Generator) -> "Image":
+        """Create a synthetic photograph-like image (smooth gradients + noise)."""
+        if width <= 0 or height <= 0:
+            raise BenchmarkError("image dimensions must be positive")
+        ys = np.linspace(0.0, 1.0, height)[:, None]
+        xs = np.linspace(0.0, 1.0, width)[None, :]
+        red = 255.0 * (0.5 + 0.5 * np.sin(2 * np.pi * (xs + ys)))
+        green = 255.0 * np.broadcast_to(xs, (height, width))
+        blue = 255.0 * np.broadcast_to(ys, (height, width))
+        base = np.stack([red, green, blue], axis=2)
+        noise = rng.normal(0.0, 12.0, size=base.shape)
+        return cls(np.clip(base + noise, 0, 255).astype(np.uint8))
+
+    def resize(self, new_width: int, new_height: int) -> "Image":
+        """Resize with box filtering when shrinking, nearest neighbour otherwise."""
+        if new_width <= 0 or new_height <= 0:
+            raise BenchmarkError("target dimensions must be positive")
+        if new_width <= self.width and new_height <= self.height:
+            return self._box_resize(new_width, new_height)
+        return self._nearest_resize(new_width, new_height)
+
+    def _nearest_resize(self, new_width: int, new_height: int) -> "Image":
+        row_idx = (np.arange(new_height) * self.height // new_height).clip(0, self.height - 1)
+        col_idx = (np.arange(new_width) * self.width // new_width).clip(0, self.width - 1)
+        return Image(self.pixels[row_idx[:, None], col_idx[None, :], :])
+
+    def _box_resize(self, new_width: int, new_height: int) -> "Image":
+        # Average the source pixels falling into each target cell.  Cells are
+        # delimited by integer edges; degenerate (empty) cells borrow the next
+        # source row/column so every target pixel averages at least one pixel.
+        row_edges = np.linspace(0, self.height, new_height + 1).astype(int)
+        col_edges = np.linspace(0, self.width, new_width + 1).astype(int)
+        row_starts = np.minimum(row_edges[:-1], self.height - 1)
+        col_starts = np.minimum(col_edges[:-1], self.width - 1)
+        row_counts = np.maximum(1, row_edges[1:] - row_starts)
+        col_counts = np.maximum(1, col_edges[1:] - col_starts)
+        pixels = self.pixels.astype(np.float64)
+        # Sum over row bands, then over column bands, using cumulative sums.
+        row_cumsum = np.concatenate([np.zeros((1, self.width, 3)), np.cumsum(pixels, axis=0)], axis=0)
+        band_sums = row_cumsum[row_starts + row_counts] - row_cumsum[row_starts]
+        col_cumsum = np.concatenate([np.zeros((new_height, 1, 3)), np.cumsum(band_sums, axis=1)], axis=1)
+        cell_sums = col_cumsum[:, col_starts + col_counts] - col_cumsum[:, col_starts]
+        areas = (row_counts[:, None] * col_counts[None, :]).astype(np.float64)
+        out = cell_sums / areas[:, :, None]
+        return Image(np.clip(out, 0, 255).astype(np.uint8))
+
+    def thumbnail(self, max_width: int, max_height: int) -> "Image":
+        """Shrink preserving aspect ratio so it fits within the bounding box."""
+        scale = min(max_width / self.width, max_height / self.height, 1.0)
+        return self.resize(max(1, int(self.width * scale)), max(1, int(self.height * scale)))
+
+    def watermark(self, mark: "Image", opacity: float = 0.5, position: tuple[int, int] = (0, 0)) -> "Image":
+        """Alpha-blend ``mark`` onto this image at ``position`` (row, col)."""
+        if not 0.0 <= opacity <= 1.0:
+            raise BenchmarkError("opacity must lie in [0, 1]")
+        row, col = position
+        if row < 0 or col < 0 or row + mark.height > self.height or col + mark.width > self.width:
+            raise BenchmarkError("watermark does not fit at the requested position")
+        blended = self.pixels.astype(np.float64).copy()
+        region = blended[row : row + mark.height, col : col + mark.width]
+        region *= 1.0 - opacity
+        region += opacity * mark.pixels.astype(np.float64)
+        blended[row : row + mark.height, col : col + mark.width] = region
+        return Image(np.clip(blended, 0, 255).astype(np.uint8))
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the simple uncompressed SRIM format."""
+        header = _MAGIC + self.width.to_bytes(4, "little") + self.height.to_bytes(4, "little")
+        return header + self.pixels.tobytes()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Image":
+        """Deserialise an image produced by :meth:`to_bytes`."""
+        if len(data) < 12 or data[:4] != _MAGIC:
+            raise BenchmarkError("not a valid SRIM image")
+        width = int.from_bytes(data[4:8], "little")
+        height = int.from_bytes(data[8:12], "little")
+        expected = width * height * 3
+        body = data[12:]
+        if len(body) != expected:
+            raise BenchmarkError("SRIM image payload has the wrong size")
+        pixels = np.frombuffer(body, dtype=np.uint8).reshape(height, width, 3)
+        return cls(pixels.copy())
+
+    def mean_color(self) -> tuple[float, float, float]:
+        means = self.pixels.reshape(-1, 3).mean(axis=0)
+        return float(means[0]), float(means[1]), float(means[2])

@@ -1,0 +1,100 @@
+"""Registry of the benchmark suite (Table 3).
+
+The registry maps benchmark names to instances and provides the metadata that
+the Table 3 report and the experiment drivers iterate over.  New benchmarks
+integrate by registering an instance — mirroring how the original toolkit
+discovers benchmark directories.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..config import Language
+from ..exceptions import BenchmarkError, UnknownBenchmarkError
+from .base import Benchmark, BenchmarkCategory
+from .inference import ImageRecognitionBenchmark
+from .multimedia import ThumbnailerBenchmark, VideoProcessingBenchmark
+from .scientific import GraphBFSBenchmark, GraphMSTBenchmark, GraphPageRankBenchmark
+from .utilities import CompressionBenchmark, DataVisBenchmark
+from .webapps import DynamicHtmlBenchmark, UploaderBenchmark
+
+
+class BenchmarkRegistry:
+    """A mutable collection of benchmark instances keyed by name."""
+
+    def __init__(self) -> None:
+        self._benchmarks: dict[str, Benchmark] = {}
+
+    def register(self, benchmark: Benchmark, replace: bool = False) -> None:
+        if benchmark.name in self._benchmarks and not replace:
+            raise BenchmarkError(f"benchmark {benchmark.name!r} is already registered")
+        self._benchmarks[benchmark.name] = benchmark
+
+    def get(self, name: str) -> Benchmark:
+        try:
+            return self._benchmarks[name]
+        except KeyError:
+            raise UnknownBenchmarkError(name, list(self._benchmarks)) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._benchmarks)
+
+    def by_category(self, category: BenchmarkCategory) -> list[Benchmark]:
+        return [b for b in self._benchmarks.values() if b.category is category]
+
+    def with_language(self, language: Language) -> list[Benchmark]:
+        return [b for b in self._benchmarks.values() if language in b.languages]
+
+    def __iter__(self) -> Iterator[Benchmark]:
+        return iter(self._benchmarks[name] for name in self.names())
+
+    def __len__(self) -> int:
+        return len(self._benchmarks)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._benchmarks
+
+
+def _build_default_registry() -> BenchmarkRegistry:
+    registry = BenchmarkRegistry()
+    for benchmark in (
+        DynamicHtmlBenchmark(),
+        UploaderBenchmark(),
+        ThumbnailerBenchmark(),
+        VideoProcessingBenchmark(),
+        CompressionBenchmark(),
+        DataVisBenchmark(),
+        ImageRecognitionBenchmark(),
+        GraphBFSBenchmark(),
+        GraphPageRankBenchmark(),
+        GraphMSTBenchmark(),
+    ):
+        registry.register(benchmark)
+    return registry
+
+
+_DEFAULT_REGISTRY: BenchmarkRegistry | None = None
+
+
+def default_registry() -> BenchmarkRegistry:
+    """Return the process-wide registry with the full SeBS suite registered."""
+    global _DEFAULT_REGISTRY
+    if _DEFAULT_REGISTRY is None:
+        _DEFAULT_REGISTRY = _build_default_registry()
+    return _DEFAULT_REGISTRY
+
+
+def fresh_registry() -> BenchmarkRegistry:
+    """Return a new, independent registry instance (used by tests)."""
+    return _build_default_registry()
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Look up a benchmark in the default registry."""
+    return default_registry().get(name)
+
+
+def list_benchmarks() -> list[str]:
+    """Names of all benchmarks in the default registry."""
+    return default_registry().names()

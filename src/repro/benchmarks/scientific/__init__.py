@@ -1,0 +1,17 @@
+"""Scientific benchmarks: irregular graph computations (BFS, PageRank, MST)."""
+
+from .graph_generation import Graph, generate_rmat_graph, generate_random_graph
+from .algorithms import breadth_first_search, pagerank, minimum_spanning_tree
+from .graph_benchmarks import GraphBFSBenchmark, GraphMSTBenchmark, GraphPageRankBenchmark
+
+__all__ = [
+    "Graph",
+    "generate_rmat_graph",
+    "generate_random_graph",
+    "breadth_first_search",
+    "pagerank",
+    "minimum_spanning_tree",
+    "GraphBFSBenchmark",
+    "GraphPageRankBenchmark",
+    "GraphMSTBenchmark",
+]

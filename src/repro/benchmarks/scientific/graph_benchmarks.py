@@ -1,0 +1,144 @@
+"""Serverless wrappers of the graph algorithms: graph-bfs, graph-pagerank, graph-mst.
+
+Each benchmark generates an R-MAT graph of a size determined by the input
+preset, ships it in the invocation payload (the original benchmarks likewise
+generate graph data per invocation), runs the corresponding algorithm and
+returns a summary.  ``graph-bfs`` returns a comparatively large response
+(≈78 kB in the paper), which drives the data-transfer cost analysis of
+Section 6.3 Q4.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+import numpy as np
+
+from ...config import Language
+from ..base import Benchmark, BenchmarkCategory, BenchmarkContext, InputSize, WorkProfile
+from .algorithms import breadth_first_search, minimum_spanning_tree, pagerank
+from .graph_generation import Graph, generate_rmat_graph
+
+
+class _GraphBenchmarkBase(Benchmark):
+    """Shared input generation for the three graph benchmarks."""
+
+    category = BenchmarkCategory.SCIENTIFIC
+    languages = (Language.PYTHON,)
+    dependencies = ("igraph",)
+
+    #: R-MAT scale (log2 of the vertex count) per input preset.
+    _SIZE_TO_SCALE = {InputSize.TEST: 7, InputSize.SMALL: 10, InputSize.LARGE: 13}
+    _EDGE_FACTOR = 8
+
+    def generate_input(self, size: InputSize, context: BenchmarkContext) -> dict[str, Any]:
+        self.validate_size(size)
+        scale = self._SIZE_TO_SCALE[size]
+        graph = generate_rmat_graph(scale=scale, edge_factor=self._EDGE_FACTOR, rng=context.rng)
+        return {
+            "graph": graph.to_edge_payload(),
+            "size": size.value,
+            "seed": int(context.rng.integers(0, 2**31 - 1)),
+        }
+
+
+class GraphBFSBenchmark(_GraphBenchmarkBase):
+    """Breadth-first search over an R-MAT graph."""
+
+    name = "graph-bfs"
+
+    def run(self, event: Mapping[str, Any], context: BenchmarkContext) -> dict[str, Any]:
+        graph = Graph.from_edge_payload(dict(event["graph"]))
+        rng = np.random.default_rng(int(event.get("seed", 0)))
+        # Start from a vertex with at least one neighbour so the traversal is
+        # non-trivial (Graph500 uses the same convention for search keys).
+        candidates = [v for v in range(graph.num_vertices) if graph.degree(v) > 0]
+        source = int(rng.choice(candidates)) if candidates else 0
+        result = breadth_first_search(graph, source)
+        payload = {
+            "source": result.source,
+            "visited": result.visited_count,
+            "max_depth": result.max_depth,
+            "frontier_sizes": result.frontier_sizes,
+            "distances": result.distances,
+        }
+        return {
+            "result": payload,
+            "output_size": len(json.dumps(payload)),
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+        }
+
+    def profile(self, size: InputSize = InputSize.SMALL, language: Language = Language.PYTHON) -> WorkProfile:
+        # Table 4: warm 36.5 ms, cold 123 ms, 222 M instructions, 99% CPU.
+        # Output ≈ 78 kB (Section 6.3 Q4: returning graph data dominates
+        # transfer cost).
+        return WorkProfile(
+            warm_compute_s=0.0365 * size.scale,
+            cold_init_s=0.0865,
+            instructions=2.22e8 * size.scale,
+            cpu_utilization=0.99,
+            peak_memory_mb=70.0,
+            output_bytes=78_000,
+            code_package_mb=8.0,
+        )
+
+
+class GraphPageRankBenchmark(_GraphBenchmarkBase):
+    """PageRank over an R-MAT graph."""
+
+    name = "graph-pagerank"
+
+    def run(self, event: Mapping[str, Any], context: BenchmarkContext) -> dict[str, Any]:
+        graph = Graph.from_edge_payload(dict(event["graph"]))
+        ranks, iterations = pagerank(graph, damping=0.85, max_iterations=50, tolerance=1e-10)
+        top = np.argsort(ranks)[::-1][:10]
+        return {
+            "iterations": iterations,
+            "top_vertices": [{"vertex": int(v), "rank": float(ranks[v])} for v in top],
+            "rank_sum": float(ranks.sum()),
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+        }
+
+    def profile(self, size: InputSize = InputSize.SMALL, language: Language = Language.PYTHON) -> WorkProfile:
+        # Table 4: warm 106 ms, cold 194 ms, 794 M instructions, 99% CPU.
+        return WorkProfile(
+            warm_compute_s=0.106 * size.scale,
+            cold_init_s=0.088,
+            instructions=7.94e8 * size.scale,
+            cpu_utilization=0.99,
+            peak_memory_mb=120.0,
+            output_bytes=1_500,
+            code_package_mb=8.0,
+        )
+
+
+class GraphMSTBenchmark(_GraphBenchmarkBase):
+    """Minimum spanning tree (Kruskal) over an R-MAT graph."""
+
+    name = "graph-mst"
+
+    def run(self, event: Mapping[str, Any], context: BenchmarkContext) -> dict[str, Any]:
+        graph = Graph.from_edge_payload(dict(event["graph"]))
+        result = minimum_spanning_tree(graph)
+        return {
+            "tree_edges": len(result.edges),
+            "total_weight": round(result.total_weight, 6),
+            "num_components": result.num_components,
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+        }
+
+    def profile(self, size: InputSize = InputSize.SMALL, language: Language = Language.PYTHON) -> WorkProfile:
+        # Table 4: warm 38 ms, cold 125 ms, 234 M instructions, 99% CPU.
+        return WorkProfile(
+            warm_compute_s=0.038 * size.scale,
+            cold_init_s=0.087,
+            instructions=2.34e8 * size.scale,
+            cpu_utilization=0.99,
+            peak_memory_mb=80.0,
+            output_bytes=400,
+            code_package_mb=8.0,
+        )

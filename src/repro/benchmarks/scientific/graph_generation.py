@@ -1,0 +1,187 @@
+"""Graph data structure and synthetic graph generators.
+
+The scientific benchmarks of the suite operate on irregular graphs.  The
+original implementation uses ``igraph`` with synthetic power-law inputs; here
+the graph is a plain CSR-style adjacency structure and generators produce
+either uniform random (Erdős–Rényi-style) graphs or R-MAT graphs, the
+recursive-matrix model used by Graph500 that yields the skewed degree
+distributions which make BFS work-imbalanced (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...exceptions import BenchmarkError
+
+
+@dataclass
+class Graph:
+    """An undirected or directed graph stored as adjacency lists.
+
+    Attributes
+    ----------
+    num_vertices:
+        Number of vertices (identifiers 0..num_vertices-1).
+    adjacency:
+        ``adjacency[v]`` is a list of ``(neighbor, weight)`` tuples.
+    directed:
+        Whether edges are directed.
+    """
+
+    num_vertices: int
+    adjacency: list[list[tuple[int, float]]]
+    directed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_vertices < 0:
+            raise BenchmarkError("graph cannot have a negative number of vertices")
+        if len(self.adjacency) != self.num_vertices:
+            raise BenchmarkError("adjacency list length must equal num_vertices")
+
+    @property
+    def num_edges(self) -> int:
+        total = sum(len(neighbors) for neighbors in self.adjacency)
+        return total if self.directed else total // 2
+
+    def degree(self, vertex: int) -> int:
+        return len(self.adjacency[vertex])
+
+    def neighbors(self, vertex: int) -> list[tuple[int, float]]:
+        return self.adjacency[vertex]
+
+    def edges(self) -> list[tuple[int, int, float]]:
+        """Return edges as (u, v, weight); undirected edges appear once (u < v)."""
+        result = []
+        for u, neighbors in enumerate(self.adjacency):
+            for v, w in neighbors:
+                if self.directed or u < v:
+                    result.append((u, v, w))
+        return result
+
+    @classmethod
+    def from_edges(
+        cls,
+        num_vertices: int,
+        edges: list[tuple[int, int, float]] | list[tuple[int, int]],
+        directed: bool = False,
+    ) -> "Graph":
+        """Build a graph from an edge list (weights default to 1.0)."""
+        adjacency: list[list[tuple[int, float]]] = [[] for _ in range(num_vertices)]
+        for edge in edges:
+            if len(edge) == 3:
+                u, v, w = edge  # type: ignore[misc]
+            else:
+                u, v = edge  # type: ignore[misc]
+                w = 1.0
+            if not (0 <= u < num_vertices and 0 <= v < num_vertices):
+                raise BenchmarkError(f"edge ({u}, {v}) references a vertex outside the graph")
+            adjacency[u].append((int(v), float(w)))
+            if not directed and u != v:
+                adjacency[v].append((int(u), float(w)))
+        return cls(num_vertices=num_vertices, adjacency=adjacency, directed=directed)
+
+    def to_edge_payload(self) -> dict:
+        """Serialise the graph into a JSON-friendly payload for invocations."""
+        return {
+            "num_vertices": self.num_vertices,
+            "directed": self.directed,
+            "edges": [[u, v, w] for u, v, w in self.edges()],
+        }
+
+    @classmethod
+    def from_edge_payload(cls, payload: dict) -> "Graph":
+        return cls.from_edges(
+            num_vertices=int(payload["num_vertices"]),
+            edges=[(int(u), int(v), float(w)) for u, v, w in payload["edges"]],
+            directed=bool(payload.get("directed", False)),
+        )
+
+
+def generate_random_graph(
+    num_vertices: int,
+    average_degree: float,
+    rng: np.random.Generator,
+    weighted: bool = True,
+) -> Graph:
+    """Generate a uniformly random (Erdős–Rényi-style) undirected graph."""
+    if num_vertices <= 0:
+        raise BenchmarkError("graph must have at least one vertex")
+    if average_degree < 0:
+        raise BenchmarkError("average degree must be non-negative")
+    num_edges = int(num_vertices * average_degree / 2)
+    sources = rng.integers(0, num_vertices, size=num_edges)
+    targets = rng.integers(0, num_vertices, size=num_edges)
+    weights = rng.uniform(0.1, 10.0, size=num_edges) if weighted else np.ones(num_edges)
+    edges = []
+    seen: set[tuple[int, int]] = set()
+    for u, v, w in zip(sources.tolist(), targets.tolist(), weights.tolist()):
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key in seen:
+            continue
+        seen.add(key)
+        edges.append((u, v, float(w)))
+    return Graph.from_edges(num_vertices, edges, directed=False)
+
+
+def generate_rmat_graph(
+    scale: int,
+    edge_factor: int,
+    rng: np.random.Generator,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    weighted: bool = True,
+) -> Graph:
+    """Generate an R-MAT graph with 2**scale vertices (Graph500 parameters).
+
+    The recursive-matrix procedure drops each edge into one of four quadrants
+    with probabilities (a, b, c, d), recursing ``scale`` times; the resulting
+    degree distribution is highly skewed, producing the work imbalance across
+    BFS iterations the paper highlights for irregular workloads.
+    """
+    if scale <= 0 or scale > 24:
+        raise BenchmarkError("R-MAT scale must lie in [1, 24]")
+    if edge_factor <= 0:
+        raise BenchmarkError("edge factor must be positive")
+    d = 1.0 - a - b - c
+    if d < 0:
+        raise BenchmarkError("R-MAT probabilities must sum to at most 1")
+    num_vertices = 1 << scale
+    num_edges = num_vertices * edge_factor
+    rows = np.zeros(num_edges, dtype=np.int64)
+    cols = np.zeros(num_edges, dtype=np.int64)
+    for level in range(scale):
+        offset = 1 << (scale - level - 1)
+        draws = rng.random(num_edges)
+        go_right = (draws >= a + c) & (draws < 1.0)
+        right_within = draws >= a + c
+        go_down = ((draws >= a) & (draws < a + c)) | (draws >= a + b + c)
+        # Quadrants: a -> (0,0), b -> (0,1), c -> (1,0), d -> (1,1).
+        in_b = (draws >= a) & (draws < a + b)
+        in_c = (draws >= a + b) & (draws < a + b + c)
+        in_d = draws >= a + b + c
+        cols += offset * (in_b | in_d)
+        rows += offset * (in_c | in_d)
+        del go_right, right_within, go_down
+    weights = rng.uniform(0.1, 10.0, size=num_edges) if weighted else np.ones(num_edges)
+    # Permute vertex identifiers so that high-degree vertices are not clustered
+    # at small ids (standard Graph500 post-processing).
+    permutation = rng.permutation(num_vertices)
+    rows = permutation[rows]
+    cols = permutation[cols]
+    edges = []
+    seen: set[tuple[int, int]] = set()
+    for u, v, w in zip(rows.tolist(), cols.tolist(), weights.tolist()):
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key in seen:
+            continue
+        seen.add(key)
+        edges.append((u, v, float(w)))
+    return Graph.from_edges(num_vertices, edges, directed=False)

@@ -1,0 +1,6 @@
+"""Utility benchmarks: compression and data-vis."""
+
+from .compression import CompressionBenchmark
+from .data_vis import DataVisBenchmark
+
+__all__ = ["CompressionBenchmark", "DataVisBenchmark"]

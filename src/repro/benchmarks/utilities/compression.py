@@ -1,0 +1,116 @@
+"""``compression``: zip a project of files and return the archive.
+
+The original kernel compresses the files of a LaTeX template project
+(acmart-master) fetched from storage and writes the resulting archive back —
+the kind of backend processing an online document suite offloads to a
+function.  Table 4 characterises it as a long-running, mostly compute-bound
+kernel (470 ms warm, 88% CPU) with substantial storage traffic, and
+Section 6.2/6.3 use it as the canonical "long function with stragglers"
+example.  The kernel below generates a deterministic project of text files,
+stores them, then zips them with :mod:`zipfile` (deflate) in memory.
+"""
+
+from __future__ import annotations
+
+import io
+import zipfile
+from typing import Any, Mapping
+
+import numpy as np
+
+from ...config import Language
+from ..base import Benchmark, BenchmarkCategory, BenchmarkContext, InputSize, WorkProfile
+
+_WORDS = (
+    "serverless function benchmark cloud latency storage container sandbox "
+    "memory invocation trigger provider experiment workload measurement cost"
+).split()
+
+
+def generate_project_files(num_files: int, file_size: int, rng: np.random.Generator) -> dict[str, bytes]:
+    """Create a synthetic LaTeX-project-like set of text files."""
+    files: dict[str, bytes] = {}
+    for index in range(num_files):
+        words = rng.choice(_WORDS, size=max(1, file_size // 8))
+        text = " ".join(words.tolist())
+        name = f"sections/section-{index:03d}.tex" if index else "acmart-main.tex"
+        files[name] = text.encode("utf-8")[:file_size]
+    return files
+
+
+class CompressionBenchmark(Benchmark):
+    """Compress a set of files from storage into a zip archive."""
+
+    name = "compression"
+    category = BenchmarkCategory.UTILITIES
+    languages = (Language.PYTHON,)
+    dependencies = ()
+
+    #: (number of files, bytes per file) for each input size preset.
+    _SIZE_TO_PROJECT = {
+        InputSize.TEST: (5, 8 * 1024),
+        InputSize.SMALL: (40, 64 * 1024),
+        InputSize.LARGE: (120, 256 * 1024),
+    }
+
+    def generate_input(self, size: InputSize, context: BenchmarkContext) -> dict[str, Any]:
+        self.validate_size(size)
+        num_files, file_size = self._SIZE_TO_PROJECT[size]
+        files = generate_project_files(num_files, file_size, context.rng)
+        prefix = f"projects/acmart-{size.value}"
+        for name, data in files.items():
+            context.storage.upload(context.input_bucket, f"{prefix}/{name}", data, content_type="text/x-tex")
+        context.storage.create_bucket(context.output_bucket)
+        return {
+            "input_bucket": context.input_bucket,
+            "prefix": prefix,
+            "output_bucket": context.output_bucket,
+            "output_key": f"archives/acmart-{size.value}.zip",
+        }
+
+    def run(self, event: Mapping[str, Any], context: BenchmarkContext) -> dict[str, Any]:
+        bucket = str(event["input_bucket"])
+        prefix = str(event["prefix"])
+        keys = context.storage.list_objects(bucket, prefix)
+        buffer = io.BytesIO()
+        total_input = 0
+        with zipfile.ZipFile(buffer, "w", compression=zipfile.ZIP_DEFLATED) as archive:
+            for key in keys:
+                data = context.storage.download(bucket, key)
+                total_input += len(data)
+                archive.writestr(key[len(prefix) + 1 :], data)
+        payload = buffer.getvalue()
+        context.storage.upload(
+            str(event["output_bucket"]), str(event["output_key"]), payload, content_type="application/zip"
+        )
+        return {
+            "output_bucket": event["output_bucket"],
+            "output_key": event["output_key"],
+            "files": len(keys),
+            "input_bytes": total_input,
+            "archive_bytes": len(payload),
+            "compression_ratio": round(total_input / max(1, len(payload)), 3),
+        }
+
+    def profile(self, size: InputSize = InputSize.SMALL, language: Language = Language.PYTHON) -> WorkProfile:
+        # Table 4: warm 470.5 ms, cold 607 ms, 1735 M instructions, 88.4%
+        # CPU.  AWS reports a peak memory of 179 MB; GCP occasionally kills
+        # the 256 MB configuration (Section 6.2 Q3), so min_memory_mb = 256
+        # marks the boundary where failures start.
+        num_files, file_size = self._SIZE_TO_PROJECT[size]
+        input_bytes = num_files * file_size
+        output_bytes = int(input_bytes * 0.4)
+        return WorkProfile(
+            warm_compute_s=0.4705 * size.scale,
+            cold_init_s=0.136,
+            instructions=1.735e9 * size.scale,
+            cpu_utilization=0.884,
+            peak_memory_mb=250.0,
+            storage_read_bytes=input_bytes,
+            storage_write_bytes=output_bytes,
+            storage_read_requests=num_files + 1,
+            storage_write_requests=1,
+            output_bytes=512,
+            code_package_mb=3.0,
+            min_memory_mb=256,
+        )

@@ -1,0 +1,135 @@
+"""``data-vis``: DNA sequence visualisation backend (DNAvisualization.org).
+
+The original function receives DNA data, transforms it with the ``squiggle``
+library into a two-dimensional visualisation and caches the result in
+storage.  The squiggle method is simple enough to implement directly: walking
+the sequence, an ``A`` moves the trace up then down, a ``T`` down then up, a
+``C`` down and a ``G`` up, producing an (x, y) polyline whose shape encodes
+the sequence.  The kernel downsamples the polyline for plotting and uploads
+the serialised visualisation, preserving the original's mix of string
+processing, numeric work and storage writes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+import numpy as np
+
+from ...config import Language
+from ...exceptions import BenchmarkError
+from ..base import Benchmark, BenchmarkCategory, BenchmarkContext, InputSize, WorkProfile
+
+_BASES = np.array(list("ACGT"))
+
+
+def generate_sequence(length: int, rng: np.random.Generator) -> str:
+    """Generate a random DNA sequence of ``length`` bases."""
+    if length <= 0:
+        raise BenchmarkError("sequence length must be positive")
+    return "".join(rng.choice(_BASES, size=length).tolist())
+
+
+def squiggle_transform(sequence: str) -> tuple[np.ndarray, np.ndarray]:
+    """Compute the squiggle (x, y) visualisation of a DNA sequence.
+
+    Following Lee (Bioinformatics 2018): each base contributes two x steps of
+    0.5; ``A`` rises then falls, ``T`` falls then rises, ``C`` steps down and
+    ``G`` steps up.  Returns arrays of length ``2 * len(sequence) + 1``.
+    """
+    sequence = sequence.upper()
+    n = len(sequence)
+    if n == 0:
+        raise BenchmarkError("sequence must be non-empty")
+    xs = np.arange(2 * n + 1, dtype=np.float64) * 0.5
+    deltas = np.zeros(2 * n, dtype=np.float64)
+    encoded = np.frombuffer(sequence.encode("ascii"), dtype=np.uint8)
+    is_a = encoded == ord("A")
+    is_t = encoded == ord("T")
+    is_c = encoded == ord("C")
+    is_g = encoded == ord("G")
+    if not np.all(is_a | is_t | is_c | is_g):
+        raise BenchmarkError("sequence contains characters other than A, C, G, T")
+    deltas[0::2] = 1.0 * is_a - 1.0 * is_t - 0.5 * is_c + 0.5 * is_g
+    deltas[1::2] = -1.0 * is_a + 1.0 * is_t - 0.5 * is_c + 0.5 * is_g
+    ys = np.concatenate(([0.0], np.cumsum(deltas)))
+    return xs, ys
+
+
+def downsample(xs: np.ndarray, ys: np.ndarray, max_points: int) -> tuple[np.ndarray, np.ndarray]:
+    """Reduce the polyline to at most ``max_points`` points for plotting."""
+    if max_points <= 1:
+        raise BenchmarkError("max_points must be greater than one")
+    if xs.size <= max_points:
+        return xs, ys
+    idx = np.linspace(0, xs.size - 1, max_points).astype(int)
+    return xs[idx], ys[idx]
+
+
+class DataVisBenchmark(Benchmark):
+    """Visualise a DNA sequence with the squiggle transform."""
+
+    name = "data-vis"
+    category = BenchmarkCategory.UTILITIES
+    languages = (Language.PYTHON,)
+    dependencies = ("squiggle",)
+
+    _SIZE_TO_BASES = {
+        InputSize.TEST: 1_000,
+        InputSize.SMALL: 100_000,
+        InputSize.LARGE: 1_000_000,
+    }
+    _MAX_PLOT_POINTS = 4_096
+
+    def generate_input(self, size: InputSize, context: BenchmarkContext) -> dict[str, Any]:
+        self.validate_size(size)
+        sequence = generate_sequence(self._SIZE_TO_BASES[size], context.rng)
+        key = f"dna/sequence-{size.value}.txt"
+        context.storage.upload(context.input_bucket, key, sequence.encode("ascii"), content_type="text/plain")
+        context.storage.create_bucket(context.output_bucket)
+        return {
+            "input_bucket": context.input_bucket,
+            "input_key": key,
+            "output_bucket": context.output_bucket,
+            "output_key": f"dna/visualization-{size.value}.json",
+        }
+
+    def run(self, event: Mapping[str, Any], context: BenchmarkContext) -> dict[str, Any]:
+        sequence = context.storage.download(str(event["input_bucket"]), str(event["input_key"])).decode("ascii")
+        xs, ys = squiggle_transform(sequence)
+        plot_x, plot_y = downsample(xs, ys, self._MAX_PLOT_POINTS)
+        payload = json.dumps(
+            {
+                "length": len(sequence),
+                "points": len(plot_x),
+                "x": np.round(plot_x, 3).tolist(),
+                "y": np.round(plot_y, 3).tolist(),
+            }
+        ).encode("utf-8")
+        context.storage.upload(
+            str(event["output_bucket"]), str(event["output_key"]), payload, content_type="application/json"
+        )
+        return {
+            "output_bucket": event["output_bucket"],
+            "output_key": event["output_key"],
+            "sequence_length": len(sequence),
+            "visualization_bytes": len(payload),
+            "gc_content": round((sequence.count("G") + sequence.count("C")) / len(sequence), 4),
+        }
+
+    def profile(self, size: InputSize = InputSize.SMALL, language: Language = Language.PYTHON) -> WorkProfile:
+        bases = self._SIZE_TO_BASES[size]
+        return WorkProfile(
+            warm_compute_s=0.090 * size.scale,
+            cold_init_s=0.180,
+            instructions=3.0e8 * size.scale,
+            cpu_utilization=0.92,
+            peak_memory_mb=80.0 + bases * 32 / (1024 * 1024),
+            storage_read_bytes=bases,
+            storage_write_bytes=150_000,
+            storage_read_requests=1,
+            storage_write_requests=1,
+            output_bytes=1_024,
+            code_package_mb=18.0,
+        )

@@ -1,0 +1,6 @@
+"""Web-application benchmarks: dynamic-html and uploader."""
+
+from .dynamic_html import DynamicHtmlBenchmark
+from .uploader import UploaderBenchmark
+
+__all__ = ["DynamicHtmlBenchmark", "UploaderBenchmark"]

@@ -1,0 +1,157 @@
+"""Command-line interface of the SeBS reproduction.
+
+The original toolkit ships a ``sebs.py`` driver; this reproduction provides a
+similar entry point::
+
+    sebs-repro list                      # list benchmarks
+    sebs-repro table2                    # provider policy comparison
+    sebs-repro characterize              # local characterization (Table 4)
+    sebs-repro perf-cost thumbnailer     # Perf-Cost experiment (Figure 3/4)
+    sebs-repro invoc-overhead            # payload/latency experiment (Figure 6)
+    sebs-repro eviction                  # container-eviction experiment (Figure 7)
+    sebs-repro faas-vs-iaas              # Table 5 comparison
+
+All experiments run against the simulated providers; ``--samples`` and
+``--batch`` trade accuracy for speed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .benchmarks.registry import list_benchmarks
+from .config import ExperimentConfig, Provider, SimulationConfig
+from .experiments.characterization import CharacterizationExperiment
+from .experiments.eviction_model import EvictionModelExperiment
+from .experiments.faas_vs_iaas import FaasVsIaasExperiment
+from .experiments.invocation_overhead import InvocationOverheadExperiment
+from .experiments.perf_cost import PerfCostExperiment
+from .reporting import figures
+from .reporting.tables import format_table, table2_platform_limits, table3_applications, table9_insights
+
+
+def _experiment_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--samples", type=int, default=50, help="measurements per configuration")
+    parser.add_argument("--batch", type=int, default=20, help="concurrent invocations per batch")
+    parser.add_argument("--seed", type=int, default=42, help="simulation seed")
+    parser.add_argument(
+        "--providers",
+        nargs="+",
+        default=["aws", "gcp", "azure"],
+        choices=[p.value for p in (Provider.AWS, Provider.GCP, Provider.AZURE)],
+        help="providers to evaluate",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="sebs-repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available benchmarks")
+    sub.add_parser("table2", help="provider policy comparison (Table 2)")
+    sub.add_parser("table3", help="application suite (Table 3)")
+    sub.add_parser("table9", help="insight summary (Table 9)")
+
+    characterize = sub.add_parser("characterize", help="local characterization (Table 4)")
+    characterize.add_argument("--repetitions", type=int, default=5)
+    characterize.add_argument("--seed", type=int, default=42)
+
+    perf = sub.add_parser("perf-cost", help="Perf-Cost experiment (Figures 3-5)")
+    perf.add_argument("benchmark", help="benchmark name, e.g. thumbnailer")
+    _experiment_args(perf)
+
+    invoc = sub.add_parser("invoc-overhead", help="invocation overhead experiment (Figure 6)")
+    _experiment_args(invoc)
+
+    evict = sub.add_parser("eviction", help="container eviction experiment (Figure 7)")
+    evict.add_argument("--seed", type=int, default=42)
+
+    iaas = sub.add_parser("faas-vs-iaas", help="FaaS vs IaaS comparison (Table 5)")
+    iaas.add_argument("--samples", type=int, default=50)
+    iaas.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+def _configs(args: argparse.Namespace) -> tuple[ExperimentConfig, SimulationConfig]:
+    samples = getattr(args, "samples", 50)
+    batch = getattr(args, "batch", 20)
+    seed = getattr(args, "seed", 42)
+    return (
+        ExperimentConfig(samples=samples, batch_size=batch, seed=seed),
+        SimulationConfig(seed=seed),
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``sebs-repro`` command."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for name in list_benchmarks():
+            print(name)
+        return 0
+    if args.command == "table2":
+        print(format_table(table2_platform_limits()))
+        return 0
+    if args.command == "table3":
+        print(format_table(table3_applications()))
+        return 0
+    if args.command == "table9":
+        print(format_table(table9_insights()))
+        return 0
+
+    if args.command == "characterize":
+        config = ExperimentConfig(samples=max(2, args.repetitions), seed=args.seed)
+        experiment = CharacterizationExperiment(
+            config=config, simulation=SimulationConfig(seed=args.seed), repetitions=args.repetitions
+        )
+        print(format_table(experiment.run().to_rows()))
+        return 0
+
+    if args.command == "perf-cost":
+        config, simulation = _configs(args)
+        providers = tuple(Provider(p) for p in args.providers)
+        experiment = PerfCostExperiment(config=config, simulation=simulation)
+        result = experiment.run(args.benchmark, providers=providers)
+        print("# Figure 3: warm performance")
+        print(format_table(figures.figure3_performance_series(result)))
+        print("\n# Figure 4: cold start overheads")
+        print(format_table(figures.figure4_cold_overhead_series(result)))
+        print("\n# Figure 5a: cost of 1M invocations")
+        print(format_table(figures.figure5a_cost_series(result)))
+        print("\n# Figure 5b: used vs billed resources")
+        print(format_table(figures.figure5b_resource_usage_series(result)))
+        return 0
+
+    if args.command == "invoc-overhead":
+        config, simulation = _configs(args)
+        providers = tuple(Provider(p) for p in args.providers)
+        experiment = InvocationOverheadExperiment(config=config, simulation=simulation)
+        result = experiment.run(providers=providers)
+        print(format_table(figures.figure6_invocation_overhead_series(result)))
+        return 0
+
+    if args.command == "eviction":
+        config = ExperimentConfig(samples=10, seed=args.seed)
+        experiment = EvictionModelExperiment(config=config, simulation=SimulationConfig(seed=args.seed))
+        result = experiment.run()
+        print(format_table(figures.figure7_eviction_series(result)))
+        model = result.model
+        if model is not None:
+            print(f"\nFitted eviction period: {model.period_s:.0f} s (R^2 = {model.r_squared:.4f})")
+        return 0
+
+    if args.command == "faas-vs-iaas":
+        config = ExperimentConfig(samples=args.samples, seed=args.seed)
+        experiment = FaasVsIaasExperiment(config=config, simulation=SimulationConfig(seed=args.seed))
+        result = experiment.run()
+        print(format_table(result.to_rows()))
+        return 0
+
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

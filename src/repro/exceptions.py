@@ -1,0 +1,125 @@
+"""Exception hierarchy for the SeBS reproduction library.
+
+Every error raised by the library derives from :class:`SeBSError`, so callers
+can catch a single base class.  Sub-classes mirror the main subsystems: the
+FaaS platform abstraction, the storage substrate, benchmark execution, and
+experiment orchestration.
+"""
+
+from __future__ import annotations
+
+
+class SeBSError(Exception):
+    """Base class for all errors raised by the SeBS reproduction."""
+
+
+class ConfigurationError(SeBSError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class PlatformError(SeBSError):
+    """Base class for FaaS-platform related errors."""
+
+
+class FunctionNotFoundError(PlatformError):
+    """A function name was referenced before being created on the platform."""
+
+    def __init__(self, name: str):
+        super().__init__(f"function {name!r} does not exist on this platform")
+        self.name = name
+
+
+class FunctionAlreadyExistsError(PlatformError):
+    """A function with the same name already exists on the platform."""
+
+    def __init__(self, name: str):
+        super().__init__(f"function {name!r} already exists on this platform")
+        self.name = name
+
+
+class DeploymentError(PlatformError):
+    """A code package could not be deployed (e.g. exceeds size limits)."""
+
+
+class InvocationError(PlatformError):
+    """A function invocation failed on the provider side.
+
+    The paper observes several classes of invocation failure: out-of-memory
+    terminations (GCP at small memory sizes), service unavailability under
+    concurrent bursts, and time-limit violations.  ``reason`` carries a short
+    machine-readable tag (``"out-of-memory"``, ``"unavailable"``,
+    ``"timeout"``).
+    """
+
+    def __init__(self, message: str, reason: str = "error"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class OutOfMemoryError(InvocationError):
+    """Function exceeded the configured memory allocation."""
+
+    def __init__(self, message: str):
+        super().__init__(message, reason="out-of-memory")
+
+
+class ServiceUnavailableError(InvocationError):
+    """The platform could not serve the invocation (capacity/availability)."""
+
+    def __init__(self, message: str):
+        super().__init__(message, reason="unavailable")
+
+
+class FunctionTimeoutError(InvocationError):
+    """Function execution exceeded the platform time limit."""
+
+    def __init__(self, message: str):
+        super().__init__(message, reason="timeout")
+
+
+class StorageError(SeBSError):
+    """Base class for persistent/ephemeral storage errors."""
+
+
+class BucketNotFoundError(StorageError):
+    """A bucket was referenced before being created."""
+
+    def __init__(self, bucket: str):
+        super().__init__(f"bucket {bucket!r} does not exist")
+        self.bucket = bucket
+
+
+class ObjectNotFoundError(StorageError):
+    """An object key does not exist in the referenced bucket."""
+
+    def __init__(self, bucket: str, key: str):
+        super().__init__(f"object {key!r} not found in bucket {bucket!r}")
+        self.bucket = bucket
+        self.key = key
+
+
+class BenchmarkError(SeBSError):
+    """Base class for benchmark definition and execution errors."""
+
+
+class UnknownBenchmarkError(BenchmarkError):
+    """The requested benchmark name is not registered."""
+
+    def __init__(self, name: str, available: list[str] | None = None):
+        message = f"unknown benchmark {name!r}"
+        if available:
+            message += f"; available: {', '.join(sorted(available))}"
+        super().__init__(message)
+        self.name = name
+
+
+class InputGenerationError(BenchmarkError):
+    """Benchmark input could not be generated for the requested size."""
+
+
+class ExperimentError(SeBSError):
+    """An experiment could not be executed or produced inconsistent results."""
+
+
+class ModelFitError(SeBSError):
+    """An analytical model could not be fitted to the measured data."""

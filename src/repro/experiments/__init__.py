@@ -1,0 +1,44 @@
+"""SeBS experiments (Section 5.2 and Section 6).
+
+Four experiments drive the evaluation:
+
+* **Perf-Cost** — cold and warm performance and cost across providers and
+  memory configurations (Figures 3-5, Tables 5-6);
+* **Invoc-Overhead** — invocation latency versus payload size with
+  clock-drift-corrected timestamps (Figure 6);
+* **Eviction-Model** — warm-container survival as a function of the initial
+  batch size and waiting time (Figure 7, Table 7);
+* **Local characterization** — non-cloud measurements of every benchmark
+  (Table 4).
+
+Each experiment is a plain object configured by
+:class:`~repro.config.ExperimentConfig`; ``run()`` returns typed result
+objects that the reporting layer formats into the paper's tables and figure
+series.
+"""
+
+from .base import deploy_benchmark, ExperimentRunner
+from .characterization import CharacterizationExperiment
+from .eviction_model import EvictionModelExperiment, EvictionObservation, EvictionParameters
+from .invocation_overhead import InvocationOverheadExperiment, PayloadLatencyObservation
+from .perf_cost import PerfCostConfigResult, PerfCostExperiment, PerfCostResult
+from .cost_analysis import CostAnalysis, ResourceUsageEntry
+from .faas_vs_iaas import FaasVsIaasExperiment, FaasVsIaasRow
+
+__all__ = [
+    "deploy_benchmark",
+    "ExperimentRunner",
+    "CharacterizationExperiment",
+    "EvictionModelExperiment",
+    "EvictionObservation",
+    "EvictionParameters",
+    "InvocationOverheadExperiment",
+    "PayloadLatencyObservation",
+    "PerfCostConfigResult",
+    "PerfCostExperiment",
+    "PerfCostResult",
+    "CostAnalysis",
+    "ResourceUsageEntry",
+    "FaasVsIaasExperiment",
+    "FaasVsIaasRow",
+]

@@ -1,0 +1,68 @@
+"""Shared experiment plumbing: deployment helpers and the runner base class."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..benchmarks.base import InputSize
+from ..config import (
+    DEFAULT_REGIONS,
+    ExperimentConfig,
+    FunctionConfig,
+    Language,
+    Provider,
+    SimulationConfig,
+)
+from ..exceptions import ExperimentError
+from ..simulator.platform_sim import SimulatedPlatform
+from ..simulator.providers import create_platform
+
+
+def deploy_benchmark(
+    platform: SimulatedPlatform,
+    benchmark_name: str,
+    memory_mb: int,
+    language: Language = Language.PYTHON,
+    input_size: InputSize = InputSize.SMALL,
+    timeout_s: float | None = None,
+    function_name: str | None = None,
+) -> str:
+    """Package and deploy a benchmark on ``platform``; returns the function name.
+
+    Mirrors the deployment flow of the original toolkit: build the code
+    package inside the provider-compatible environment, create the function
+    with the requested configuration, and select the input-size preset the
+    driver will use for invocations.
+    """
+    code = platform.package_code(benchmark_name, language)
+    limits = platform.limits
+    if timeout_s is None:
+        timeout_s = min(300.0, limits.time_limit_s)
+    config = FunctionConfig(
+        memory_mb=memory_mb,
+        timeout_s=timeout_s,
+        language=language,
+        region=DEFAULT_REGIONS[platform.provider],
+    )
+    fname = function_name or f"{benchmark_name}-{language.value}-{memory_mb}mb"
+    platform.create_function(fname, code, config)
+    platform.set_input_size(fname, input_size)
+    return fname
+
+
+@dataclass
+class ExperimentRunner:
+    """Base class bundling the configuration shared by all experiments."""
+
+    config: ExperimentConfig
+    simulation: SimulationConfig
+    language: Language = Language.PYTHON
+    input_size: InputSize = InputSize.SMALL
+
+    def __post_init__(self) -> None:
+        if self.config.samples <= 0:
+            raise ExperimentError("experiments need a positive sample count")
+
+    def make_platform(self, provider: Provider, execute_kernels: bool = False) -> SimulatedPlatform:
+        """Create a fresh simulated deployment of ``provider``."""
+        return create_platform(provider, simulation=self.simulation, execute_kernels=execute_kernels)

@@ -1,0 +1,42 @@
+"""Local benchmark characterization (Section 6.1, Table 4).
+
+Every benchmark of the suite is executed for real in the local environment to
+verify that the selection covers different performance profiles — from
+millisecond website backends to second-long multimedia and inference kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..benchmarks.base import Benchmark, InputSize
+from ..benchmarks.registry import BenchmarkRegistry, default_registry
+from ..config import Language
+from ..metrics.local import LocalCharacterization, LocalMetrics, measure_local
+from .base import ExperimentRunner
+
+
+@dataclass
+class CharacterizationExperiment(ExperimentRunner):
+    """Runs the local characterization across the whole suite."""
+
+    repetitions: int = 5
+    size: InputSize = InputSize.TEST
+    registry: BenchmarkRegistry = field(default_factory=default_registry)
+
+    def run_benchmark(self, benchmark: Benchmark) -> LocalMetrics:
+        return measure_local(
+            benchmark,
+            size=self.size,
+            repetitions=self.repetitions,
+            seed=self.config.seed,
+            language=self.language,
+        )
+
+    def run(self, benchmarks: tuple[str, ...] | None = None) -> LocalCharacterization:
+        """Characterize ``benchmarks`` (all Python benchmarks by default)."""
+        names = benchmarks or tuple(
+            b.name for b in self.registry if Language.PYTHON in b.languages
+        )
+        metrics = tuple(self.run_benchmark(self.registry.get(name)) for name in names)
+        return LocalCharacterization(metrics=metrics)

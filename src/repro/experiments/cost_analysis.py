@@ -1,0 +1,229 @@
+"""Cost analysis of Perf-Cost results (Section 6.3, Figure 5, Table 6).
+
+Three analyses are derived from the Perf-Cost measurements:
+
+* the **cost of one million invocations** for every memory configuration
+  (Figure 5a), computed from the billed duration, the declared (AWS/GCP) or
+  measured-average (Azure) memory, and the per-request fee;
+* the **ratio of used to billed resources** (Figure 5b), quantifying how much
+  memory users pay for without using it and how much billed duration is
+  rounding;
+* the **break-even request rate** against an IaaS deployment (Table 6),
+  using the cheapest and fastest viable configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import Provider, StartType
+from ..exceptions import ExperimentError
+from ..faas.billing import billing_model_for
+from ..faas.invocation import InvocationRecord
+from ..models.breakeven import BreakEvenPoint, break_even_analysis
+from .perf_cost import PerfCostConfigResult, PerfCostResult
+
+
+@dataclass(frozen=True)
+class CostOfMillionEntry:
+    """Cost of one million invocations for one configuration (Figure 5a)."""
+
+    provider: Provider
+    benchmark: str
+    memory_mb: int
+    start_type: str
+    cost_usd: float
+
+    def to_row(self) -> dict:
+        return {
+            "provider": self.provider.value,
+            "benchmark": self.benchmark,
+            "memory_mb": self.memory_mb,
+            "start_type": self.start_type,
+            "cost_per_1M_usd": round(self.cost_usd, 2),
+        }
+
+
+@dataclass(frozen=True)
+class ResourceUsageEntry:
+    """Used vs billed resources of one configuration (Figure 5b)."""
+
+    provider: Provider
+    benchmark: str
+    memory_mb: int
+    start_type: str
+    memory_usage_ratio: float
+    duration_usage_ratio: float
+
+    @property
+    def combined_usage_ratio(self) -> float:
+        """Fraction of billed GB-seconds actually used."""
+        return self.memory_usage_ratio * self.duration_usage_ratio
+
+    def to_row(self) -> dict:
+        return {
+            "provider": self.provider.value,
+            "benchmark": self.benchmark,
+            "memory_mb": self.memory_mb,
+            "start_type": self.start_type,
+            "memory_usage_pct": round(self.memory_usage_ratio * 100, 1),
+            "duration_usage_pct": round(self.duration_usage_ratio * 100, 1),
+            "resource_usage_pct": round(self.combined_usage_ratio * 100, 1),
+        }
+
+
+@dataclass(frozen=True)
+class OutputTransferCost:
+    """Egress cost of returning results directly to users (Section 6.3 Q4)."""
+
+    provider: Provider
+    benchmark: str
+    output_bytes: int
+    cost_per_million_usd: float
+
+    def to_row(self) -> dict:
+        return {
+            "provider": self.provider.value,
+            "benchmark": self.benchmark,
+            "output_kb": round(self.output_bytes / 1024, 1),
+            "egress_cost_per_1M_usd": round(self.cost_per_million_usd, 2),
+        }
+
+
+class CostAnalysis:
+    """Turns Perf-Cost results into the cost figures and tables."""
+
+    def __init__(self, result: PerfCostResult):
+        self._result = result
+
+    # ------------------------------------------------------------ Figure 5a
+    def cost_of_million(self) -> list[CostOfMillionEntry]:
+        """Compute the cost of one million invocations per configuration."""
+        entries: list[CostOfMillionEntry] = []
+        for config in self._result.configs:
+            for start_type, records in (("cold", config.cold_records), ("warm", config.warm_records)):
+                successes = [r for r in records if r.success]
+                if not successes:
+                    continue
+                entries.append(
+                    CostOfMillionEntry(
+                        provider=config.provider,
+                        benchmark=config.benchmark,
+                        memory_mb=config.memory_mb,
+                        start_type=start_type,
+                        cost_usd=self._median_invocation_cost(config.provider, successes) * 1e6,
+                    )
+                )
+        return entries
+
+    @staticmethod
+    def _median_invocation_cost(provider: Provider, records: list[InvocationRecord]) -> float:
+        billing = billing_model_for(provider)
+        costs = []
+        for record in records:
+            cost = billing.invocation_cost(
+                duration_s=record.provider_time_s,
+                declared_memory_mb=record.memory_declared_mb,
+                used_memory_mb=record.memory_used_mb,
+                output_bytes=0,
+                storage_requests=0,
+                via_http_api=False,
+            )
+            costs.append(cost.total)
+        return float(np.median(costs))
+
+    # ------------------------------------------------------------ Figure 5b
+    def resource_usage(self) -> list[ResourceUsageEntry]:
+        """Ratio of used to billed memory and duration (AWS and GCP only).
+
+        Azure is excluded, as in the paper, because its monitor reports
+        unreliable memory numbers for this purpose.
+        """
+        entries: list[ResourceUsageEntry] = []
+        for config in self._result.configs:
+            if config.provider is Provider.AZURE:
+                continue
+            for start_type, records in (("cold", config.cold_records), ("warm", config.warm_records)):
+                successes = [r for r in records if r.success]
+                if not successes or config.memory_mb <= 0:
+                    continue
+                memory_ratio = float(np.median([r.memory_used_mb for r in successes])) / config.memory_mb
+                duration_ratio = float(
+                    np.median([r.provider_time_s / r.billed_duration_s for r in successes if r.billed_duration_s > 0])
+                )
+                entries.append(
+                    ResourceUsageEntry(
+                        provider=config.provider,
+                        benchmark=config.benchmark,
+                        memory_mb=config.memory_mb,
+                        start_type=start_type,
+                        memory_usage_ratio=min(1.0, memory_ratio),
+                        duration_usage_ratio=min(1.0, duration_ratio),
+                    )
+                )
+        return entries
+
+    # -------------------------------------------------------------- Table 6
+    def break_even(
+        self,
+        iaas_local_requests_per_hour: float,
+        iaas_cloud_requests_per_hour: float,
+        vm_hourly_cost_usd: float = 0.0116,
+        provider: Provider = Provider.AWS,
+    ) -> dict[str, BreakEvenPoint]:
+        """Break-even points of the cheapest (Eco) and fastest (Perf) configs."""
+        configs = [c for c in self._result.for_provider(provider) if c.viable]
+        if not configs:
+            raise ExperimentError(f"no viable configurations for provider {provider.value}")
+
+        def cost_per_million(config: PerfCostConfigResult) -> float:
+            successes = [r for r in config.warm_records if r.success]
+            return self._median_invocation_cost(provider, successes) * 1e6
+
+        eco = min(configs, key=cost_per_million)
+        perf = min(configs, key=lambda c: c.warm_metrics().client_time.median)
+        points = {}
+        for label, config in (("eco", eco), ("perf", perf)):
+            points[label] = break_even_analysis(
+                benchmark=self._result.benchmark,
+                configuration=f"{label}-{config.memory_mb}MB",
+                cost_per_million_usd=cost_per_million(config),
+                vm_hourly_cost_usd=vm_hourly_cost_usd,
+                iaas_local_requests_per_hour=iaas_local_requests_per_hour,
+                iaas_cloud_requests_per_hour=iaas_cloud_requests_per_hour,
+            )
+        return points
+
+    # ----------------------------------------------------------- Section Q4
+    def output_transfer_costs(self) -> list[OutputTransferCost]:
+        """Egress cost per million invocations of returning results directly."""
+        entries: list[OutputTransferCost] = []
+        for provider in (Provider.AWS, Provider.GCP, Provider.AZURE):
+            configs = [c for c in self._result.for_provider(provider) if c.viable]
+            if not configs:
+                continue
+            config = configs[0]
+            successes = [r for r in config.warm_records if r.success]
+            output_bytes = int(np.median([r.output_bytes for r in successes]))
+            billing = billing_model_for(provider)
+            single = billing.invocation_cost(
+                duration_s=0.0,
+                declared_memory_mb=config.memory_mb,
+                used_memory_mb=0.0,
+                output_bytes=output_bytes,
+                storage_requests=0,
+                via_http_api=True,
+            )
+            # Only the transfer-related charges (request metering + egress).
+            transfer_cost = single.request_cost + single.egress_cost
+            entries.append(
+                OutputTransferCost(
+                    provider=provider,
+                    benchmark=config.benchmark,
+                    output_bytes=output_bytes,
+                    cost_per_million_usd=transfer_cost * 1e6,
+                )
+            )
+        return entries

@@ -1,0 +1,136 @@
+"""FaaS versus IaaS comparison (Section 6.2 Q4, Table 5).
+
+The experiment runs the same benchmarks on three deployments:
+
+* **IaaS, Local** — a persistent ``t2.micro``-class VM with data on local
+  disk;
+* **IaaS, S3** — the same VM but with benchmark data in cloud object storage
+  (the fair comparison, since functions must use cloud storage);
+* **FaaS** — warm AWS Lambda executions at the memory configuration where the
+  benchmark reaches its performance plateau.
+
+It reports the median warm execution time of each deployment and the
+FaaS-over-IaaS overhead factors, plus the sustainable request rate of the VM
+used by the break-even analysis of Table 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import Provider
+from ..exceptions import ExperimentError
+from ..simulator.iaas import IaaSPlatform
+from .base import ExperimentRunner, deploy_benchmark
+
+#: Memory configuration (MB) at which each benchmark reaches its plateau on
+#: AWS Lambda, as reported in Table 5.
+TABLE5_FAAS_MEMORY: dict[str, int] = {
+    "uploader": 1024,
+    "thumbnailer": 1024,
+    "compression": 1024,
+    "image-recognition": 3008,
+    "graph-bfs": 1536,
+}
+
+
+@dataclass(frozen=True)
+class FaasVsIaasRow:
+    """One benchmark's row of Table 5."""
+
+    benchmark: str
+    iaas_local_s: float
+    iaas_cloud_storage_s: float
+    faas_s: float
+    faas_memory_mb: int
+    iaas_local_requests_per_hour: float
+    iaas_cloud_requests_per_hour: float
+
+    @property
+    def overhead_vs_local(self) -> float:
+        return self.faas_s / self.iaas_local_s if self.iaas_local_s > 0 else float("inf")
+
+    @property
+    def overhead_vs_cloud_storage(self) -> float:
+        return self.faas_s / self.iaas_cloud_storage_s if self.iaas_cloud_storage_s > 0 else float("inf")
+
+    def to_row(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "iaas_local_s": round(self.iaas_local_s, 3),
+            "iaas_s3_s": round(self.iaas_cloud_storage_s, 3),
+            "faas_s": round(self.faas_s, 3),
+            "overhead": round(self.overhead_vs_local, 2),
+            "overhead_s3": round(self.overhead_vs_cloud_storage, 2),
+            "memory_mb": self.faas_memory_mb,
+            "iaas_local_req_per_hour": round(self.iaas_local_requests_per_hour),
+            "iaas_s3_req_per_hour": round(self.iaas_cloud_requests_per_hour),
+        }
+
+
+@dataclass
+class FaasVsIaasResult:
+    rows: list[FaasVsIaasRow] = field(default_factory=list)
+
+    def row_for(self, benchmark: str) -> FaasVsIaasRow:
+        for row in self.rows:
+            if row.benchmark == benchmark:
+                return row
+        raise ExperimentError(f"no FaaS-vs-IaaS measurement for benchmark {benchmark!r}")
+
+    def to_rows(self) -> list[dict]:
+        return [row.to_row() for row in self.rows]
+
+
+class FaasVsIaasExperiment(ExperimentRunner):
+    """Drives the Table 5 comparison."""
+
+    def _measure_iaas(self, benchmark_name: str, use_cloud_storage: bool, samples: int) -> tuple[float, float]:
+        """Return (median warm time, sustainable requests/hour) on the VM."""
+        platform = IaaSPlatform(simulation=self.simulation, registry=None, use_cloud_storage=use_cloud_storage)
+        fname = deploy_benchmark(
+            platform, benchmark_name, memory_mb=1024, language=self.language, input_size=self.input_size
+        )
+        records = [platform.invoke(fname, payload={}) for _ in range(samples)]
+        times = [r.provider_time_s for r in records if r.success]
+        if not times:
+            raise ExperimentError(f"IaaS execution of {benchmark_name!r} produced no successful runs")
+        median = float(np.median(times))
+        return median, 3600.0 / median
+
+    def _measure_faas(self, benchmark_name: str, memory_mb: int, samples: int) -> float:
+        """Median warm provider time on AWS Lambda at ``memory_mb``."""
+        platform = self.make_platform(Provider.AWS)
+        fname = deploy_benchmark(
+            platform, benchmark_name, memory_mb=memory_mb, language=self.language, input_size=self.input_size
+        )
+        # Warm the sandbox, then measure sequential warm executions.
+        platform.invoke(fname, payload={})
+        times = []
+        while len(times) < samples:
+            record = platform.invoke(fname, payload={})
+            if record.success and not record.is_cold:
+                times.append(record.provider_time_s)
+        return float(np.median(times))
+
+    def run_benchmark(self, benchmark_name: str, faas_memory_mb: int | None = None) -> FaasVsIaasRow:
+        samples = max(10, self.config.samples // 4)
+        memory = faas_memory_mb or TABLE5_FAAS_MEMORY.get(benchmark_name, 1024)
+        iaas_local_s, local_rate = self._measure_iaas(benchmark_name, use_cloud_storage=False, samples=samples)
+        iaas_cloud_s, cloud_rate = self._measure_iaas(benchmark_name, use_cloud_storage=True, samples=samples)
+        faas_s = self._measure_faas(benchmark_name, memory, samples=samples)
+        return FaasVsIaasRow(
+            benchmark=benchmark_name,
+            iaas_local_s=iaas_local_s,
+            iaas_cloud_storage_s=iaas_cloud_s,
+            faas_s=faas_s,
+            faas_memory_mb=memory,
+            iaas_local_requests_per_hour=local_rate,
+            iaas_cloud_requests_per_hour=cloud_rate,
+        )
+
+    def run(self, benchmarks: tuple[str, ...] | None = None) -> FaasVsIaasResult:
+        names = benchmarks or tuple(TABLE5_FAAS_MEMORY)
+        return FaasVsIaasResult(rows=[self.run_benchmark(name) for name in names])

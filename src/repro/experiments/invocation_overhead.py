@@ -1,0 +1,148 @@
+"""The Invoc-Overhead experiment (Section 6.4, Figure 6).
+
+The experiment measures the latency between submitting an invocation and the
+start of function execution.  Because client and cloud clocks differ, it
+first runs the clock-drift estimation protocol (exchange messages until no
+lower round-trip time is seen for N = 10 consecutive iterations), then sweeps
+the invocation payload size from 1 kB to 5.9 MB (6 MB is the AWS endpoint
+limit) for cold and warm invocations, and fits a linear latency(payload)
+model per provider and start type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import Provider, StartType
+from ..exceptions import ExperimentError
+from ..models.invocation_latency import PayloadLatencyModel, fit_payload_latency
+from ..network.clock_sync import ClockDriftEstimator, DriftEstimate
+from .base import ExperimentRunner, deploy_benchmark
+
+#: Payload sizes swept by the experiment (bytes): 1 kB up to 5.9 MB.
+DEFAULT_PAYLOAD_SIZES: tuple[int, ...] = (
+    1024,
+    64 * 1024,
+    256 * 1024,
+    1024 * 1024,
+    2 * 1024 * 1024,
+    4 * 1024 * 1024,
+    int(5.9 * 1024 * 1024),
+)
+
+
+@dataclass(frozen=True)
+class PayloadLatencyObservation:
+    """Median invocation latency for one payload size and start type."""
+
+    provider: Provider
+    start_type: StartType
+    payload_bytes: int
+    median_latency_s: float
+    samples: int
+
+    def to_row(self) -> dict:
+        return {
+            "provider": self.provider.value,
+            "start_type": self.start_type.value,
+            "payload_mb": round(self.payload_bytes / (1024 * 1024), 3),
+            "median_invocation_time_s": round(self.median_latency_s, 4),
+            "samples": self.samples,
+        }
+
+
+@dataclass
+class InvocationOverheadResult:
+    """All observations and fitted models of the experiment."""
+
+    benchmark: str
+    observations: list[PayloadLatencyObservation] = field(default_factory=list)
+    drift_estimates: dict[Provider, DriftEstimate] = field(default_factory=dict)
+    models: dict[tuple[Provider, StartType], PayloadLatencyModel] = field(default_factory=dict)
+
+    def series(self, provider: Provider, start_type: StartType) -> list[PayloadLatencyObservation]:
+        return [
+            obs
+            for obs in self.observations
+            if obs.provider is provider and obs.start_type is start_type
+        ]
+
+    def model(self, provider: Provider, start_type: StartType) -> PayloadLatencyModel:
+        try:
+            return self.models[(provider, start_type)]
+        except KeyError:
+            raise ExperimentError(
+                f"no latency model fitted for {provider.value}/{start_type.value}"
+            ) from None
+
+
+class InvocationOverheadExperiment(ExperimentRunner):
+    """Drives the Invoc-Overhead experiment."""
+
+    benchmark_name: str = "dynamic-html"
+
+    def run_provider(
+        self,
+        provider: Provider,
+        payload_sizes: tuple[int, ...] = DEFAULT_PAYLOAD_SIZES,
+        repetitions: int | None = None,
+    ) -> InvocationOverheadResult:
+        return self.run((provider,), payload_sizes=payload_sizes, repetitions=repetitions)
+
+    def run(
+        self,
+        providers: tuple[Provider, ...] = (Provider.AWS, Provider.GCP, Provider.AZURE),
+        payload_sizes: tuple[int, ...] = DEFAULT_PAYLOAD_SIZES,
+        repetitions: int | None = None,
+    ) -> InvocationOverheadResult:
+        """Measure invocation latency versus payload size on ``providers``."""
+        repetitions = repetitions or max(5, self.config.samples // 10)
+        result = InvocationOverheadResult(benchmark=self.benchmark_name)
+        for provider in providers:
+            platform = self.make_platform(provider)
+            # Clock synchronisation between the benchmark client and the cloud.
+            estimator = ClockDriftEstimator(platform.network, stop_after_non_decreasing=10)
+            result.drift_estimates[provider] = estimator.estimate(platform.clock.now())
+
+            memory = 256 if platform.limits.memory_static else 0
+            fname = deploy_benchmark(
+                platform, self.benchmark_name, memory_mb=memory, language=self.language, input_size=self.input_size
+            )
+            for start_type in (StartType.COLD, StartType.WARM):
+                for payload_bytes in payload_sizes:
+                    latencies = []
+                    for _ in range(repetitions):
+                        if start_type is StartType.COLD:
+                            platform.enforce_cold_start(fname)
+                        else:
+                            # Make sure a warm sandbox exists.
+                            if platform.warm_container_count(fname) == 0:
+                                platform.invoke(fname, payload={}, payload_bytes=1024)
+                        record = platform.invoke(fname, payload={}, payload_bytes=payload_bytes)
+                        if not record.success:
+                            continue
+                        # Invocation time: submission to execution start plus
+                        # payload transmission, which is what Figure 6 plots.
+                        latencies.append(record.invocation_overhead_s)
+                    if not latencies:
+                        continue
+                    result.observations.append(
+                        PayloadLatencyObservation(
+                            provider=provider,
+                            start_type=start_type,
+                            payload_bytes=payload_bytes,
+                            median_latency_s=float(np.median(latencies)),
+                            samples=len(latencies),
+                        )
+                    )
+                series = result.series(provider, start_type)
+                if len(series) >= 2:
+                    result.models[(provider, start_type)] = fit_payload_latency(
+                        provider=provider.value,
+                        start_type=start_type.value,
+                        payload_bytes=[obs.payload_bytes for obs in series],
+                        latencies_s=[obs.median_latency_s for obs in series],
+                    )
+        return result

@@ -1,0 +1,206 @@
+"""The Perf-Cost experiment (Section 6.2).
+
+For every (provider, benchmark, memory configuration) the experiment gathers
+N cold invocations — enforcing container eviction before each concurrent
+batch — and N warm invocations from repeated batches against warm sandboxes.
+Client, provider and benchmark times are recorded for each invocation; the
+number of samples is chosen so that the non-parametric confidence interval of
+the client time stays within 5% of the median (N = 200 and batches of 50 in
+the paper).
+
+The result objects feed Figure 3 (warm performance versus memory),
+Figure 4 (cold-start overhead ratios), Figure 5 (cost analysis) and, together
+with the IaaS baseline, Table 5 and Table 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..benchmarks.registry import default_registry
+from ..config import DYNAMIC_MEMORY, Provider, StartType, resolve_memory_sizes
+from ..exceptions import ExperimentError
+from ..faas.invocation import InvocationRecord
+from ..metrics.cloud import CloudMetrics, aggregate_records
+from ..models.cold_start import ColdStartOverhead, cold_start_overheads
+from .base import ExperimentRunner, deploy_benchmark
+
+
+@dataclass
+class PerfCostConfigResult:
+    """Perf-Cost measurements of one (provider, benchmark, memory) triple."""
+
+    provider: Provider
+    benchmark: str
+    memory_mb: int
+    cold_records: list[InvocationRecord] = field(default_factory=list)
+    warm_records: list[InvocationRecord] = field(default_factory=list)
+    burst_records: list[InvocationRecord] = field(default_factory=list)
+    failed_records: list[InvocationRecord] = field(default_factory=list)
+
+    @property
+    def viable(self) -> bool:
+        """Whether the configuration produced any successful warm invocation."""
+        return any(record.success for record in self.warm_records)
+
+    @property
+    def error_rate(self) -> float:
+        """Fraction of failed invocations among the cold/warm samples gathered.
+
+        Burst records are excluded from the denominator because successful
+        cold invocations appear both in ``burst_records`` and ``cold_records``.
+        """
+        total = len(self.cold_records) + len(self.warm_records) + len(self.failed_records)
+        if total == 0:
+            return 0.0
+        return len(self.failed_records) / total
+
+    def cold_metrics(self) -> CloudMetrics:
+        return aggregate_records([r for r in self.cold_records if r.success], start_type=None)
+
+    def warm_metrics(self) -> CloudMetrics:
+        return aggregate_records([r for r in self.warm_records if r.success], start_type=None)
+
+    def cold_start_overhead(self) -> ColdStartOverhead:
+        """Cold/warm client-time ratio distribution (Figure 4).
+
+        On Azure the "cold" side uses the burst records (mixed cold and warm
+        executions of a function app), as in the paper.
+        """
+        cold_source = self.cold_records
+        if self.provider is Provider.AZURE and self.burst_records:
+            cold_source = self.burst_records
+        cold_times = [r.client_time_s for r in cold_source if r.success]
+        warm_times = [r.client_time_s for r in self.warm_records if r.success]
+        if not cold_times or not warm_times:
+            raise ExperimentError("cold-start overhead needs both cold and warm successful samples")
+        return cold_start_overheads(
+            benchmark=self.benchmark,
+            provider=self.provider.value,
+            memory_mb=self.memory_mb,
+            cold_times=cold_times,
+            warm_times=warm_times,
+        )
+
+
+@dataclass
+class PerfCostResult:
+    """All configurations of one benchmark across providers."""
+
+    benchmark: str
+    configs: list[PerfCostConfigResult] = field(default_factory=list)
+
+    def for_provider(self, provider: Provider) -> list[PerfCostConfigResult]:
+        return [c for c in self.configs if c.provider is provider]
+
+    def config(self, provider: Provider, memory_mb: int) -> PerfCostConfigResult:
+        for entry in self.configs:
+            if entry.provider is provider and entry.memory_mb == memory_mb:
+                return entry
+        raise ExperimentError(f"no Perf-Cost data for {provider.value} at {memory_mb} MB")
+
+    def best_configuration(self, provider: Provider) -> PerfCostConfigResult:
+        """The viable configuration with the lowest median warm client time."""
+        viable = [c for c in self.for_provider(provider) if c.viable]
+        if not viable:
+            raise ExperimentError(f"no viable configuration for provider {provider.value}")
+        return min(viable, key=lambda c: c.warm_metrics().client_time.median)
+
+
+class PerfCostExperiment(ExperimentRunner):
+    """Drives the Perf-Cost experiment for one benchmark."""
+
+    def run_configuration(
+        self,
+        provider: Provider,
+        benchmark_name: str,
+        memory_mb: int,
+    ) -> PerfCostConfigResult:
+        """Gather cold and warm samples for one configuration."""
+        registry = default_registry()
+        registry.get(benchmark_name)  # validate the name early
+        platform = self.make_platform(provider)
+        fname = deploy_benchmark(
+            platform,
+            benchmark_name,
+            memory_mb=memory_mb,
+            language=self.language,
+            input_size=self.input_size,
+        )
+        result = PerfCostConfigResult(provider=provider, benchmark=benchmark_name, memory_mb=memory_mb)
+        samples = self.config.samples
+        batch = self.config.batch_size
+
+        # Cold samples: enforce eviction before every concurrent batch.
+        attempts = 0
+        max_attempts = max(4, 4 * (samples // batch + 1))
+        while len(result.cold_records) < samples and attempts < max_attempts:
+            platform.enforce_cold_start(fname)
+            records = platform.invoke_batch(fname, batch)
+            result.burst_records.extend(records)
+            for record in records:
+                if not record.success:
+                    result.failed_records.append(record)
+                elif record.start_type is StartType.COLD and len(result.cold_records) < samples:
+                    result.cold_records.append(record)
+            attempts += 1
+
+        # Warm samples: warm the sandboxes up once, then sample repeatedly.
+        platform.invoke_batch(fname, batch)
+        attempts = 0
+        while len(result.warm_records) < samples and attempts < max_attempts:
+            records = platform.invoke_batch(fname, batch)
+            for record in records:
+                if not record.success:
+                    result.failed_records.append(record)
+                elif record.start_type is StartType.WARM and len(result.warm_records) < samples:
+                    result.warm_records.append(record)
+            attempts += 1
+        return result
+
+    def run_provider(
+        self,
+        provider: Provider,
+        benchmark_name: str,
+        memory_sizes: tuple[int, ...] | None = None,
+    ) -> list[PerfCostConfigResult]:
+        """Sweep the provider's memory configurations for one benchmark.
+
+        Requested sizes are mapped onto the provider's legal configurations —
+        e.g. 3008 MB is the AWS maximum but GCP only offers discrete sizes up
+        to 4096 MB, so the sweep uses the nearest allowed value there, exactly
+        as the paper deploys each provider with its own memory axis.
+        """
+        sizes = resolve_memory_sizes(provider, memory_sizes)
+        sizes = self._legal_memory_sizes(provider, sizes)
+        return [self.run_configuration(provider, benchmark_name, memory) for memory in sizes]
+
+    @staticmethod
+    def _legal_memory_sizes(provider: Provider, sizes: tuple[int, ...]) -> tuple[int, ...]:
+        from ..faas.limits import limits_for
+
+        limits = limits_for(provider)
+        mapped: list[int] = []
+        for size in sizes:
+            if not limits.memory_static:
+                legal = DYNAMIC_MEMORY
+            elif limits.allowed_memory_mb is not None and size not in limits.allowed_memory_mb:
+                candidates = [m for m in limits.allowed_memory_mb if m != DYNAMIC_MEMORY]
+                legal = min(candidates, key=lambda m: abs(m - size))
+            else:
+                legal = int(min(max(size, limits.memory_min_mb), limits.memory_max_mb))
+            if legal not in mapped:
+                mapped.append(legal)
+        return tuple(mapped)
+
+    def run(
+        self,
+        benchmark_name: str,
+        providers: tuple[Provider, ...] = (Provider.AWS, Provider.GCP, Provider.AZURE),
+        memory_sizes: tuple[int, ...] | None = None,
+    ) -> PerfCostResult:
+        """Run the full experiment for ``benchmark_name`` on ``providers``."""
+        result = PerfCostResult(benchmark=benchmark_name)
+        for provider in providers:
+            result.configs.extend(self.run_provider(provider, benchmark_name, memory_sizes))
+        return result

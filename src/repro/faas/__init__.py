@@ -1,0 +1,46 @@
+"""Abstract FaaS platform model (Section 2 and Section 5.2).
+
+The subpackage defines everything a platform-independent benchmark driver
+needs: code packaging, deployment-time function configuration, provider
+resource limits (Table 2), billing models, triggers, and the invocation
+record returned by every function execution.  The abstract
+:class:`~repro.faas.platform.FaaSPlatform` interface mirrors the one shown in
+the paper::
+
+    class FaaS:
+        def package_code(directory, language)
+        def create_function(fname, code, lang, config)
+        def update_function(fname, code, config)
+        def create_trigger(fname, type)
+        def query_logs(fname, type)
+
+Concrete implementations live in :mod:`repro.simulator` (the simulated AWS,
+Azure, GCP and IaaS back-ends).
+"""
+
+from .billing import BillingModel, CostBreakdown, billing_model_for
+from .function import CodePackage, DeployedFunction
+from .invocation import InvocationRecord, InvocationRequest
+from .limits import PlatformLimits, limits_for
+from .platform import FaaSPlatform, LogQueryType
+from .triggers import HTTPTrigger, SDKTrigger, Trigger
+from .wrapper import FunctionWrapper, WrapperMeasurement
+
+__all__ = [
+    "BillingModel",
+    "CostBreakdown",
+    "billing_model_for",
+    "CodePackage",
+    "DeployedFunction",
+    "InvocationRecord",
+    "InvocationRequest",
+    "PlatformLimits",
+    "limits_for",
+    "FaaSPlatform",
+    "LogQueryType",
+    "Trigger",
+    "HTTPTrigger",
+    "SDKTrigger",
+    "FunctionWrapper",
+    "WrapperMeasurement",
+]

@@ -1,0 +1,74 @@
+"""Code packaging and deployed-function records.
+
+SeBS builds every benchmark and its dependencies inside Docker containers
+resembling the provider's function workers to guarantee binary compatibility
+(Section 5.2).  The reproduction models the outcome of that step — a code
+package with a size, language and dependency list — since package size is the
+performance-relevant property (it drives cold-start deployment time and is
+validated against the provider's deployment limits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..config import FunctionConfig, Language
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CodePackage:
+    """A built deployment package for one benchmark in one language."""
+
+    benchmark: str
+    language: Language
+    size_mb: float
+    dependencies: tuple[str, ...] = ()
+    build_actions: tuple[str, ...] = ()
+    docker_image: str = "sebs.build.python"
+
+    def __post_init__(self) -> None:
+        if self.size_mb <= 0:
+            raise ConfigurationError("code package size must be positive")
+
+    @property
+    def size_bytes(self) -> int:
+        return int(self.size_mb * 1024 * 1024)
+
+    def with_size(self, size_mb: float) -> "CodePackage":
+        """Return a copy with a different package size (used by experiments
+        that sweep code-package size, e.g. the eviction study's 250 MB case)."""
+        return CodePackage(
+            benchmark=self.benchmark,
+            language=self.language,
+            size_mb=size_mb,
+            dependencies=self.dependencies,
+            build_actions=self.build_actions,
+            docker_image=self.docker_image,
+        )
+
+
+@dataclass
+class DeployedFunction:
+    """A function created on a platform."""
+
+    name: str
+    benchmark: str
+    package: CodePackage
+    config: FunctionConfig
+    platform: str
+    version: int = 1
+    created_at: float = 0.0
+    updated_at: float = 0.0
+    environment: Mapping[str, str] = field(default_factory=dict)
+
+    def bump_version(self, timestamp: float) -> None:
+        """Record a configuration/code update (publishes a new version).
+
+        The paper enforces cold starts by updating the function configuration
+        on AWS and publishing a new function version on Azure and GCP; the
+        simulator uses the version counter to invalidate warm sandboxes.
+        """
+        self.version += 1
+        self.updated_at = timestamp

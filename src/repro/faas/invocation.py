@@ -1,0 +1,88 @@
+"""Invocation request/record types.
+
+Cloud metrics are measured at three levels (Section 5.1): benchmark time
+(work inside the function, excluding platform overhead), provider time (what
+the platform reports, adding language-runtime and sandbox overhead) and
+client time (end-to-end latency at the caller, adding scheduling, network
+and trigger overheads).  Every invocation returns an
+:class:`InvocationRecord` carrying all three, plus memory, billing and
+start-type information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..config import Provider, StartType, TriggerType
+from .billing import CostBreakdown
+
+
+@dataclass(frozen=True)
+class InvocationRequest:
+    """A single invocation of a deployed function."""
+
+    function_name: str
+    payload: Mapping[str, Any] = field(default_factory=dict)
+    payload_bytes: int = 0
+    trigger: TriggerType = TriggerType.HTTP
+    submitted_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class InvocationRecord:
+    """The outcome and measurements of one invocation."""
+
+    function_name: str
+    benchmark: str
+    provider: Provider
+    start_type: StartType
+    success: bool
+    #: Work performed inside the function (SeBS wrapper timer), seconds.
+    benchmark_time_s: float
+    #: Duration reported by the provider (adds sandbox/runtime overhead), seconds.
+    provider_time_s: float
+    #: End-to-end latency observed by the client, seconds.
+    client_time_s: float
+    #: Time between client submission and the start of function execution.
+    invocation_overhead_s: float
+    memory_declared_mb: int
+    memory_used_mb: float
+    billed_duration_s: float
+    cost: CostBreakdown
+    output_bytes: int = 0
+    container_id: str = ""
+    submitted_at: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    error: str | None = None
+    output: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_cold(self) -> bool:
+        return self.start_type is StartType.COLD
+
+    @property
+    def platform_overhead_s(self) -> float:
+        """Client-observed overhead beyond the function's own work."""
+        return max(0.0, self.client_time_s - self.benchmark_time_s)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "function": self.function_name,
+            "benchmark": self.benchmark,
+            "provider": self.provider.value,
+            "start_type": self.start_type.value,
+            "success": self.success,
+            "benchmark_time_s": self.benchmark_time_s,
+            "provider_time_s": self.provider_time_s,
+            "client_time_s": self.client_time_s,
+            "invocation_overhead_s": self.invocation_overhead_s,
+            "memory_declared_mb": self.memory_declared_mb,
+            "memory_used_mb": self.memory_used_mb,
+            "billed_duration_s": self.billed_duration_s,
+            "cost_usd": self.cost.total,
+            "output_bytes": self.output_bytes,
+            "container_id": self.container_id,
+            "error": self.error,
+        }

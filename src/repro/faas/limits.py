@@ -1,0 +1,179 @@
+"""Provider resource limits and policies (Table 2).
+
+The table compares AWS Lambda, Azure Functions and Google Cloud Functions on
+language support, time limits, memory allocation policy, CPU allocation,
+billing granularity, deployment-package limits, concurrency limits and
+temporary disk space.  These limits gate what the simulator accepts
+(deployment size, memory configuration, execution-time cap, concurrency) and
+feed the Table 2 report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import DYNAMIC_MEMORY, Language, Provider
+from ..exceptions import ConfigurationError, DeploymentError
+
+
+@dataclass(frozen=True)
+class PlatformLimits:
+    """Static limits and allocation policies of one provider."""
+
+    provider: Provider
+    languages: tuple[Language, ...]
+    time_limit_s: float
+    memory_static: bool
+    memory_min_mb: int
+    memory_max_mb: int
+    allowed_memory_mb: tuple[int, ...] | None
+    #: Memory (MB) at which the function receives one full vCPU.
+    full_vcpu_memory_mb: int
+    billing_description: str
+    deployment_limit_mb: float
+    concurrency_limit: int
+    temporary_disk_mb: int
+    notes: str = ""
+
+    def validate_memory(self, memory_mb: int) -> None:
+        """Raise if ``memory_mb`` is not a legal configuration for this provider."""
+        if not self.memory_static:
+            if memory_mb not in (DYNAMIC_MEMORY,):
+                raise ConfigurationError(
+                    f"{self.provider.display_name} allocates memory dynamically; "
+                    "use DYNAMIC_MEMORY instead of a static size"
+                )
+            return
+        if memory_mb == DYNAMIC_MEMORY:
+            raise ConfigurationError(
+                f"{self.provider.display_name} requires a static memory configuration"
+            )
+        if not self.memory_min_mb <= memory_mb <= self.memory_max_mb:
+            raise ConfigurationError(
+                f"{self.provider.display_name} supports {self.memory_min_mb}-"
+                f"{self.memory_max_mb} MB, got {memory_mb} MB"
+            )
+        if self.allowed_memory_mb is not None and memory_mb not in self.allowed_memory_mb:
+            raise ConfigurationError(
+                f"{self.provider.display_name} only supports memory sizes "
+                f"{self.allowed_memory_mb}, got {memory_mb} MB"
+            )
+
+    def validate_package(self, size_mb: float) -> None:
+        """Raise :class:`DeploymentError` if the code package is too large."""
+        if size_mb > self.deployment_limit_mb:
+            raise DeploymentError(
+                f"code package of {size_mb:.1f} MB exceeds the "
+                f"{self.provider.display_name} limit of {self.deployment_limit_mb:.0f} MB"
+            )
+
+    def cpu_share(self, memory_mb: int) -> float:
+        """Fraction of a vCPU allocated to a function with ``memory_mb``.
+
+        AWS and GCP allocate CPU proportionally to memory, reaching a full
+        vCPU at ``full_vcpu_memory_mb`` (1792 MB on AWS, 2048 MB on GCP);
+        Azure's policy is undisclosed, and its dynamic allocation behaves
+        roughly like a full core shared within the function app.
+        """
+        if not self.memory_static or memory_mb == DYNAMIC_MEMORY:
+            return 1.0
+        share = memory_mb / self.full_vcpu_memory_mb
+        return float(min(2.0, max(0.05, share)))
+
+
+_AWS_LIMITS = PlatformLimits(
+    provider=Provider.AWS,
+    languages=(Language.PYTHON, Language.NODEJS),
+    time_limit_s=15 * 60.0,
+    memory_static=True,
+    memory_min_mb=128,
+    memory_max_mb=3008,
+    allowed_memory_mb=None,  # any value in 64 MB steps; we accept the range
+    full_vcpu_memory_mb=1792,
+    billing_description="Duration (100 ms granularity) and declared memory",
+    deployment_limit_mb=250.0,
+    concurrency_limit=1000,
+    temporary_disk_mb=500,
+    notes="Temporary disk must also store the code package.",
+)
+
+_AZURE_LIMITS = PlatformLimits(
+    provider=Provider.AZURE,
+    languages=(Language.PYTHON, Language.NODEJS),
+    time_limit_s=10 * 60.0,
+    memory_static=False,
+    memory_min_mb=128,
+    memory_max_mb=1536,
+    allowed_memory_mb=(DYNAMIC_MEMORY,),
+    full_vcpu_memory_mb=1536,
+    billing_description="Average memory use (128 MB granularity) and duration",
+    deployment_limit_mb=1024.0,
+    concurrency_limit=200,
+    temporary_disk_mb=5000,
+    notes="Consumption plan; function apps bundle multiple functions per instance.",
+)
+
+_GCP_LIMITS = PlatformLimits(
+    provider=Provider.GCP,
+    languages=(Language.PYTHON, Language.NODEJS),
+    time_limit_s=9 * 60.0,
+    memory_static=True,
+    memory_min_mb=128,
+    memory_max_mb=4096,
+    allowed_memory_mb=(128, 256, 512, 1024, 2048, 4096),
+    full_vcpu_memory_mb=2048,
+    billing_description="Duration (100 ms granularity), declared CPU and memory",
+    deployment_limit_mb=100.0,
+    concurrency_limit=100,
+    temporary_disk_mb=0,
+    notes="Temporary disk counts against memory usage; 2.4 GHz CPU at 2048 MB.",
+)
+
+_IAAS_LIMITS = PlatformLimits(
+    provider=Provider.IAAS,
+    languages=(Language.PYTHON, Language.NODEJS),
+    time_limit_s=float("inf"),
+    memory_static=True,
+    memory_min_mb=1024,
+    memory_max_mb=1024,
+    allowed_memory_mb=(1024,),
+    full_vcpu_memory_mb=1024,
+    billing_description="Hourly VM rental ($0.0116/h for t2.micro)",
+    deployment_limit_mb=8192.0,
+    concurrency_limit=1,
+    temporary_disk_mb=8192,
+    notes="AWS EC2 t2.micro: 1 vCPU, 1 GB memory.",
+)
+
+_LOCAL_LIMITS = PlatformLimits(
+    provider=Provider.LOCAL,
+    languages=(Language.PYTHON, Language.NODEJS),
+    time_limit_s=float("inf"),
+    memory_static=True,
+    memory_min_mb=128,
+    memory_max_mb=1 << 20,
+    allowed_memory_mb=None,
+    full_vcpu_memory_mb=1024,
+    billing_description="No billing (local Docker execution)",
+    deployment_limit_mb=float("inf"),
+    concurrency_limit=1 << 16,
+    temporary_disk_mb=1 << 20,
+)
+
+_ALL_LIMITS: dict[Provider, PlatformLimits] = {
+    Provider.AWS: _AWS_LIMITS,
+    Provider.AZURE: _AZURE_LIMITS,
+    Provider.GCP: _GCP_LIMITS,
+    Provider.IAAS: _IAAS_LIMITS,
+    Provider.LOCAL: _LOCAL_LIMITS,
+}
+
+
+def limits_for(provider: Provider) -> PlatformLimits:
+    """Return the resource limits of ``provider`` (Table 2)."""
+    return _ALL_LIMITS[provider]
+
+
+def all_limits() -> dict[Provider, PlatformLimits]:
+    """Limits of every modelled provider, keyed by provider."""
+    return dict(_ALL_LIMITS)

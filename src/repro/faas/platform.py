@@ -1,0 +1,132 @@
+"""The abstract FaaS platform interface.
+
+This is the "simplified interface" of Section 5.2 that SeBS implements once
+per provider so benchmarks, triggers and experiments never touch
+provider-specific APIs::
+
+    class FaaS:
+        def package_code(directory, language)
+        def create_function(fname, code, lang, config)
+        def update_function(fname, code, config)
+        def create_trigger(fname, type)
+        def query_logs(fname, type)
+
+Concrete subclasses in :mod:`repro.simulator` implement the simulated AWS,
+Azure, GCP and IaaS back-ends; extending SeBS to a new platform means
+implementing exactly this interface, as in the original toolkit.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from typing import Any, Mapping
+
+from ..config import FunctionConfig, Language, Provider, TriggerType
+from ..exceptions import FunctionNotFoundError
+from .function import CodePackage, DeployedFunction
+from .invocation import InvocationRecord
+from .limits import PlatformLimits, limits_for
+from .triggers import HTTPTrigger, SDKTrigger, Trigger
+
+
+class LogQueryType(str, enum.Enum):
+    """Log/metric types that can be queried from the provider (Section 5.2)."""
+
+    TIME = "time"
+    MEMORY = "memory"
+    COST = "cost"
+
+
+class FaaSPlatform(abc.ABC):
+    """Abstract base of every FaaS back-end."""
+
+    provider: Provider = Provider.LOCAL
+
+    def __init__(self) -> None:
+        self._functions: dict[str, DeployedFunction] = {}
+
+    # ------------------------------------------------------------------ info
+    @property
+    def limits(self) -> PlatformLimits:
+        """Resource limits and allocation policy of this platform (Table 2)."""
+        return limits_for(self.provider)
+
+    @property
+    def name(self) -> str:
+        return self.provider.display_name
+
+    def functions(self) -> list[str]:
+        """Names of functions deployed on this platform."""
+        return sorted(self._functions)
+
+    def get_function(self, fname: str) -> DeployedFunction:
+        try:
+            return self._functions[fname]
+        except KeyError:
+            raise FunctionNotFoundError(fname) from None
+
+    # ------------------------------------------------------------- interface
+    @abc.abstractmethod
+    def package_code(self, benchmark_name: str, language: Language) -> CodePackage:
+        """Build the deployment package of a benchmark for ``language``."""
+
+    @abc.abstractmethod
+    def create_function(
+        self,
+        fname: str,
+        code: CodePackage,
+        config: FunctionConfig,
+    ) -> DeployedFunction:
+        """Create a new function from a code package and configuration."""
+
+    @abc.abstractmethod
+    def update_function(
+        self,
+        fname: str,
+        code: CodePackage | None = None,
+        config: FunctionConfig | None = None,
+    ) -> DeployedFunction:
+        """Update code and/or configuration of an existing function.
+
+        On all three commercial providers an update invalidates warm
+        sandboxes — the mechanism the paper uses to enforce cold starts.
+        """
+
+    @abc.abstractmethod
+    def invoke(
+        self,
+        fname: str,
+        payload: Mapping[str, Any],
+        trigger: TriggerType = TriggerType.HTTP,
+        payload_bytes: int | None = None,
+    ) -> InvocationRecord:
+        """Synchronously invoke ``fname`` and return the invocation record."""
+
+    @abc.abstractmethod
+    def query_logs(self, fname: str, query: LogQueryType) -> list[float]:
+        """Query provider-side measurements of past invocations."""
+
+    # ----------------------------------------------------------- conveniences
+    def create_trigger(self, fname: str, trigger: TriggerType = TriggerType.HTTP) -> Trigger:
+        """Create a trigger object bound to a deployed function."""
+        self.get_function(fname)  # validate existence
+        if trigger is TriggerType.HTTP:
+            return HTTPTrigger(self, fname)
+        if trigger is TriggerType.SDK:
+            return SDKTrigger(self, fname)
+        raise NotImplementedError(f"trigger type {trigger.value!r} is not implemented")
+
+    def delete_function(self, fname: str) -> None:
+        """Remove a deployed function."""
+        self.get_function(fname)
+        del self._functions[fname]
+
+    def enforce_cold_start(self, fname: str) -> None:
+        """Force the next invocation of ``fname`` to be a cold start.
+
+        Default implementation bumps the function version (publishes a new
+        version / updates configuration), which concrete platforms interpret
+        as an eviction of all warm sandboxes.
+        """
+        self.update_function(fname)

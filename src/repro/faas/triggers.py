@@ -1,0 +1,70 @@
+"""Function triggers (Section 2, label 1).
+
+SeBS experiments invoke functions through an abstract trigger interface with
+two concrete implementations: cloud-SDK triggers and HTTP triggers.  The HTTP
+trigger adds gateway latency and is what the Perf-Cost and Invoc-Overhead
+experiments use; the SDK trigger bypasses the HTTP front end.  Timer,
+storage and queue triggers are part of the platform model and can be added by
+implementing the same interface.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Any, Mapping
+
+from ..config import TriggerType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .invocation import InvocationRecord
+    from .platform import FaaSPlatform
+
+
+class Trigger(abc.ABC):
+    """Abstract invocation channel for a deployed function."""
+
+    trigger_type: TriggerType = TriggerType.HTTP
+
+    def __init__(self, platform: "FaaSPlatform", function_name: str):
+        self._platform = platform
+        self._function_name = function_name
+
+    @property
+    def function_name(self) -> str:
+        return self._function_name
+
+    @abc.abstractmethod
+    def invoke(self, payload: Mapping[str, Any] | None = None, payload_bytes: int | None = None) -> "InvocationRecord":
+        """Synchronously invoke the function and return its record."""
+
+    def invoke_many(self, count: int, payload: Mapping[str, Any] | None = None) -> list["InvocationRecord"]:
+        """Invoke the function ``count`` times sequentially."""
+        return [self.invoke(payload) for _ in range(count)]
+
+
+class HTTPTrigger(Trigger):
+    """Invocation through the provider's HTTP endpoint / API gateway."""
+
+    trigger_type = TriggerType.HTTP
+
+    def invoke(self, payload: Mapping[str, Any] | None = None, payload_bytes: int | None = None) -> "InvocationRecord":
+        return self._platform.invoke(
+            self._function_name,
+            payload=payload or {},
+            trigger=TriggerType.HTTP,
+            payload_bytes=payload_bytes,
+        )
+
+
+class SDKTrigger(Trigger):
+    """Invocation through the provider SDK (no HTTP gateway in the path)."""
+
+    trigger_type = TriggerType.SDK
+
+    def invoke(self, payload: Mapping[str, Any] | None = None, payload_bytes: int | None = None) -> "InvocationRecord":
+        return self._platform.invoke(
+            self._function_name,
+            payload=payload or {},
+            trigger=TriggerType.SDK,
+            payload_bytes=payload_bytes,
+        )

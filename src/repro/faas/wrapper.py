@@ -1,0 +1,98 @@
+"""The SeBS function wrapper.
+
+Section 5.2 shows the provider-specific wrapper that every benchmark entry
+point is wrapped in::
+
+    def function_wrapper(provider_input, provider_env):
+        input = json(provider_input)
+        start_timer()
+        res = function()
+        time = end_timer()
+        return json(time, statistics(provider_env), res)
+
+The wrapper is how SeBS obtains the *benchmark time* metric — the time spent
+inside the function, excluding network and platform overheads — together with
+environment statistics (memory usage, whether the sandbox was reused).  The
+reproduction's wrapper really executes the benchmark kernel against the
+storage substrate and measures its wall-clock duration and allocation peak.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..benchmarks.base import Benchmark, BenchmarkContext
+from ..exceptions import BenchmarkError
+
+
+@dataclass(frozen=True)
+class WrapperMeasurement:
+    """What the function wrapper returns alongside the benchmark result."""
+
+    benchmark: str
+    result: Mapping[str, Any]
+    execution_time_s: float
+    peak_memory_mb: float
+    output_bytes: int
+    is_cold: bool
+    container_uptime_s: float
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "benchmark": self.benchmark,
+                "compute_time_s": self.execution_time_s,
+                "peak_memory_mb": self.peak_memory_mb,
+                "output_bytes": self.output_bytes,
+                "is_cold": self.is_cold,
+                "container_uptime_s": self.container_uptime_s,
+                "result": dict(self.result),
+            },
+            default=str,
+        )
+
+
+class FunctionWrapper:
+    """Executes a benchmark kernel the way the deployed wrapper would."""
+
+    def __init__(self, benchmark: Benchmark, context: BenchmarkContext):
+        self._benchmark = benchmark
+        self._context = context
+        self._invocations_in_sandbox = 0
+
+    @property
+    def benchmark(self) -> Benchmark:
+        return self._benchmark
+
+    def invoke(self, event: Mapping[str, Any], is_cold: bool = False, container_uptime_s: float = 0.0) -> WrapperMeasurement:
+        """Run the kernel for ``event``, measuring duration and memory."""
+        if not isinstance(event, Mapping):
+            raise BenchmarkError("invocation payload must be a mapping")
+        tracemalloc.start()
+        start = time.perf_counter()
+        try:
+            result = self._benchmark.run(event, self._context)
+        finally:
+            _, peak_bytes = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+        elapsed = time.perf_counter() - start
+        self._invocations_in_sandbox += 1
+        encoded = json.dumps(result, default=str).encode("utf-8")
+        return WrapperMeasurement(
+            benchmark=self._benchmark.name,
+            result=result,
+            execution_time_s=elapsed,
+            peak_memory_mb=peak_bytes / (1024 * 1024),
+            output_bytes=len(encoded),
+            is_cold=is_cold,
+            container_uptime_s=container_uptime_s,
+        )
+
+    @property
+    def invocations_in_sandbox(self) -> int:
+        """How many invocations this wrapper (sandbox) has already served."""
+        return self._invocations_in_sandbox

@@ -1,0 +1,23 @@
+"""Application metrics (Section 5.1).
+
+Two families of metrics characterise benchmarks:
+
+* **local metrics**, measured by really executing the kernel on the local
+  machine: execution time, an instruction estimate, CPU utilisation, peak
+  memory, storage I/O traffic and code-package size — the data behind
+  Table 4;
+* **cloud metrics**, gathered per invocation from the (simulated) provider:
+  benchmark, provider and client time, memory consumption and cost — the
+  data behind Figures 3-6 and Tables 5-6.
+"""
+
+from .local import LocalMetrics, LocalCharacterization, measure_local
+from .cloud import CloudMetrics, aggregate_records
+
+__all__ = [
+    "LocalMetrics",
+    "LocalCharacterization",
+    "measure_local",
+    "CloudMetrics",
+    "aggregate_records",
+]

@@ -1,0 +1,95 @@
+"""Aggregation of cloud-side invocation records.
+
+Experiments gather many :class:`~repro.faas.invocation.InvocationRecord`
+objects; the helpers here turn them into the per-configuration summaries that
+figures and tables report: distributions of benchmark / provider / client
+time, memory statistics, total and per-invocation cost, and error rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..config import Provider, StartType
+from ..exceptions import ExperimentError
+from ..faas.invocation import InvocationRecord
+from ..stats.summary import DistributionSummary, summarize
+
+
+@dataclass(frozen=True)
+class CloudMetrics:
+    """Summary of a set of invocations under one configuration."""
+
+    provider: Provider
+    benchmark: str
+    memory_mb: int
+    start_type: StartType | None
+    samples: int
+    failures: int
+    benchmark_time: DistributionSummary
+    provider_time: DistributionSummary
+    client_time: DistributionSummary
+    memory_used_mb: DistributionSummary
+    total_cost_usd: float
+    mean_cost_usd: float
+
+    @property
+    def error_rate(self) -> float:
+        total = self.samples + self.failures
+        return self.failures / total if total else 0.0
+
+    def to_row(self) -> dict:
+        return {
+            "provider": self.provider.value,
+            "benchmark": self.benchmark,
+            "memory_mb": self.memory_mb,
+            "start_type": self.start_type.value if self.start_type else "all",
+            "samples": self.samples,
+            "failures": self.failures,
+            "error_rate": round(self.error_rate, 4),
+            "benchmark_time_median_s": self.benchmark_time.median,
+            "provider_time_median_s": self.provider_time.median,
+            "client_time_median_s": self.client_time.median,
+            "client_time_p2_s": self.client_time.whisker_low,
+            "client_time_p98_s": self.client_time.whisker_high,
+            "memory_used_median_mb": self.memory_used_mb.median,
+            "total_cost_usd": self.total_cost_usd,
+            "mean_cost_usd": self.mean_cost_usd,
+        }
+
+
+def aggregate_records(
+    records: Sequence[InvocationRecord] | Iterable[InvocationRecord],
+    start_type: StartType | None = None,
+) -> CloudMetrics:
+    """Summarise invocation records, optionally filtered by start type."""
+    all_records = list(records)
+    if not all_records:
+        raise ExperimentError("cannot aggregate an empty set of invocation records")
+    if start_type is not None:
+        selected = [r for r in all_records if r.start_type is start_type]
+    else:
+        selected = all_records
+    successes = [r for r in selected if r.success]
+    failures = [r for r in selected if not r.success]
+    if not successes:
+        raise ExperimentError("no successful invocations to aggregate")
+    reference = successes[0]
+    costs = [r.cost.total for r in successes]
+    return CloudMetrics(
+        provider=reference.provider,
+        benchmark=reference.benchmark,
+        memory_mb=reference.memory_declared_mb,
+        start_type=start_type,
+        samples=len(successes),
+        failures=len(failures),
+        benchmark_time=summarize([r.benchmark_time_s for r in successes]),
+        provider_time=summarize([r.provider_time_s for r in successes]),
+        client_time=summarize([r.client_time_s for r in successes]),
+        memory_used_mb=summarize([r.memory_used_mb for r in successes]),
+        total_cost_usd=float(np.sum(costs)),
+        mean_cost_usd=float(np.mean(costs)),
+    )

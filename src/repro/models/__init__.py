@@ -1,0 +1,29 @@
+"""Analytical models derived from SeBS experiments (Sections 6.2-6.5).
+
+* :mod:`repro.models.eviction` — the container-eviction model
+  ``D_warm = D_init * 2^-floor(dT/380s)`` and the optimal warm-batch size
+  ``D_init_opt = n * t / P``.
+* :mod:`repro.models.cold_start` — cold/warm overhead ratios computed from
+  all N² combinations of cold and warm measurements (Figure 4).
+* :mod:`repro.models.invocation_latency` — the linear payload-size/latency
+  model with adjusted R² reporting (Figure 6).
+* :mod:`repro.models.breakeven` — the FaaS-vs-IaaS break-even analysis
+  (Table 6).
+"""
+
+from .breakeven import BreakEvenPoint, break_even_analysis
+from .cold_start import ColdStartOverhead, cold_start_overheads
+from .eviction import ContainerEvictionModel, fit_eviction_model, optimal_initial_batch
+from .invocation_latency import PayloadLatencyModel, fit_payload_latency
+
+__all__ = [
+    "BreakEvenPoint",
+    "break_even_analysis",
+    "ColdStartOverhead",
+    "cold_start_overheads",
+    "ContainerEvictionModel",
+    "fit_eviction_model",
+    "optimal_initial_batch",
+    "PayloadLatencyModel",
+    "fit_payload_latency",
+]

@@ -1,0 +1,75 @@
+"""FaaS-vs-IaaS break-even analysis (Section 6.3 Q3, Table 6).
+
+A serverless deployment only bills active invocations, while a VM bills every
+hour regardless of utilisation.  For a function whose single execution costs
+``c`` dollars on FaaS and whose VM alternative costs ``r`` dollars per hour,
+the break-even request rate is ``r / c`` requests per hour: below it the
+function is cheaper, above it the VM wins (provided the VM can actually
+sustain the rate — its throughput ceiling is reported alongside).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ExperimentError
+
+
+@dataclass(frozen=True)
+class BreakEvenPoint:
+    """Break-even request rate of one benchmark configuration."""
+
+    benchmark: str
+    configuration: str
+    cost_per_million_usd: float
+    vm_hourly_cost_usd: float
+    break_even_requests_per_hour: float
+    iaas_local_requests_per_hour: float
+    iaas_cloud_requests_per_hour: float
+
+    @property
+    def faas_cheaper_below(self) -> float:
+        """Alias emphasising the interpretation of the break-even point."""
+        return self.break_even_requests_per_hour
+
+    @property
+    def iaas_can_sustain_breakeven(self) -> bool:
+        """Whether a single VM could even serve the break-even rate."""
+        return self.iaas_cloud_requests_per_hour >= self.break_even_requests_per_hour
+
+    def to_row(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "configuration": self.configuration,
+            "cost_per_1M_usd": round(self.cost_per_million_usd, 2),
+            "break_even_req_per_hour": round(self.break_even_requests_per_hour),
+            "iaas_local_req_per_hour": round(self.iaas_local_requests_per_hour),
+            "iaas_cloud_req_per_hour": round(self.iaas_cloud_requests_per_hour),
+            "vm_hourly_cost_usd": self.vm_hourly_cost_usd,
+        }
+
+
+def break_even_analysis(
+    benchmark: str,
+    configuration: str,
+    cost_per_million_usd: float,
+    vm_hourly_cost_usd: float,
+    iaas_local_requests_per_hour: float,
+    iaas_cloud_requests_per_hour: float,
+) -> BreakEvenPoint:
+    """Compute the request rate at which FaaS and IaaS cost the same per hour."""
+    if cost_per_million_usd <= 0:
+        raise ExperimentError("FaaS cost per million invocations must be positive")
+    if vm_hourly_cost_usd <= 0:
+        raise ExperimentError("VM hourly cost must be positive")
+    cost_per_request = cost_per_million_usd / 1e6
+    break_even = vm_hourly_cost_usd / cost_per_request
+    return BreakEvenPoint(
+        benchmark=benchmark,
+        configuration=configuration,
+        cost_per_million_usd=cost_per_million_usd,
+        vm_hourly_cost_usd=vm_hourly_cost_usd,
+        break_even_requests_per_hour=break_even,
+        iaas_local_requests_per_hour=iaas_local_requests_per_hour,
+        iaas_cloud_requests_per_hour=iaas_cloud_requests_per_hour,
+    )

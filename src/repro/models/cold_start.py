@@ -1,0 +1,76 @@
+"""Cold-start overhead estimation (Section 6.2 Q2, Figure 4).
+
+The paper estimates cold-start overhead as the distribution of ratios
+``T_cold / T_warm`` over *all N² combinations* of N cold and N warm client
+times.  On Azure, where a function-app instance serves many invocations and
+"pure" cold runs are not representative, the cold side is replaced by
+concurrent burst invocations that mix cold and warm executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ModelFitError
+from ..stats.summary import DistributionSummary, summarize
+
+
+@dataclass(frozen=True)
+class ColdStartOverhead:
+    """Distribution of cold/warm client-time ratios for one configuration."""
+
+    benchmark: str
+    provider: str
+    memory_mb: int
+    ratios: DistributionSummary
+    cold_median_s: float
+    warm_median_s: float
+
+    @property
+    def median_ratio(self) -> float:
+        return self.ratios.median
+
+    def to_row(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "provider": self.provider,
+            "memory_mb": self.memory_mb,
+            "median_ratio": round(self.ratios.median, 3),
+            "p2_ratio": round(self.ratios.whisker_low, 3),
+            "p98_ratio": round(self.ratios.whisker_high, 3),
+            "cold_median_s": round(self.cold_median_s, 4),
+            "warm_median_s": round(self.warm_median_s, 4),
+        }
+
+
+def cold_warm_ratio_distribution(cold_times: Sequence[float], warm_times: Sequence[float]) -> np.ndarray:
+    """All N*M pairwise ratios of cold over warm times."""
+    cold = np.asarray(list(cold_times), dtype=float)
+    warm = np.asarray(list(warm_times), dtype=float)
+    if cold.size == 0 or warm.size == 0:
+        raise ModelFitError("both cold and warm measurements are required")
+    if np.any(warm <= 0):
+        raise ModelFitError("warm times must be positive")
+    return (cold[:, None] / warm[None, :]).ravel()
+
+
+def cold_start_overheads(
+    benchmark: str,
+    provider: str,
+    memory_mb: int,
+    cold_times: Sequence[float],
+    warm_times: Sequence[float],
+) -> ColdStartOverhead:
+    """Summarise the cold/warm ratio distribution for one configuration."""
+    ratios = cold_warm_ratio_distribution(cold_times, warm_times)
+    return ColdStartOverhead(
+        benchmark=benchmark,
+        provider=provider,
+        memory_mb=memory_mb,
+        ratios=summarize(ratios),
+        cold_median_s=float(np.median(cold_times)),
+        warm_median_s=float(np.median(warm_times)),
+    )

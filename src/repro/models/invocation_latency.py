@@ -1,0 +1,66 @@
+"""Linear payload-size/latency model (Section 6.4 Q2, Figure 6).
+
+For warm invocations on all providers and cold invocations on AWS, the
+invocation latency scales linearly with the payload size (adjusted R²
+between 0.89 and 0.99 in the paper), i.e. network transmission is the only
+major overhead of large inputs.  Cold invocations on Azure and GCP do not fit
+a linear model — their latency is dominated by erratic scheduling delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..exceptions import ModelFitError
+from ..stats.regression import LinearFit, fit_linear
+
+
+@dataclass(frozen=True)
+class PayloadLatencyModel:
+    """A fitted latency(payload) line for one provider/start-type pair."""
+
+    provider: str
+    start_type: str
+    fit: LinearFit
+
+    @property
+    def latency_per_mb_s(self) -> float:
+        """Additional latency per megabyte of payload."""
+        return self.fit.slope * 1024 * 1024
+
+    @property
+    def base_latency_s(self) -> float:
+        """Latency of an (extrapolated) empty payload."""
+        return self.fit.intercept
+
+    @property
+    def is_linear(self) -> bool:
+        """Whether the linear model explains the data well (adj. R² >= 0.85)."""
+        return self.fit.adjusted_r_squared >= 0.85
+
+    def predict(self, payload_bytes: float) -> float:
+        return float(self.fit.predict(payload_bytes))
+
+    def to_row(self) -> dict:
+        return {
+            "provider": self.provider,
+            "start_type": self.start_type,
+            "base_latency_s": round(self.base_latency_s, 4),
+            "latency_per_mb_s": round(self.latency_per_mb_s, 4),
+            "adjusted_r_squared": round(self.fit.adjusted_r_squared, 4),
+            "linear": self.is_linear,
+        }
+
+
+def fit_payload_latency(
+    provider: str,
+    start_type: str,
+    payload_bytes: Sequence[float],
+    latencies_s: Sequence[float],
+) -> PayloadLatencyModel:
+    """Fit latency against payload size for one provider and start type."""
+    if len(payload_bytes) != len(latencies_s):
+        raise ModelFitError("payload sizes and latencies must have the same length")
+    fit = fit_linear(payload_bytes, latencies_s)
+    return PayloadLatencyModel(provider=provider, start_type=start_type, fit=fit)

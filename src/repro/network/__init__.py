@@ -1,0 +1,22 @@
+"""Network substrate: latency distributions, payload transfer, clock sync.
+
+The invocation-overhead experiment (Section 6.4) measures the time between a
+client-side invocation and the start of function execution.  Doing so
+requires comparing timestamps taken on two different machines, which the
+paper solves with a clock-drift estimation protocol based on exchanging
+messages until no lower round-trip time is observed for N consecutive
+iterations.  This package models client-to-cloud links with asymmetric,
+right-skewed round-trip time distributions and implements that protocol.
+"""
+
+from .latency import NetworkLink, NetworkProfile
+from .clock_sync import ClockDriftEstimator, DriftEstimate
+from .transfer import payload_transfer_time
+
+__all__ = [
+    "NetworkLink",
+    "NetworkProfile",
+    "ClockDriftEstimator",
+    "DriftEstimate",
+    "payload_transfer_time",
+]

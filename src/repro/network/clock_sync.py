@@ -1,0 +1,86 @@
+"""Clock-drift estimation between the benchmark client and the cloud.
+
+Section 6.4 of the paper: to measure the time between sending an invocation
+and the start of execution, client and function timestamps must be put on a
+common time base.  Because round-trip times follow an asymmetric
+distribution, the paper adopts the protocol of Hoefler et al.: keep
+exchanging ping-pong messages until no lower round-trip time has been seen
+for N consecutive iterations (N = 10, chosen because the relative difference
+between the lowest observable RTT and the minimum after ten non-decreasing
+exchanges is about 5%), then estimate the remote clock offset from the best
+exchange under the assumption that its delay was split according to the
+link's asymmetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+from .latency import NetworkLink
+
+
+@dataclass(frozen=True)
+class DriftEstimate:
+    """Result of the clock-drift estimation protocol."""
+
+    offset_s: float
+    min_rtt_s: float
+    exchanges: int
+
+    def to_remote(self, local_timestamp: float) -> float:
+        """Convert a local timestamp into the remote clock's time base."""
+        return local_timestamp + self.offset_s
+
+    def to_local(self, remote_timestamp: float) -> float:
+        """Convert a remote timestamp into the local clock's time base."""
+        return remote_timestamp - self.offset_s
+
+
+class ClockDriftEstimator:
+    """Implements the minimum-RTT clock synchronisation protocol."""
+
+    def __init__(self, link: NetworkLink, stop_after_non_decreasing: int = 10, max_exchanges: int = 1000):
+        if stop_after_non_decreasing <= 0:
+            raise ConfigurationError("stop_after_non_decreasing must be positive")
+        if max_exchanges < stop_after_non_decreasing:
+            raise ConfigurationError("max_exchanges must be at least stop_after_non_decreasing")
+        self._link = link
+        self._n = stop_after_non_decreasing
+        self._max_exchanges = max_exchanges
+
+    def estimate(self, local_time_start: float = 0.0) -> DriftEstimate:
+        """Run ping-pong exchanges and estimate the remote clock offset.
+
+        The local clock advances by each exchange's RTT.  For the exchange
+        with the lowest RTT we assume the request took ``asymmetry`` of the
+        round trip, which gives the remote receive time in local terms; the
+        difference to the remote timestamp is the offset estimate.
+        """
+        link = self._link
+        now = float(local_time_start)
+        best_rtt = float("inf")
+        best_offset = 0.0
+        non_decreasing = 0
+        exchanges = 0
+
+        while exchanges < self._max_exchanges and non_decreasing < self._n:
+            send_time = now
+            forward = link.one_way_delay("request")
+            backward = link.one_way_delay("response")
+            rtt = forward + backward
+            # The remote endpoint stamps the message on arrival with its own
+            # clock, which is offset from ours by ``clock_offset_s``.
+            remote_stamp = send_time + forward + link.clock_offset_s
+            now = send_time + rtt
+            exchanges += 1
+            if rtt < best_rtt:
+                best_rtt = rtt
+                # Assume the best exchange split according to the link profile.
+                assumed_forward = rtt * link.profile.asymmetry
+                best_offset = remote_stamp - (send_time + assumed_forward)
+                non_decreasing = 0
+            else:
+                non_decreasing += 1
+
+        return DriftEstimate(offset_s=best_offset, min_rtt_s=best_rtt, exchanges=exchanges)

@@ -1,0 +1,95 @@
+"""Client-to-cloud network link model.
+
+Round-trip times to cloud regions follow an asymmetric distribution: a hard
+lower bound given by the propagation delay plus right-skewed queueing noise
+(the paper references the same observation when motivating its clock
+synchronisation protocol).  ``NetworkLink`` produces per-message one-way and
+round-trip delays from such a distribution, with an optional constant clock
+offset between the two endpoints so the drift-estimation protocol has
+something to discover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """Parameters of a client-to-region network path.
+
+    Attributes
+    ----------
+    min_rtt_s:
+        Propagation-delay floor of the round trip.
+    jitter_scale_s:
+        Scale of the exponentially distributed queueing delay added on top of
+        the floor (per direction).
+    asymmetry:
+        Fraction of the base RTT attributed to the request direction; 0.5
+        means symmetric.  The paper stresses that the request path includes
+        FaaS controller overheads while the response is plain network
+        transfer, so values above 0.5 are typical.
+    bandwidth_mbps:
+        Bandwidth used to convert payload sizes into serialization delay.
+    """
+
+    min_rtt_s: float = 0.03
+    jitter_scale_s: float = 0.004
+    asymmetry: float = 0.6
+    bandwidth_mbps: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.min_rtt_s <= 0:
+            raise ConfigurationError("min_rtt_s must be positive")
+        if self.jitter_scale_s < 0:
+            raise ConfigurationError("jitter_scale_s must be non-negative")
+        if not 0.0 < self.asymmetry < 1.0:
+            raise ConfigurationError("asymmetry must lie in (0, 1)")
+        if self.bandwidth_mbps <= 0:
+            raise ConfigurationError("bandwidth_mbps must be positive")
+
+
+class NetworkLink:
+    """A simulated bidirectional network path between client and region."""
+
+    def __init__(
+        self,
+        profile: NetworkProfile,
+        rng: np.random.Generator,
+        clock_offset_s: float = 0.0,
+    ):
+        self._profile = profile
+        self._rng = rng
+        #: Constant offset of the remote clock relative to the client clock.
+        self.clock_offset_s = float(clock_offset_s)
+
+    @property
+    def profile(self) -> NetworkProfile:
+        return self._profile
+
+    def one_way_delay(self, direction: str = "request", payload_bytes: int = 0) -> float:
+        """Sample a one-way delay in seconds.
+
+        ``direction`` is ``"request"`` (client to cloud) or ``"response"``.
+        """
+        if direction not in ("request", "response"):
+            raise ConfigurationError("direction must be 'request' or 'response'")
+        profile = self._profile
+        share = profile.asymmetry if direction == "request" else 1.0 - profile.asymmetry
+        base = profile.min_rtt_s * share
+        jitter = float(self._rng.exponential(profile.jitter_scale_s)) if profile.jitter_scale_s > 0 else 0.0
+        serialization = payload_bytes / (profile.bandwidth_mbps * 1024 * 1024)
+        return base + jitter + serialization
+
+    def round_trip(self, request_bytes: int = 0, response_bytes: int = 0) -> float:
+        """Sample a full round-trip time for a request/response exchange."""
+        return self.one_way_delay("request", request_bytes) + self.one_way_delay("response", response_bytes)
+
+    def min_round_trip(self) -> float:
+        """The theoretical RTT floor (no jitter, empty payloads)."""
+        return self._profile.min_rtt_s

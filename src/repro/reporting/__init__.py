@@ -1,0 +1,15 @@
+"""Reporting layer: formats experiment results into the paper's tables/figures."""
+
+from .tables import (
+    format_table,
+    table2_platform_limits,
+    table3_applications,
+    table9_insights,
+)
+
+__all__ = [
+    "format_table",
+    "table2_platform_limits",
+    "table3_applications",
+    "table9_insights",
+]

@@ -1,0 +1,104 @@
+"""Figure data series.
+
+Each helper turns experiment result objects into the data series the paper's
+figures plot, as lists of plain dictionaries (easily dumped to CSV/JSON or
+formatted with :func:`repro.reporting.tables.format_table`).  The benchmark
+harness under ``benchmarks/`` calls these to regenerate every figure.
+"""
+
+from __future__ import annotations
+
+from ..config import Provider, StartType
+from ..exceptions import ExperimentError
+from ..experiments.eviction_model import EvictionModelResult
+from ..experiments.invocation_overhead import InvocationOverheadResult
+from ..experiments.perf_cost import PerfCostResult
+from ..models.eviction import ContainerEvictionModel
+
+
+def figure3_performance_series(result: PerfCostResult) -> list[dict]:
+    """Figure 3: warm execution-time distributions versus memory size."""
+    rows = []
+    for config in result.configs:
+        if not config.viable:
+            continue
+        metrics = config.warm_metrics()
+        rows.append(
+            {
+                "benchmark": config.benchmark,
+                "provider": config.provider.value,
+                "memory_mb": config.memory_mb if config.memory_mb else "dynamic",
+                "benchmark_time_median_s": round(metrics.benchmark_time.median, 4),
+                "provider_time_median_s": round(metrics.provider_time.median, 4),
+                "client_time_median_s": round(metrics.client_time.median, 4),
+                "client_time_p2_s": round(metrics.client_time.whisker_low, 4),
+                "client_time_p98_s": round(metrics.client_time.whisker_high, 4),
+                "samples": metrics.samples,
+            }
+        )
+    return rows
+
+
+def figure4_cold_overhead_series(result: PerfCostResult) -> list[dict]:
+    """Figure 4: distributions of cold/warm client-time ratios."""
+    rows = []
+    for config in result.configs:
+        if not config.viable or not config.cold_records:
+            continue
+        try:
+            overhead = config.cold_start_overhead()
+        except ExperimentError:
+            continue
+        rows.append(overhead.to_row())
+    return rows
+
+
+def figure5a_cost_series(result: PerfCostResult) -> list[dict]:
+    """Figure 5a: compute cost of one million invocations versus memory."""
+    from ..experiments.cost_analysis import CostAnalysis
+
+    return [entry.to_row() for entry in CostAnalysis(result).cost_of_million()]
+
+
+def figure5b_resource_usage_series(result: PerfCostResult) -> list[dict]:
+    """Figure 5b: median ratio of used to billed resources."""
+    from ..experiments.cost_analysis import CostAnalysis
+
+    return [entry.to_row() for entry in CostAnalysis(result).resource_usage()]
+
+
+def figure6_invocation_overhead_series(result: InvocationOverheadResult) -> list[dict]:
+    """Figure 6: invocation overhead versus payload size, cold and warm."""
+    rows = [obs.to_row() for obs in result.observations]
+    for (provider, start_type), model in sorted(
+        result.models.items(), key=lambda item: (item[0][0].value, item[0][1].value)
+    ):
+        row = model.to_row()
+        row["provider"] = provider.value
+        row["start_type"] = start_type.value
+        row["payload_mb"] = "model"
+        row["median_invocation_time_s"] = ""
+        row["samples"] = ""
+        rows.append(row)
+    return rows
+
+
+def figure7_eviction_series(result: EvictionModelResult) -> list[dict]:
+    """Figure 7: warm containers versus elapsed periods, with model predictions."""
+    model = result.model or ContainerEvictionModel(period_s=380.0, r_squared=1.0, n_observations=0)
+    rows = []
+    for obs in result.observations:
+        periods = int(obs.parameters.delta_t_s // model.period_s)
+        rows.append(
+            {
+                "d_init": obs.parameters.d_init,
+                "delta_t_s": obs.parameters.delta_t_s,
+                "periods": periods,
+                "memory_mb": obs.parameters.memory_mb,
+                "language": obs.parameters.language.value,
+                "code_package_mb": obs.parameters.code_package_mb,
+                "warm_observed": obs.warm_containers,
+                "warm_predicted": round(model.predict(obs.parameters.d_init, obs.parameters.delta_t_s), 2),
+            }
+        )
+    return rows

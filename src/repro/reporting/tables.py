@@ -1,0 +1,163 @@
+"""Static tables of the paper and a generic table formatter.
+
+Table 2 (provider policies) and Table 3 (the application suite) are derived
+from the library's own metadata — the platform limits and the benchmark
+registry — so they stay consistent with what the simulator actually enforces.
+Table 9 summarises the insights the evaluation reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from ..benchmarks.registry import BenchmarkRegistry, default_registry
+from ..config import Language, Provider
+from ..faas.limits import limits_for
+
+
+def format_table(rows: Sequence[Mapping[str, Any]], columns: Sequence[str] | None = None) -> str:
+    """Render rows of dictionaries as an aligned plain-text table."""
+    if not rows:
+        return "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {col: len(str(col)) for col in columns}
+    for row in rows:
+        for col in columns:
+            widths[col] = max(widths[col], len(str(row.get(col, ""))))
+    header = " | ".join(str(col).ljust(widths[col]) for col in columns)
+    separator = "-+-".join("-" * widths[col] for col in columns)
+    lines = [header, separator]
+    for row in rows:
+        lines.append(" | ".join(str(row.get(col, "")).ljust(widths[col]) for col in columns))
+    return "\n".join(lines)
+
+
+def table2_platform_limits() -> list[dict]:
+    """Table 2: comparison of the commercial FaaS providers."""
+    rows = []
+    for provider in (Provider.AWS, Provider.AZURE, Provider.GCP):
+        limits = limits_for(provider)
+        memory = (
+            "Dynamic, up to %d MB" % limits.memory_max_mb
+            if not limits.memory_static
+            else f"Static, {limits.memory_min_mb} - {limits.memory_max_mb} MB"
+        )
+        rows.append(
+            {
+                "policy": provider.display_name,
+                "languages": ", ".join(lang.display_name for lang in limits.languages),
+                "time_limit_min": round(limits.time_limit_s / 60, 1),
+                "memory_allocation": memory,
+                "full_vcpu_at_mb": limits.full_vcpu_memory_mb,
+                "billing": limits.billing_description,
+                "deployment_limit_mb": limits.deployment_limit_mb,
+                "concurrency_limit": limits.concurrency_limit,
+                "temporary_disk_mb": limits.temporary_disk_mb,
+            }
+        )
+    return rows
+
+
+def table3_applications(registry: BenchmarkRegistry | None = None) -> list[dict]:
+    """Table 3: the SeBS application suite with languages and dependencies."""
+    registry = registry or default_registry()
+    rows = []
+    for benchmark in registry:
+        rows.append(
+            {
+                "type": benchmark.category.value,
+                "name": benchmark.name,
+                "languages": ", ".join(lang.display_name for lang in benchmark.languages),
+                "dependencies": ", ".join(benchmark.dependencies) or "-",
+                "native_dependencies": "yes" if benchmark.requires_native_dependencies else "no",
+            }
+        )
+    return rows
+
+
+#: The insight summary of Table 9: each entry names the result, whether the
+#: paper marks it as a novel insight, and which experiment of this library
+#: reproduces it.
+TABLE9_INSIGHTS: tuple[dict, ...] = (
+    {
+        "insight": "AWS Lambda achieves the best performance on all workloads",
+        "novel": False,
+        "experiment": "perf-cost (Figure 3)",
+    },
+    {
+        "insight": "Irregular performance of concurrent Azure Function executions",
+        "novel": False,
+        "experiment": "perf-cost (Figure 3, Q3)",
+    },
+    {
+        "insight": "I/O-bound functions experience very high latency variations",
+        "novel": False,
+        "experiment": "perf-cost (Figure 3, Q1/Q3)",
+    },
+    {
+        "insight": "High-memory allocations increase cold startup overheads on GCP",
+        "novel": True,
+        "experiment": "perf-cost (Figure 4, Q2)",
+    },
+    {
+        "insight": "GCP functions experience reliability and availability issues",
+        "novel": True,
+        "experiment": "perf-cost (Q3)",
+    },
+    {
+        "insight": "AWS Lambda performance is not competitive against VMs with comparable resources",
+        "novel": True,
+        "experiment": "faas-vs-iaas (Table 5)",
+    },
+    {
+        "insight": "High costs of Azure Functions due to unconfigurable deployment",
+        "novel": True,
+        "experiment": "cost analysis (Figure 5a)",
+    },
+    {
+        "insight": "Resource underutilization due to high granularity of pricing models",
+        "novel": True,
+        "experiment": "cost analysis (Figure 5b)",
+    },
+    {
+        "insight": "Break-even analysis for IaaS and FaaS deployment",
+        "novel": False,
+        "experiment": "cost analysis (Table 6)",
+    },
+    {
+        "insight": "The function output size can be a dominating factor in pricing",
+        "novel": True,
+        "experiment": "cost analysis (Q4)",
+    },
+    {
+        "insight": "Accurate methodology for estimation of invocation latency",
+        "novel": True,
+        "experiment": "invocation-overhead (Figure 6)",
+    },
+    {
+        "insight": "Warm latencies are consistent and depend linearly on payload size",
+        "novel": True,
+        "experiment": "invocation-overhead (Figure 6, Q2)",
+    },
+    {
+        "insight": "Highly variable and unpredictable cold latencies on Azure and GCP",
+        "novel": False,
+        "experiment": "invocation-overhead (Figure 6, Q1)",
+    },
+    {
+        "insight": "AWS Lambda container eviction is agnostic to function properties",
+        "novel": False,
+        "experiment": "eviction-model (Figure 7, Q1)",
+    },
+    {
+        "insight": "Analytical model of the AWS Lambda container eviction policy",
+        "novel": False,
+        "experiment": "eviction-model (Figure 7, Q2)",
+    },
+)
+
+
+def table9_insights() -> list[dict]:
+    """Table 9: the insights delivered by the evaluation."""
+    return [dict(entry) for entry in TABLE9_INSIGHTS]

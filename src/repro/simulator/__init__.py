@@ -1,0 +1,52 @@
+"""Simulated FaaS cloud substrate.
+
+The original SeBS toolkit drives real commercial platforms; in this offline
+reproduction the providers are replaced by behavioural simulators that
+implement the same abstract :class:`~repro.faas.platform.FaaSPlatform`
+interface over a virtual clock.  Each simulated provider models:
+
+* the **sandbox lifecycle** — cold starts (provisioning + code download +
+  runtime/dependency initialisation), warm reuse, and provider-specific
+  container-eviction policies (AWS's 380 s half-life, idle timeouts with
+  unexpected cold starts on GCP, function apps on Azure);
+* **resource allocation** — CPU and I/O bandwidth proportional to the memory
+  configuration, with single-threaded kernels plateauing at one vCPU;
+* **billing** — per-provider pricing rules (request fees, GB-s, rounding
+  granularity, dynamic-memory billing on Azure, egress);
+* **reliability** — out-of-memory kills and availability errors observed on
+  GCP, and the concurrency-induced performance degradation of Azure's Python
+  function apps;
+* the **invocation path** — trigger/gateway overhead, network transfer of
+  payloads and results, and cold-start scheduling delays.
+
+All stochastic behaviour is driven by named random streams derived from a
+single seed, so simulations are exactly reproducible.
+"""
+
+from .compute import ComputeModel
+from .containers import Container, ContainerPool, ContainerState
+from .eviction import EvictionPolicy, HalfLifeEvictionPolicy, IdleTimeoutEvictionPolicy
+from .iaas import IaaSPlatform
+from .platform_sim import SimulatedPlatform
+from .providers import AWSLambdaSimulator, AzureFunctionsSimulator, GoogleCloudFunctionsSimulator, create_platform
+from .profiles import ProviderPerformanceProfile, profile_for
+from .reliability import ReliabilityModel
+
+__all__ = [
+    "ComputeModel",
+    "Container",
+    "ContainerPool",
+    "ContainerState",
+    "EvictionPolicy",
+    "HalfLifeEvictionPolicy",
+    "IdleTimeoutEvictionPolicy",
+    "IaaSPlatform",
+    "SimulatedPlatform",
+    "AWSLambdaSimulator",
+    "AzureFunctionsSimulator",
+    "GoogleCloudFunctionsSimulator",
+    "create_platform",
+    "ProviderPerformanceProfile",
+    "profile_for",
+    "ReliabilityModel",
+]

@@ -1,0 +1,127 @@
+"""Sandbox (container / microVM) lifecycle bookkeeping.
+
+Section 2, label 2: every function instance runs inside an isolated execution
+environment.  The simulator tracks one :class:`Container` per sandbox —
+which function and version it serves, when it was created and last used, and
+how many invocations it has handled — and a :class:`ContainerPool` per
+function holding the warm sandboxes the scheduler can reuse.  The eviction
+experiment (Section 6.5) observes exactly this population.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..exceptions import PlatformError
+
+
+class ContainerState(str, enum.Enum):
+    """Lifecycle states of a sandbox."""
+
+    COLD_STARTING = "cold-starting"
+    WARM = "warm"
+    BUSY = "busy"
+    EVICTED = "evicted"
+
+
+_container_ids = itertools.count(1)
+
+
+@dataclass
+class Container:
+    """One sandbox instance bound to a specific function version."""
+
+    function_name: str
+    function_version: int
+    memory_mb: int
+    created_at: float
+    container_id: str = field(default_factory=lambda: f"container-{next(_container_ids):06d}")
+    state: ContainerState = ContainerState.COLD_STARTING
+    last_used_at: float = 0.0
+    invocations: int = 0
+
+    def __post_init__(self) -> None:
+        self.last_used_at = max(self.last_used_at, self.created_at)
+
+    def mark_warm(self, timestamp: float) -> None:
+        if self.state is ContainerState.EVICTED:
+            raise PlatformError("cannot warm an evicted container")
+        self.state = ContainerState.WARM
+        self.last_used_at = max(self.last_used_at, timestamp)
+
+    def serve(self, timestamp: float) -> None:
+        """Record that the container served an invocation at ``timestamp``."""
+        if self.state is ContainerState.EVICTED:
+            raise PlatformError("cannot invoke an evicted container")
+        self.invocations += 1
+        self.last_used_at = max(self.last_used_at, timestamp)
+        self.state = ContainerState.WARM
+
+    def evict(self) -> None:
+        self.state = ContainerState.EVICTED
+
+    @property
+    def is_warm(self) -> bool:
+        return self.state in (ContainerState.WARM, ContainerState.BUSY)
+
+    def uptime(self, now: float) -> float:
+        return max(0.0, now - self.created_at)
+
+    def idle_time(self, now: float) -> float:
+        return max(0.0, now - self.last_used_at)
+
+
+class ContainerPool:
+    """The set of sandboxes (warm and historical) of one deployed function."""
+
+    def __init__(self, function_name: str):
+        self.function_name = function_name
+        self._containers: list[Container] = []
+
+    def add(self, container: Container) -> None:
+        if container.function_name != self.function_name:
+            raise PlatformError("container belongs to a different function")
+        self._containers.append(container)
+
+    def warm_containers(self, version: int | None = None) -> list[Container]:
+        """Warm sandboxes, optionally restricted to a function version."""
+        return [
+            c
+            for c in self._containers
+            if c.is_warm and (version is None or c.function_version == version)
+        ]
+
+    def warm_count(self, version: int | None = None) -> int:
+        return len(self.warm_containers(version))
+
+    def all_containers(self) -> list[Container]:
+        return list(self._containers)
+
+    def total_created(self) -> int:
+        return len(self._containers)
+
+    def evict_all(self) -> int:
+        """Evict every warm container; returns how many were evicted."""
+        evicted = 0
+        for container in self._containers:
+            if container.is_warm:
+                container.evict()
+                evicted += 1
+        return evicted
+
+    def evict(self, containers: list[Container]) -> None:
+        for container in containers:
+            container.evict()
+
+    def prune(self) -> None:
+        """Drop evicted containers from the bookkeeping list."""
+        self._containers = [c for c in self._containers if c.state is not ContainerState.EVICTED]
+
+    def __iter__(self) -> Iterator[Container]:
+        return iter(self._containers)
+
+    def __len__(self) -> int:
+        return len(self._containers)

@@ -1,0 +1,119 @@
+"""Container eviction policies.
+
+Section 6.5 reverse-engineers the AWS Lambda policy: it is deterministic,
+agnostic to memory size, execution time, language and code-package size, and
+after every period of 380 seconds half of the existing containers are
+evicted, i.e. ``D_warm = D_init * 2^-floor(dT / 380s)``.  GCP and Azure have
+no published policy; their sandboxes disappear after an idle timeout with
+substantial randomness (and Azure's function apps keep instances alive
+longer).  The policies below are applied lazily: before every scheduling
+decision the platform asks the policy which warm containers should be gone by
+``now``.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .containers import Container, ContainerPool
+
+#: The empirically measured AWS eviction period (seconds).
+AWS_EVICTION_PERIOD_S = 380.0
+
+
+class EvictionPolicy(abc.ABC):
+    """Decides which warm containers a provider has evicted by ``now``."""
+
+    @abc.abstractmethod
+    def select_evictions(self, pool: ContainerPool, now: float) -> list[Container]:
+        """Return the containers that should be evicted at time ``now``."""
+
+    def apply(self, pool: ContainerPool, now: float) -> int:
+        """Evict the selected containers; return how many were evicted."""
+        victims = self.select_evictions(pool, now)
+        pool.evict(victims)
+        return len(victims)
+
+
+class HalfLifeEvictionPolicy(EvictionPolicy):
+    """The AWS policy: every ``period_s`` half of the containers are evicted.
+
+    The eviction is deterministic and application agnostic.  Containers are
+    ranked by creation order; at period boundary ``p`` the policy keeps the
+    ``floor(initial / 2**p)`` most recently created warm containers from each
+    creation batch, which realises the paper's ``D_init * 2^-p`` model.
+    """
+
+    def __init__(self, period_s: float = AWS_EVICTION_PERIOD_S):
+        if period_s <= 0:
+            raise ConfigurationError("eviction period must be positive")
+        self.period_s = period_s
+
+    def _periods_elapsed(self, container: Container, now: float) -> int:
+        return int((now - container.created_at) // self.period_s)
+
+    def select_evictions(self, pool: ContainerPool, now: float) -> list[Container]:
+        warm = pool.warm_containers()
+        if not warm:
+            return []
+        # Group containers by the batch they were created in (same period of
+        # creation time); within each batch, the survivors after p periods are
+        # the first floor(batch_size / 2**p) by creation order.
+        victims: list[Container] = []
+        batches: dict[int, list[Container]] = {}
+        for container in warm:
+            batch_key = int(container.created_at // self.period_s)
+            batches.setdefault(batch_key, []).append(container)
+        for batch in batches.values():
+            batch.sort(key=lambda c: (c.created_at, c.container_id))
+            initial = len(batch)
+            periods = self._periods_elapsed(batch[0], now)
+            if periods <= 0:
+                continue
+            survivors = initial >> periods  # floor(initial / 2**periods)
+            victims.extend(batch[survivors:])
+        return victims
+
+
+class IdleTimeoutEvictionPolicy(EvictionPolicy):
+    """GCP/Azure-style policy: evict containers idle longer than a timeout.
+
+    The timeout is randomised per container (log-normal around the mean) to
+    reproduce the unpredictable cold-start behaviour observed on those
+    platforms.
+    """
+
+    def __init__(
+        self,
+        mean_idle_timeout_s: float = 900.0,
+        jitter_cv: float = 0.3,
+        rng: np.random.Generator | None = None,
+    ):
+        if mean_idle_timeout_s <= 0:
+            raise ConfigurationError("idle timeout must be positive")
+        if jitter_cv < 0:
+            raise ConfigurationError("jitter_cv must be non-negative")
+        self.mean_idle_timeout_s = mean_idle_timeout_s
+        self.jitter_cv = jitter_cv
+        self._rng = rng or np.random.default_rng(0)
+        self._timeouts: dict[str, float] = {}
+
+    def _timeout_for(self, container: Container) -> float:
+        if container.container_id not in self._timeouts:
+            if self.jitter_cv > 0:
+                sigma = np.sqrt(np.log(1.0 + self.jitter_cv**2))
+                factor = float(self._rng.lognormal(mean=-sigma**2 / 2.0, sigma=sigma))
+            else:
+                factor = 1.0
+            self._timeouts[container.container_id] = self.mean_idle_timeout_s * factor
+        return self._timeouts[container.container_id]
+
+    def select_evictions(self, pool: ContainerPool, now: float) -> list[Container]:
+        victims = []
+        for container in pool.warm_containers():
+            if container.idle_time(now) > self._timeout_for(container):
+                victims.append(container)
+        return victims

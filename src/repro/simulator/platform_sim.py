@@ -1,0 +1,420 @@
+"""The simulated FaaS platform shared by the AWS / Azure / GCP back-ends.
+
+``SimulatedPlatform`` implements the abstract SeBS platform interface
+(:class:`repro.faas.platform.FaaSPlatform`) over a virtual clock.  It manages
+deployed functions, their sandbox pools and eviction, executes invocations
+through the compute model, bills them, injects reliability failures, and
+keeps a provider-side log that ``query_logs`` exposes — everything an
+experiment needs to treat it exactly like a real provider.
+
+Invocations can optionally execute the *real* benchmark kernel against the
+platform's object store (``execute_kernels=True``); by default only the
+calibrated work profile is used, which keeps large experiments (hundreds of
+thousands of invocations) fast while preserving the statistical behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import json
+
+from ..benchmarks.base import Benchmark, BenchmarkContext, InputSize, WorkProfile
+from ..benchmarks.registry import BenchmarkRegistry, default_registry
+from ..config import (
+    DYNAMIC_MEMORY,
+    FunctionConfig,
+    Language,
+    Provider,
+    SimulationConfig,
+    StartType,
+    TriggerType,
+)
+from ..exceptions import (
+    FunctionAlreadyExistsError,
+    PlatformError,
+)
+from ..faas.billing import BillingModel, CostBreakdown, billing_model_for
+from ..faas.function import CodePackage, DeployedFunction
+from ..faas.invocation import InvocationRecord
+from ..faas.platform import FaaSPlatform, LogQueryType
+from ..network.latency import NetworkLink
+from ..utils.clock import VirtualClock
+from ..utils.rng import RandomStreams
+from .compute import ComputeModel
+from .containers import Container, ContainerPool
+from .eviction import EvictionPolicy
+from .profiles import ProviderPerformanceProfile, profile_for
+from .reliability import ReliabilityModel
+
+
+@dataclass
+class _LogEntry:
+    """Provider-side record of one invocation (what query_logs exposes)."""
+
+    function_name: str
+    provider_time_s: float
+    memory_used_mb: float
+    cost_usd: float
+    start_type: StartType
+    success: bool
+    timestamp: float = 0.0
+
+
+@dataclass
+class _FunctionRuntimeState:
+    """Per-function simulator state."""
+
+    pool: ContainerPool
+    language: Language = Language.PYTHON
+    input_size: InputSize = InputSize.SMALL
+    history: list[_LogEntry] = field(default_factory=list)
+
+
+class SimulatedPlatform(FaaSPlatform):
+    """Base class of the simulated commercial providers."""
+
+    provider: Provider = Provider.AWS
+
+    def __init__(
+        self,
+        simulation: SimulationConfig | None = None,
+        clock: VirtualClock | None = None,
+        registry: BenchmarkRegistry | None = None,
+        execute_kernels: bool = False,
+    ):
+        super().__init__()
+        self.simulation = simulation or SimulationConfig()
+        self.clock = clock or VirtualClock()
+        self.registry = registry or default_registry()
+        self.execute_kernels = execute_kernels
+
+        self._streams = RandomStreams(self.simulation.seed).fork(self.provider.value)
+        self.performance: ProviderPerformanceProfile = profile_for(self.provider)
+        self.billing: BillingModel = billing_model_for(self.provider)
+        self.compute = ComputeModel(self.performance, self.limits, self._streams.stream("compute"))
+        self.reliability = ReliabilityModel(
+            self.provider, self._streams.stream("reliability"), enabled=self.simulation.enable_failures
+        )
+        self.network = NetworkLink(
+            self.performance.network,
+            self._streams.stream("network"),
+            clock_offset_s=float(self._streams.stream("clock-offset").uniform(-2.0, 2.0)),
+        )
+        self.eviction_policy: EvictionPolicy = self._build_eviction_policy()
+
+        from ..storage.object_store import ObjectStore
+
+        #: Persistent storage attached to this deployment (S3 / Blob / GCS).
+        self.object_store = ObjectStore(name=f"{self.provider.value}-storage")
+        self._state: dict[str, _FunctionRuntimeState] = {}
+
+    # -------------------------------------------------------------- plumbing
+    def _build_eviction_policy(self) -> EvictionPolicy:
+        raise NotImplementedError
+
+    def _runtime_state(self, fname: str) -> _FunctionRuntimeState:
+        function = self.get_function(fname)
+        if fname not in self._state:
+            self._state[fname] = _FunctionRuntimeState(pool=ContainerPool(fname), language=function.package.language)
+        return self._state[fname]
+
+    def _benchmark_for(self, function: DeployedFunction) -> Benchmark:
+        return self.registry.get(function.benchmark)
+
+    def _profile_for(self, function: DeployedFunction, state: _FunctionRuntimeState) -> WorkProfile:
+        benchmark = self._benchmark_for(function)
+        return benchmark.profile(size=state.input_size, language=state.language)
+
+    # --------------------------------------------------------- FaaS interface
+    def package_code(self, benchmark_name: str, language: Language) -> CodePackage:
+        benchmark = self.registry.get(benchmark_name)
+        if language not in benchmark.languages:
+            raise PlatformError(
+                f"benchmark {benchmark_name!r} has no {language.display_name} implementation"
+            )
+        profile = benchmark.profile(language=language)
+        # Providers with small deployment limits (GCP's 100 MB zip) require the
+        # cloud-side build system, which strips the package further; clamp the
+        # built size to the provider limit as the original toolkit's
+        # provider-specific build steps do.
+        size_mb = min(profile.code_package_mb, self.limits.deployment_limit_mb)
+        package = CodePackage(
+            benchmark=benchmark_name,
+            language=language,
+            size_mb=size_mb,
+            dependencies=benchmark.dependencies,
+            docker_image=f"sebs.build.{self.provider.value}.{language.value}",
+        )
+        self.limits.validate_package(package.size_mb)
+        return package
+
+    def create_function(self, fname: str, code: CodePackage, config: FunctionConfig) -> DeployedFunction:
+        if fname in self._functions:
+            raise FunctionAlreadyExistsError(fname)
+        self.limits.validate_memory(config.memory_mb)
+        self.limits.validate_package(code.size_mb)
+        if config.timeout_s > self.limits.time_limit_s:
+            raise PlatformError(
+                f"timeout of {config.timeout_s:.0f}s exceeds the platform limit of {self.limits.time_limit_s:.0f}s"
+            )
+        function = DeployedFunction(
+            name=fname,
+            benchmark=code.benchmark,
+            package=code,
+            config=config,
+            platform=self.provider.value,
+            created_at=self.clock.now(),
+            updated_at=self.clock.now(),
+        )
+        self._functions[fname] = function
+        self._state[fname] = _FunctionRuntimeState(pool=ContainerPool(fname), language=code.language)
+        return function
+
+    def update_function(
+        self,
+        fname: str,
+        code: CodePackage | None = None,
+        config: FunctionConfig | None = None,
+    ) -> DeployedFunction:
+        function = self.get_function(fname)
+        if code is not None:
+            self.limits.validate_package(code.size_mb)
+            function.package = code
+        if config is not None:
+            self.limits.validate_memory(config.memory_mb)
+            function.config = config
+        function.bump_version(self.clock.now())
+        # Publishing a new version / updating the configuration invalidates
+        # all warm sandboxes (this is how SeBS enforces cold starts).
+        state = self._runtime_state(fname)
+        state.pool.evict_all()
+        return function
+
+    def query_logs(self, fname: str, query: LogQueryType) -> list[float]:
+        state = self._runtime_state(fname)
+        if query is LogQueryType.TIME:
+            return [entry.provider_time_s for entry in state.history]
+        if query is LogQueryType.MEMORY:
+            return [entry.memory_used_mb for entry in state.history]
+        if query is LogQueryType.COST:
+            return [entry.cost_usd for entry in state.history]
+        raise PlatformError(f"unsupported log query {query!r}")
+
+    # ------------------------------------------------------------ invocation
+    def set_input_size(self, fname: str, size: InputSize) -> None:
+        """Select the input-size preset the simulator assumes for ``fname``."""
+        self._runtime_state(fname).input_size = size
+
+    def warm_container_count(self, fname: str) -> int:
+        """Number of currently warm sandboxes (after applying eviction)."""
+        state = self._runtime_state(fname)
+        self.eviction_policy.apply(state.pool, self.clock.now())
+        function = self.get_function(fname)
+        return state.pool.warm_count(version=function.version)
+
+    def invoke(
+        self,
+        fname: str,
+        payload: Mapping[str, Any],
+        trigger: TriggerType = TriggerType.HTTP,
+        payload_bytes: int | None = None,
+    ) -> InvocationRecord:
+        """Sequential invocation: the virtual clock advances by the client time."""
+        record = self._simulate_invocation(
+            fname, payload, trigger, payload_bytes, concurrency=1, start_at=self.clock.now()
+        )
+        self.clock.advance(record.client_time_s)
+        return record
+
+    def invoke_batch(
+        self,
+        fname: str,
+        count: int,
+        payload: Mapping[str, Any] | None = None,
+        trigger: TriggerType = TriggerType.HTTP,
+        payload_bytes: int | None = None,
+    ) -> list[InvocationRecord]:
+        """Concurrent burst of ``count`` invocations starting at the same time.
+
+        The virtual clock advances by the longest client time in the batch.
+        """
+        if count <= 0:
+            raise PlatformError("batch size must be positive")
+        start_at = self.clock.now()
+        records: list[InvocationRecord] = []
+        reserved: list[str] = []
+        for _ in range(count):
+            record = self._simulate_invocation(
+                fname,
+                payload or {},
+                trigger,
+                payload_bytes,
+                concurrency=count,
+                start_at=start_at,
+                reserved=reserved,
+            )
+            # A concurrent invocation occupies its sandbox for the whole batch,
+            # so later invocations in the same burst cannot reuse it (Azure's
+            # function apps relax this by sharing an instance between several
+            # concurrent executions; see AzureFunctionsSimulator).
+            reserved.append(record.container_id)
+            records.append(record)
+        self.clock.advance(max(record.client_time_s for record in records))
+        return records
+
+    # ------------------------------------------------------------- internals
+    def _acquire_container(
+        self, function: DeployedFunction, state: _FunctionRuntimeState, start_at: float, reserved: list[str]
+    ) -> tuple[Container, StartType]:
+        self.eviction_policy.apply(state.pool, start_at)
+        warm = [
+            c
+            for c in state.pool.warm_containers(version=function.version)
+            if c.container_id not in reserved
+        ]
+        spurious = (
+            self.performance.spurious_cold_start_probability > 0
+            and self._streams.stream("spurious").random() < self.performance.spurious_cold_start_probability
+        )
+        if warm and not spurious:
+            # Reuse the most recently used warm sandbox (mirrors providers
+            # preferring "hot" instances).
+            container = max(warm, key=lambda c: c.last_used_at)
+            return container, StartType.WARM
+        container = Container(
+            function_name=function.name,
+            function_version=function.version,
+            memory_mb=function.config.memory_mb,
+            created_at=start_at,
+        )
+        state.pool.add(container)
+        return container, StartType.COLD
+
+    def _execute_kernel(self, function: DeployedFunction, payload: Mapping[str, Any]) -> tuple[dict, int]:
+        """Optionally run the real kernel; returns (output, output_bytes)."""
+        benchmark = self._benchmark_for(function)
+        context = BenchmarkContext(storage=self.object_store, rng=self._streams.stream("kernel"))
+        result = benchmark.run(payload, context)
+        encoded = json.dumps(result, default=str).encode("utf-8")
+        return result, len(encoded)
+
+    def _simulate_invocation(
+        self,
+        fname: str,
+        payload: Mapping[str, Any],
+        trigger: TriggerType,
+        payload_bytes: int | None,
+        concurrency: int,
+        start_at: float,
+        reserved: list[str] | None = None,
+    ) -> InvocationRecord:
+        function = self.get_function(fname)
+        state = self._runtime_state(fname)
+        profile = self._profile_for(function, state)
+        container, start_type = self._acquire_container(function, state, start_at, reserved or [])
+
+        sample = self.compute.execute(
+            profile,
+            memory_mb=function.config.memory_mb,
+            cold=start_type is StartType.COLD,
+            code_package_mb=function.package.size_mb,
+            concurrent=concurrency > 1,
+        )
+        failure = self.reliability.check(
+            profile,
+            memory_mb=function.config.memory_mb,
+            memory_used_mb=sample.memory_used_mb,
+            concurrency=concurrency,
+        )
+
+        output: dict = {}
+        output_bytes = profile.output_bytes
+        if self.execute_kernels and payload and not failure.failed:
+            output, output_bytes = self._execute_kernel(function, payload)
+
+        request_bytes = payload_bytes if payload_bytes is not None else len(json.dumps(payload, default=str))
+        overhead_profile = self.performance.invocation
+        gateway = (
+            overhead_profile.http_gateway_s if trigger is TriggerType.HTTP else overhead_profile.sdk_overhead_s
+        )
+        jitter_cv = overhead_profile.warm_jitter_cv
+        sigma = float(jitter_cv)
+        gateway *= float(self._streams.stream("gateway").lognormal(mean=-sigma**2 / 2.0, sigma=sigma))
+        payload_upload_s = request_bytes / (overhead_profile.payload_bandwidth_mbps * 1024 * 1024)
+        response_download_s = output_bytes / (overhead_profile.response_bandwidth_mbps * 1024 * 1024)
+        request_network_s = self.network.one_way_delay("request")
+        response_network_s = self.network.one_way_delay("response")
+
+        # Overhead between submitting the request and the function starting.
+        invocation_overhead_s = request_network_s + gateway + payload_upload_s + sample.cold_init_s
+
+        if failure.failed:
+            benchmark_time_s = 0.0
+            provider_time_s = self.performance.runtime_overhead_s
+            success = False
+        else:
+            benchmark_time_s = sample.benchmark_time_s
+            provider_time_s = benchmark_time_s + self.performance.runtime_overhead_s
+            success = True
+
+        client_time_s = invocation_overhead_s + provider_time_s + response_download_s + response_network_s
+
+        # Time-limit enforcement.
+        if success and provider_time_s > function.config.timeout_s:
+            success = False
+            failure_reason = "timeout"
+            provider_time_s = function.config.timeout_s
+            client_time_s = invocation_overhead_s + provider_time_s + response_network_s
+        else:
+            failure_reason = failure.reason if failure.failed else None
+
+        billed_duration_s = self.billing.billed_duration(provider_time_s)
+        cost = self.billing.invocation_cost(
+            duration_s=provider_time_s,
+            declared_memory_mb=function.config.memory_mb,
+            used_memory_mb=sample.memory_used_mb,
+            output_bytes=output_bytes if success else 0,
+            storage_requests=profile.storage_read_requests + profile.storage_write_requests,
+            via_http_api=trigger is TriggerType.HTTP,
+        )
+
+        started_at = start_at + invocation_overhead_s
+        finished_at = start_at + client_time_s
+        container.serve(finished_at)
+
+        state.history.append(
+            _LogEntry(
+                function_name=fname,
+                provider_time_s=provider_time_s,
+                memory_used_mb=sample.memory_used_mb,
+                cost_usd=cost.total,
+                start_type=start_type,
+                success=success,
+                timestamp=finished_at,
+            )
+        )
+
+        return InvocationRecord(
+            function_name=fname,
+            benchmark=function.benchmark,
+            provider=self.provider,
+            start_type=start_type,
+            success=success,
+            benchmark_time_s=benchmark_time_s,
+            provider_time_s=provider_time_s,
+            client_time_s=client_time_s,
+            invocation_overhead_s=invocation_overhead_s,
+            memory_declared_mb=function.config.memory_mb,
+            memory_used_mb=sample.memory_used_mb,
+            billed_duration_s=billed_duration_s,
+            cost=cost,
+            output_bytes=output_bytes,
+            container_id=container.container_id,
+            submitted_at=start_at,
+            started_at=started_at,
+            finished_at=finished_at,
+            error=failure_reason,
+            output=output,
+        )

@@ -1,0 +1,243 @@
+"""Empirical performance profiles of the simulated providers.
+
+The numbers below encode the *relative* behaviours the paper measures in
+Section 6 rather than absolute testbed numbers:
+
+* AWS Lambda is the fastest platform on every workload and its warm
+  invocations always reuse warm containers (Section 6.2 Q1/Q3).
+* GCP is slightly slower on compute and noticeably slower on
+  storage-bandwidth-bound benchmarks, produces spurious cold starts even for
+  sequential calls, and its cold starts get *slower* at higher memory
+  allocations (Section 6.2 Q2/Q3).
+* Azure's consumption plan executes compute-bound Python benchmarks at
+  AWS-like speed when invoked sequentially but degrades severely under
+  concurrent invocations of Python function apps; its cold starts are cheap
+  for big packages (function apps) but highly variable (Section 6.2 Q2/Q3).
+* Invocation latency is linear in the payload size for warm invocations on
+  all providers and for cold ones on AWS, while Azure/GCP cold invocations
+  are erratic (Section 6.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import Provider
+from ..network.latency import NetworkProfile
+from ..storage.latency import StorageProfile
+
+
+@dataclass(frozen=True)
+class ColdStartProfile:
+    """Parameters of the cold-start path of one provider."""
+
+    #: Fixed sandbox provisioning latency (scheduler + microVM/container boot).
+    provisioning_s: float
+    #: Bandwidth at which the code package is fetched from storage (MB/s).
+    package_bandwidth_mbps: float
+    #: Multiplier applied to the benchmark's runtime-initialisation time.
+    init_multiplier: float
+    #: Log-normal coefficient of variation of the provisioning latency.
+    jitter_cv: float
+    #: Additional provisioning penalty per GB of requested memory (models the
+    #: smaller pool of high-memory containers on GCP, where high-memory cold
+    #: starts are slower instead of faster).
+    highmem_penalty_s_per_gb: float = 0.0
+    #: Probability of an erratic scheduling delay on a cold start.
+    erratic_probability: float = 0.0
+    #: Scale (seconds) of the erratic delay when it happens.
+    erratic_scale_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class InvocationOverheadProfile:
+    """Parameters of the request path between client and sandbox."""
+
+    #: Fixed overhead of the HTTP gateway / front end.
+    http_gateway_s: float
+    #: Fixed overhead of an SDK-triggered invocation.
+    sdk_overhead_s: float
+    #: Effective bandwidth for uploading the invocation payload (MB/s).
+    payload_bandwidth_mbps: float
+    #: Effective bandwidth for downloading the function result (MB/s).
+    response_bandwidth_mbps: float
+    #: Log-normal coefficient of variation of the warm invocation overhead.
+    warm_jitter_cv: float
+
+
+@dataclass(frozen=True)
+class ProviderPerformanceProfile:
+    """Everything the simulator needs to know about one provider."""
+
+    provider: Provider
+    #: Multiplier on compute time relative to AWS (1.0 = AWS speed).
+    compute_speed_factor: float
+    #: Coefficient of variation of warm compute time.
+    compute_jitter_cv: float
+    #: Extra multiplier on jitter when invocations run concurrently.
+    concurrency_jitter_factor: float
+    #: Fixed per-invocation sandbox/runtime overhead added to provider time.
+    runtime_overhead_s: float
+    cold_start: ColdStartProfile
+    invocation: InvocationOverheadProfile
+    storage: StorageProfile
+    network: NetworkProfile
+    #: Probability that a sequential warm invocation still lands on a new
+    #: container (GCP's spurious cold starts, Section 6.2 Q3 "Consistency").
+    spurious_cold_start_probability: float = 0.0
+    #: Memory sizes with a dynamically allocated consumption plan get this
+    #: effective memory for CPU-share purposes.
+    dynamic_memory_effective_mb: int = 1536
+    extra: dict = field(default_factory=dict)
+
+
+_AWS_PROFILE = ProviderPerformanceProfile(
+    provider=Provider.AWS,
+    compute_speed_factor=1.0,
+    compute_jitter_cv=0.03,
+    concurrency_jitter_factor=1.2,
+    runtime_overhead_s=0.010,
+    cold_start=ColdStartProfile(
+        provisioning_s=0.35,
+        package_bandwidth_mbps=110.0,
+        init_multiplier=1.0,
+        jitter_cv=0.15,
+    ),
+    invocation=InvocationOverheadProfile(
+        http_gateway_s=0.055,
+        sdk_overhead_s=0.030,
+        payload_bandwidth_mbps=3.0,
+        response_bandwidth_mbps=8.0,
+        warm_jitter_cv=0.10,
+    ),
+    storage=StorageProfile(
+        base_latency_s=0.018,
+        peak_bandwidth_mbps=95.0,
+        reference_memory_mb=1792,
+        jitter_cv=0.22,
+        contention_tail_probability=0.10,
+        contention_slowdown=4.0,
+    ),
+    network=NetworkProfile(min_rtt_s=0.109, jitter_scale_s=0.004, asymmetry=0.62, bandwidth_mbps=55.0),
+)
+
+_GCP_PROFILE = ProviderPerformanceProfile(
+    provider=Provider.GCP,
+    compute_speed_factor=1.18,
+    compute_jitter_cv=0.05,
+    concurrency_jitter_factor=1.4,
+    runtime_overhead_s=0.018,
+    cold_start=ColdStartProfile(
+        provisioning_s=0.55,
+        package_bandwidth_mbps=60.0,
+        init_multiplier=1.15,
+        jitter_cv=0.30,
+        highmem_penalty_s_per_gb=0.9,
+        erratic_probability=0.25,
+        erratic_scale_s=4.0,
+    ),
+    invocation=InvocationOverheadProfile(
+        http_gateway_s=0.075,
+        sdk_overhead_s=0.045,
+        payload_bandwidth_mbps=2.4,
+        response_bandwidth_mbps=6.0,
+        warm_jitter_cv=0.12,
+    ),
+    storage=StorageProfile(
+        base_latency_s=0.030,
+        peak_bandwidth_mbps=42.0,
+        reference_memory_mb=2048,
+        jitter_cv=0.30,
+        contention_tail_probability=0.08,
+        contention_slowdown=3.5,
+    ),
+    network=NetworkProfile(min_rtt_s=0.033, jitter_scale_s=0.005, asymmetry=0.62, bandwidth_mbps=45.0),
+    spurious_cold_start_probability=0.08,
+)
+
+_AZURE_PROFILE = ProviderPerformanceProfile(
+    provider=Provider.AZURE,
+    compute_speed_factor=1.10,
+    compute_jitter_cv=0.08,
+    concurrency_jitter_factor=3.5,
+    runtime_overhead_s=0.060,
+    cold_start=ColdStartProfile(
+        provisioning_s=0.9,
+        package_bandwidth_mbps=150.0,
+        init_multiplier=0.7,
+        jitter_cv=0.55,
+        erratic_probability=0.35,
+        erratic_scale_s=6.0,
+    ),
+    invocation=InvocationOverheadProfile(
+        http_gateway_s=0.110,
+        sdk_overhead_s=0.080,
+        payload_bandwidth_mbps=2.0,
+        response_bandwidth_mbps=5.0,
+        warm_jitter_cv=0.25,
+    ),
+    storage=StorageProfile(
+        base_latency_s=0.028,
+        peak_bandwidth_mbps=60.0,
+        reference_memory_mb=1536,
+        jitter_cv=0.35,
+        contention_tail_probability=0.10,
+        contention_slowdown=3.0,
+    ),
+    network=NetworkProfile(min_rtt_s=0.020, jitter_scale_s=0.004, asymmetry=0.62, bandwidth_mbps=50.0),
+    dynamic_memory_effective_mb=1536,
+)
+
+_IAAS_PROFILE = ProviderPerformanceProfile(
+    provider=Provider.IAAS,
+    compute_speed_factor=1.0,
+    compute_jitter_cv=0.02,
+    concurrency_jitter_factor=1.0,
+    runtime_overhead_s=0.002,
+    cold_start=ColdStartProfile(
+        provisioning_s=0.0,
+        package_bandwidth_mbps=1000.0,
+        init_multiplier=0.0,
+        jitter_cv=0.0,
+    ),
+    invocation=InvocationOverheadProfile(
+        http_gateway_s=0.004,
+        sdk_overhead_s=0.002,
+        payload_bandwidth_mbps=12.0,
+        response_bandwidth_mbps=12.0,
+        warm_jitter_cv=0.05,
+    ),
+    storage=StorageProfile(
+        base_latency_s=0.0015,
+        peak_bandwidth_mbps=220.0,
+        reference_memory_mb=1024,
+        jitter_cv=0.08,
+        contention_tail_probability=0.0,
+        contention_slowdown=1.0,
+    ),
+    network=NetworkProfile(min_rtt_s=0.109, jitter_scale_s=0.003, asymmetry=0.55, bandwidth_mbps=60.0),
+)
+
+#: Storage profile used by the IaaS baseline when it accesses cloud object
+#: storage (S3) instead of its local disk — the "IaaS, S3" row of Table 5.
+IAAS_S3_STORAGE_PROFILE = StorageProfile(
+    base_latency_s=0.020,
+    peak_bandwidth_mbps=90.0,
+    reference_memory_mb=1024,
+    jitter_cv=0.20,
+    contention_tail_probability=0.02,
+    contention_slowdown=2.0,
+)
+
+_PROFILES: dict[Provider, ProviderPerformanceProfile] = {
+    Provider.AWS: _AWS_PROFILE,
+    Provider.GCP: _GCP_PROFILE,
+    Provider.AZURE: _AZURE_PROFILE,
+    Provider.IAAS: _IAAS_PROFILE,
+    Provider.LOCAL: _IAAS_PROFILE,
+}
+
+
+def profile_for(provider: Provider) -> ProviderPerformanceProfile:
+    """Return the performance profile of ``provider``."""
+    return _PROFILES[provider]

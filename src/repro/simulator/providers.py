@@ -1,0 +1,110 @@
+"""Concrete simulated providers: AWS Lambda, Azure Functions, Google Cloud Functions.
+
+Each subclass selects the eviction policy and provider-specific behaviour on
+top of :class:`~repro.simulator.platform_sim.SimulatedPlatform`:
+
+* **AWS Lambda** — deterministic half-life eviction (every 380 s half of the
+  warm containers disappear); warm invocations always hit warm containers.
+* **Google Cloud Functions** — idle-timeout eviction plus spurious cold
+  starts (the scheduler sometimes routes sequential calls to new containers).
+* **Azure Functions** — function apps: one *app instance* hosts many function
+  executions in the same language worker, so a burst only cold-starts the
+  first few invocations and dynamic memory allocation replaces the static
+  memory sweep.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..benchmarks.registry import BenchmarkRegistry
+from ..config import Provider, SimulationConfig, StartType
+from ..utils.clock import VirtualClock
+from .eviction import AWS_EVICTION_PERIOD_S, EvictionPolicy, HalfLifeEvictionPolicy, IdleTimeoutEvictionPolicy
+from .platform_sim import SimulatedPlatform
+
+
+class AWSLambdaSimulator(SimulatedPlatform):
+    """Simulated AWS Lambda deployment."""
+
+    provider = Provider.AWS
+
+    def _build_eviction_policy(self) -> EvictionPolicy:
+        return HalfLifeEvictionPolicy(period_s=AWS_EVICTION_PERIOD_S)
+
+
+class GoogleCloudFunctionsSimulator(SimulatedPlatform):
+    """Simulated Google Cloud Functions deployment."""
+
+    provider = Provider.GCP
+
+    def _build_eviction_policy(self) -> EvictionPolicy:
+        return IdleTimeoutEvictionPolicy(
+            mean_idle_timeout_s=900.0,
+            jitter_cv=0.5,
+            rng=self._streams.stream("eviction"),
+        )
+
+
+class AzureFunctionsSimulator(SimulatedPlatform):
+    """Simulated Azure Functions deployment (Linux consumption plan).
+
+    Azure bundles functions into *function apps*: a single app instance uses
+    processes and threads to serve multiple invocations, so bursts experience
+    far fewer cold starts (Section 3.3) at the cost of interference between
+    co-located invocations (the performance deviations of Section 6.2 Q3).
+    The simulator models this by letting each warm "app instance" absorb
+    ``app_instance_concurrency`` concurrent invocations before a new instance
+    is started.
+    """
+
+    provider = Provider.AZURE
+
+    #: Concurrent invocations a single function-app instance can absorb.
+    app_instance_concurrency = 8
+
+    def _build_eviction_policy(self) -> EvictionPolicy:
+        return IdleTimeoutEvictionPolicy(
+            mean_idle_timeout_s=1500.0,
+            jitter_cv=0.4,
+            rng=self._streams.stream("eviction"),
+        )
+
+    def _acquire_container(self, function, state, start_at, reserved):  # type: ignore[override]
+        # A function-app instance can be shared by several concurrent
+        # invocations: treat a container as "reserved" only once it already
+        # hosts ``app_instance_concurrency`` members of the current burst.
+        self.eviction_policy.apply(state.pool, start_at)
+        usage = Counter(reserved)
+        warm = [
+            c
+            for c in state.pool.warm_containers(version=function.version)
+            if usage[c.container_id] < self.app_instance_concurrency
+        ]
+        if warm:
+            container = max(warm, key=lambda c: c.last_used_at)
+            return container, StartType.WARM
+        return super()._acquire_container(function, state, start_at, reserved)
+
+
+def create_platform(
+    provider: Provider,
+    simulation: SimulationConfig | None = None,
+    clock: VirtualClock | None = None,
+    registry: BenchmarkRegistry | None = None,
+    execute_kernels: bool = False,
+) -> SimulatedPlatform:
+    """Factory returning the simulated platform for ``provider``."""
+    platforms = {
+        Provider.AWS: AWSLambdaSimulator,
+        Provider.GCP: GoogleCloudFunctionsSimulator,
+        Provider.AZURE: AzureFunctionsSimulator,
+    }
+    if provider not in platforms:
+        from .iaas import IaaSPlatform
+
+        if provider is Provider.IAAS:
+            return IaaSPlatform(simulation=simulation, clock=clock, registry=registry, execute_kernels=execute_kernels)
+        raise ValueError(f"no simulated platform available for {provider!r}")
+    cls = platforms[provider]
+    return cls(simulation=simulation, clock=clock, registry=registry, execute_kernels=execute_kernels)

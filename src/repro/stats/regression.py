@@ -1,0 +1,80 @@
+"""Ordinary least squares with the goodness-of-fit metrics used in the paper.
+
+Two analyses rely on a linear model: the invocation-overhead experiment fits
+latency against payload size and reports adjusted R² values of 0.89-0.99
+(Section 6.4 Q2), and the container-eviction model is validated with an R²
+test above 0.99 (Section 6.5 Q2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ModelFitError
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Result of fitting ``y = slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    adjusted_r_squared: float
+    n_samples: int
+
+    def predict(self, x: float | Sequence[float]) -> float | np.ndarray:
+        """Evaluate the fitted line at ``x`` (scalar or vector)."""
+        values = np.asarray(x, dtype=float)
+        result = self.slope * values + self.intercept
+        if np.isscalar(x) or (hasattr(values, "ndim") and values.ndim == 0):
+            return float(result)
+        return result
+
+    def residuals(self, x: Sequence[float], y: Sequence[float]) -> np.ndarray:
+        """Return ``y - prediction`` for the supplied points."""
+        return np.asarray(y, dtype=float) - self.predict(np.asarray(x, dtype=float))
+
+
+def r_squared(observed: Sequence[float], predicted: Sequence[float]) -> float:
+    """Coefficient of determination between observations and predictions."""
+    obs = np.asarray(observed, dtype=float)
+    pred = np.asarray(predicted, dtype=float)
+    if obs.size != pred.size or obs.size == 0:
+        raise ModelFitError("observed and predicted series must be non-empty and equally sized")
+    ss_res = float(np.sum((obs - pred) ** 2))
+    ss_tot = float(np.sum((obs - np.mean(obs)) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def fit_linear(x: Sequence[float], y: Sequence[float]) -> LinearFit:
+    """Fit a least-squares line ``y = a*x + b`` and compute (adjusted) R²."""
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    if xs.size != ys.size:
+        raise ModelFitError("x and y must have the same length")
+    if xs.size < 2:
+        raise ModelFitError("linear fit requires at least two points")
+    if np.allclose(xs, xs[0]):
+        raise ModelFitError("linear fit requires at least two distinct x values")
+    slope, intercept = np.polyfit(xs, ys, 1)
+    predictions = slope * xs + intercept
+    r2 = r_squared(ys, predictions)
+    n = int(xs.size)
+    # One predictor: adjust for the degrees of freedom consumed by the slope.
+    if n > 2:
+        adjusted = 1.0 - (1.0 - r2) * (n - 1) / (n - 2)
+    else:
+        adjusted = r2
+    return LinearFit(
+        slope=float(slope),
+        intercept=float(intercept),
+        r_squared=float(r2),
+        adjusted_r_squared=float(adjusted),
+        n_samples=n,
+    )

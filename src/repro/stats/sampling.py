@@ -1,0 +1,60 @@
+"""Adaptive sample-size selection.
+
+SeBS chooses the number of samples so that the non-parametric confidence
+interval of the client time lies within 5% of the median (Section 4.1 and
+6.2).  ``required_samples_for_ci`` implements that stopping rule over an
+incrementally growing sample set, which experiments use to decide when they
+have gathered enough invocations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..exceptions import ConfigurationError
+from .confidence import nonparametric_ci
+
+
+def required_samples_for_ci(
+    draw: Callable[[int], Sequence[float]],
+    level: float = 0.95,
+    target_relative_width: float = 0.05,
+    initial_samples: int = 20,
+    growth_step: int = 20,
+    max_samples: int = 2000,
+) -> tuple[int, list[float]]:
+    """Grow a sample set until the median CI is within the target width.
+
+    Parameters
+    ----------
+    draw:
+        Callable producing ``n`` new measurements when asked; experiments pass
+        a closure that performs ``n`` further invocations.
+    level:
+        Confidence level of the interval used for the stopping rule.
+    target_relative_width:
+        Maximum allowed deviation of each CI endpoint from the median,
+        relative to the median (the paper uses 0.05).
+    initial_samples, growth_step, max_samples:
+        Sampling schedule.  The rule stops at ``max_samples`` even if the
+        interval has not converged — multi-tenant noise can make convergence
+        impossible, which the paper acknowledges.
+
+    Returns
+    -------
+    A tuple of the total number of samples collected and the measurements.
+    """
+    if initial_samples <= 0 or growth_step <= 0:
+        raise ConfigurationError("sampling schedule values must be positive")
+    if max_samples < initial_samples:
+        raise ConfigurationError("max_samples must be at least initial_samples")
+
+    samples: list[float] = list(draw(initial_samples))
+    while True:
+        interval = nonparametric_ci(samples, level)
+        if interval.within(target_relative_width):
+            return len(samples), samples
+        if len(samples) >= max_samples:
+            return len(samples), samples
+        request = min(growth_step, max_samples - len(samples))
+        samples.extend(draw(request))

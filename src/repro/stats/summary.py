@@ -1,0 +1,94 @@
+"""Distribution summaries used when reporting experiment results.
+
+The paper's figures report medians and whiskers spanning the 2nd to 98th
+percentile (Figure 3), cold/warm ratios (Figure 4), and memory percentiles
+(Section 6.2 Q3 reports the 95th and 99th percentile of memory consumption).
+``DistributionSummary`` packages those statistics in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .confidence import ConfidenceInterval, nonparametric_ci
+
+#: Percentiles reported by default: whisker range used by Figure 3 plus the
+#: quartiles and tail percentiles quoted in the reliability analysis.
+DEFAULT_PERCENTILES: tuple[float, ...] = (2.0, 25.0, 50.0, 75.0, 95.0, 98.0, 99.0)
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Summary statistics of a set of measurements."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+    percentiles: Mapping[float, float]
+    confidence_intervals: Mapping[float, ConfidenceInterval] = field(default_factory=dict)
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """Relative dispersion (std / mean); 0 when the mean is 0."""
+        if self.mean == 0:
+            return 0.0
+        return self.std / abs(self.mean)
+
+    def percentile(self, which: float) -> float:
+        """Return a stored percentile, raising ``KeyError`` if absent."""
+        return self.percentiles[which]
+
+    @property
+    def whisker_low(self) -> float:
+        """Lower whisker (2nd percentile) as drawn in Figure 3."""
+        return self.percentiles.get(2.0, self.minimum)
+
+    @property
+    def whisker_high(self) -> float:
+        """Upper whisker (98th percentile) as drawn in Figure 3."""
+        return self.percentiles.get(98.0, self.maximum)
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "median": self.median,
+            "percentiles": {str(k): v for k, v in self.percentiles.items()},
+            "confidence_intervals": {
+                str(level): {"low": ci.low, "high": ci.high}
+                for level, ci in self.confidence_intervals.items()
+            },
+        }
+
+
+def summarize(
+    samples: Sequence[float],
+    percentiles: Sequence[float] = DEFAULT_PERCENTILES,
+    confidence_levels: Sequence[float] = (0.95, 0.99),
+) -> DistributionSummary:
+    """Summarize measurements with percentiles and median CIs."""
+    data = np.asarray(list(samples), dtype=float)
+    if data.size == 0:
+        raise ConfigurationError("cannot summarize an empty sample set")
+    pct_values = np.percentile(data, list(percentiles)) if percentiles else []
+    intervals = {level: nonparametric_ci(data, level) for level in confidence_levels}
+    return DistributionSummary(
+        count=int(data.size),
+        mean=float(np.mean(data)),
+        std=float(np.std(data, ddof=1)) if data.size > 1 else 0.0,
+        minimum=float(np.min(data)),
+        maximum=float(np.max(data)),
+        median=float(np.median(data)),
+        percentiles={float(p): float(v) for p, v in zip(percentiles, pct_values)},
+        confidence_intervals=intervals,
+    )

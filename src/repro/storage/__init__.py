@@ -1,0 +1,32 @@
+"""Storage substrate: persistent object storage and ephemeral key-value store.
+
+The paper's platform model (Section 2) includes two storage tiers:
+
+* **Persistent storage** (label 3) — bucket-based object stores such as AWS
+  S3, Azure Blob Storage and Google Cloud Storage, offering high throughput
+  and high latency at low cost.  Benchmarks access it through the SeBS
+  abstract storage interface; the toolkit implements one-to-one mappings to
+  each provider API.
+* **Ephemeral storage** (label 4) — low-latency in-memory key-value stores
+  used to pass payloads between invocations.
+
+This package provides in-process implementations of both, plus request and
+byte metering (needed by the cost model) and a latency/throughput model that
+captures the memory-dependent I/O bandwidth and the contention-induced
+variance reported in Section 6.2.
+"""
+
+from .metering import StorageMetering
+from .object_store import Bucket, ObjectStore, StoredObject
+from .ephemeral import EphemeralStore
+from .latency import StorageLatencyModel, StorageProfile
+
+__all__ = [
+    "Bucket",
+    "ObjectStore",
+    "StoredObject",
+    "EphemeralStore",
+    "StorageMetering",
+    "StorageLatencyModel",
+    "StorageProfile",
+]

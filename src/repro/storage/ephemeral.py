@@ -1,0 +1,86 @@
+"""Ephemeral (in-memory, low-latency) key-value storage.
+
+The platform model's label 4: a Redis/Memcached-like store used to pass
+payloads between consecutive invocations and for communication in serverless
+distributed computing.  The paper notes that relying on a non-scaling VM for
+this is arguably a serverless anti-pattern, but it remains the standard way
+to obtain low-latency data exchange; SeBS models it so workflows and future
+benchmarks can exercise that code path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..exceptions import StorageError
+from .metering import StorageMetering
+
+
+class EphemeralStore:
+    """A flat key-value store with optional capacity limit and TTL support."""
+
+    def __init__(self, capacity_bytes: int | None = None):
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise StorageError("capacity_bytes must be positive when given")
+        self._capacity = capacity_bytes
+        self._data: dict[str, bytes] = {}
+        self._expiry: dict[str, float] = {}
+        self.metering = StorageMetering()
+
+    def set(self, key: str, value: bytes, expire_at: float | None = None) -> None:
+        """Store ``value`` under ``key``; optionally expiring at a timestamp."""
+        if not key:
+            raise StorageError("key must be non-empty")
+        if not isinstance(value, (bytes, bytearray)):
+            raise StorageError("value must be bytes")
+        value = bytes(value)
+        projected = self.used_bytes() - len(self._data.get(key, b"")) + len(value)
+        if self._capacity is not None and projected > self._capacity:
+            raise StorageError(
+                f"ephemeral store capacity exceeded ({projected} > {self._capacity} bytes)"
+            )
+        self._data[key] = value
+        if expire_at is not None:
+            self._expiry[key] = float(expire_at)
+        else:
+            self._expiry.pop(key, None)
+        self.metering.record_write(len(value))
+
+    def get(self, key: str, now: float = 0.0) -> bytes | None:
+        """Return the value for ``key`` or ``None`` if absent/expired."""
+        self._evict_expired(now)
+        value = self._data.get(key)
+        self.metering.record_read(len(value) if value is not None else 0)
+        return value
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key``; return whether it existed."""
+        existed = key in self._data
+        self._data.pop(key, None)
+        self._expiry.pop(key, None)
+        if existed:
+            self.metering.record_write(0)
+        return existed
+
+    def keys(self, now: float = 0.0) -> list[str]:
+        self._evict_expired(now)
+        self.metering.record_list()
+        return sorted(self._data)
+
+    def used_bytes(self) -> int:
+        return sum(len(value) for value in self._data.values())
+
+    def _evict_expired(self, now: float) -> None:
+        expired = [key for key, when in self._expiry.items() if when <= now]
+        for key in expired:
+            self._data.pop(key, None)
+            self._expiry.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._data))

@@ -1,0 +1,84 @@
+"""Request and byte metering for storage operations.
+
+Persistent storage fees are charged per 10,000 read/write operations and per
+GB stored or transferred (Section 2, label 3).  The cost analysis in
+Section 6.3 therefore needs an exact count of the requests and bytes each
+benchmark run performs; the metering object is attached to every store and
+can be snapshotted and diffed around an invocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StorageMetering:
+    """Mutable counters of storage traffic."""
+
+    read_requests: int = 0
+    write_requests: int = 0
+    list_requests: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def record_read(self, num_bytes: int) -> None:
+        self.read_requests += 1
+        self.bytes_read += int(num_bytes)
+
+    def record_write(self, num_bytes: int) -> None:
+        self.write_requests += 1
+        self.bytes_written += int(num_bytes)
+
+    def record_list(self) -> None:
+        self.list_requests += 1
+
+    @property
+    def total_requests(self) -> int:
+        return self.read_requests + self.write_requests + self.list_requests
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    def snapshot(self) -> "StorageMetering":
+        """Return an immutable copy of the current counters."""
+        return StorageMetering(
+            read_requests=self.read_requests,
+            write_requests=self.write_requests,
+            list_requests=self.list_requests,
+            bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
+        )
+
+    def delta(self, earlier: "StorageMetering") -> "StorageMetering":
+        """Return the traffic accumulated since ``earlier`` was snapshotted."""
+        return StorageMetering(
+            read_requests=self.read_requests - earlier.read_requests,
+            write_requests=self.write_requests - earlier.write_requests,
+            list_requests=self.list_requests - earlier.list_requests,
+            bytes_read=self.bytes_read - earlier.bytes_read,
+            bytes_written=self.bytes_written - earlier.bytes_written,
+        )
+
+    def reset(self) -> None:
+        self.read_requests = 0
+        self.write_requests = 0
+        self.list_requests = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+
+@dataclass
+class MeteredWindow:
+    """Helper recording a before/after pair of metering snapshots."""
+
+    metering: StorageMetering
+    start: StorageMetering = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.start = self.metering.snapshot()
+
+    def close(self) -> StorageMetering:
+        """Return the traffic recorded since the window was opened."""
+        return self.metering.delta(self.start)

@@ -1,0 +1,28 @@
+"""Shared utilities: virtual clock, seeded randomness, units, serialization."""
+
+from .clock import VirtualClock
+from .rng import RandomStreams, derive_seed
+from .units import (
+    GB,
+    KB,
+    MB,
+    bytes_to_mb,
+    mb_to_bytes,
+    ms_to_s,
+    round_up,
+    s_to_ms,
+)
+
+__all__ = [
+    "VirtualClock",
+    "RandomStreams",
+    "derive_seed",
+    "KB",
+    "MB",
+    "GB",
+    "bytes_to_mb",
+    "mb_to_bytes",
+    "ms_to_s",
+    "s_to_ms",
+    "round_up",
+]

@@ -1,0 +1,54 @@
+"""A virtual clock used by the cloud simulator.
+
+The paper's experiments span hours of wall-clock time (the eviction-model
+experiment waits up to 1600 seconds between invocation batches, Table 7).
+Running them against real time would be impractical, so the simulator keeps
+its own monotonically non-decreasing clock that experiments advance
+explicitly.  All latencies produced by the platform models are expressed in
+seconds of this virtual time.
+"""
+
+from __future__ import annotations
+
+from .. import exceptions
+
+
+class VirtualClock:
+    """Monotonic simulated clock measured in seconds.
+
+    The clock only ever moves forward.  ``advance`` moves it by a delta and
+    ``advance_to`` moves it to an absolute timestamp; both reject attempts to
+    move backwards, which would indicate a bug in an experiment driver.
+    """
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise exceptions.ConfigurationError("clock cannot start before time zero")
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds`` and return the new time."""
+        if seconds < 0:
+            raise exceptions.ConfigurationError("cannot advance the clock by a negative duration")
+        self._now += float(seconds)
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move the clock forward to an absolute ``timestamp``."""
+        if timestamp < self._now:
+            raise exceptions.ConfigurationError(
+                f"cannot move the clock backwards (now={self._now:.6f}, requested={timestamp:.6f})"
+            )
+        self._now = float(timestamp)
+        return self._now
+
+    def copy(self) -> "VirtualClock":
+        """Return an independent clock starting at the current time."""
+        return VirtualClock(self._now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"VirtualClock(now={self._now:.6f})"

@@ -1,0 +1,57 @@
+"""Small helpers for unit conversions used throughout the library.
+
+Cloud billing mixes units freely: storage in GB, memory in MB, durations in
+milliseconds rounded up to billing granules, transfer sizes in 512 kB
+increments.  Centralising the conversions keeps the billing and platform
+models readable.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Number of bytes in a kilobyte / megabyte / gigabyte (binary units, as used
+#: by cloud memory limits).
+KB: int = 1024
+MB: int = 1024 * KB
+GB: int = 1024 * MB
+
+
+def mb_to_bytes(megabytes: float) -> int:
+    """Convert megabytes to bytes (rounded to the nearest byte)."""
+    return int(round(megabytes * MB))
+
+
+def bytes_to_mb(num_bytes: float) -> float:
+    """Convert bytes to megabytes."""
+    return num_bytes / MB
+
+
+def s_to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds * 1000.0
+
+
+def ms_to_s(milliseconds: float) -> float:
+    """Convert milliseconds to seconds."""
+    return milliseconds / 1000.0
+
+
+def round_up(value: float, granularity: float) -> float:
+    """Round ``value`` up to the nearest multiple of ``granularity``.
+
+    Used for billed duration (e.g. AWS rounds to 100 ms), billed memory
+    (Azure rounds average memory up to 128 MB) and metered payload sizes
+    (AWS HTTP APIs meter in 512 kB increments).  Values that are already an
+    exact multiple are returned unchanged; a tiny relative tolerance guards
+    against floating-point noise introduced by earlier arithmetic.
+    """
+    if granularity <= 0:
+        raise ValueError("granularity must be positive")
+    if value <= 0:
+        return 0.0
+    quotient = value / granularity
+    nearest = round(quotient)
+    if math.isclose(quotient, nearest, rel_tol=1e-12, abs_tol=1e-12):
+        return nearest * granularity
+    return math.ceil(quotient) * granularity

@@ -1,0 +1,58 @@
+"""Shared fixtures for the SeBS-reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchmarks.base import BenchmarkContext
+from repro.benchmarks.registry import fresh_registry
+from repro.config import ExperimentConfig, Provider, SimulationConfig
+from repro.simulator.providers import create_platform
+from repro.storage.object_store import ObjectStore
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def store() -> ObjectStore:
+    return ObjectStore()
+
+
+@pytest.fixture
+def context(store, rng) -> BenchmarkContext:
+    return BenchmarkContext(storage=store, rng=rng)
+
+
+@pytest.fixture
+def registry():
+    return fresh_registry()
+
+
+@pytest.fixture
+def simulation() -> SimulationConfig:
+    return SimulationConfig(seed=99)
+
+
+@pytest.fixture
+def quick_config() -> ExperimentConfig:
+    """A small experiment configuration keeping tests fast."""
+    return ExperimentConfig(samples=10, batch_size=5, seed=99)
+
+
+@pytest.fixture
+def aws(simulation):
+    return create_platform(Provider.AWS, simulation=simulation)
+
+
+@pytest.fixture
+def gcp(simulation):
+    return create_platform(Provider.GCP, simulation=simulation)
+
+
+@pytest.fixture
+def azure(simulation):
+    return create_platform(Provider.AZURE, simulation=simulation)

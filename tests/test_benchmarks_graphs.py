@@ -1,0 +1,226 @@
+"""Tests for the scientific graph benchmarks, cross-checked against networkx."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.benchmarks.base import InputSize
+from repro.benchmarks.scientific.algorithms import (
+    breadth_first_search,
+    minimum_spanning_tree,
+    pagerank,
+)
+from repro.benchmarks.scientific.graph_benchmarks import (
+    GraphBFSBenchmark,
+    GraphMSTBenchmark,
+    GraphPageRankBenchmark,
+)
+from repro.benchmarks.scientific.graph_generation import (
+    Graph,
+    generate_random_graph,
+    generate_rmat_graph,
+)
+from repro.exceptions import BenchmarkError
+
+
+def to_networkx(graph: Graph) -> nx.Graph:
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(range(graph.num_vertices))
+    for u, v, w in graph.edges():
+        nx_graph.add_edge(u, v, weight=w)
+    return nx_graph
+
+
+@pytest.fixture
+def random_graph(rng) -> Graph:
+    return generate_random_graph(num_vertices=200, average_degree=6.0, rng=rng)
+
+
+class TestGraphStructure:
+    def test_from_edges_builds_symmetric_adjacency(self):
+        graph = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert graph.num_edges == 3
+        assert (0, 1.0) in graph.neighbors(1)
+        assert (2, 1.0) in graph.neighbors(1)
+
+    def test_directed_graph_counts_edges_once(self):
+        graph = Graph.from_edges(3, [(0, 1), (1, 2)], directed=True)
+        assert graph.num_edges == 2
+        assert graph.neighbors(1) == [(2, 1.0)]
+
+    def test_edge_payload_round_trip(self, random_graph):
+        payload = random_graph.to_edge_payload()
+        restored = Graph.from_edge_payload(payload)
+        assert restored.num_vertices == random_graph.num_vertices
+        assert sorted(restored.edges()) == sorted(random_graph.edges())
+
+    def test_rejects_out_of_range_edges(self):
+        with pytest.raises(BenchmarkError):
+            Graph.from_edges(2, [(0, 5)])
+
+    def test_rejects_inconsistent_adjacency(self):
+        with pytest.raises(BenchmarkError):
+            Graph(num_vertices=3, adjacency=[[]])
+
+
+class TestGraphGenerators:
+    def test_random_graph_size_and_degree(self, rng):
+        graph = generate_random_graph(500, 8.0, rng)
+        assert graph.num_vertices == 500
+        average_degree = 2 * graph.num_edges / graph.num_vertices
+        assert 5.0 <= average_degree <= 8.5
+
+    def test_random_graph_no_self_loops_or_duplicates(self, random_graph):
+        seen = set()
+        for u, v, _ in random_graph.edges():
+            assert u != v
+            assert (u, v) not in seen
+            seen.add((u, v))
+
+    def test_rmat_graph_has_power_of_two_vertices(self, rng):
+        graph = generate_rmat_graph(scale=8, edge_factor=4, rng=rng)
+        assert graph.num_vertices == 256
+        assert graph.num_edges > 0
+
+    def test_rmat_degree_distribution_is_skewed(self, rng):
+        graph = generate_rmat_graph(scale=10, edge_factor=8, rng=rng)
+        degrees = np.array([graph.degree(v) for v in range(graph.num_vertices)])
+        # R-MAT graphs have a heavy-tailed degree distribution: the maximum
+        # degree far exceeds the mean, unlike uniform random graphs.
+        assert degrees.max() > 5 * degrees.mean()
+
+    def test_rmat_rejects_bad_parameters(self, rng):
+        with pytest.raises(BenchmarkError):
+            generate_rmat_graph(scale=0, edge_factor=4, rng=rng)
+        with pytest.raises(BenchmarkError):
+            generate_rmat_graph(scale=4, edge_factor=0, rng=rng)
+        with pytest.raises(BenchmarkError):
+            generate_rmat_graph(scale=4, edge_factor=4, rng=rng, a=0.9, b=0.1, c=0.1)
+
+
+class TestBFS:
+    def test_distances_match_networkx(self, random_graph):
+        result = breadth_first_search(random_graph, source=0)
+        reference = nx.single_source_shortest_path_length(to_networkx(random_graph), 0)
+        for vertex in range(random_graph.num_vertices):
+            expected = reference.get(vertex, -1)
+            assert result.distances[vertex] == expected
+
+    def test_parents_form_valid_tree(self, random_graph):
+        result = breadth_first_search(random_graph, source=0)
+        for vertex, parent in enumerate(result.parents):
+            if parent >= 0:
+                assert result.distances[vertex] == result.distances[parent] + 1
+
+    def test_unreachable_vertices_have_negative_distance(self):
+        graph = Graph.from_edges(4, [(0, 1)])
+        result = breadth_first_search(graph, 0)
+        assert result.distances[2] == -1 and result.distances[3] == -1
+        assert result.visited_count == 2
+
+    def test_frontier_sizes_sum_to_visited(self, random_graph):
+        result = breadth_first_search(random_graph, 0)
+        assert sum(result.frontier_sizes) == result.visited_count
+
+    def test_invalid_source_rejected(self, random_graph):
+        with pytest.raises(BenchmarkError):
+            breadth_first_search(random_graph, random_graph.num_vertices)
+
+
+class TestPageRank:
+    def test_ranks_sum_to_one(self, random_graph):
+        ranks, _ = pagerank(random_graph)
+        assert ranks.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_matches_networkx(self, random_graph):
+        # Our PageRank treats edges as unweighted (each neighbour receives an
+        # equal share), so the networkx reference is run with weight=None.
+        ranks, _ = pagerank(random_graph, damping=0.85, max_iterations=200, tolerance=1e-12)
+        reference = nx.pagerank(to_networkx(random_graph), alpha=0.85, max_iter=200, tol=1e-12, weight=None)
+        for vertex in range(random_graph.num_vertices):
+            assert ranks[vertex] == pytest.approx(reference[vertex], abs=1e-6)
+
+    def test_higher_degree_vertices_rank_higher_on_star(self):
+        star = Graph.from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)])
+        ranks, _ = pagerank(star)
+        assert ranks[0] > ranks[1]
+
+    def test_dangling_vertices_handled(self):
+        graph = Graph.from_edges(3, [(0, 1)], directed=True)
+        ranks, _ = pagerank(graph)
+        assert ranks.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_converges_before_max_iterations(self, random_graph):
+        _, iterations = pagerank(random_graph, max_iterations=500, tolerance=1e-10)
+        assert iterations < 500
+
+    def test_invalid_damping_rejected(self, random_graph):
+        with pytest.raises(BenchmarkError):
+            pagerank(random_graph, damping=1.5)
+
+
+class TestMST:
+    def test_total_weight_matches_networkx(self, random_graph):
+        result = minimum_spanning_tree(random_graph)
+        reference = nx.minimum_spanning_tree(to_networkx(random_graph), algorithm="kruskal")
+        expected = sum(data["weight"] for _, _, data in reference.edges(data=True))
+        assert result.total_weight == pytest.approx(expected, rel=1e-9)
+
+    def test_tree_edge_count(self, random_graph):
+        result = minimum_spanning_tree(random_graph)
+        components = nx.number_connected_components(to_networkx(random_graph))
+        assert len(result.edges) == random_graph.num_vertices - components
+        assert result.num_components == components
+
+    def test_tree_is_acyclic(self, random_graph):
+        result = minimum_spanning_tree(random_graph)
+        tree = nx.Graph()
+        tree.add_nodes_from(range(random_graph.num_vertices))
+        tree.add_edges_from((u, v) for u, v, _ in result.edges)
+        assert nx.is_forest(tree)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(BenchmarkError):
+            minimum_spanning_tree(Graph(num_vertices=0, adjacency=[]))
+
+
+class TestGraphBenchmarkKernels:
+    @pytest.mark.parametrize("benchmark_cls", [GraphBFSBenchmark, GraphPageRankBenchmark, GraphMSTBenchmark])
+    def test_end_to_end(self, benchmark_cls, context):
+        benchmark = benchmark_cls()
+        event = benchmark.generate_input(InputSize.TEST, context)
+        result = benchmark.run(event, context)
+        assert result["num_vertices"] == 128
+        assert result["num_edges"] > 0
+
+    def test_bfs_returns_large_output(self, context):
+        benchmark = GraphBFSBenchmark()
+        event = benchmark.generate_input(InputSize.TEST, context)
+        result = benchmark.run(event, context)
+        assert result["output_size"] > 500
+        assert result["result"]["visited"] <= result["num_vertices"]
+
+    def test_pagerank_reports_top_vertices(self, context):
+        benchmark = GraphPageRankBenchmark()
+        event = benchmark.generate_input(InputSize.TEST, context)
+        result = benchmark.run(event, context)
+        assert len(result["top_vertices"]) == 10
+        assert result["rank_sum"] == pytest.approx(1.0, abs=1e-6)
+
+    def test_mst_weight_positive(self, context):
+        benchmark = GraphMSTBenchmark()
+        event = benchmark.generate_input(InputSize.TEST, context)
+        result = benchmark.run(event, context)
+        assert result["total_weight"] > 0
+        assert result["tree_edges"] < result["num_vertices"]
+
+    def test_profiles_follow_table4_ordering(self):
+        bfs = GraphBFSBenchmark().profile()
+        mst = GraphMSTBenchmark().profile()
+        pr = GraphPageRankBenchmark().profile()
+        # PageRank is the most expensive of the three; BFS and MST are close.
+        assert pr.warm_compute_s > mst.warm_compute_s
+        assert pr.instructions > bfs.instructions
+        assert bfs.output_bytes == 78_000

@@ -1,0 +1,182 @@
+"""Tests for the multimedia benchmarks: imaging primitives, thumbnailer, video-processing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchmarks.base import InputSize
+from repro.benchmarks.multimedia.imaging import Image
+from repro.benchmarks.multimedia.thumbnailer import ThumbnailerBenchmark
+from repro.benchmarks.multimedia.video_processing import (
+    VideoProcessingBenchmark,
+    decode_video,
+    encode_video,
+    generate_video,
+    run_length_encode,
+)
+from repro.config import Language
+from repro.exceptions import BenchmarkError
+
+
+class TestImage:
+    def test_generate_has_requested_dimensions(self, rng):
+        image = Image.generate(64, 48, rng)
+        assert (image.width, image.height) == (64, 48)
+        assert image.pixels.dtype == np.uint8
+
+    def test_serialisation_round_trip(self, rng):
+        image = Image.generate(32, 20, rng)
+        restored = Image.from_bytes(image.to_bytes())
+        assert np.array_equal(image.pixels, restored.pixels)
+
+    def test_from_bytes_rejects_garbage(self):
+        with pytest.raises(BenchmarkError):
+            Image.from_bytes(b"not an image")
+
+    def test_from_bytes_rejects_truncated_payload(self, rng):
+        data = Image.generate(10, 10, rng).to_bytes()
+        with pytest.raises(BenchmarkError):
+            Image.from_bytes(data[:-5])
+
+    def test_shrink_resize_preserves_mean_color(self, rng):
+        image = Image.generate(200, 200, rng)
+        small = image.resize(50, 50)
+        for original, resized in zip(image.mean_color(), small.mean_color()):
+            assert resized == pytest.approx(original, abs=4.0)
+
+    def test_upscale_uses_nearest_neighbour(self, rng):
+        image = Image.generate(10, 10, rng)
+        big = image.resize(40, 40)
+        assert (big.width, big.height) == (40, 40)
+        # Nearest-neighbour upscaling only reuses existing colours.
+        original_colors = set(map(tuple, image.pixels.reshape(-1, 3)))
+        upscaled_colors = set(map(tuple, big.pixels.reshape(-1, 3)))
+        assert upscaled_colors <= original_colors
+
+    def test_thumbnail_preserves_aspect_ratio(self, rng):
+        image = Image.generate(640, 480, rng)
+        thumb = image.thumbnail(200, 200)
+        assert thumb.width == 200 and thumb.height == 150
+
+    def test_thumbnail_never_enlarges(self, rng):
+        image = Image.generate(100, 80, rng)
+        thumb = image.thumbnail(500, 500)
+        assert (thumb.width, thumb.height) == (100, 80)
+
+    def test_resize_rejects_non_positive_target(self, rng):
+        with pytest.raises(BenchmarkError):
+            Image.generate(10, 10, rng).resize(0, 5)
+
+    def test_watermark_blends_region(self, rng):
+        base = Image(np.zeros((50, 50, 3), dtype=np.uint8))
+        mark = Image(np.full((10, 10, 3), 255, dtype=np.uint8))
+        stamped = base.watermark(mark, opacity=0.5, position=(40, 40))
+        assert stamped.pixels[45, 45, 0] == pytest.approx(127, abs=2)
+        assert stamped.pixels[0, 0, 0] == 0
+
+    def test_watermark_out_of_bounds_rejected(self, rng):
+        base = Image.generate(20, 20, rng)
+        mark = Image.generate(30, 30, rng)
+        with pytest.raises(BenchmarkError):
+            base.watermark(mark)
+
+    def test_invalid_pixel_shape_rejected(self):
+        with pytest.raises(BenchmarkError):
+            Image(np.zeros((10, 10), dtype=np.uint8))
+
+
+class TestThumbnailer:
+    def test_end_to_end(self, context):
+        benchmark = ThumbnailerBenchmark()
+        event = benchmark.generate_input(InputSize.TEST, context)
+        result = benchmark.run(event, context)
+        stored = context.storage.download(result["output_bucket"], result["output_key"])
+        thumbnail = Image.from_bytes(stored)
+        assert thumbnail.width <= event["width"]
+        assert thumbnail.height <= event["height"]
+        assert result["original_size"] == [160, 120]
+
+    def test_output_smaller_than_input(self, context):
+        benchmark = ThumbnailerBenchmark()
+        event = benchmark.generate_input(InputSize.SMALL, context)
+        result = benchmark.run(event, context)
+        input_size = len(context.storage.download(event["input_bucket"], event["input_key"]))
+        assert result["bytes"] < input_size
+
+    def test_profile_language_difference(self):
+        benchmark = ThumbnailerBenchmark()
+        python = benchmark.profile(language=Language.PYTHON)
+        node = benchmark.profile(language=Language.NODEJS)
+        # Table 4: the Node.js implementation (sharp) is slower than Pillow here.
+        assert node.warm_compute_s > python.warm_compute_s
+        assert python.output_bytes == 3000
+
+    def test_profile_storage_traffic_scales_with_size(self):
+        benchmark = ThumbnailerBenchmark()
+        assert benchmark.profile(InputSize.LARGE).storage_read_bytes > benchmark.profile(InputSize.SMALL).storage_read_bytes
+
+
+class TestVideoCodec:
+    def test_encode_decode_round_trip(self, rng):
+        frames = [rng.integers(0, 255, size=(12, 16, 3), dtype=np.uint8) for _ in range(3)]
+        restored = decode_video(encode_video(frames))
+        assert len(restored) == 3
+        for original, back in zip(frames, restored):
+            assert np.array_equal(original, back)
+
+    def test_encode_rejects_mismatched_frames(self, rng):
+        frames = [np.zeros((4, 4, 3), dtype=np.uint8), np.zeros((5, 4, 3), dtype=np.uint8)]
+        with pytest.raises(BenchmarkError):
+            encode_video(frames)
+
+    def test_encode_rejects_empty_video(self):
+        with pytest.raises(BenchmarkError):
+            encode_video([])
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(BenchmarkError):
+            decode_video(b"XXXX" + b"\x00" * 20)
+
+    def test_generate_video_shape(self, rng):
+        data = generate_video(20, 10, 4, rng)
+        frames = decode_video(data)
+        assert len(frames) == 4 and frames[0].shape == (10, 20, 3)
+
+    def test_run_length_encode_compresses_uniform_data(self):
+        encoded = run_length_encode(np.zeros(1000, dtype=np.uint8))
+        assert len(encoded) < 20
+
+    def test_run_length_encode_handles_long_runs(self):
+        encoded = run_length_encode(np.full(300, 7, dtype=np.uint8))
+        # 300 = 255 + 45, so two (count, value) pairs.
+        assert encoded == bytes([255, 7, 45, 7])
+
+    def test_run_length_encode_empty(self):
+        assert run_length_encode(np.array([], dtype=np.uint8)) == b""
+
+
+class TestVideoProcessing:
+    def test_end_to_end(self, context):
+        benchmark = VideoProcessingBenchmark()
+        event = benchmark.generate_input(InputSize.TEST, context)
+        result = benchmark.run(event, context)
+        assert result["input_frames"] == 8
+        assert result["gif_frames"] == 3  # every third frame is kept
+        payload = context.storage.download(result["output_bucket"], result["output_key"])
+        assert len(payload) == result["gif_bytes"]
+
+    def test_gif_smaller_than_source(self, context):
+        benchmark = VideoProcessingBenchmark()
+        event = benchmark.generate_input(InputSize.TEST, context)
+        result = benchmark.run(event, context)
+        source = context.storage.download(event["input_bucket"], event["input_key"])
+        assert result["gif_bytes"] < len(source)
+
+    def test_profile_is_longest_running_benchmark(self, registry):
+        video = registry.get("video-processing").profile()
+        others = [registry.get(name).profile() for name in registry.names() if name != "video-processing"]
+        assert all(video.warm_compute_s > other.warm_compute_s for other in others)
+
+    def test_requires_native_dependencies_flag(self):
+        assert VideoProcessingBenchmark().requires_native_dependencies

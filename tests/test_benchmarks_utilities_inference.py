@@ -1,0 +1,208 @@
+"""Tests for the utility and inference benchmarks: compression, data-vis, image-recognition."""
+
+from __future__ import annotations
+
+import io
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.benchmarks.base import BenchmarkContext, InputSize
+from repro.benchmarks.inference.image_recognition import ImageRecognitionBenchmark
+from repro.benchmarks.inference.resnet import (
+    build_resnet_lite,
+    deserialize_weights,
+    serialize_weights,
+)
+from repro.benchmarks.multimedia.imaging import Image
+from repro.benchmarks.utilities.compression import CompressionBenchmark, generate_project_files
+from repro.benchmarks.utilities.data_vis import (
+    DataVisBenchmark,
+    downsample,
+    generate_sequence,
+    squiggle_transform,
+)
+from repro.exceptions import BenchmarkError
+from repro.storage.object_store import ObjectStore
+
+
+class TestCompression:
+    def test_generate_project_files(self, rng):
+        files = generate_project_files(5, 1000, rng)
+        assert len(files) == 5
+        assert "acmart-main.tex" in files
+        assert all(len(data) <= 1000 for data in files.values())
+
+    def test_end_to_end_produces_valid_zip(self, context):
+        benchmark = CompressionBenchmark()
+        event = benchmark.generate_input(InputSize.TEST, context)
+        result = benchmark.run(event, context)
+        archive_bytes = context.storage.download(result["output_bucket"], result["output_key"])
+        with zipfile.ZipFile(io.BytesIO(archive_bytes)) as archive:
+            names = archive.namelist()
+            assert len(names) == result["files"]
+            assert archive.testzip() is None
+
+    def test_archive_contents_match_sources(self, context):
+        benchmark = CompressionBenchmark()
+        event = benchmark.generate_input(InputSize.TEST, context)
+        result = benchmark.run(event, context)
+        archive_bytes = context.storage.download(result["output_bucket"], result["output_key"])
+        prefix = event["prefix"]
+        with zipfile.ZipFile(io.BytesIO(archive_bytes)) as archive:
+            for key in context.storage.list_objects(event["input_bucket"], prefix):
+                original = context.storage.download(event["input_bucket"], key)
+                assert archive.read(key[len(prefix) + 1 :]) == original
+
+    def test_compression_achieves_reduction_on_text(self, context):
+        benchmark = CompressionBenchmark()
+        event = benchmark.generate_input(InputSize.TEST, context)
+        result = benchmark.run(event, context)
+        assert result["compression_ratio"] > 1.5
+
+    def test_profile_marks_gcp_failure_boundary(self):
+        profile = CompressionBenchmark().profile()
+        assert profile.min_memory_mb == 256
+        assert profile.storage_read_requests > 1
+
+
+class TestDataVis:
+    def test_generate_sequence_alphabet(self, rng):
+        sequence = generate_sequence(500, rng)
+        assert len(sequence) == 500
+        assert set(sequence) <= set("ACGT")
+
+    def test_generate_sequence_rejects_bad_length(self, rng):
+        with pytest.raises(BenchmarkError):
+            generate_sequence(0, rng)
+
+    def test_squiggle_known_values(self):
+        # A rises then falls back: y = [0, 1, 0]; T mirrors it; G is a double
+        # ascent of 0.5; C a double descent.
+        xs, ys = squiggle_transform("A")
+        assert np.allclose(ys, [0.0, 1.0, 0.0])
+        _, ys_t = squiggle_transform("T")
+        assert np.allclose(ys_t, [0.0, -1.0, 0.0])
+        _, ys_g = squiggle_transform("G")
+        assert np.allclose(ys_g, [0.0, 0.5, 1.0])
+        _, ys_c = squiggle_transform("C")
+        assert np.allclose(ys_c, [0.0, -0.5, -1.0])
+
+    def test_squiggle_length_and_x_spacing(self):
+        xs, ys = squiggle_transform("ACGTACGT")
+        assert len(xs) == len(ys) == 2 * 8 + 1
+        assert np.allclose(np.diff(xs), 0.5)
+
+    def test_squiggle_balanced_sequence_returns_to_zero(self):
+        _, ys = squiggle_transform("AT" * 10 + "GC" * 10)
+        assert ys[-1] == pytest.approx(0.0)
+
+    def test_squiggle_rejects_invalid_characters(self):
+        with pytest.raises(BenchmarkError):
+            squiggle_transform("ACGX")
+
+    def test_downsample_caps_points(self):
+        xs = np.arange(10000, dtype=float)
+        ys = xs * 2
+        dx, dy = downsample(xs, ys, 100)
+        assert len(dx) == 100 and dx[0] == 0 and dx[-1] == 9999
+
+    def test_downsample_keeps_short_series(self):
+        xs = np.arange(10, dtype=float)
+        dx, _ = downsample(xs, xs, 100)
+        assert len(dx) == 10
+
+    def test_end_to_end(self, context):
+        benchmark = DataVisBenchmark()
+        event = benchmark.generate_input(InputSize.TEST, context)
+        result = benchmark.run(event, context)
+        assert result["sequence_length"] == 1000
+        assert 0.0 <= result["gc_content"] <= 1.0
+        stored = context.storage.download(result["output_bucket"], result["output_key"])
+        assert len(stored) == result["visualization_bytes"]
+
+
+class TestResNetLite:
+    def test_forward_produces_logits_for_all_classes(self):
+        model = build_resnet_lite(num_classes=10, channels=4, num_blocks=1)
+        image = np.random.default_rng(0).integers(0, 255, size=(16, 16, 3), dtype=np.uint8)
+        logits = model.forward(image)
+        assert logits.shape == (10,)
+
+    def test_predict_returns_sorted_probabilities(self):
+        model = build_resnet_lite(num_classes=10, channels=4, num_blocks=1)
+        image = np.random.default_rng(1).integers(0, 255, size=(16, 16, 3), dtype=np.uint8)
+        predictions = model.predict(image, top_k=5)
+        probs = [p for _, p in predictions]
+        assert len(predictions) == 5
+        assert probs == sorted(probs, reverse=True)
+        assert all(0.0 <= p <= 1.0 for p in probs)
+
+    def test_inference_is_deterministic(self):
+        model = build_resnet_lite(num_classes=10, channels=4, num_blocks=1)
+        image = np.random.default_rng(2).integers(0, 255, size=(16, 16, 3), dtype=np.uint8)
+        assert model.predict(image) == model.predict(image)
+
+    def test_weight_serialisation_round_trip(self):
+        model = build_resnet_lite(num_classes=8, channels=4, num_blocks=2)
+        restored = deserialize_weights(serialize_weights(model))
+        assert restored.parameter_count() == model.parameter_count()
+        image = np.random.default_rng(3).integers(0, 255, size=(16, 16, 3), dtype=np.uint8)
+        assert np.allclose(model.forward(image), restored.forward(image))
+
+    def test_rejects_non_rgb_input(self):
+        model = build_resnet_lite(num_classes=4, channels=4, num_blocks=0)
+        with pytest.raises(BenchmarkError):
+            model.forward(np.zeros((16, 16), dtype=np.uint8))
+
+    def test_rejects_invalid_configuration(self):
+        with pytest.raises(BenchmarkError):
+            build_resnet_lite(num_classes=0)
+
+
+class TestImageRecognition:
+    def _context(self):
+        return BenchmarkContext(storage=ObjectStore(), rng=np.random.default_rng(5))
+
+    def test_first_run_is_cold_then_warm(self):
+        benchmark = ImageRecognitionBenchmark()
+        context = self._context()
+        event = benchmark.generate_input(InputSize.TEST, context)
+        first = benchmark.run(event, context)
+        second = benchmark.run(event, context)
+        assert first["cold_model_load"] is True
+        assert second["cold_model_load"] is False
+        assert first["top_label"] == second["top_label"]
+
+    def test_reset_cache_forces_cold_load(self):
+        benchmark = ImageRecognitionBenchmark()
+        context = self._context()
+        event = benchmark.generate_input(InputSize.TEST, context)
+        benchmark.run(event, context)
+        benchmark.reset_cache()
+        assert benchmark.run(event, context)["cold_model_load"] is True
+
+    def test_predictions_have_requested_top_k(self):
+        benchmark = ImageRecognitionBenchmark()
+        context = self._context()
+        event = benchmark.generate_input(InputSize.TEST, context)
+        event["top_k"] = 3
+        result = benchmark.run(event, context)
+        assert len(result["predictions"]) == 3
+
+    def test_model_uploaded_once(self):
+        benchmark = ImageRecognitionBenchmark()
+        context = self._context()
+        benchmark.generate_input(InputSize.TEST, context)
+        keys_before = context.storage.list_objects(context.input_bucket, "models/")
+        benchmark.generate_input(InputSize.SMALL, context)
+        keys_after = context.storage.list_objects(context.input_bucket, "models/")
+        assert keys_before == keys_after == ["models/resnet-lite.npz"]
+
+    def test_profile_has_largest_package_and_cold_cost(self, registry):
+        profile = registry.get("image-recognition").profile()
+        others = [registry.get(name).profile() for name in registry.names() if name != "image-recognition"]
+        assert all(profile.code_package_mb >= other.code_package_mb for other in others)
+        assert profile.cold_init_s > 1.0
+        assert profile.min_memory_mb == 512

@@ -1,0 +1,122 @@
+"""Tests for the web-application benchmarks: dynamic-html and uploader."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.benchmarks.base import InputSize
+from repro.benchmarks.webapps.dynamic_html import DynamicHtmlBenchmark, render_template
+from repro.benchmarks.webapps.uploader import UploaderBenchmark, synthesize_download
+from repro.config import Language
+from repro.exceptions import BenchmarkError
+
+
+class TestTemplateEngine:
+    def test_scalar_substitution(self):
+        assert render_template("Hello {{ name }}!", {"name": "SeBS"}) == "Hello SeBS!"
+
+    def test_loop_expansion(self):
+        result = render_template("{% for x in items %}[{{ x }}]{% endfor %}", {"items": [1, 2, 3]})
+        assert result == "[1][2][3]"
+
+    def test_empty_sequence_produces_nothing(self):
+        assert render_template("{% for x in items %}x{% endfor %}", {"items": []}) == ""
+
+    def test_missing_sequence_treated_as_empty(self):
+        assert render_template("{% for x in items %}x{% endfor %}", {}) == ""
+
+    def test_malformed_loop_rejected(self):
+        with pytest.raises(BenchmarkError):
+            render_template("{% for x in items %}x", {"items": [1]})
+
+    def test_nested_scalars_inside_loop_body(self):
+        result = render_template("{% for n in ns %}{{ n }},{% endfor %}{{ tail }}", {"ns": [7, 8], "tail": "end"})
+        assert result == "7,8,end"
+
+
+class TestDynamicHtml:
+    def test_generate_input_has_expected_fields(self, context):
+        benchmark = DynamicHtmlBenchmark()
+        event = benchmark.generate_input(InputSize.SMALL, context)
+        assert event["random_len"] == 1000
+        assert "seed" in event and "username" in event
+
+    def test_run_produces_html_of_reported_size(self, context):
+        benchmark = DynamicHtmlBenchmark()
+        event = benchmark.generate_input(InputSize.TEST, context)
+        result = benchmark.run(event, context)
+        assert result["size"] > 0
+        assert result["preview"].startswith("<!DOCTYPE html>")
+
+    def test_run_is_deterministic_for_fixed_seed(self, context):
+        benchmark = DynamicHtmlBenchmark()
+        event = {"username": "u", "random_len": 50, "seed": 7}
+        first = benchmark.run(event, context)
+        second = benchmark.run(event, context)
+        assert first["checksum"] == second["checksum"]
+        assert first["size"] == second["size"]
+
+    def test_larger_input_produces_larger_page(self, context):
+        benchmark = DynamicHtmlBenchmark()
+        small = benchmark.run({"username": "u", "random_len": 10, "seed": 1}, context)
+        large = benchmark.run({"username": "u", "random_len": 1000, "seed": 1}, context)
+        assert large["size"] > small["size"]
+
+    def test_rejects_non_positive_length(self, context):
+        benchmark = DynamicHtmlBenchmark()
+        with pytest.raises(BenchmarkError):
+            benchmark.run({"random_len": 0, "seed": 1}, context)
+
+    def test_profile_matches_table4_shape(self):
+        benchmark = DynamicHtmlBenchmark()
+        python = benchmark.profile(language=Language.PYTHON)
+        node = benchmark.profile(language=Language.NODEJS)
+        assert python.warm_compute_s == pytest.approx(0.00119, rel=0.01)
+        assert node.warm_compute_s < python.warm_compute_s
+        assert python.cpu_utilization > 0.99
+
+    def test_profile_scales_with_input_size(self):
+        benchmark = DynamicHtmlBenchmark()
+        small = benchmark.profile(InputSize.SMALL)
+        large = benchmark.profile(InputSize.LARGE)
+        assert large.warm_compute_s > small.warm_compute_s
+
+
+class TestUploader:
+    def test_synthesize_download_deterministic(self):
+        a = synthesize_download("https://example.org/x", 1000)
+        b = synthesize_download("https://example.org/x", 1000)
+        assert a == b and len(a) == 1000
+
+    def test_synthesize_download_depends_on_url(self):
+        assert synthesize_download("u1", 64) != synthesize_download("u2", 64)
+
+    def test_synthesize_download_rejects_negative_size(self):
+        with pytest.raises(BenchmarkError):
+            synthesize_download("u", -1)
+
+    def test_run_uploads_to_storage_with_correct_checksum(self, context):
+        benchmark = UploaderBenchmark()
+        event = benchmark.generate_input(InputSize.TEST, context)
+        result = benchmark.run(event, context)
+        stored = context.storage.download(result["bucket"], result["key"])
+        assert len(stored) == event["download_bytes"]
+        assert hashlib.sha256(stored).hexdigest() == result["sha256"]
+
+    def test_input_sizes_scale_download(self, context):
+        benchmark = UploaderBenchmark()
+        small = benchmark.generate_input(InputSize.SMALL, context)
+        large = benchmark.generate_input(InputSize.LARGE, context)
+        assert large["download_bytes"] > small["download_bytes"]
+
+    def test_profile_is_io_bound(self):
+        profile = UploaderBenchmark().profile()
+        assert profile.io_bound
+        assert profile.storage_write_bytes == profile.storage_read_bytes
+        assert profile.cpu_utilization == pytest.approx(0.34)
+
+    def test_profile_memory_grows_with_download(self):
+        benchmark = UploaderBenchmark()
+        assert benchmark.profile(InputSize.LARGE).peak_memory_mb > benchmark.profile(InputSize.SMALL).peak_memory_mb

@@ -1,0 +1,133 @@
+"""Tests for repro.config."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    DYNAMIC_MEMORY,
+    DEFAULT_REGIONS,
+    ExperimentConfig,
+    FunctionConfig,
+    Language,
+    PERF_COST_MEMORY_SIZES,
+    Provider,
+    SimulationConfig,
+    config_to_dict,
+    resolve_memory_sizes,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestProvider:
+    def test_display_names(self):
+        assert Provider.AWS.display_name == "AWS Lambda"
+        assert Provider.AZURE.display_name == "Azure Functions"
+        assert Provider.GCP.display_name == "Google Cloud Functions"
+
+    def test_all_providers_have_default_regions(self):
+        for provider in Provider:
+            assert provider in DEFAULT_REGIONS
+
+    def test_paper_regions(self):
+        assert DEFAULT_REGIONS[Provider.AWS] == "us-east-1"
+        assert DEFAULT_REGIONS[Provider.AZURE] == "WestEurope"
+        assert DEFAULT_REGIONS[Provider.GCP] == "europe-west1"
+
+
+class TestFunctionConfig:
+    def test_defaults(self):
+        config = FunctionConfig()
+        assert config.memory_mb == 256
+        assert config.language is Language.PYTHON
+
+    def test_with_memory_returns_copy(self):
+        config = FunctionConfig(memory_mb=128)
+        bigger = config.with_memory(1024)
+        assert bigger.memory_mb == 1024
+        assert config.memory_mb == 128
+
+    def test_dynamic_memory_flag(self):
+        assert FunctionConfig(memory_mb=DYNAMIC_MEMORY).is_dynamic_memory
+        assert not FunctionConfig(memory_mb=512).is_dynamic_memory
+
+    def test_rejects_negative_memory(self):
+        with pytest.raises(ConfigurationError):
+            FunctionConfig(memory_mb=-1)
+
+    def test_rejects_non_positive_timeout(self):
+        with pytest.raises(ConfigurationError):
+            FunctionConfig(timeout_s=0)
+
+
+class TestSimulationConfig:
+    def test_default_network_rtts_match_paper(self):
+        sim = SimulationConfig()
+        assert sim.network_rtt_ms[Provider.AWS] == pytest.approx(109.0)
+        assert sim.network_rtt_ms[Provider.AZURE] == pytest.approx(20.0)
+        assert sim.network_rtt_ms[Provider.GCP] == pytest.approx(33.0)
+
+    def test_rejects_negative_seed(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(seed=-1)
+
+    def test_rejects_bad_time_of_day_factor(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(time_of_day_factor=0.0)
+
+
+class TestExperimentConfig:
+    def test_paper_defaults(self):
+        config = ExperimentConfig()
+        assert config.samples == 200
+        assert config.batch_size == 50
+        assert 0.95 in config.confidence_levels and 0.99 in config.confidence_levels
+        assert config.target_ci_width == pytest.approx(0.05)
+
+    def test_scaled_reduces_samples(self):
+        config = ExperimentConfig(samples=100).scaled(0.1)
+        assert config.samples == 10
+
+    def test_scaled_never_drops_below_one(self):
+        assert ExperimentConfig(samples=5).scaled(0.01).samples == 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"samples": 0},
+        {"batch_size": 0},
+        {"confidence_levels": (1.5,)},
+        {"target_ci_width": 0.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(**kwargs)
+
+
+class TestMemorySizes:
+    def test_default_sweeps_match_figure3(self):
+        assert PERF_COST_MEMORY_SIZES[Provider.AWS] == (128, 256, 512, 1024, 1536, 2048, 3008)
+        assert PERF_COST_MEMORY_SIZES[Provider.GCP] == (128, 256, 512, 1024, 2048)
+        assert PERF_COST_MEMORY_SIZES[Provider.AZURE] == (DYNAMIC_MEMORY,)
+
+    def test_resolve_defaults(self):
+        assert resolve_memory_sizes(Provider.AWS) == PERF_COST_MEMORY_SIZES[Provider.AWS]
+
+    def test_resolve_custom_sizes(self):
+        assert resolve_memory_sizes(Provider.AWS, (256, 512)) == (256, 512)
+
+    def test_resolve_azure_always_dynamic(self):
+        assert resolve_memory_sizes(Provider.AZURE, (512,)) == (DYNAMIC_MEMORY,)
+
+    def test_resolve_rejects_invalid(self):
+        with pytest.raises(ConfigurationError):
+            resolve_memory_sizes(Provider.AWS, (0,))
+
+
+class TestConfigToDict:
+    def test_serialises_nested_dataclasses_and_enums(self):
+        as_dict = config_to_dict(SimulationConfig(seed=3))
+        assert as_dict["seed"] == 3
+        assert as_dict["network_rtt_ms"]["aws"] == pytest.approx(109.0)
+
+    def test_serialises_tuples(self):
+        as_dict = config_to_dict(ExperimentConfig())
+        assert as_dict["confidence_levels"] == [0.95, 0.99]

@@ -1,0 +1,206 @@
+"""Tests for the FaaS abstraction layer: limits, billing, packaging, wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarks.base import InputSize
+from repro.benchmarks.registry import default_registry
+from repro.benchmarks.base import BenchmarkContext
+from repro.config import DYNAMIC_MEMORY, FunctionConfig, Language, Provider
+from repro.exceptions import ConfigurationError, DeploymentError
+from repro.faas.billing import billing_model_for
+from repro.faas.function import CodePackage, DeployedFunction
+from repro.faas.limits import all_limits, limits_for
+from repro.faas.wrapper import FunctionWrapper
+from repro.storage.object_store import ObjectStore
+
+
+class TestLimits:
+    def test_table2_time_limits(self):
+        assert limits_for(Provider.AWS).time_limit_s == 15 * 60
+        assert limits_for(Provider.AZURE).time_limit_s == 10 * 60
+        assert limits_for(Provider.GCP).time_limit_s == 9 * 60
+
+    def test_table2_memory_policies(self):
+        assert limits_for(Provider.AWS).memory_static
+        assert not limits_for(Provider.AZURE).memory_static
+        assert limits_for(Provider.GCP).allowed_memory_mb == (128, 256, 512, 1024, 2048, 4096)
+
+    def test_table2_deployment_limits(self):
+        assert limits_for(Provider.AWS).deployment_limit_mb == 250
+        assert limits_for(Provider.GCP).deployment_limit_mb == 100
+
+    def test_table2_concurrency_limits(self):
+        assert limits_for(Provider.AWS).concurrency_limit == 1000
+        assert limits_for(Provider.AZURE).concurrency_limit == 200
+        assert limits_for(Provider.GCP).concurrency_limit == 100
+
+    def test_validate_memory_aws_range(self):
+        limits = limits_for(Provider.AWS)
+        limits.validate_memory(128)
+        limits.validate_memory(3008)
+        with pytest.raises(ConfigurationError):
+            limits.validate_memory(64)
+        with pytest.raises(ConfigurationError):
+            limits.validate_memory(4096)
+        with pytest.raises(ConfigurationError):
+            limits.validate_memory(DYNAMIC_MEMORY)
+
+    def test_validate_memory_gcp_discrete_sizes(self):
+        limits = limits_for(Provider.GCP)
+        limits.validate_memory(2048)
+        with pytest.raises(ConfigurationError):
+            limits.validate_memory(1536)
+
+    def test_validate_memory_azure_dynamic_only(self):
+        limits = limits_for(Provider.AZURE)
+        limits.validate_memory(DYNAMIC_MEMORY)
+        with pytest.raises(ConfigurationError):
+            limits.validate_memory(512)
+
+    def test_validate_package(self):
+        with pytest.raises(DeploymentError):
+            limits_for(Provider.AWS).validate_package(251.0)
+        limits_for(Provider.AWS).validate_package(249.0)
+
+    def test_cpu_share_proportional_to_memory(self):
+        limits = limits_for(Provider.AWS)
+        assert limits.cpu_share(1792) == pytest.approx(1.0)
+        assert limits.cpu_share(896) == pytest.approx(0.5)
+        assert limits.cpu_share(128) > 0
+
+    def test_cpu_share_full_for_dynamic_memory(self):
+        assert limits_for(Provider.AZURE).cpu_share(DYNAMIC_MEMORY) == 1.0
+
+    def test_all_limits_cover_every_provider(self):
+        assert set(all_limits()) == set(Provider)
+
+
+class TestBilling:
+    def test_aws_rounds_duration_to_100ms(self):
+        billing = billing_model_for(Provider.AWS)
+        assert billing.billed_duration(0.050) == pytest.approx(0.1)
+        assert billing.billed_duration(0.150) == pytest.approx(0.2)
+        assert billing.billed_duration(0.200) == pytest.approx(0.2)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            billing_model_for(Provider.AWS).billed_duration(-1.0)
+
+    def test_aws_bills_declared_memory(self):
+        billing = billing_model_for(Provider.AWS)
+        assert billing.billed_memory_mb(1024, 150.0) == 1024
+
+    def test_azure_bills_average_memory_rounded_to_128(self):
+        # Azure meters the whole function-app instance (kernel + ~600 MB of
+        # language-worker host memory), rounded up to 128 MB.
+        billing = billing_model_for(Provider.AZURE)
+        assert billing.billed_memory_mb(DYNAMIC_MEMORY, 150.0) == 768
+        assert billing.billed_memory_mb(DYNAMIC_MEMORY, 300.0) == 1024
+        assert billing.billed_memory_mb(DYNAMIC_MEMORY, 150.0) % 128 == 0
+
+    def test_known_aws_invocation_cost(self):
+        # 1 GB for exactly 1 s: 1 GB-s at $0.0000166667 plus the request fee.
+        billing = billing_model_for(Provider.AWS)
+        cost = billing.invocation_cost(1.0, 1024, 500.0, via_http_api=False)
+        assert cost.compute_cost == pytest.approx(0.0000166667, rel=1e-6)
+        assert cost.request_cost == pytest.approx(0.2 / 1e6, rel=1e-6)
+
+    def test_cost_of_million_scales_linearly_with_memory(self):
+        billing = billing_model_for(Provider.AWS)
+        small = billing.cost_of_million(1.0, 512, 100.0)
+        large = billing.cost_of_million(1.0, 1024, 100.0)
+        assert large > small
+
+    def test_rounding_penalises_short_functions(self):
+        """A 10 ms function pays for 100 ms — a 10x overcharge (Section 6.3 Q2)."""
+        billing = billing_model_for(Provider.AWS)
+        short = billing.invocation_cost(0.010, 1024, 100.0, via_http_api=False)
+        exact = billing.invocation_cost(0.100, 1024, 100.0, via_http_api=False)
+        assert short.compute_cost == pytest.approx(exact.compute_cost)
+
+    def test_http_api_meters_payload_in_512kb_units(self):
+        billing = billing_model_for(Provider.AWS)
+        small = billing.invocation_cost(0.1, 128, 50.0, output_bytes=10_000, via_http_api=True)
+        large = billing.invocation_cost(0.1, 128, 50.0, output_bytes=600 * 1024, via_http_api=True)
+        assert large.request_cost > small.request_cost
+
+    def test_egress_cost_higher_on_gcp_than_aws(self):
+        """Section 6.3 Q4: returning data costs ~$1/M on AWS vs ~$9/M on GCP."""
+        output = 78 * 1024  # graph-bfs response size
+        aws = billing_model_for(Provider.AWS).invocation_cost(0.1, 128, 50.0, output_bytes=output)
+        gcp = billing_model_for(Provider.GCP).invocation_cost(0.1, 128, 50.0, output_bytes=output)
+        aws_transfer = (aws.request_cost + aws.egress_cost) * 1e6
+        gcp_transfer = (gcp.request_cost + gcp.egress_cost) * 1e6
+        assert gcp_transfer > 2 * aws_transfer
+
+    def test_iaas_billing_is_duration_times_hourly_price(self):
+        billing = billing_model_for(Provider.IAAS)
+        cost = billing.invocation_cost(3600.0, 1024, 1024.0)
+        assert cost.total == pytest.approx(0.0116)
+        assert billing.hourly_cost() == pytest.approx(0.0116)
+
+    def test_cost_breakdown_addition_and_scaling(self):
+        billing = billing_model_for(Provider.AWS)
+        one = billing.invocation_cost(0.5, 512, 100.0)
+        two = one + one
+        assert two.total == pytest.approx(2 * one.total)
+        assert one.scaled(10).total == pytest.approx(10 * one.total)
+
+
+class TestCodePackage:
+    def test_size_bytes(self):
+        package = CodePackage(benchmark="x", language=Language.PYTHON, size_mb=2.0)
+        assert package.size_bytes == 2 * 1024 * 1024
+
+    def test_with_size_creates_copy(self):
+        package = CodePackage(benchmark="x", language=Language.PYTHON, size_mb=2.0)
+        bigger = package.with_size(250.0)
+        assert bigger.size_mb == 250.0 and package.size_mb == 2.0
+        assert bigger.benchmark == "x"
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ConfigurationError):
+            CodePackage(benchmark="x", language=Language.PYTHON, size_mb=0.0)
+
+    def test_deployed_function_version_bump(self):
+        package = CodePackage(benchmark="x", language=Language.PYTHON, size_mb=1.0)
+        function = DeployedFunction(
+            name="f", benchmark="x", package=package, config=FunctionConfig(), platform="aws"
+        )
+        assert function.version == 1
+        function.bump_version(10.0)
+        assert function.version == 2 and function.updated_at == 10.0
+
+
+class TestFunctionWrapper:
+    def test_wrapper_measures_real_execution(self):
+        registry = default_registry()
+        benchmark = registry.get("dynamic-html")
+        context = BenchmarkContext(storage=ObjectStore())
+        event = benchmark.generate_input(InputSize.TEST, context)
+        wrapper = FunctionWrapper(benchmark, context)
+        measurement = wrapper.invoke(event, is_cold=True, container_uptime_s=0.0)
+        assert measurement.execution_time_s > 0
+        assert measurement.output_bytes > 0
+        assert measurement.is_cold
+        assert measurement.benchmark == "dynamic-html"
+        assert '"compute_time_s"' in measurement.to_json()
+
+    def test_wrapper_counts_invocations_in_sandbox(self):
+        registry = default_registry()
+        benchmark = registry.get("dynamic-html")
+        context = BenchmarkContext(storage=ObjectStore())
+        event = benchmark.generate_input(InputSize.TEST, context)
+        wrapper = FunctionWrapper(benchmark, context)
+        wrapper.invoke(event)
+        wrapper.invoke(event)
+        assert wrapper.invocations_in_sandbox == 2
+
+    def test_wrapper_rejects_non_mapping_payload(self):
+        registry = default_registry()
+        benchmark = registry.get("dynamic-html")
+        wrapper = FunctionWrapper(benchmark, BenchmarkContext(storage=ObjectStore()))
+        with pytest.raises(Exception):
+            wrapper.invoke("not-a-mapping")  # type: ignore[arg-type]

@@ -1,0 +1,97 @@
+"""End-to-end integration tests combining kernels, platforms and experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchmarks.base import BenchmarkContext, InputSize
+from repro.benchmarks.registry import default_registry
+from repro.config import DYNAMIC_MEMORY, ExperimentConfig, Provider, SimulationConfig, StartType
+from repro.experiments.base import deploy_benchmark
+from repro.experiments.cost_analysis import CostAnalysis
+from repro.experiments.perf_cost import PerfCostExperiment
+from repro.models.eviction import optimal_initial_batch
+from repro.simulator.providers import create_platform
+
+
+class TestRealKernelsOnSimulatedCloud:
+    """Deploy every benchmark with kernel execution enabled and invoke it once."""
+
+    @pytest.mark.parametrize("name", sorted(default_registry().names()))
+    def test_full_deploy_and_invoke(self, name, simulation):
+        platform = create_platform(Provider.AWS, simulation=simulation, execute_kernels=True)
+        fname = deploy_benchmark(platform, name, memory_mb=2048, input_size=InputSize.TEST)
+        context = BenchmarkContext(storage=platform.object_store, rng=np.random.default_rng(1))
+        event = default_registry().get(name).generate_input(InputSize.TEST, context)
+        record = platform.invoke(fname, payload=event)
+        assert record.success
+        assert record.output, f"benchmark {name} produced no output"
+        assert record.benchmark_time_s > 0
+        assert record.cost.total > 0
+
+
+class TestScenarioWarmingStrategy:
+    """Combine the eviction model with the platform to avoid cold starts."""
+
+    def test_optimal_batch_keeps_containers_warm_for_one_period(self, simulation):
+        platform = create_platform(Provider.AWS, simulation=simulation)
+        fname = deploy_benchmark(platform, "dynamic-html", memory_mb=256, input_size=InputSize.TEST)
+        # The user wants 4 instances of a 95-second workload warm; Equation 2
+        # says a single period needs D_init = ceil(4 * 95 / 380) = 1 container.
+        batch = optimal_initial_batch(instances_needed=4, function_runtime_s=95.0)
+        assert batch == 1
+        platform.invoke_batch(fname, 8)
+        platform.clock.advance(370.0)
+        assert platform.warm_container_count(fname) == 8
+        platform.clock.advance(20.0)  # crosses the 380 s boundary
+        assert platform.warm_container_count(fname) == 4
+
+
+class TestScenarioCostawareConfiguration:
+    """Pick a memory size by jointly looking at performance and cost."""
+
+    def test_image_recognition_speeds_up_without_cost_explosion(self):
+        config = ExperimentConfig(samples=10, batch_size=5, seed=21)
+        experiment = PerfCostExperiment(config=config, simulation=SimulationConfig(seed=21))
+        result = experiment.run("image-recognition", providers=(Provider.AWS,), memory_sizes=(1024, 3008))
+        analysis = CostAnalysis(result)
+        warm_costs = {e.memory_mb: e.cost_usd for e in analysis.cost_of_million() if e.start_type == "warm"}
+        small = result.config(Provider.AWS, 1024).warm_metrics().benchmark_time.median
+        large = result.config(Provider.AWS, 3008).warm_metrics().benchmark_time.median
+        # Figure 5a: performance gains are significant for image-recognition
+        # while the cost increases far less than the 3x memory increase.
+        assert large < small * 0.75
+        assert warm_costs[3008] < warm_costs[1024] * 2.5
+
+
+class TestScenarioCrossProviderPortability:
+    """Identical configuration, different providers, different behaviour."""
+
+    def test_same_deployment_differs_across_providers(self, simulation):
+        results = {}
+        for provider in (Provider.AWS, Provider.GCP, Provider.AZURE):
+            platform = create_platform(provider, simulation=simulation)
+            memory = 1024 if platform.limits.memory_static else DYNAMIC_MEMORY
+            fname = deploy_benchmark(platform, "compression", memory_mb=memory)
+            platform.invoke(fname, payload={})
+            times = []
+            while len(times) < 15:
+                record = platform.invoke(fname, payload={})
+                if record.success and record.start_type is StartType.WARM:
+                    times.append(record.provider_time_s)
+            results[provider] = float(np.median(times))
+        assert results[Provider.AWS] < results[Provider.GCP]
+        assert len({round(v, 3) for v in results.values()}) == 3
+
+
+class TestScenarioLogsMatchInvocations:
+    def test_provider_logs_reflect_all_invocations(self, aws):
+        from repro.faas.platform import LogQueryType
+
+        fname = deploy_benchmark(aws, "uploader", memory_mb=512)
+        records = [aws.invoke(fname, payload={}) for _ in range(10)]
+        times = aws.query_logs(fname, LogQueryType.TIME)
+        costs = aws.query_logs(fname, LogQueryType.COST)
+        assert len(times) == len(records)
+        assert sum(costs) == pytest.approx(sum(r.cost.total for r in records), rel=1e-6)

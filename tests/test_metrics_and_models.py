@@ -1,0 +1,207 @@
+"""Tests for repro.metrics and repro.models."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.benchmarks.base import InputSize
+from repro.benchmarks.registry import default_registry
+from repro.config import Provider, StartType
+from repro.exceptions import ExperimentError, ModelFitError
+from repro.experiments.base import deploy_benchmark
+from repro.metrics.cloud import aggregate_records
+from repro.metrics.local import measure_local
+from repro.models.breakeven import break_even_analysis
+from repro.models.cold_start import cold_start_overheads, cold_warm_ratio_distribution
+from repro.models.eviction import (
+    ContainerEvictionModel,
+    fit_eviction_model,
+    optimal_initial_batch,
+    predict_warm_containers,
+)
+from repro.models.invocation_latency import fit_payload_latency
+
+
+class TestLocalMetrics:
+    def test_measure_local_dynamic_html(self):
+        benchmark = default_registry().get("dynamic-html")
+        metrics = measure_local(benchmark, size=InputSize.TEST, repetitions=3)
+        assert metrics.benchmark == "dynamic-html"
+        assert metrics.cold_time_s > 0 and metrics.warm_time_s > 0
+        assert 0.0 <= metrics.cpu_utilization <= 1.0
+        assert metrics.samples == 3
+        assert metrics.output_bytes > 0
+
+    def test_measure_local_records_storage_traffic(self):
+        benchmark = default_registry().get("uploader")
+        metrics = measure_local(benchmark, size=InputSize.TEST, repetitions=2)
+        assert metrics.storage_write_bytes > 0
+
+    def test_measure_local_requires_two_repetitions(self):
+        benchmark = default_registry().get("dynamic-html")
+        with pytest.raises(Exception):
+            measure_local(benchmark, repetitions=1)
+
+    def test_to_row_has_table4_columns(self):
+        benchmark = default_registry().get("graph-bfs")
+        row = measure_local(benchmark, size=InputSize.TEST, repetitions=2).to_row()
+        for column in ("benchmark", "cold_time_ms", "warm_time_ms", "instructions", "cpu_utilization_pct"):
+            assert column in row
+
+
+class TestCloudMetricsAggregation:
+    def _records(self, aws, n=20):
+        fname = deploy_benchmark(aws, "graph-bfs", memory_mb=1024)
+        return [aws.invoke(fname, payload={}) for _ in range(n)]
+
+    def test_aggregate_all_records(self, aws):
+        records = self._records(aws)
+        metrics = aggregate_records(records)
+        assert metrics.samples == len(records)
+        assert metrics.benchmark == "graph-bfs"
+        assert metrics.provider is Provider.AWS
+        assert metrics.client_time.median > 0
+        assert metrics.total_cost_usd > 0
+
+    def test_aggregate_filters_by_start_type(self, aws):
+        records = self._records(aws)
+        warm = aggregate_records(records, start_type=StartType.WARM)
+        assert warm.samples == len(records) - 1  # only the first record is cold
+
+    def test_aggregate_rejects_empty(self):
+        with pytest.raises(ExperimentError):
+            aggregate_records([])
+
+    def test_error_rate_and_row(self, aws):
+        records = self._records(aws, n=10)
+        metrics = aggregate_records(records)
+        assert metrics.error_rate == 0.0
+        row = metrics.to_row()
+        assert row["provider"] == "aws" and row["samples"] == 10
+
+
+class TestEvictionModel:
+    def test_equation_one_predictions(self):
+        assert predict_warm_containers(20, 0.0) == 20
+        assert predict_warm_containers(20, 380.0) == 10
+        assert predict_warm_containers(20, 760.0) == 5
+        assert predict_warm_containers(20, 379.9) == 20
+
+    def test_model_predict_and_survival(self):
+        model = ContainerEvictionModel(period_s=380.0, r_squared=1.0, n_observations=10)
+        assert model.predict(8, 1140.0) == 1.0
+        assert model.survival_fraction(760.0) == 0.25
+
+    def test_predict_validation(self):
+        model = ContainerEvictionModel(period_s=380.0, r_squared=1.0, n_observations=0)
+        with pytest.raises(ModelFitError):
+            model.predict(-1, 10.0)
+        with pytest.raises(ModelFitError):
+            model.predict(1, -10.0)
+
+    def test_fit_recovers_known_period(self):
+        observations = []
+        for d_init in (8, 12, 20):
+            for dt in (1, 100, 370, 400, 500, 700, 770, 900, 1100, 1200, 1500):
+                observations.append((d_init, float(dt), int(d_init * 2 ** (-math.floor(dt / 380.0)))))
+        model = fit_eviction_model(observations)
+        assert model.period_s == pytest.approx(380.0)
+        assert model.r_squared > 0.99
+
+    def test_fit_requires_observations(self):
+        with pytest.raises(ModelFitError):
+            fit_eviction_model([])
+
+    def test_equation_two_optimal_batch(self):
+        # n instances of runtime t need n*t/P warm containers.
+        assert optimal_initial_batch(instances_needed=380, function_runtime_s=1.0) == 1
+        assert optimal_initial_batch(instances_needed=380, function_runtime_s=10.0) == 10
+        assert optimal_initial_batch(instances_needed=100, function_runtime_s=3.8) == 1
+        assert optimal_initial_batch(instances_needed=1, function_runtime_s=0.1) == 1
+
+    def test_equation_two_validation(self):
+        with pytest.raises(ModelFitError):
+            optimal_initial_batch(0, 1.0)
+        with pytest.raises(ModelFitError):
+            optimal_initial_batch(1, 0.0)
+
+
+class TestColdStartModel:
+    def test_ratio_distribution_is_all_pairs(self):
+        ratios = cold_warm_ratio_distribution([2.0, 4.0], [1.0, 2.0])
+        assert sorted(ratios) == [1.0, 2.0, 2.0, 4.0]
+
+    def test_requires_positive_warm_times(self):
+        with pytest.raises(ModelFitError):
+            cold_warm_ratio_distribution([1.0], [0.0])
+        with pytest.raises(ModelFitError):
+            cold_warm_ratio_distribution([], [1.0])
+
+    def test_overhead_summary(self):
+        overhead = cold_start_overheads("image-recognition", "aws", 2048, [10.0, 12.0], [1.0, 1.2])
+        assert overhead.median_ratio == pytest.approx(10.0, rel=0.2)
+        assert overhead.cold_median_s == pytest.approx(11.0)
+        row = overhead.to_row()
+        assert row["benchmark"] == "image-recognition" and row["median_ratio"] > 5
+
+
+class TestPayloadLatencyModel:
+    def test_linear_data_flagged_linear(self):
+        payloads = np.array([1e3, 1e5, 1e6, 3e6, 6e6])
+        latencies = 0.1 + payloads * 2e-7
+        model = fit_payload_latency("aws", "warm", payloads, latencies)
+        assert model.is_linear
+        assert model.base_latency_s == pytest.approx(0.1, rel=0.05)
+        assert model.latency_per_mb_s == pytest.approx(2e-7 * 1024 * 1024, rel=0.05)
+        assert model.predict(2e6) == pytest.approx(0.1 + 2e6 * 2e-7, rel=0.05)
+
+    def test_erratic_data_flagged_nonlinear(self):
+        rng = np.random.default_rng(0)
+        payloads = np.linspace(1e3, 6e6, 30)
+        latencies = rng.exponential(5.0, size=30)
+        model = fit_payload_latency("azure", "cold", payloads, latencies)
+        assert not model.is_linear
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ModelFitError):
+            fit_payload_latency("aws", "warm", [1.0, 2.0], [1.0])
+
+    def test_to_row(self):
+        model = fit_payload_latency("gcp", "warm", [0.0, 1e6, 2e6], [0.1, 0.3, 0.5])
+        row = model.to_row()
+        assert row["provider"] == "gcp" and row["linear"] is True
+
+
+class TestBreakEven:
+    def test_break_even_rate(self):
+        point = break_even_analysis(
+            benchmark="uploader",
+            configuration="eco-1024MB",
+            cost_per_million_usd=3.54,
+            vm_hourly_cost_usd=0.0116,
+            iaas_local_requests_per_hour=16627,
+            iaas_cloud_requests_per_hour=11371,
+        )
+        # Table 6 reports 3275 requests/hour for the uploader Eco configuration.
+        assert point.break_even_requests_per_hour == pytest.approx(3277, rel=0.01)
+        assert point.iaas_can_sustain_breakeven
+        assert point.faas_cheaper_below == point.break_even_requests_per_hour
+
+    def test_cheaper_faas_raises_break_even(self):
+        cheap = break_even_analysis("b", "eco", 2.0, 0.0116, 1e4, 1e4)
+        pricey = break_even_analysis("b", "perf", 10.0, 0.0116, 1e4, 1e4)
+        assert cheap.break_even_requests_per_hour > pricey.break_even_requests_per_hour
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            break_even_analysis("b", "c", 0.0, 0.0116, 1.0, 1.0)
+        with pytest.raises(ExperimentError):
+            break_even_analysis("b", "c", 1.0, 0.0, 1.0, 1.0)
+
+    def test_to_row(self):
+        row = break_even_analysis("graph-bfs", "perf-1536MB", 2.5, 0.0116, 119272, 117153).to_row()
+        assert row["benchmark"] == "graph-bfs"
+        assert row["break_even_req_per_hour"] == pytest.approx(4640, rel=0.01)

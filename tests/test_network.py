@@ -1,0 +1,113 @@
+"""Tests for the network substrate: link model, clock sync, transfer helper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network.clock_sync import ClockDriftEstimator
+from repro.network.latency import NetworkLink, NetworkProfile
+from repro.network.transfer import payload_transfer_time
+
+
+def make_link(seed=0, offset=0.0, **kwargs) -> NetworkLink:
+    profile = NetworkProfile(**kwargs)
+    return NetworkLink(profile, np.random.default_rng(seed), clock_offset_s=offset)
+
+
+class TestNetworkProfile:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NetworkProfile(min_rtt_s=0.0)
+        with pytest.raises(ConfigurationError):
+            NetworkProfile(asymmetry=1.0)
+        with pytest.raises(ConfigurationError):
+            NetworkProfile(bandwidth_mbps=0.0)
+        with pytest.raises(ConfigurationError):
+            NetworkProfile(jitter_scale_s=-1.0)
+
+
+class TestNetworkLink:
+    def test_round_trip_never_below_floor(self):
+        link = make_link(min_rtt_s=0.05)
+        for _ in range(200):
+            assert link.round_trip() >= 0.05
+
+    def test_request_direction_is_slower_when_asymmetric(self):
+        link = make_link(asymmetry=0.8, jitter_scale_s=0.0)
+        assert link.one_way_delay("request") > link.one_way_delay("response")
+
+    def test_payload_adds_serialization_delay(self):
+        link = make_link(jitter_scale_s=0.0, bandwidth_mbps=10.0)
+        empty = link.one_way_delay("request", 0)
+        loaded = link.one_way_delay("request", 10 * 1024 * 1024)
+        assert loaded - empty == pytest.approx(1.0, rel=0.01)
+
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_link().one_way_delay("sideways")
+
+    def test_min_round_trip_exposes_floor(self):
+        assert make_link(min_rtt_s=0.033).min_round_trip() == pytest.approx(0.033)
+
+    def test_rtt_distribution_is_right_skewed(self):
+        link = make_link(jitter_scale_s=0.01)
+        samples = np.array([link.round_trip() for _ in range(500)])
+        assert np.mean(samples) > np.median(samples)
+
+
+class TestClockDriftEstimator:
+    def test_recovers_positive_offset(self):
+        link = make_link(seed=1, offset=1.5, jitter_scale_s=0.002)
+        estimate = ClockDriftEstimator(link).estimate()
+        assert estimate.offset_s == pytest.approx(1.5, abs=0.01)
+
+    def test_recovers_negative_offset(self):
+        link = make_link(seed=2, offset=-0.75, jitter_scale_s=0.002)
+        estimate = ClockDriftEstimator(link).estimate()
+        assert estimate.offset_s == pytest.approx(-0.75, abs=0.01)
+
+    def test_runs_at_least_n_exchanges(self):
+        link = make_link(seed=3)
+        estimate = ClockDriftEstimator(link, stop_after_non_decreasing=10).estimate()
+        assert estimate.exchanges >= 10
+
+    def test_respects_max_exchanges(self):
+        link = make_link(seed=4, jitter_scale_s=0.05)
+        estimate = ClockDriftEstimator(link, stop_after_non_decreasing=1000, max_exchanges=1000).estimate()
+        assert estimate.exchanges <= 1000
+
+    def test_min_rtt_close_to_floor(self):
+        link = make_link(seed=5, min_rtt_s=0.04, jitter_scale_s=0.001)
+        estimate = ClockDriftEstimator(link).estimate()
+        assert estimate.min_rtt_s >= 0.04
+        assert estimate.min_rtt_s < 0.06
+
+    def test_timestamp_conversions_are_inverse(self):
+        link = make_link(seed=6, offset=2.0)
+        estimate = ClockDriftEstimator(link).estimate()
+        assert estimate.to_local(estimate.to_remote(12.0)) == pytest.approx(12.0)
+
+    def test_invalid_configuration(self):
+        link = make_link()
+        with pytest.raises(ConfigurationError):
+            ClockDriftEstimator(link, stop_after_non_decreasing=0)
+        with pytest.raises(ConfigurationError):
+            ClockDriftEstimator(link, stop_after_non_decreasing=10, max_exchanges=5)
+
+
+class TestPayloadTransfer:
+    def test_linear_in_payload(self):
+        t1 = payload_transfer_time(1024 * 1024, 10.0)
+        t2 = payload_transfer_time(2 * 1024 * 1024, 10.0)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_overhead_added(self):
+        assert payload_transfer_time(0, 10.0, per_request_overhead_s=0.5) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            payload_transfer_time(-1, 10.0)
+        with pytest.raises(ConfigurationError):
+            payload_transfer_time(1, 0.0)

@@ -1,0 +1,237 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchmarks.multimedia.imaging import Image
+from repro.benchmarks.multimedia.video_processing import run_length_encode
+from repro.benchmarks.scientific.algorithms import breadth_first_search, minimum_spanning_tree, pagerank
+from repro.benchmarks.scientific.graph_generation import Graph
+from repro.benchmarks.utilities.data_vis import squiggle_transform
+from repro.benchmarks.webapps.uploader import synthesize_download
+from repro.config import Provider
+from repro.faas.billing import billing_model_for
+from repro.models.eviction import optimal_initial_batch, predict_warm_containers
+from repro.stats.confidence import nonparametric_ci
+from repro.stats.summary import summarize
+from repro.storage.object_store import ObjectStore
+from repro.utils.rng import derive_seed
+from repro.utils.units import round_up
+
+# ----------------------------------------------------------------- strategies
+
+edge_lists = st.integers(min_value=2, max_value=30).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+                st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+            ),
+            max_size=80,
+        ),
+    )
+)
+
+
+def build_graph(data) -> Graph:
+    n, edges = data
+    cleaned = [(u, v, w) for u, v, w in edges if u != v]
+    return Graph.from_edges(n, cleaned)
+
+
+# --------------------------------------------------------------------- stats
+
+
+class TestStatsProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=200))
+    def test_ci_always_brackets_median_and_stays_in_range(self, samples):
+        interval = nonparametric_ci(samples, 0.95)
+        assert min(samples) <= interval.low <= interval.median <= interval.high <= max(samples)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=200))
+    def test_summary_orderings(self, samples):
+        summary = summarize(samples)
+        assert summary.minimum <= summary.median <= summary.maximum
+        assert summary.minimum <= summary.whisker_low <= summary.whisker_high <= summary.maximum
+
+    @given(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        st.floats(min_value=1e-3, max_value=1e3, allow_nan=False),
+    )
+    def test_round_up_properties(self, value, granularity):
+        rounded = round_up(value, granularity)
+        assert rounded >= value - 1e-9
+        assert rounded - value < granularity + 1e-6
+        quotient = rounded / granularity
+        assert abs(quotient - round(quotient)) < 1e-6
+
+    @given(st.integers(min_value=0, max_value=2**31), st.lists(st.text(max_size=10), max_size=4))
+    def test_derive_seed_stable_and_in_range(self, seed, names):
+        first = derive_seed(seed, *names)
+        second = derive_seed(seed, *names)
+        assert first == second
+        assert 0 <= first < 2**64
+
+
+# --------------------------------------------------------------------- graphs
+
+
+class TestGraphProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(edge_lists)
+    def test_bfs_distances_are_consistent(self, data):
+        graph = build_graph(data)
+        result = breadth_first_search(graph, 0)
+        assert result.distances[0] == 0
+        for u, v, _ in graph.edges():
+            du, dv = result.distances[u], result.distances[v]
+            if du >= 0 and dv >= 0:
+                # Neighbouring reachable vertices differ by at most one level.
+                assert abs(du - dv) <= 1
+            else:
+                # A reachable vertex can never neighbour an unreachable one.
+                assert du < 0 and dv < 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(edge_lists)
+    def test_pagerank_is_a_probability_distribution(self, data):
+        graph = build_graph(data)
+        ranks, _ = pagerank(graph)
+        assert ranks.min() >= 0
+        assert ranks.sum() == pytest.approx(1.0, abs=1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(edge_lists)
+    def test_mst_has_correct_edge_count_and_no_heavier_weight_than_total(self, data):
+        graph = build_graph(data)
+        result = minimum_spanning_tree(graph)
+        bfs_components = 0
+        visited = [False] * graph.num_vertices
+        for vertex in range(graph.num_vertices):
+            if not visited[vertex]:
+                bfs_components += 1
+                for node, distance in enumerate(breadth_first_search(graph, vertex).distances):
+                    if distance >= 0:
+                        visited[node] = True
+        assert len(result.edges) == graph.num_vertices - bfs_components
+        assert result.num_components == bfs_components
+        assert result.total_weight <= sum(w for _, _, w in graph.edges()) + 1e-9
+
+
+# ------------------------------------------------------------------- kernels
+
+
+class TestKernelProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.text(alphabet="ACGT", min_size=1, max_size=300))
+    def test_squiggle_output_length_and_bounds(self, sequence):
+        xs, ys = squiggle_transform(sequence)
+        assert len(xs) == len(ys) == 2 * len(sequence) + 1
+        assert xs[-1] == pytest.approx(len(sequence))
+        # The trace can never move further than one unit per base.
+        assert np.all(np.abs(np.diff(ys)) <= 1.0 + 1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=0, max_size=500))
+    def test_run_length_encoding_never_expands_beyond_two_bytes_per_symbol(self, data):
+        values = np.frombuffer(data, dtype=np.uint8)
+        encoded = run_length_encode(values)
+        assert len(encoded) <= 2 * max(1, len(values))
+        assert len(encoded) % 2 == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.text(min_size=1, max_size=50), st.integers(min_value=0, max_value=5000))
+    def test_synthesize_download_length_and_determinism(self, url, size):
+        data = synthesize_download(url, size)
+        assert len(data) == size
+        assert data == synthesize_download(url, size)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=1, max_value=60), st.integers(min_value=1, max_value=60), st.integers(min_value=0, max_value=2**31))
+    def test_image_serialisation_round_trip(self, width, height, seed):
+        image = Image.generate(width, height, np.random.default_rng(seed))
+        restored = Image.from_bytes(image.to_bytes())
+        assert np.array_equal(image.pixels, restored.pixels)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=4, max_value=64),
+        st.integers(min_value=4, max_value=64),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=64),
+    )
+    def test_resize_produces_requested_dimensions(self, width, height, new_width, new_height):
+        image = Image.generate(width, height, np.random.default_rng(0))
+        resized = image.resize(new_width, new_height)
+        assert (resized.width, resized.height) == (new_width, new_height)
+
+
+# ------------------------------------------------------------------- storage
+
+
+class TestStorageProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.dictionaries(st.text(min_size=1, max_size=20), st.binary(max_size=200), max_size=20))
+    def test_object_store_round_trips_all_objects(self, objects):
+        store = ObjectStore()
+        store.create_bucket("bucket")
+        for key, data in objects.items():
+            store.upload("bucket", key, data)
+        for key, data in objects.items():
+            assert store.download("bucket", key) == data
+        assert set(store.list_objects("bucket")) == set(objects)
+        assert store.metering.bytes_written == sum(len(v) for v in objects.values())
+
+
+# ------------------------------------------------------------------- billing
+
+
+class TestBillingProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.sampled_from([Provider.AWS, Provider.GCP, Provider.AZURE]),
+        st.floats(min_value=0.0, max_value=900.0, allow_nan=False),
+        st.sampled_from([128, 256, 512, 1024, 2048]),
+        st.floats(min_value=1.0, max_value=2048.0, allow_nan=False),
+        st.integers(min_value=0, max_value=6 * 1024 * 1024),
+    )
+    def test_costs_are_nonnegative_and_monotone_in_duration(self, provider, duration, memory, used, output):
+        billing = billing_model_for(provider)
+        cost = billing.invocation_cost(duration, memory, used, output_bytes=output)
+        assert cost.total >= 0
+        longer = billing.invocation_cost(duration + 10.0, memory, used, output_bytes=output)
+        assert longer.compute_cost >= cost.compute_cost
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=900.0, allow_nan=False))
+    def test_billed_duration_at_least_actual(self, duration):
+        for provider in (Provider.AWS, Provider.GCP, Provider.AZURE):
+            billed = billing_model_for(provider).billed_duration(duration)
+            assert billed >= duration - 1e-9
+
+
+# ----------------------------------------------------------- eviction model
+
+
+class TestEvictionModelProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000), st.floats(min_value=0.0, max_value=10000.0, allow_nan=False))
+    def test_prediction_monotone_in_time_and_bounded(self, d_init, elapsed):
+        now = predict_warm_containers(d_init, elapsed)
+        later = predict_warm_containers(d_init, elapsed + 380.0)
+        assert 0 <= later <= now <= d_init
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=1, max_value=10000), st.floats(min_value=0.01, max_value=600.0, allow_nan=False))
+    def test_optimal_batch_is_positive_and_scales(self, instances, runtime):
+        batch = optimal_initial_batch(instances, runtime)
+        assert batch >= 1
+        assert batch >= math.floor(instances * runtime / 380.0)

@@ -1,0 +1,167 @@
+"""Tests for the benchmark registry, base classes and work profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarks.base import Benchmark, BenchmarkCategory, InputSize, WorkProfile
+from repro.benchmarks.registry import BenchmarkRegistry, default_registry, get_benchmark, list_benchmarks
+from repro.config import Language
+from repro.exceptions import BenchmarkError, UnknownBenchmarkError
+
+#: The application list of Table 3.
+TABLE3_BENCHMARKS = {
+    "dynamic-html",
+    "uploader",
+    "thumbnailer",
+    "video-processing",
+    "compression",
+    "data-vis",
+    "image-recognition",
+    "graph-pagerank",
+    "graph-mst",
+    "graph-bfs",
+}
+
+
+class TestRegistry:
+    def test_contains_all_table3_applications(self, registry):
+        assert set(registry.names()) == TABLE3_BENCHMARKS
+
+    def test_default_registry_is_singleton(self):
+        assert default_registry() is default_registry()
+
+    def test_get_unknown_benchmark(self, registry):
+        with pytest.raises(UnknownBenchmarkError):
+            registry.get("does-not-exist")
+
+    def test_list_benchmarks_matches_registry(self):
+        assert set(list_benchmarks()) == TABLE3_BENCHMARKS
+
+    def test_get_benchmark_returns_instance(self):
+        assert get_benchmark("thumbnailer").name == "thumbnailer"
+
+    def test_categories_cover_all_five_groups(self, registry):
+        categories = {benchmark.category for benchmark in registry}
+        assert categories == set(BenchmarkCategory)
+
+    def test_by_category(self, registry):
+        scientific = registry.by_category(BenchmarkCategory.SCIENTIFIC)
+        assert {b.name for b in scientific} == {"graph-bfs", "graph-pagerank", "graph-mst"}
+
+    def test_with_language_nodejs(self, registry):
+        nodejs = {b.name for b in registry.with_language(Language.NODEJS)}
+        assert nodejs == {"dynamic-html", "uploader", "thumbnailer"}
+
+    def test_double_registration_rejected(self, registry):
+        benchmark = registry.get("uploader")
+        with pytest.raises(BenchmarkError):
+            registry.register(benchmark)
+        registry.register(benchmark, replace=True)  # replace is allowed
+
+    def test_len_and_contains(self, registry):
+        assert len(registry) == 10
+        assert "compression" in registry
+        assert "nope" not in registry
+
+    def test_registry_is_isolated_per_instance(self, registry):
+        class Dummy(Benchmark):
+            name = "dummy"
+
+            def generate_input(self, size, context):  # pragma: no cover - trivial
+                return {}
+
+            def run(self, event, context):  # pragma: no cover - trivial
+                return {}
+
+            def profile(self, size=InputSize.SMALL, language=Language.PYTHON):  # pragma: no cover
+                return WorkProfile(0.001, 0.001, 1e6, 1.0, 10.0)
+
+        registry.register(Dummy())
+        assert "dummy" in registry
+        assert "dummy" not in default_registry()
+
+
+class TestWorkProfiles:
+    @pytest.mark.parametrize("name", sorted(TABLE3_BENCHMARKS))
+    def test_profiles_are_well_formed(self, registry, name):
+        profile = registry.get(name).profile()
+        assert profile.warm_compute_s > 0
+        assert profile.cold_init_s >= 0
+        assert profile.instructions > 0
+        assert 0 < profile.cpu_utilization <= 1.0
+        assert profile.peak_memory_mb > 0
+        assert profile.output_bytes > 0
+        assert profile.code_package_mb > 0
+        assert profile.min_memory_mb >= 128
+
+    @pytest.mark.parametrize("name", sorted(TABLE3_BENCHMARKS))
+    def test_profiles_scale_with_input_size(self, registry, name):
+        benchmark = registry.get(name)
+        small = benchmark.profile(InputSize.SMALL)
+        large = benchmark.profile(InputSize.LARGE)
+        assert large.warm_compute_s > small.warm_compute_s
+
+    def test_scaled_profile_adjusts_io_and_output(self):
+        profile = WorkProfile(
+            warm_compute_s=1.0,
+            cold_init_s=0.5,
+            instructions=1e9,
+            cpu_utilization=0.9,
+            peak_memory_mb=100,
+            storage_read_bytes=1000,
+            storage_write_bytes=500,
+            output_bytes=100,
+        )
+        scaled = profile.scaled(2.0)
+        assert scaled.warm_compute_s == 2.0
+        assert scaled.storage_read_bytes == 2000
+        assert scaled.output_bytes == 200
+        assert scaled.cold_init_s == 0.5  # initialisation does not scale with input
+
+    def test_io_bound_heuristic(self):
+        io_bound = WorkProfile(0.1, 0.1, 1e6, 0.34, 10.0)
+        compute_bound = WorkProfile(0.1, 0.1, 1e6, 0.99, 10.0)
+        assert io_bound.io_bound and not compute_bound.io_bound
+
+    def test_only_uploader_is_io_bound_in_suite(self, registry):
+        io_bound = {b.name for b in registry if b.profile().io_bound}
+        assert io_bound == {"uploader"}
+
+    def test_table4_relative_ordering(self, registry):
+        """The relative compute weights of Table 4 are preserved."""
+        warm = {name: registry.get(name).profile().warm_compute_s for name in TABLE3_BENCHMARKS}
+        assert warm["dynamic-html"] < warm["graph-bfs"] < warm["graph-mst"] < warm["graph-pagerank"]
+        assert warm["graph-pagerank"] < warm["image-recognition"] < warm["compression"]
+        assert warm["compression"] < warm["video-processing"]
+
+
+class TestBenchmarkBase:
+    def test_benchmark_without_name_rejected(self):
+        class Nameless(Benchmark):
+            def generate_input(self, size, context):  # pragma: no cover - trivial
+                return {}
+
+            def run(self, event, context):  # pragma: no cover - trivial
+                return {}
+
+            def profile(self, size=InputSize.SMALL, language=Language.PYTHON):  # pragma: no cover
+                return WorkProfile(0.001, 0.001, 1e6, 1.0, 10.0)
+
+        with pytest.raises(BenchmarkError):
+            Nameless()
+
+    def test_execute_wraps_result_and_counts_bytes(self, registry, context):
+        benchmark = registry.get("dynamic-html")
+        event = benchmark.generate_input(InputSize.TEST, context)
+        result = benchmark.execute(event, context)
+        assert result.benchmark == "dynamic-html"
+        assert result.output_bytes > 0
+        assert "size" in result.result
+        assert '"benchmark"' in result.to_json()
+
+    def test_input_size_scale_factors(self):
+        assert InputSize.TEST.scale < InputSize.SMALL.scale < InputSize.LARGE.scale
+
+    def test_supported_sizes_default(self, registry):
+        assert registry.get("uploader").supported_sizes() == (InputSize.TEST, InputSize.SMALL, InputSize.LARGE)

@@ -1,0 +1,143 @@
+"""Tests for the reporting layer and the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.config import ExperimentConfig, Provider, SimulationConfig
+from repro.experiments.eviction_model import EvictionModelExperiment
+from repro.experiments.invocation_overhead import InvocationOverheadExperiment
+from repro.experiments.perf_cost import PerfCostExperiment
+from repro.reporting import figures
+from repro.reporting.tables import format_table, table2_platform_limits, table3_applications, table9_insights
+
+
+class TestTables:
+    def test_format_table_alignment_and_content(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "22" in lines[3]
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no data)"
+
+    def test_format_table_explicit_columns(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_table2_has_three_commercial_providers(self):
+        rows = table2_platform_limits()
+        assert [row["policy"] for row in rows] == ["AWS Lambda", "Azure Functions", "Google Cloud Functions"]
+        aws = rows[0]
+        assert aws["time_limit_min"] == 15.0
+        assert aws["deployment_limit_mb"] == 250.0
+        assert "Dynamic" in rows[1]["memory_allocation"]
+
+    def test_table3_lists_ten_applications(self):
+        rows = table3_applications()
+        assert len(rows) == 10
+        names = {row["name"] for row in rows}
+        assert "image-recognition" in names and "graph-bfs" in names
+        ffmpeg_row = next(row for row in rows if row["name"] == "video-processing")
+        assert ffmpeg_row["native_dependencies"] == "yes"
+
+    def test_table9_has_fifteen_insights(self):
+        rows = table9_insights()
+        assert len(rows) == 15
+        assert any("380" in row["insight"] or "eviction" in row["insight"].lower() for row in rows)
+        assert all({"insight", "novel", "experiment"} <= set(row) for row in rows)
+
+
+@pytest.fixture(scope="module")
+def small_perf_cost():
+    experiment = PerfCostExperiment(
+        config=ExperimentConfig(samples=8, batch_size=4, seed=3), simulation=SimulationConfig(seed=3)
+    )
+    return experiment.run("thumbnailer", providers=(Provider.AWS,), memory_sizes=(512, 2048))
+
+
+class TestFigures:
+    def test_figure3_series(self, small_perf_cost):
+        rows = figures.figure3_performance_series(small_perf_cost)
+        assert len(rows) == 2
+        assert all(row["client_time_p2_s"] <= row["client_time_median_s"] <= row["client_time_p98_s"] for row in rows)
+
+    def test_figure4_series(self, small_perf_cost):
+        rows = figures.figure4_cold_overhead_series(small_perf_cost)
+        assert rows and all(row["median_ratio"] > 1.0 for row in rows)
+
+    def test_figure5_series(self, small_perf_cost):
+        cost_rows = figures.figure5a_cost_series(small_perf_cost)
+        usage_rows = figures.figure5b_resource_usage_series(small_perf_cost)
+        assert cost_rows and usage_rows
+        assert all(row["cost_per_1M_usd"] > 0 for row in cost_rows)
+        assert all(0 <= row["resource_usage_pct"] <= 100 for row in usage_rows)
+
+    def test_figure6_series(self):
+        experiment = InvocationOverheadExperiment(
+            config=ExperimentConfig(samples=10, batch_size=5, seed=3), simulation=SimulationConfig(seed=3)
+        )
+        result = experiment.run(providers=(Provider.AWS,), repetitions=3)
+        rows = figures.figure6_invocation_overhead_series(result)
+        assert any(row["payload_mb"] == "model" for row in rows)
+        assert any(isinstance(row["payload_mb"], float) for row in rows)
+
+    def test_figure7_series(self):
+        from repro.config import Language
+
+        experiment = EvictionModelExperiment(
+            config=ExperimentConfig(samples=5, batch_size=5, seed=3), simulation=SimulationConfig(seed=3)
+        )
+        result = experiment.run(
+            d_init_values=(8,),
+            delta_t_values=(1.0, 381.0, 761.0),
+            memory_values=(128,),
+            languages=(Language.PYTHON,),
+            code_sizes_mb=(0.008,),
+            function_times_s=(1.0,),
+        )
+        rows = figures.figure7_eviction_series(result)
+        assert len(rows) == 3
+        for row in rows:
+            assert abs(row["warm_observed"] - row["warm_predicted"]) <= 1.0
+
+
+class TestCLI:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "thumbnailer" in output and "graph-bfs" in output
+
+    def test_table_commands(self, capsys):
+        for command in ("table2", "table3", "table9"):
+            assert main([command]) == 0
+        assert "AWS Lambda" in capsys.readouterr().out
+
+    def test_characterize_command(self, capsys):
+        assert main(["characterize", "--repetitions", "2"]) == 0
+        assert "dynamic-html" in capsys.readouterr().out
+
+    def test_perf_cost_command(self, capsys):
+        assert main(["perf-cost", "graph-bfs", "--samples", "6", "--batch", "3", "--providers", "aws"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 3" in output and "Figure 5a" in output
+
+    def test_eviction_command(self, capsys):
+        assert main(["eviction"]) == 0
+        assert "Fitted eviction period: 380 s" in capsys.readouterr().out
+
+    def test_faas_vs_iaas_command(self, capsys):
+        assert main(["faas-vs-iaas", "--samples", "8"]) == 0
+        assert "overhead" in capsys.readouterr().out
+
+    def test_invoc_overhead_command(self, capsys):
+        assert main(["invoc-overhead", "--samples", "6", "--providers", "aws"]) == 0
+        assert "payload_mb" in capsys.readouterr().out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,184 @@
+"""Tests for repro.stats: confidence intervals, summaries, regression, sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ModelFitError
+from repro.stats.confidence import nonparametric_ci
+from repro.stats.regression import fit_linear, r_squared
+from repro.stats.sampling import required_samples_for_ci
+from repro.stats.summary import summarize
+
+
+class TestNonparametricCI:
+    def test_interval_brackets_the_median(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(10.0, 1.0, size=200)
+        interval = nonparametric_ci(data, 0.95)
+        assert interval.low <= interval.median <= interval.high
+
+    def test_higher_level_gives_wider_interval(self):
+        rng = np.random.default_rng(1)
+        data = rng.exponential(1.0, size=300)
+        narrow = nonparametric_ci(data, 0.95)
+        wide = nonparametric_ci(data, 0.99)
+        assert wide.width >= narrow.width
+
+    def test_more_samples_shrink_the_relative_width(self):
+        rng = np.random.default_rng(2)
+        small = nonparametric_ci(rng.normal(5, 1, size=30), 0.95)
+        large = nonparametric_ci(rng.normal(5, 1, size=3000), 0.95)
+        assert large.relative_width < small.relative_width
+
+    def test_single_sample_degenerates(self):
+        interval = nonparametric_ci([3.0], 0.95)
+        assert interval.low == interval.high == interval.median == 3.0
+
+    def test_within_checks_endpoints_against_median(self):
+        interval = nonparametric_ci([1.0, 1.01, 0.99, 1.0, 1.02, 0.98, 1.0, 1.0, 1.0, 1.0], 0.95)
+        assert interval.within(0.05)
+
+    def test_contains(self):
+        interval = nonparametric_ci(list(range(1, 101)), 0.95)
+        assert interval.contains(interval.median)
+        assert not interval.contains(1e9)
+
+    def test_rejects_invalid_level(self):
+        with pytest.raises(ConfigurationError):
+            nonparametric_ci([1.0, 2.0], 1.5)
+
+    def test_rejects_empty_samples(self):
+        with pytest.raises(ConfigurationError):
+            nonparametric_ci([], 0.95)
+
+    def test_coverage_on_known_distribution(self):
+        # The 95% interval should cover the true median in the large majority
+        # of repeated experiments.
+        rng = np.random.default_rng(3)
+        covered = 0
+        trials = 200
+        for _ in range(trials):
+            data = rng.normal(0.0, 1.0, size=60)
+            interval = nonparametric_ci(data, 0.95)
+            if interval.low <= 0.0 <= interval.high:
+                covered += 1
+        assert covered / trials >= 0.90
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.count == 5
+        assert summary.median == 3.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+
+    def test_whiskers_use_2nd_and_98th_percentiles(self):
+        data = list(range(101))
+        summary = summarize(data)
+        assert summary.whisker_low == pytest.approx(2.0)
+        assert summary.whisker_high == pytest.approx(98.0)
+
+    def test_includes_both_confidence_levels(self):
+        summary = summarize(list(range(50)))
+        assert set(summary.confidence_intervals) == {0.95, 0.99}
+
+    def test_coefficient_of_variation(self):
+        summary = summarize([2.0, 2.0, 2.0, 2.0])
+        assert summary.coefficient_of_variation == 0.0
+
+    def test_to_dict_round_trip(self):
+        as_dict = summarize([1.0, 2.0, 3.0]).to_dict()
+        assert as_dict["count"] == 3
+        assert "percentiles" in as_dict and "confidence_intervals" in as_dict
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+
+class TestLinearFit:
+    def test_perfect_line_recovered(self):
+        xs = np.arange(10, dtype=float)
+        ys = 3.0 * xs + 2.0
+        fit = fit_linear(xs, ys)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(2.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.adjusted_r_squared == pytest.approx(1.0)
+
+    def test_noisy_line_has_high_r_squared(self):
+        rng = np.random.default_rng(0)
+        xs = np.linspace(0, 100, 200)
+        ys = 0.5 * xs + 1.0 + rng.normal(0, 0.5, size=xs.size)
+        fit = fit_linear(xs, ys)
+        assert fit.adjusted_r_squared > 0.98
+
+    def test_random_data_has_low_r_squared(self):
+        rng = np.random.default_rng(1)
+        xs = np.linspace(0, 1, 100)
+        ys = rng.normal(0, 1, size=100)
+        fit = fit_linear(xs, ys)
+        assert fit.r_squared < 0.2
+
+    def test_predict_scalar_and_vector(self):
+        fit = fit_linear([0.0, 1.0, 2.0], [0.0, 2.0, 4.0])
+        assert fit.predict(3.0) == pytest.approx(6.0)
+        assert np.allclose(fit.predict([3.0, 4.0]), [6.0, 8.0])
+
+    def test_residuals_of_perfect_fit_are_zero(self):
+        fit = fit_linear([0.0, 1.0, 2.0], [1.0, 3.0, 5.0])
+        assert np.allclose(fit.residuals([0.0, 1.0, 2.0], [1.0, 3.0, 5.0]), 0.0)
+
+    def test_requires_two_distinct_points(self):
+        with pytest.raises(ModelFitError):
+            fit_linear([1.0, 1.0], [2.0, 3.0])
+        with pytest.raises(ModelFitError):
+            fit_linear([1.0], [2.0])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ModelFitError):
+            fit_linear([1.0, 2.0], [1.0])
+
+
+class TestRSquared:
+    def test_perfect_prediction(self):
+        assert r_squared([1, 2, 3], [1, 2, 3]) == pytest.approx(1.0)
+
+    def test_constant_observation_edge_case(self):
+        assert r_squared([2, 2, 2], [2, 2, 2]) == pytest.approx(1.0)
+        assert r_squared([2, 2, 2], [1, 2, 3]) == pytest.approx(0.0)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ModelFitError):
+            r_squared([1, 2], [1])
+
+
+class TestRequiredSamples:
+    def test_stops_quickly_on_tight_distribution(self):
+        rng = np.random.default_rng(0)
+
+        def draw(n):
+            return rng.normal(100.0, 0.1, size=n).tolist()
+
+        count, samples = required_samples_for_ci(draw, initial_samples=20, growth_step=20, max_samples=500)
+        assert count == len(samples)
+        assert count <= 60
+
+    def test_caps_at_max_samples_on_noisy_distribution(self):
+        rng = np.random.default_rng(1)
+
+        def draw(n):
+            # Heavy-tailed distribution: the CI never gets within 5%.
+            return rng.pareto(1.1, size=n).tolist()
+
+        count, _ = required_samples_for_ci(draw, initial_samples=10, growth_step=10, max_samples=60)
+        assert count == 60
+
+    def test_rejects_invalid_schedule(self):
+        with pytest.raises(ConfigurationError):
+            required_samples_for_ci(lambda n: [1.0] * n, initial_samples=0)
+        with pytest.raises(ConfigurationError):
+            required_samples_for_ci(lambda n: [1.0] * n, initial_samples=10, max_samples=5)

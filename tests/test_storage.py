@@ -1,0 +1,217 @@
+"""Tests for the storage substrate: object store, ephemeral store, metering, latency."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BucketNotFoundError, ObjectNotFoundError, StorageError
+from repro.storage.ephemeral import EphemeralStore
+from repro.storage.latency import StorageLatencyModel, StorageProfile
+from repro.storage.metering import MeteredWindow, StorageMetering
+from repro.storage.object_store import ObjectStore
+
+
+class TestObjectStore:
+    def test_create_bucket_and_upload_download(self, store):
+        store.upload("data", "a/b.txt", b"hello")
+        assert store.download("data", "a/b.txt") == b"hello"
+
+    def test_create_bucket_exist_ok(self, store):
+        first = store.create_bucket("b")
+        second = store.create_bucket("b")
+        assert first is second
+
+    def test_create_bucket_conflict(self, store):
+        store.create_bucket("b")
+        with pytest.raises(StorageError):
+            store.create_bucket("b", exist_ok=False)
+
+    def test_missing_bucket_raises(self, store):
+        with pytest.raises(BucketNotFoundError):
+            store.bucket("nope")
+
+    def test_missing_object_raises(self, store):
+        store.create_bucket("b")
+        with pytest.raises(ObjectNotFoundError):
+            store.download("b", "missing")
+
+    def test_overwrite_replaces_content(self, store):
+        store.upload("b", "k", b"one")
+        store.upload("b", "k", b"two")
+        assert store.download("b", "k") == b"two"
+
+    def test_list_objects_prefix_filter(self, store):
+        store.upload("b", "img/1", b"x")
+        store.upload("b", "img/2", b"y")
+        store.upload("b", "doc/1", b"z")
+        assert store.list_objects("b", "img/") == ["img/1", "img/2"]
+
+    def test_delete_object(self, store):
+        store.upload("b", "k", b"x")
+        store.bucket("b").delete("k")
+        assert not store.bucket("b").exists("k")
+
+    def test_delete_missing_object_raises(self, store):
+        store.create_bucket("b")
+        with pytest.raises(ObjectNotFoundError):
+            store.bucket("b").delete("k")
+
+    def test_bucket_total_size(self, store):
+        store.upload("b", "k1", b"abcd")
+        store.upload("b", "k2", b"ef")
+        assert store.bucket("b").total_size() == 6
+        assert store.total_size() == 6
+
+    def test_metering_counts_requests_and_bytes(self, store):
+        store.upload("b", "k", b"12345")
+        store.download("b", "k")
+        store.list_objects("b")
+        metering = store.metering
+        assert metering.write_requests == 1
+        assert metering.read_requests == 1
+        assert metering.list_requests == 1
+        assert metering.bytes_written == 5
+        assert metering.bytes_read == 5
+
+    def test_clear_resets_everything(self, store):
+        store.upload("b", "k", b"x")
+        store.clear()
+        assert store.list_buckets() == []
+        assert store.metering.total_requests == 0
+
+    def test_rejects_empty_names(self, store):
+        with pytest.raises(StorageError):
+            store.create_bucket("")
+        with pytest.raises(StorageError):
+            store.upload("b", "", b"x")
+
+    def test_rejects_non_bytes_payload(self, store):
+        with pytest.raises(StorageError):
+            store.upload("b", "k", "not-bytes")  # type: ignore[arg-type]
+
+    def test_delete_bucket(self, store):
+        store.create_bucket("b")
+        store.delete_bucket("b")
+        assert "b" not in store
+        with pytest.raises(BucketNotFoundError):
+            store.delete_bucket("b")
+
+
+class TestEphemeralStore:
+    def test_set_get_delete(self):
+        kv = EphemeralStore()
+        kv.set("key", b"value")
+        assert kv.get("key") == b"value"
+        assert kv.delete("key") is True
+        assert kv.get("key") is None
+        assert kv.delete("key") is False
+
+    def test_expiry(self):
+        kv = EphemeralStore()
+        kv.set("key", b"value", expire_at=10.0)
+        assert kv.get("key", now=5.0) == b"value"
+        assert kv.get("key", now=10.0) is None
+
+    def test_capacity_limit(self):
+        kv = EphemeralStore(capacity_bytes=10)
+        kv.set("a", b"12345")
+        with pytest.raises(StorageError):
+            kv.set("b", b"123456789")
+
+    def test_capacity_accounts_for_replacement(self):
+        kv = EphemeralStore(capacity_bytes=10)
+        kv.set("a", b"1234567890")
+        kv.set("a", b"abcdefghij")  # replacing the same key must be allowed
+        assert kv.get("a") == b"abcdefghij"
+
+    def test_keys_sorted(self):
+        kv = EphemeralStore()
+        kv.set("b", b"1")
+        kv.set("a", b"2")
+        assert kv.keys() == ["a", "b"]
+        assert list(kv) == ["a", "b"]
+        assert len(kv) == 2
+
+    def test_rejects_bad_inputs(self):
+        kv = EphemeralStore()
+        with pytest.raises(StorageError):
+            kv.set("", b"x")
+        with pytest.raises(StorageError):
+            kv.set("k", "not-bytes")  # type: ignore[arg-type]
+        with pytest.raises(StorageError):
+            EphemeralStore(capacity_bytes=0)
+
+
+class TestMetering:
+    def test_snapshot_and_delta(self):
+        metering = StorageMetering()
+        metering.record_read(100)
+        snapshot = metering.snapshot()
+        metering.record_write(50)
+        delta = metering.delta(snapshot)
+        assert delta.bytes_written == 50
+        assert delta.bytes_read == 0
+        assert delta.write_requests == 1
+
+    def test_metered_window(self):
+        metering = StorageMetering()
+        window = MeteredWindow(metering)
+        metering.record_read(10)
+        metering.record_list()
+        delta = window.close()
+        assert delta.read_requests == 1
+        assert delta.list_requests == 1
+        assert delta.total_requests == 2
+
+    def test_reset(self):
+        metering = StorageMetering()
+        metering.record_write(1)
+        metering.reset()
+        assert metering.total_bytes == 0 and metering.total_requests == 0
+
+
+class TestStorageLatencyModel:
+    def _model(self, **kwargs):
+        profile = StorageProfile(jitter_cv=0.0, contention_tail_probability=0.0, **kwargs)
+        return StorageLatencyModel(profile, np.random.default_rng(0))
+
+    def test_bandwidth_scales_with_memory_until_reference(self):
+        model = self._model(reference_memory_mb=1024, peak_bandwidth_mbps=100.0)
+        assert model.bandwidth_mbps(512) == pytest.approx(50.0)
+        assert model.bandwidth_mbps(1024) == pytest.approx(100.0)
+        assert model.bandwidth_mbps(2048) == pytest.approx(100.0)
+
+    def test_small_memory_keeps_minimum_share(self):
+        model = self._model(reference_memory_mb=2048, peak_bandwidth_mbps=100.0)
+        assert model.bandwidth_mbps(64) == pytest.approx(10.0)
+
+    def test_dynamic_memory_uses_reference_bandwidth(self):
+        model = self._model(reference_memory_mb=1024, peak_bandwidth_mbps=80.0)
+        assert model.bandwidth_mbps(0) == pytest.approx(80.0)
+
+    def test_transfer_time_grows_with_bytes(self):
+        model = self._model()
+        small = model.transfer_time(1024, 1024)
+        large = model.transfer_time(50 * 1024 * 1024, 1024)
+        assert large > small
+
+    def test_transfer_time_decreases_with_memory(self):
+        model = self._model(reference_memory_mb=2048)
+        slow = model.transfer_time(10 * 1024 * 1024, 128)
+        fast = model.transfer_time(10 * 1024 * 1024, 2048)
+        assert fast < slow
+
+    def test_contention_creates_long_tail(self):
+        profile = StorageProfile(jitter_cv=0.0, contention_tail_probability=0.5, contention_slowdown=10.0)
+        model = StorageLatencyModel(profile, np.random.default_rng(0))
+        times = [model.transfer_time(1024 * 1024, 1024) for _ in range(200)]
+        assert max(times) > 3 * min(times)
+
+    def test_rejects_negative_bytes(self):
+        model = self._model()
+        with pytest.raises(Exception):
+            model.transfer_time(-1, 1024)
+
+    def test_request_time_is_positive(self):
+        assert self._model().request_time(1024) > 0

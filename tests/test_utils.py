@@ -1,0 +1,125 @@
+"""Tests for repro.utils: virtual clock, random streams, unit helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils.clock import VirtualClock
+from repro.utils.rng import RandomStreams, derive_seed
+from repro.utils.units import GB, KB, MB, bytes_to_mb, mb_to_bytes, ms_to_s, round_up, s_to_ms
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_by_default(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_starts_at_given_time(self):
+        assert VirtualClock(12.5).now() == 12.5
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ConfigurationError):
+            VirtualClock(-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = VirtualClock()
+        assert clock.advance(3.0) == 3.0
+        assert clock.now() == 3.0
+
+    def test_advance_rejects_negative_delta(self):
+        with pytest.raises(ConfigurationError):
+            VirtualClock().advance(-0.1)
+
+    def test_advance_to_absolute_time(self):
+        clock = VirtualClock(5.0)
+        clock.advance_to(9.0)
+        assert clock.now() == 9.0
+
+    def test_advance_to_rejects_going_backwards(self):
+        clock = VirtualClock(5.0)
+        with pytest.raises(ConfigurationError):
+            clock.advance_to(4.9)
+
+    def test_copy_is_independent(self):
+        clock = VirtualClock(2.0)
+        twin = clock.copy()
+        clock.advance(10.0)
+        assert twin.now() == 2.0
+
+    def test_zero_advance_is_allowed(self):
+        clock = VirtualClock(1.0)
+        clock.advance(0.0)
+        assert clock.now() == 1.0
+
+
+class TestRandomStreams:
+    def test_derive_seed_is_deterministic(self):
+        assert derive_seed(42, "a", "b") == derive_seed(42, "a", "b")
+
+    def test_derive_seed_depends_on_names(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_derive_seed_depends_on_master(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_same_name_returns_same_stream_object(self):
+        streams = RandomStreams(7)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_streams_reproducible_across_instances(self):
+        a = RandomStreams(7).stream("network").random(5)
+        b = RandomStreams(7).stream("network").random(5)
+        assert (a == b).all()
+
+    def test_different_names_produce_different_sequences(self):
+        streams = RandomStreams(7)
+        a = streams.stream("a").random(5)
+        b = streams.stream("b").random(5)
+        assert not (a == b).all()
+
+    def test_fork_changes_sequences(self):
+        base = RandomStreams(7)
+        fork = base.fork("child")
+        assert fork.master_seed != base.master_seed
+
+    def test_reset_restarts_sequences(self):
+        streams = RandomStreams(7)
+        first = streams.stream("x").random(3)
+        streams.reset()
+        second = streams.stream("x").random(3)
+        assert (first == second).all()
+
+
+class TestUnits:
+    def test_constants(self):
+        assert KB == 1024
+        assert MB == 1024 * 1024
+        assert GB == 1024**3
+
+    def test_mb_bytes_roundtrip(self):
+        assert mb_to_bytes(2) == 2 * MB
+        assert bytes_to_mb(3 * MB) == pytest.approx(3.0)
+
+    def test_time_conversions(self):
+        assert s_to_ms(1.5) == 1500.0
+        assert ms_to_s(250.0) == 0.25
+
+    def test_round_up_to_granularity(self):
+        assert round_up(0.31, 0.1) == pytest.approx(0.4)
+        assert round_up(130, 128) == 256
+
+    def test_round_up_exact_multiple_unchanged(self):
+        assert round_up(0.3, 0.1) == pytest.approx(0.3)
+        assert round_up(256, 128) == 256
+
+    def test_round_up_zero_and_negative_values(self):
+        assert round_up(0.0, 0.1) == 0.0
+        assert round_up(-5.0, 0.1) == 0.0
+
+    def test_round_up_rejects_bad_granularity(self):
+        with pytest.raises(ValueError):
+            round_up(1.0, 0.0)
+
+    def test_round_up_handles_floating_point_noise(self):
+        # 0.1 * 3 is slightly above 0.3 in binary floating point.
+        assert round_up(0.1 * 3, 0.1) == pytest.approx(0.3)
