@@ -1,0 +1,23 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test compile ci bench workload
+
+## tier-1 test suite
+test:
+	$(PYTHON) -m pytest -x -q
+
+## byte-compile the library as a syntax gate
+compile:
+	$(PYTHON) -m compileall -q src
+
+## what CI runs
+ci: compile test
+
+## regenerate all paper figures/tables (pytest-benchmark harness)
+bench:
+	$(PYTHON) -m pytest benchmarks/bench_*.py -q -s
+
+## quick trace-driven workload replay demo
+workload:
+	$(PYTHON) -m repro.cli workload --pattern mixed --duration 300 --rate 2

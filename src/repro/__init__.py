@@ -15,7 +15,9 @@ Suite for Function-as-a-Service Computing* (Copik et al., ACM Middleware
 * :mod:`repro.models` — the analytical models (container eviction, payload
   latency, cold-start overhead, break-even);
 * :mod:`repro.stats`, :mod:`repro.metrics`, :mod:`repro.reporting` — the
-  measurement and reporting methodology.
+  measurement and reporting methodology;
+* :mod:`repro.workload` — arrival processes, workload traces and the
+  event-queue engine replaying them on the simulated platforms.
 
 Quickstart::
 
@@ -55,6 +57,15 @@ from .simulator import (
     IaaSPlatform,
     create_platform,
 )
+from .workload import (
+    BurstyArrivals,
+    ConstantRateArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    Scenario,
+    WorkloadResult,
+    WorkloadTrace,
+)
 
 __version__ = "1.0.0"
 
@@ -86,4 +97,11 @@ __all__ = [
     "GoogleCloudFunctionsSimulator",
     "IaaSPlatform",
     "create_platform",
+    "BurstyArrivals",
+    "ConstantRateArrivals",
+    "DiurnalArrivals",
+    "PoissonArrivals",
+    "Scenario",
+    "WorkloadResult",
+    "WorkloadTrace",
 ]

@@ -10,6 +10,7 @@ similar entry point::
     sebs-repro invoc-overhead            # payload/latency experiment (Figure 6)
     sebs-repro eviction                  # container-eviction experiment (Figure 7)
     sebs-repro faas-vs-iaas              # Table 5 comparison
+    sebs-repro workload                  # trace-driven workload replay
 
 All experiments run against the simulated providers; ``--samples`` and
 ``--batch`` trade accuracy for speed.
@@ -28,6 +29,9 @@ from .experiments.eviction_model import EvictionModelExperiment
 from .experiments.faas_vs_iaas import FaasVsIaasExperiment
 from .experiments.invocation_overhead import InvocationOverheadExperiment
 from .experiments.perf_cost import PerfCostExperiment
+from .experiments.workload_replay import WorkloadReplayExperiment
+from .workload.scenario import STANDARD_PATTERNS
+from .workload.trace import WorkloadTrace
 from .reporting import figures
 from .reporting.tables import format_table, table2_platform_limits, table3_applications, table9_insights
 
@@ -71,6 +75,26 @@ def _build_parser() -> argparse.ArgumentParser:
     iaas = sub.add_parser("faas-vs-iaas", help="FaaS vs IaaS comparison (Table 5)")
     iaas.add_argument("--samples", type=int, default=50)
     iaas.add_argument("--seed", type=int, default=42)
+
+    workload = sub.add_parser("workload", help="trace-driven workload replay")
+    workload.add_argument(
+        "--pattern",
+        default="mixed",
+        choices=list(STANDARD_PATTERNS),
+        help="arrival pattern applied to the deployed functions",
+    )
+    workload.add_argument("--duration", type=float, default=600.0, help="trace duration in simulated seconds")
+    workload.add_argument("--rate", type=float, default=2.0, help="mean arrival rate per function (1/s)")
+    workload.add_argument("--trace", default=None, help="replay a JSON trace file instead of synthesizing")
+    workload.add_argument("--save-trace", default=None, help="write the synthesized trace to a JSON file")
+    workload.add_argument("--seed", type=int, default=42)
+    workload.add_argument(
+        "--providers",
+        nargs="+",
+        default=["aws", "gcp", "azure"],
+        choices=[p.value for p in (Provider.AWS, Provider.GCP, Provider.AZURE)],
+        help="providers to evaluate",
+    )
     return parser
 
 
@@ -141,6 +165,28 @@ def main(argv: Sequence[str] | None = None) -> int:
         model = result.model
         if model is not None:
             print(f"\nFitted eviction period: {model.period_s:.0f} s (R^2 = {model.r_squared:.4f})")
+        return 0
+
+    if args.command == "workload":
+        config = ExperimentConfig(samples=1, seed=args.seed)
+        experiment = WorkloadReplayExperiment(config=config, simulation=SimulationConfig(seed=args.seed))
+        providers = tuple(Provider(p) for p in args.providers)
+        trace = WorkloadTrace.from_json(args.trace) if args.trace else None
+        result = experiment.run(
+            providers=providers,
+            pattern=args.pattern,
+            duration_s=args.duration,
+            rate_per_s=args.rate,
+            trace=trace,
+        )
+        if args.save_trace:
+            result.trace.to_json(args.save_trace, indent=2)
+            print(f"trace written to {args.save_trace}")
+        print(f"# Workload replay: {result.scenario_name} "
+              f"({result.trace_invocations} invocations over {result.trace_duration_s:.0f}s)")
+        print(format_table(result.to_rows()))
+        print("\n# Provider summary")
+        print(format_table(result.summary_rows()))
         return 0
 
     if args.command == "faas-vs-iaas":

@@ -11,6 +11,10 @@ Four experiments drive the evaluation:
 * **Local characterization** — non-cloud measurements of every benchmark
   (Table 4).
 
+Beyond the paper, **Workload-Replay** replays trace-driven mixed traffic
+(Poisson / bursty / diurnal arrivals) through the event-queue engine of
+:mod:`repro.workload` and compares the providers under identical load.
+
 Each experiment is a plain object configured by
 :class:`~repro.config.ExperimentConfig`; ``run()`` returns typed result
 objects that the reporting layer formats into the paper's tables and figure
@@ -24,6 +28,12 @@ from .invocation_overhead import InvocationOverheadExperiment, PayloadLatencyObs
 from .perf_cost import PerfCostConfigResult, PerfCostExperiment, PerfCostResult
 from .cost_analysis import CostAnalysis, ResourceUsageEntry
 from .faas_vs_iaas import FaasVsIaasExperiment, FaasVsIaasRow
+from .workload_replay import (
+    DEFAULT_DEPLOYMENTS,
+    WorkloadDeployment,
+    WorkloadReplayExperiment,
+    WorkloadReplayResult,
+)
 
 __all__ = [
     "deploy_benchmark",
@@ -41,4 +51,8 @@ __all__ = [
     "ResourceUsageEntry",
     "FaasVsIaasExperiment",
     "FaasVsIaasRow",
+    "DEFAULT_DEPLOYMENTS",
+    "WorkloadDeployment",
+    "WorkloadReplayExperiment",
+    "WorkloadReplayResult",
 ]

@@ -1,0 +1,120 @@
+"""The Workload-Replay experiment: realistic traffic against each provider.
+
+The paper's experiments probe providers with controlled batches; this
+experiment instead replays a *trace* — mixed, timestamped traffic over
+several deployed functions — through the event-queue engine
+(:mod:`repro.workload.engine`) and compares how the providers fare under
+identical load: cold-start rates, tail latency, failures and cost all
+diverge once arrivals overlap, because each provider's eviction policy and
+sandbox-sharing rules react differently to the same arrival structure.
+
+The same synthesized trace (one seed, one scenario) is replayed against
+every provider, so differences between rows are attributable to the
+platform, not the workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import Provider
+from ..workload.engine import WorkloadResult
+from ..workload.scenario import Scenario, standard_scenario
+from ..workload.trace import WorkloadTrace
+from .base import ExperimentRunner, deploy_benchmark
+
+@dataclass(frozen=True)
+class WorkloadDeployment:
+    """One function to deploy before the trace is replayed."""
+
+    function_name: str
+    benchmark: str
+    memory_mb: int = 256
+
+
+#: Default multi-tenant deployment: a cheap web endpoint, a multimedia
+#: function and a batch-style utility, covering the suite's main classes.
+DEFAULT_DEPLOYMENTS: tuple[WorkloadDeployment, ...] = (
+    WorkloadDeployment("web-api", "dynamic-html", 256),
+    WorkloadDeployment("thumbnails", "thumbnailer", 1024),
+    WorkloadDeployment("archiver", "compression", 1024),
+)
+
+
+@dataclass
+class WorkloadReplayResult:
+    """Per-provider outcomes of replaying one trace."""
+
+    scenario_name: str
+    trace: WorkloadTrace
+    per_provider: dict[Provider, WorkloadResult] = field(default_factory=dict)
+
+    @property
+    def trace_invocations(self) -> int:
+        return len(self.trace)
+
+    @property
+    def trace_duration_s(self) -> float:
+        return self.trace.duration_s
+
+    def to_rows(self) -> list[dict]:
+        """Per-provider, per-function rows for the reporting tables."""
+        rows = []
+        for provider in sorted(self.per_provider, key=lambda p: p.value):
+            for row in self.per_provider[provider].to_rows():
+                rows.append({"provider": provider.value, **row})
+        return rows
+
+    def summary_rows(self) -> list[dict]:
+        """One aggregate row per provider."""
+        return [
+            self.per_provider[provider].summary_row()
+            for provider in sorted(self.per_provider, key=lambda p: p.value)
+        ]
+
+
+class WorkloadReplayExperiment(ExperimentRunner):
+    """Replays a synthesized (or supplied) trace on each simulated provider."""
+
+    def run(
+        self,
+        providers: tuple[Provider, ...] = (Provider.AWS, Provider.GCP, Provider.AZURE),
+        deployments: tuple[WorkloadDeployment, ...] = DEFAULT_DEPLOYMENTS,
+        pattern: str = "mixed",
+        duration_s: float = 600.0,
+        rate_per_s: float = 2.0,
+        scenario: Scenario | None = None,
+        trace: WorkloadTrace | None = None,
+    ) -> WorkloadReplayResult:
+        """Deploy the functions, build the trace once, replay it everywhere.
+
+        ``scenario`` overrides the canned ``pattern``; ``trace`` (e.g. one
+        loaded from JSON) overrides both, in which case every function named
+        by the trace must appear in ``deployments``.
+        """
+        if trace is None:
+            if scenario is None:
+                scenario = standard_scenario(
+                    pattern,
+                    [deployment.function_name for deployment in deployments],
+                    duration_s=duration_s,
+                    rate_per_s=rate_per_s,
+                )
+            trace = scenario.build_trace(seed=self.config.seed)
+        result = WorkloadReplayResult(
+            scenario_name=scenario.name if scenario is not None else "trace",
+            trace=trace,
+        )
+        for provider in providers:
+            platform = self.make_platform(provider)
+            for deployment in deployments:
+                deploy_benchmark(
+                    platform,
+                    deployment.benchmark,
+                    memory_mb=deployment.memory_mb if platform.limits.memory_static else 0,
+                    language=self.language,
+                    input_size=self.input_size,
+                    function_name=deployment.function_name,
+                )
+            result.per_provider[provider] = platform.run_workload(trace)
+        return result

@@ -20,11 +20,17 @@ from .billing import CostBreakdown
 
 @dataclass(frozen=True)
 class InvocationRequest:
-    """A single invocation of a deployed function."""
+    """A single invocation of a deployed function.
+
+    ``payload_bytes`` overrides the measured request size exactly like the
+    same-named parameter of :meth:`~repro.faas.platform.FaaSPlatform.invoke`:
+    ``None`` means "derive from the JSON-encoded payload", and an explicit
+    value (including 0) is honoured as-is.
+    """
 
     function_name: str
     payload: Mapping[str, Any] = field(default_factory=dict)
-    payload_bytes: int = 0
+    payload_bytes: int | None = None
     trigger: TriggerType = TriggerType.HTTP
     submitted_at: float = 0.0
 

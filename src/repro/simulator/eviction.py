@@ -43,7 +43,7 @@ class HalfLifeEvictionPolicy(EvictionPolicy):
 
     The eviction is deterministic and application agnostic.  Containers are
     ranked by creation order; at period boundary ``p`` the policy keeps the
-    ``floor(initial / 2**p)`` most recently created warm containers from each
+    ``floor(initial / 2**p)`` earliest-created warm containers from each
     creation batch, which realises the paper's ``D_init * 2^-p`` model.
     """
 
@@ -51,6 +51,16 @@ class HalfLifeEvictionPolicy(EvictionPolicy):
         if period_s <= 0:
             raise ConfigurationError("eviction period must be positive")
         self.period_s = period_s
+        # Containers this policy evicted from each creation batch, keyed by
+        # (function, batch period).  The survivor count must be computed from
+        # the batch's full population (still warm + evicted by this policy),
+        # not from whatever is still warm — otherwise repeated lazy
+        # applications (every scheduling decision reapplies the policy) would
+        # halve the survivors again on every call instead of once per period.
+        # Counting our own evictions rather than remembering the peak size
+        # also keeps the model correct when sandboxes disappear for other
+        # reasons (``update_function`` invalidating all warm containers).
+        self._evicted_counts: dict[tuple[str, int], int] = {}
 
     def _periods_elapsed(self, container: Container, now: float) -> int:
         return int((now - container.created_at) // self.period_s)
@@ -61,21 +71,36 @@ class HalfLifeEvictionPolicy(EvictionPolicy):
             return []
         # Group containers by the batch they were created in (same period of
         # creation time); within each batch, the survivors after p periods are
-        # the first floor(batch_size / 2**p) by creation order.
+        # the first floor(initial_batch_size / 2**p) by creation order.
         victims: list[Container] = []
         batches: dict[int, list[Container]] = {}
         for container in warm:
             batch_key = int(container.created_at // self.period_s)
             batches.setdefault(batch_key, []).append(container)
-        for batch in batches.values():
+        for batch_key, batch in batches.items():
             batch.sort(key=lambda c: (c.created_at, c.container_id))
-            initial = len(batch)
+            already_evicted = self._evicted_counts.get((pool.function_name, batch_key), 0)
+            initial = len(batch) + already_evicted
             periods = self._periods_elapsed(batch[0], now)
             if periods <= 0:
                 continue
             survivors = initial >> periods  # floor(initial / 2**periods)
+            # Victims this policy evicted before were the latest-created, so
+            # the still-warm batch occupies the earliest positions of the
+            # full population and can be sliced directly.
             victims.extend(batch[survivors:])
         return victims
+
+    def apply(self, pool: ContainerPool, now: float) -> int:
+        # The eviction ledger is only updated here, once the selected
+        # containers are actually evicted — ``select_evictions`` stays a
+        # side-effect-free query, as the EvictionPolicy contract promises.
+        victims = self.select_evictions(pool, now)
+        pool.evict(victims)
+        for container in victims:
+            key = (pool.function_name, int(container.created_at // self.period_s))
+            self._evicted_counts[key] = self._evicted_counts.get(key, 0) + 1
+        return len(victims)
 
 
 class IdleTimeoutEvictionPolicy(EvictionPolicy):

@@ -16,7 +16,7 @@ thousands of invocations) fast while preserving the statistical behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Iterable, Iterator, Mapping
 
 import json
 
@@ -37,8 +37,10 @@ from ..exceptions import (
 )
 from ..faas.billing import BillingModel, CostBreakdown, billing_model_for
 from ..faas.function import CodePackage, DeployedFunction
-from ..faas.invocation import InvocationRecord
+from ..faas.invocation import InvocationRecord, InvocationRequest
 from ..faas.platform import FaaSPlatform, LogQueryType
+from ..workload.engine import WorkloadEngine, WorkloadResult
+from ..workload.trace import WorkloadTrace
 from ..network.latency import NetworkLink
 from ..utils.clock import VirtualClock
 from ..utils.rng import RandomStreams
@@ -238,8 +240,38 @@ class SimulatedPlatform(FaaSPlatform):
     ) -> list[InvocationRecord]:
         """Concurrent burst of ``count`` invocations starting at the same time.
 
-        The virtual clock advances by the longest client time in the batch.
+        All invocations share a single submission instant (the current
+        virtual time); afterwards the clock advances by the *longest* client
+        time in the batch, mirroring a driver that waits for the whole burst.
+
+        **Sandbox reservation rule.**  Because the burst is concurrent, each
+        invocation occupies its sandbox for the entire batch: the burst is
+        simulated in submission order and every container that already
+        served an earlier member is put on a ``reserved`` list that
+        :meth:`_acquire_container` excludes from warm reuse.  A burst of
+        ``count`` requests against ``w`` warm sandboxes therefore produces
+        exactly ``max(0, count - w)`` cold starts on AWS and GCP — the
+        mechanism behind the paper's eviction experiment (Section 6.5),
+        which uses bursts to materialise ``D_init`` distinct containers.
+
+        **Azure exception.**  Azure Functions hosts executions in *function
+        apps*: one app instance serves several concurrent executions on
+        worker processes/threads, so
+        :class:`~repro.simulator.providers.AzureFunctionsSimulator`
+        reinterprets the reservation multiset — a container only becomes
+        unavailable once it already hosts ``app_instance_concurrency``
+        members of the burst (Section 3.3 of the paper; see
+        ``docs/architecture.md`` for the full scheduling semantics).
+
+        For arrivals spread over time (rather than one instant) use
+        :meth:`run_workload` / :meth:`invoke_stream`, where occupancy is
+        tracked per-invocation on the event queue instead of per-batch.
+
+        Raises :class:`~repro.exceptions.FunctionNotFoundError` if ``fname``
+        is not deployed, and :class:`~repro.exceptions.PlatformError` for a
+        non-positive ``count``.
         """
+        self.get_function(fname)  # unknown functions fail before batch validation
         if count <= 0:
             raise PlatformError("batch size must be positive")
         start_at = self.clock.now()
@@ -263,6 +295,28 @@ class SimulatedPlatform(FaaSPlatform):
             records.append(record)
         self.clock.advance(max(record.client_time_s for record in records))
         return records
+
+    # ------------------------------------------------------ workload replay
+    def invoke_stream(self, requests: Iterable[InvocationRequest]) -> Iterator[InvocationRecord]:
+        """Replay a time-sorted request stream through the event-queue engine.
+
+        Yields one :class:`~repro.faas.invocation.InvocationRecord` per
+        request, in arrival order.  Unlike :meth:`invoke_batch`, sandboxes
+        are occupied only between their invocation's start and finish times,
+        so warm reuse and concurrency emerge from the overlap of requests.
+        See :class:`~repro.workload.engine.WorkloadEngine`.
+        """
+        return WorkloadEngine(self).stream(requests)
+
+    def run_workload(self, trace: WorkloadTrace) -> WorkloadResult:
+        """Replay a :class:`~repro.workload.trace.WorkloadTrace` and aggregate.
+
+        Returns a :class:`~repro.workload.engine.WorkloadResult` with the
+        per-invocation records, per-function latency/cold-start/cost
+        summaries and simulator-throughput measurements.  Deterministic:
+        the same platform seed and trace produce identical results.
+        """
+        return WorkloadEngine(self).run(trace)
 
     # ------------------------------------------------------------- internals
     def _acquire_container(

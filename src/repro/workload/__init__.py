@@ -1,0 +1,47 @@
+"""Trace-driven workload generation and event-queue replay.
+
+The workload layer supplies the "traffic" half of the reproduction: arrival
+processes (:mod:`repro.workload.arrivals`), timestamped traces
+(:mod:`repro.workload.trace`), multi-function scenarios
+(:mod:`repro.workload.scenario`) and the min-heap event-queue engine that
+replays them on a simulated platform (:mod:`repro.workload.engine`).
+
+Typical use::
+
+    from repro import Provider, SimulationConfig, create_platform, deploy_benchmark
+    from repro.workload import PoissonArrivals, WorkloadTrace
+
+    platform = create_platform(Provider.AWS, SimulationConfig(seed=1))
+    fname = deploy_benchmark(platform, "dynamic-html", memory_mb=256)
+    trace = WorkloadTrace.synthesize(fname, PoissonArrivals(5.0), duration_s=600, rng=1)
+    result = platform.run_workload(trace)
+    print(result.cold_start_rate, result.total_cost_usd)
+"""
+
+from .arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    ConstantRateArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+)
+from .engine import FunctionWorkloadSummary, WorkloadEngine, WorkloadResult
+from .scenario import STANDARD_PATTERNS, FunctionTraffic, Scenario, standard_scenario
+from .trace import TRACE_FORMAT_VERSION, WorkloadTrace
+
+__all__ = [
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "ConstantRateArrivals",
+    "DiurnalArrivals",
+    "PoissonArrivals",
+    "FunctionWorkloadSummary",
+    "WorkloadEngine",
+    "WorkloadResult",
+    "STANDARD_PATTERNS",
+    "FunctionTraffic",
+    "Scenario",
+    "standard_scenario",
+    "TRACE_FORMAT_VERSION",
+    "WorkloadTrace",
+]

@@ -1,0 +1,190 @@
+"""Arrival processes: *when* do invocations hit the platform?
+
+The paper's experiments drive providers with regular batches, but real FaaS
+traffic is anything but regular — cold-start rates, container eviction and
+cost all depend on the inter-arrival structure of the request stream.  This
+module provides the classic arrival processes used to synthesize workload
+traces:
+
+* :class:`ConstantRateArrivals` — deterministic, evenly spaced requests
+  (closed-loop load generators, health checks, timers);
+* :class:`PoissonArrivals` — memoryless open-loop traffic, the standard
+  model for many independent users;
+* :class:`BurstyArrivals` — a two-state ON/OFF (interrupted Poisson)
+  process producing request bursts separated by quiet periods, the worst
+  case for cold starts;
+* :class:`DiurnalArrivals` — a non-homogeneous Poisson process whose rate
+  follows a sinusoidal day/night curve, sampled by thinning.
+
+Every process generates *relative* arrival offsets in ``[0, duration_s)``
+from a caller-supplied :class:`numpy.random.Generator`, so traces derived
+from the same seed are reproducible (see :mod:`repro.utils.rng`).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+
+class ArrivalProcess(abc.ABC):
+    """Generates the arrival timestamps of an invocation stream."""
+
+    @abc.abstractmethod
+    def generate(self, duration_s: float, rng: np.random.Generator) -> np.ndarray:
+        """Return sorted arrival offsets (seconds) within ``[0, duration_s)``."""
+
+    @property
+    def name(self) -> str:
+        """Short human-readable identifier used in scenario descriptions."""
+        return type(self).__name__
+
+    @staticmethod
+    def _validate_duration(duration_s: float) -> float:
+        if duration_s <= 0:
+            raise ConfigurationError("trace duration must be positive")
+        return float(duration_s)
+
+
+class ConstantRateArrivals(ArrivalProcess):
+    """Deterministic arrivals spaced exactly ``1 / rate`` seconds apart."""
+
+    def __init__(self, rate_per_s: float, phase_s: float = 0.0):
+        if rate_per_s <= 0:
+            raise ConfigurationError("arrival rate must be positive")
+        if phase_s < 0:
+            raise ConfigurationError("phase must be non-negative")
+        self.rate_per_s = float(rate_per_s)
+        self.phase_s = float(phase_s)
+
+    def generate(self, duration_s: float, rng: np.random.Generator) -> np.ndarray:
+        duration_s = self._validate_duration(duration_s)
+        interval = 1.0 / self.rate_per_s
+        start = self.phase_s % interval
+        count = int(math.ceil((duration_s - start) / interval)) if start < duration_s else 0
+        arrivals = start + interval * np.arange(max(0, count), dtype=float)
+        return arrivals[arrivals < duration_s]
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Homogeneous Poisson process: exponential inter-arrival times."""
+
+    def __init__(self, rate_per_s: float):
+        if rate_per_s <= 0:
+            raise ConfigurationError("arrival rate must be positive")
+        self.rate_per_s = float(rate_per_s)
+
+    def generate(self, duration_s: float, rng: np.random.Generator) -> np.ndarray:
+        duration_s = self._validate_duration(duration_s)
+        arrivals: list[np.ndarray] = []
+        t = 0.0
+        # Draw inter-arrival gaps in blocks sized by the expected count; the
+        # loop almost always terminates after one or two iterations.
+        expected = max(16, int(self.rate_per_s * duration_s * 1.1))
+        while t < duration_s:
+            gaps = rng.exponential(1.0 / self.rate_per_s, size=expected)
+            block = t + np.cumsum(gaps)
+            arrivals.append(block)
+            t = float(block[-1])
+        merged = np.concatenate(arrivals)
+        return merged[merged < duration_s]
+
+
+class BurstyArrivals(ArrivalProcess):
+    """ON/OFF (interrupted Poisson) process producing bursts of requests.
+
+    The source alternates between an ON state, during which requests arrive
+    as a Poisson process at ``on_rate_per_s``, and an OFF state with a much
+    lower (by default zero) ``off_rate_per_s``.  State holding times are
+    exponential with means ``mean_on_s`` and ``mean_off_s``.
+    """
+
+    def __init__(
+        self,
+        on_rate_per_s: float,
+        mean_on_s: float,
+        mean_off_s: float,
+        off_rate_per_s: float = 0.0,
+    ):
+        if on_rate_per_s <= 0:
+            raise ConfigurationError("ON-state arrival rate must be positive")
+        if mean_on_s <= 0 or mean_off_s <= 0:
+            raise ConfigurationError("ON/OFF holding times must be positive")
+        if off_rate_per_s < 0:
+            raise ConfigurationError("OFF-state arrival rate must be non-negative")
+        self.on_rate_per_s = float(on_rate_per_s)
+        self.mean_on_s = float(mean_on_s)
+        self.mean_off_s = float(mean_off_s)
+        self.off_rate_per_s = float(off_rate_per_s)
+
+    def generate(self, duration_s: float, rng: np.random.Generator) -> np.ndarray:
+        duration_s = self._validate_duration(duration_s)
+        arrivals: list[float] = []
+        t = 0.0
+        state_on = True
+        while t < duration_s:
+            mean = self.mean_on_s if state_on else self.mean_off_s
+            rate = self.on_rate_per_s if state_on else self.off_rate_per_s
+            hold = float(rng.exponential(mean))
+            end = min(duration_s, t + hold)
+            if rate > 0:
+                cursor = t + float(rng.exponential(1.0 / rate))
+                while cursor < end:
+                    arrivals.append(cursor)
+                    cursor += float(rng.exponential(1.0 / rate))
+            t = end
+            state_on = not state_on
+        return np.asarray(arrivals, dtype=float)
+
+
+class DiurnalArrivals(ArrivalProcess):
+    """Non-homogeneous Poisson process with a sinusoidal day/night cycle.
+
+    The instantaneous rate is::
+
+        rate(t) = mean_rate_per_s * (1 + amplitude * sin(2*pi*(t + phase_s) / period_s))
+
+    sampled exactly with Lewis & Shedler thinning against the peak rate.
+    ``amplitude`` in ``[0, 1]`` controls how deep the night-time trough is
+    (1.0 means traffic dies out completely at the trough).
+    """
+
+    def __init__(
+        self,
+        mean_rate_per_s: float,
+        amplitude: float = 0.8,
+        period_s: float = 86_400.0,
+        phase_s: float = 0.0,
+    ):
+        if mean_rate_per_s <= 0:
+            raise ConfigurationError("arrival rate must be positive")
+        if not 0.0 <= amplitude <= 1.0:
+            raise ConfigurationError("diurnal amplitude must lie in [0, 1]")
+        if period_s <= 0:
+            raise ConfigurationError("diurnal period must be positive")
+        self.mean_rate_per_s = float(mean_rate_per_s)
+        self.amplitude = float(amplitude)
+        self.period_s = float(period_s)
+        self.phase_s = float(phase_s)
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate at offset ``t`` seconds."""
+        cycle = math.sin(2.0 * math.pi * (t + self.phase_s) / self.period_s)
+        return self.mean_rate_per_s * (1.0 + self.amplitude * cycle)
+
+    def generate(self, duration_s: float, rng: np.random.Generator) -> np.ndarray:
+        duration_s = self._validate_duration(duration_s)
+        peak = self.mean_rate_per_s * (1.0 + self.amplitude)
+        arrivals: list[float] = []
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / peak))
+            if t >= duration_s:
+                break
+            if rng.random() * peak <= self.rate_at(t):
+                arrivals.append(t)
+        return np.asarray(arrivals, dtype=float)

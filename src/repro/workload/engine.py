@@ -1,0 +1,268 @@
+"""The event-queue workload engine.
+
+This is the scheduling layer that turns the single-request simulator into a
+trace-driven system.  ``invoke`` and ``invoke_batch`` advance the virtual
+clock once per call, so a container is either free or reserved for a whole
+batch.  The engine instead replays a :class:`~repro.workload.trace.WorkloadTrace`
+through a **min-heap event queue** over the virtual clock:
+
+* every request is an *arrival* event at its trace timestamp;
+* simulating an invocation determines its finish time, which is pushed as a
+  *completion* event onto the heap;
+* before an arrival is scheduled, all completions up to that instant are
+  popped, releasing their sandboxes.
+
+A sandbox is therefore occupied exactly between its invocation's start and
+finish, and warm reuse, cold starts, eviction and concurrency all *emerge
+from the overlap structure* of the trace: two requests 50 ms apart hitting a
+200 ms function need two sandboxes, while the same two requests 5 s apart
+share one.  Azure's function-app instance sharing is preserved — the busy
+set carries one entry per in-flight execution, which is exactly the
+multiplicity :meth:`AzureFunctionsSimulator._acquire_container` counts.
+
+The engine is deterministic: the same platform seed and the same trace
+produce identical schedules, cold-start counts and cost totals.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from ..config import Provider, StartType
+from ..exceptions import ConfigurationError
+from ..faas.invocation import InvocationRecord, InvocationRequest
+from ..stats.summary import DistributionSummary, summarize
+from .trace import WorkloadTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..simulator.platform_sim import SimulatedPlatform
+
+#: Evicted sandboxes are pruned from the pools every this many requests, so
+#: warm-list scans stay O(pool size) instead of O(all containers ever made).
+_PRUNE_INTERVAL = 1024
+
+
+@dataclass(frozen=True)
+class FunctionWorkloadSummary:
+    """Per-function outcome of a workload replay."""
+
+    function_name: str
+    invocations: int
+    cold_starts: int
+    failures: int
+    total_cost_usd: float
+    client_time: DistributionSummary | None = None
+
+    @property
+    def cold_start_rate(self) -> float:
+        return self.cold_starts / self.invocations if self.invocations else 0.0
+
+    def to_row(self) -> dict:
+        row = {
+            "function": self.function_name,
+            "invocations": self.invocations,
+            "cold_starts": self.cold_starts,
+            "cold_rate_pct": round(100.0 * self.cold_start_rate, 2),
+            "failures": self.failures,
+            "cost_usd": round(self.total_cost_usd, 8),
+        }
+        if self.client_time is not None:
+            row["client_p50_ms"] = round(self.client_time.median * 1000.0, 2)
+            row["client_p95_ms"] = round(self.client_time.percentiles.get(95.0, float("nan")) * 1000.0, 2)
+        return row
+
+
+@dataclass
+class WorkloadResult:
+    """Everything a workload replay produced."""
+
+    provider: Provider
+    records: list[InvocationRecord] = field(default_factory=list)
+    #: Span of simulated time between first submission and last completion.
+    simulated_span_s: float = 0.0
+    #: Wall-clock seconds the replay took (simulator throughput measure).
+    wall_clock_s: float = 0.0
+    #: Largest number of invocations in flight at any instant.
+    peak_in_flight: int = 0
+
+    @property
+    def invocations(self) -> int:
+        return len(self.records)
+
+    @property
+    def cold_start_count(self) -> int:
+        return sum(1 for record in self.records if record.start_type is StartType.COLD)
+
+    @property
+    def cold_start_rate(self) -> float:
+        return self.cold_start_count / self.invocations if self.records else 0.0
+
+    @property
+    def failure_count(self) -> int:
+        return sum(1 for record in self.records if not record.success)
+
+    @property
+    def total_cost_usd(self) -> float:
+        return sum(record.cost.total for record in self.records)
+
+    @property
+    def throughput_per_s(self) -> float:
+        """Invocations simulated per wall-clock second."""
+        if self.wall_clock_s <= 0:
+            return 0.0
+        return self.invocations / self.wall_clock_s
+
+    def per_function(self) -> dict[str, FunctionWorkloadSummary]:
+        """Aggregate the records into per-function summaries."""
+        grouped: dict[str, list[InvocationRecord]] = {}
+        for record in self.records:
+            grouped.setdefault(record.function_name, []).append(record)
+        summaries = {}
+        for fname in sorted(grouped):
+            records = grouped[fname]
+            summaries[fname] = FunctionWorkloadSummary(
+                function_name=fname,
+                invocations=len(records),
+                cold_starts=sum(1 for r in records if r.start_type is StartType.COLD),
+                failures=sum(1 for r in records if not r.success),
+                total_cost_usd=sum(r.cost.total for r in records),
+                client_time=summarize([r.client_time_s for r in records]),
+            )
+        return summaries
+
+    def to_rows(self) -> list[dict]:
+        """Per-function table rows (for :func:`repro.reporting.tables.format_table`)."""
+        return [summary.to_row() for summary in self.per_function().values()]
+
+    def summary_row(self) -> dict:
+        """One aggregate row describing the whole replay."""
+        return {
+            "provider": self.provider.value,
+            "invocations": self.invocations,
+            "cold_starts": self.cold_start_count,
+            "cold_rate_pct": round(100.0 * self.cold_start_rate, 2),
+            "failures": self.failure_count,
+            "peak_in_flight": self.peak_in_flight,
+            "cost_usd": round(self.total_cost_usd, 8),
+            "simulated_span_s": round(self.simulated_span_s, 3),
+            "throughput_inv_per_s": round(self.throughput_per_s, 1),
+        }
+
+
+class WorkloadEngine:
+    """Replays invocation streams against one simulated platform."""
+
+    def __init__(self, platform: "SimulatedPlatform"):
+        self.platform = platform
+
+    def stream(self, requests: Iterable[InvocationRequest]) -> Iterator[InvocationRecord]:
+        """Replay ``requests`` lazily, yielding one record per request.
+
+        Requests must arrive in non-decreasing ``submitted_at`` order
+        (:class:`~repro.workload.trace.WorkloadTrace` guarantees this).
+        Timestamps are relative: request time 0 is the platform clock's
+        position when the stream starts.  When the stream is exhausted the
+        clock is advanced to the last completion, so a subsequent
+        ``warm_container_count`` or ``invoke`` sees the post-workload state.
+        """
+        platform = self.platform
+        base = platform.clock.now()
+        sequence = itertools.count()
+        # Completion events: (finish_time, tie-break, container_id).
+        completions: list[tuple[float, int, str]] = []
+        # In-flight executions per container (Azure packs several per app
+        # instance, so this is a multiset rather than a set).
+        busy: dict[str, int] = {}
+        last_submitted = 0.0
+        last_finish = base
+        processed = 0
+
+        for request in requests:
+            if request.submitted_at < last_submitted:
+                raise ConfigurationError(
+                    "workload requests must be sorted by submission time "
+                    f"({request.submitted_at:.6f} after {last_submitted:.6f})"
+                )
+            last_submitted = request.submitted_at
+            now = base + request.submitted_at
+
+            # Release every sandbox whose invocation completed by `now`.
+            while completions and completions[0][0] <= now:
+                _, _, container_id = heapq.heappop(completions)
+                remaining = busy.get(container_id, 0) - 1
+                if remaining > 0:
+                    busy[container_id] = remaining
+                else:
+                    busy.pop(container_id, None)
+
+            platform.clock.advance_to(now)
+            in_flight = len(completions)
+            reserved = [cid for cid, count in busy.items() for _ in range(count)]
+            record = platform._simulate_invocation(
+                request.function_name,
+                request.payload,
+                request.trigger,
+                request.payload_bytes,
+                concurrency=in_flight + 1,
+                start_at=now,
+                reserved=reserved,
+            )
+            heapq.heappush(completions, (record.finished_at, next(sequence), record.container_id))
+            busy[record.container_id] = busy.get(record.container_id, 0) + 1
+            last_finish = max(last_finish, record.finished_at)
+
+            processed += 1
+            if processed % _PRUNE_INTERVAL == 0:
+                self._prune_pools()
+            yield record
+
+        if last_finish > platform.clock.now():
+            platform.clock.advance_to(last_finish)
+
+    def run(self, trace: WorkloadTrace) -> WorkloadResult:
+        """Replay a whole trace and aggregate the outcome.
+
+        Validates every referenced function up front, so an unknown name
+        raises :class:`~repro.exceptions.FunctionNotFoundError` before any
+        simulated time passes.
+        """
+        for fname in trace.functions():
+            self.platform.get_function(fname)
+        wall_start = time.perf_counter()
+        records = list(self.stream(trace))
+        wall_clock_s = time.perf_counter() - wall_start
+        span = 0.0
+        if records:
+            span = max(r.finished_at for r in records) - min(r.submitted_at for r in records)
+        result = WorkloadResult(
+            provider=self.platform.provider,
+            records=records,
+            simulated_span_s=span,
+            wall_clock_s=wall_clock_s,
+        )
+        result.peak_in_flight = self._peak_in_flight(records)
+        return result
+
+    def _prune_pools(self) -> None:
+        for state in self.platform._state.values():
+            state.pool.prune()
+
+    @staticmethod
+    def _peak_in_flight(records: list[InvocationRecord]) -> int:
+        """Maximum overlap of [submitted_at, finished_at) intervals."""
+        if not records:
+            return 0
+        events: list[tuple[float, int]] = []
+        for record in records:
+            events.append((record.submitted_at, 1))
+            events.append((record.finished_at, -1))
+        events.sort()
+        peak = current = 0
+        for _, delta in events:
+            current += delta
+            peak = max(peak, current)
+        return peak

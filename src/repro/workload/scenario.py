@@ -1,0 +1,134 @@
+"""Scenarios: mixed traffic over several functions.
+
+A :class:`Scenario` maps deployed functions to arrival processes and builds
+the merged :class:`~repro.workload.trace.WorkloadTrace` that the engine
+replays.  Each function's arrivals are drawn from an independent random
+stream derived from the scenario seed (see :func:`repro.utils.rng.derive_seed`),
+so adding traffic for one function never perturbs another function's
+arrivals — the same property the simulator's own streams have.
+
+:func:`standard_scenario` builds the canned single-function scenarios the
+CLI exposes (``constant``, ``poisson``, ``bursty``, ``diurnal``) and the
+``mixed`` scenario combining all three stochastic patterns over different
+functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..config import TriggerType
+from ..exceptions import ConfigurationError
+from ..utils.rng import RandomStreams
+from .arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    ConstantRateArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+)
+from .trace import WorkloadTrace
+
+
+@dataclass(frozen=True)
+class FunctionTraffic:
+    """Traffic description for one function inside a scenario."""
+
+    function_name: str
+    process: ArrivalProcess
+    payload: Mapping[str, Any] = field(default_factory=dict)
+    #: None = derive the request size from the JSON-encoded payload.
+    payload_bytes: int | None = None
+    trigger: TriggerType = TriggerType.HTTP
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named traffic mix replayed over a fixed duration."""
+
+    name: str
+    duration_s: float
+    traffic: tuple[FunctionTraffic, ...]
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ConfigurationError("scenario duration must be positive")
+        if not self.traffic:
+            raise ConfigurationError("a scenario needs at least one traffic source")
+
+    def functions(self) -> list[str]:
+        return sorted({traffic.function_name for traffic in self.traffic})
+
+    def build_trace(self, seed: int = 0) -> WorkloadTrace:
+        """Synthesize the merged trace of all traffic sources."""
+        streams = RandomStreams(seed).fork("workload", self.name)
+        traces = [
+            WorkloadTrace.synthesize(
+                traffic.function_name,
+                traffic.process,
+                self.duration_s,
+                rng=streams.stream("arrivals", f"{index}:{traffic.function_name}"),
+                payload=traffic.payload,
+                payload_bytes=traffic.payload_bytes,
+                trigger=traffic.trigger,
+            )
+            for index, traffic in enumerate(self.traffic)
+        ]
+        return WorkloadTrace.merge(*traces)
+
+
+#: Names accepted by :func:`standard_scenario` (and the CLI's ``--pattern``).
+STANDARD_PATTERNS = ("constant", "poisson", "bursty", "diurnal", "mixed")
+
+
+def standard_scenario(
+    pattern: str,
+    function_names: list[str] | tuple[str, ...],
+    duration_s: float = 600.0,
+    rate_per_s: float = 2.0,
+) -> Scenario:
+    """Build one of the canned scenarios over ``function_names``.
+
+    ``constant`` / ``poisson`` / ``bursty`` / ``diurnal`` apply the same
+    arrival pattern to every function (each with its own random stream);
+    ``mixed`` cycles the three stochastic patterns across the functions,
+    which is the interesting multi-tenant case.  The diurnal pattern is
+    compressed to one "day" per trace duration so short traces still see a
+    full peak/trough cycle.
+    """
+    if not function_names:
+        raise ConfigurationError("standard scenarios need at least one function name")
+    if pattern not in STANDARD_PATTERNS:
+        raise ConfigurationError(
+            f"unknown traffic pattern {pattern!r}; choose from {', '.join(STANDARD_PATTERNS)}"
+        )
+
+    def make_process(kind: str) -> ArrivalProcess:
+        if kind == "constant":
+            return ConstantRateArrivals(rate_per_s)
+        if kind == "poisson":
+            return PoissonArrivals(rate_per_s)
+        if kind == "bursty":
+            # Bursts of 4x the mean rate, ON a quarter of the time.
+            return BurstyArrivals(
+                on_rate_per_s=4.0 * rate_per_s,
+                mean_on_s=max(1.0, duration_s / 40.0),
+                mean_off_s=max(3.0, 3.0 * duration_s / 40.0),
+            )
+        if kind == "diurnal":
+            return DiurnalArrivals(mean_rate_per_s=rate_per_s, amplitude=0.9, period_s=duration_s)
+        raise ConfigurationError(f"unknown traffic pattern {kind!r}")
+
+    if pattern == "mixed":
+        cycle = ("poisson", "bursty", "diurnal")
+        traffic = tuple(
+            FunctionTraffic(function_name=name, process=make_process(cycle[index % len(cycle)]))
+            for index, name in enumerate(function_names)
+        )
+    else:
+        traffic = tuple(
+            FunctionTraffic(function_name=name, process=make_process(pattern))
+            for name in function_names
+        )
+    return Scenario(name=pattern, duration_s=duration_s, traffic=traffic)

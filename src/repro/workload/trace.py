@@ -1,0 +1,181 @@
+"""Workload traces: timestamped invocation requests.
+
+A :class:`WorkloadTrace` is an immutable, time-sorted sequence of
+:class:`~repro.faas.invocation.InvocationRequest` objects.  Traces can be
+
+* **synthesized** from an :class:`~repro.workload.arrivals.ArrivalProcess`
+  (``WorkloadTrace.synthesize``),
+* **merged** from several per-function traces into one mixed stream
+  (``WorkloadTrace.merge``), and
+* **serialised** to / loaded from a small JSON format
+  (``to_json`` / ``from_json``), so real provider traces (e.g. the Azure
+  Functions production trace) can be converted and replayed offline.
+
+Timestamps (``submitted_at``) are *relative to the start of the trace*; the
+engine offsets them by the platform clock when the trace is replayed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Mapping
+
+import numpy as np
+
+from ..config import TriggerType
+from ..exceptions import ConfigurationError
+from ..faas.invocation import InvocationRequest
+from .arrivals import ArrivalProcess
+
+#: Version tag written into serialised traces.
+TRACE_FORMAT_VERSION = 1
+
+
+class WorkloadTrace:
+    """A time-sorted sequence of invocation requests."""
+
+    def __init__(self, requests: Iterable[InvocationRequest]):
+        items = list(requests)
+        for request in items:
+            if request.submitted_at < 0:
+                raise ConfigurationError("trace timestamps must be non-negative")
+        # Stable sort keeps the original order of simultaneous requests,
+        # which keeps replay deterministic for identical timestamps.
+        items.sort(key=lambda r: r.submitted_at)
+        self._requests: tuple[InvocationRequest, ...] = tuple(items)
+
+    # ------------------------------------------------------------ properties
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def __iter__(self) -> Iterator[InvocationRequest]:
+        return iter(self._requests)
+
+    def __getitem__(self, index: int) -> InvocationRequest:
+        return self._requests[index]
+
+    @property
+    def duration_s(self) -> float:
+        """Offset of the last request (0 for an empty trace)."""
+        return self._requests[-1].submitted_at if self._requests else 0.0
+
+    def functions(self) -> list[str]:
+        """Sorted names of the functions the trace invokes."""
+        return sorted({request.function_name for request in self._requests})
+
+    def mean_rate_per_s(self) -> float:
+        """Mean arrival rate over the *observed* span (first to last arrival).
+
+        Computed from the inter-arrival gaps, so a late first arrival (e.g.
+        a diurnal trace starting in its trough) does not skew the rate.
+        Traces with fewer than two requests have no observable rate => 0.
+        """
+        if len(self._requests) < 2:
+            return 0.0
+        span = self._requests[-1].submitted_at - self._requests[0].submitted_at
+        if span <= 0:
+            return 0.0
+        return (len(self._requests) - 1) / span
+
+    # ---------------------------------------------------------- construction
+    @classmethod
+    def synthesize(
+        cls,
+        function_name: str,
+        process: ArrivalProcess,
+        duration_s: float,
+        rng: np.random.Generator | int = 0,
+        payload: Mapping[str, Any] | None = None,
+        payload_bytes: int | None = None,
+        trigger: TriggerType = TriggerType.HTTP,
+    ) -> "WorkloadTrace":
+        """Generate a single-function trace from an arrival process."""
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(int(rng))
+        offsets = process.generate(duration_s, rng)
+        return cls(
+            InvocationRequest(
+                function_name=function_name,
+                payload=dict(payload or {}),
+                payload_bytes=payload_bytes,
+                trigger=trigger,
+                submitted_at=float(offset),
+            )
+            for offset in offsets
+        )
+
+    @classmethod
+    def merge(cls, *traces: "WorkloadTrace") -> "WorkloadTrace":
+        """Interleave several traces into one time-sorted stream."""
+        merged: list[InvocationRequest] = []
+        for trace in traces:
+            merged.extend(trace)
+        return cls(merged)
+
+    # --------------------------------------------------------- serialisation
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": TRACE_FORMAT_VERSION,
+            "requests": [
+                {
+                    "function": request.function_name,
+                    "submitted_at": request.submitted_at,
+                    "payload": dict(request.payload),
+                    # Omitted when None: "measure the encoded payload".
+                    **(
+                        {"payload_bytes": request.payload_bytes}
+                        if request.payload_bytes is not None
+                        else {}
+                    ),
+                    "trigger": request.trigger.value,
+                }
+                for request in self._requests
+            ],
+        }
+
+    def to_json(self, path: str | Path | None = None, indent: int | None = None) -> str:
+        """Serialise the trace; optionally write it to ``path``."""
+        text = json.dumps(self.to_dict(), indent=indent)
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadTrace":
+        version = data.get("version", TRACE_FORMAT_VERSION)
+        if version != TRACE_FORMAT_VERSION:
+            raise ConfigurationError(f"unsupported trace format version {version!r}")
+        entries = data.get("requests")
+        if not isinstance(entries, list):
+            raise ConfigurationError("trace JSON must contain a 'requests' list")
+        requests = []
+        for entry in entries:
+            if "function" not in entry:
+                raise ConfigurationError("every trace entry needs a 'function' name")
+            raw_bytes = entry.get("payload_bytes")
+            requests.append(
+                InvocationRequest(
+                    function_name=str(entry["function"]),
+                    payload=dict(entry.get("payload", {})),
+                    payload_bytes=None if raw_bytes is None else int(raw_bytes),
+                    trigger=TriggerType(entry.get("trigger", TriggerType.HTTP.value)),
+                    submitted_at=float(entry.get("submitted_at", 0.0)),
+                )
+            )
+        return cls(requests)
+
+    @classmethod
+    def from_json(cls, source: str | Path) -> "WorkloadTrace":
+        """Load a trace from a JSON string or a file path."""
+        if isinstance(source, Path) or (isinstance(source, str) and not source.lstrip().startswith("{")):
+            text = Path(source).read_text(encoding="utf-8")
+        else:
+            text = source
+        return cls.from_dict(json.loads(text))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"WorkloadTrace({len(self)} requests, {len(self.functions())} functions, "
+            f"{self.duration_s:.1f}s)"
+        )
