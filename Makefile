@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test compile ci bench workload
+.PHONY: test compile ci bench bench-smoke workload
 
 ## tier-1 test suite
 test:
@@ -12,11 +12,15 @@ compile:
 	$(PYTHON) -m compileall -q src
 
 ## what CI runs
-ci: compile test
+ci: compile test bench-smoke
 
 ## regenerate all paper figures/tables (pytest-benchmark harness)
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_*.py -q -s
+
+## fast scheduler-regression gate: 10k-invocation replay under a time budget
+bench-smoke:
+	$(PYTHON) benchmarks/smoke_replay.py
 
 ## quick trace-driven workload replay demo
 workload:

@@ -1,0 +1,60 @@
+"""CI smoke gate: a 10k-invocation trace replay with a wall-clock budget.
+
+Run as a plain script (``make bench-smoke``); no pytest-benchmark needed.
+The thresholds are deliberately loose — the point is to catch catastrophic
+scheduler regressions (an accidental O(pool x in-flight) hot path pushes the
+replay from well under a second to tens of seconds), not to flake on slow CI
+runners.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.config import Provider, SimulationConfig
+from repro.experiments.base import deploy_benchmark
+from repro.simulator.providers import create_platform
+from repro.workload import PoissonArrivals, WorkloadTrace
+
+SMOKE_INVOCATIONS = 10_000
+ARRIVAL_RATE_PER_S = 50.0
+#: Generous wall-clock budget (the indexed scheduler needs < 1 s).
+WALL_CLOCK_BUDGET_S = 30.0
+
+
+def main() -> int:
+    platform = create_platform(Provider.AWS, SimulationConfig(seed=42))
+    fname = deploy_benchmark(platform, "dynamic-html", memory_mb=256)
+    duration_s = 1.05 * SMOKE_INVOCATIONS / ARRIVAL_RATE_PER_S
+    trace = WorkloadTrace.synthesize(
+        fname, PoissonArrivals(ARRIVAL_RATE_PER_S), duration_s=duration_s, rng=42
+    )
+    if len(trace) < SMOKE_INVOCATIONS:
+        print(f"FAIL: synthesized only {len(trace)} requests")
+        return 1
+    trace = WorkloadTrace(list(trace)[:SMOKE_INVOCATIONS])
+
+    result = platform.run_workload(trace)
+    print(
+        f"bench-smoke: {result.invocations} invocations in {result.wall_clock_s:.2f}s "
+        f"({result.throughput_per_s:,.0f}/s), cold rate {100 * result.cold_start_rate:.2f}%, "
+        f"cost ${result.total_cost_usd:.4f}"
+    )
+
+    failures = []
+    if result.invocations != SMOKE_INVOCATIONS:
+        failures.append(f"expected {SMOKE_INVOCATIONS} records, got {result.invocations}")
+    if result.wall_clock_s > WALL_CLOCK_BUDGET_S:
+        failures.append(f"replay took {result.wall_clock_s:.2f}s > {WALL_CLOCK_BUDGET_S:.0f}s budget")
+    if result.cold_start_rate > 0.10:
+        failures.append(f"cold-start rate {result.cold_start_rate:.3f} > 0.10")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("bench-smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -87,6 +87,21 @@ def _build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--rate", type=float, default=2.0, help="mean arrival rate per function (1/s)")
     workload.add_argument("--trace", default=None, help="replay a JSON trace file instead of synthesizing")
     workload.add_argument("--save-trace", default=None, help="write the synthesized trace to a JSON file")
+    workload.add_argument(
+        "--streaming",
+        action="store_true",
+        help="streaming-aggregation mode: fold records into per-function "
+        "accumulators as they are produced (O(functions) memory; latency "
+        "percentiles become P2 estimates) — for very large traces",
+    )
+    workload.add_argument(
+        "--log-retention",
+        type=int,
+        default=None,
+        metavar="N",
+        help="keep only the last N provider-log entries per function "
+        "(default: unlimited; long replays should set a bound)",
+    )
     workload.add_argument("--seed", type=int, default=42)
     workload.add_argument(
         "--providers",
@@ -169,7 +184,8 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "workload":
         config = ExperimentConfig(samples=1, seed=args.seed)
-        experiment = WorkloadReplayExperiment(config=config, simulation=SimulationConfig(seed=args.seed))
+        simulation = SimulationConfig(seed=args.seed, log_retention=args.log_retention)
+        experiment = WorkloadReplayExperiment(config=config, simulation=simulation)
         providers = tuple(Provider(p) for p in args.providers)
         trace = WorkloadTrace.from_json(args.trace) if args.trace else None
         result = experiment.run(
@@ -178,6 +194,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             duration_s=args.duration,
             rate_per_s=args.rate,
             trace=trace,
+            keep_records=not args.streaming,
         )
         if args.save_trace:
             result.trace.to_json(args.save_trace, indent=2)

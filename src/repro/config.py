@@ -140,11 +140,17 @@ class SimulationConfig:
         Baseline client-to-region round-trip latencies used when a region
         does not override them.  The paper reports pings of 109, 20 and 33 ms
         to AWS, Azure and GCP respectively.
+    log_retention:
+        Maximum number of provider-side log entries kept per function
+        (what ``query_logs`` reads).  ``None`` (the default) keeps every
+        entry; long trace replays should set a bound so the provider log
+        does not grow O(invocations).
     """
 
     seed: int = 42
     time_of_day_factor: float = 1.0
     enable_failures: bool = True
+    log_retention: int | None = None
     network_rtt_ms: Mapping[Provider, float] = field(
         default_factory=lambda: {
             Provider.AWS: 109.0,
@@ -160,6 +166,8 @@ class SimulationConfig:
             raise ConfigurationError("seed must be non-negative")
         if self.time_of_day_factor <= 0:
             raise ConfigurationError("time_of_day_factor must be positive")
+        if self.log_retention is not None and self.log_retention <= 0:
+            raise ConfigurationError("log_retention must be positive (or None for unlimited)")
 
 
 @dataclass(frozen=True)

@@ -85,12 +85,15 @@ class WorkloadReplayExperiment(ExperimentRunner):
         rate_per_s: float = 2.0,
         scenario: Scenario | None = None,
         trace: WorkloadTrace | None = None,
+        keep_records: bool = True,
     ) -> WorkloadReplayResult:
         """Deploy the functions, build the trace once, replay it everywhere.
 
         ``scenario`` overrides the canned ``pattern``; ``trace`` (e.g. one
         loaded from JSON) overrides both, in which case every function named
-        by the trace must appear in ``deployments``.
+        by the trace must appear in ``deployments``.  ``keep_records=False``
+        replays in streaming-aggregation mode (O(functions) memory,
+        per-function P² latency estimates instead of exact percentiles).
         """
         if trace is None:
             if scenario is None:
@@ -116,5 +119,5 @@ class WorkloadReplayExperiment(ExperimentRunner):
                     input_size=self.input_size,
                     function_name=deployment.function_name,
                 )
-            result.per_provider[provider] = platform.run_workload(trace)
+            result.per_provider[provider] = platform.run_workload(trace, keep_records=keep_records)
         return result

@@ -21,7 +21,7 @@ reproduce the pricing rules referenced by the paper (2020 list prices):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..config import DYNAMIC_MEMORY, Provider
 from ..exceptions import ConfigurationError
@@ -81,6 +81,40 @@ class BillingModel:
     #: set, which is why its dynamically allocated deployments cost more and
     #: cannot be tuned down, Section 6.3 Q1).
     billed_memory_overhead_mb: float = 0.0
+    #: Cache of the duration-independent cost terms, keyed by
+    #: (output_bytes, storage_requests, via_http_api).  Excluded from
+    #: equality/hashing; purely a memoisation of pure arithmetic.
+    _static_costs: dict = field(default_factory=dict, compare=False, hash=False, repr=False)
+
+    def _static_cost_components(
+        self, output_bytes: int, storage_requests: int, via_http_api: bool
+    ) -> tuple[float, float, float]:
+        """(request, storage, egress) costs — invariant per (function, outcome).
+
+        These terms depend only on the work profile and trigger, not on the
+        sampled duration/memory of the invocation, so on trace replays they
+        are computed once per function instead of once per request.  The
+        arithmetic is byte-for-byte the inline computation, so cached and
+        uncached paths yield identical floats.
+        """
+        key = (output_bytes, storage_requests, via_http_api)
+        cached = self._static_costs.get(key)
+        if cached is not None:
+            return cached
+        request_cost = self.request_price_per_million / 1e6
+        if via_http_api and self.http_api_price_per_million > 0:
+            payload_units = max(
+                1.0,
+                round_up(output_bytes / 1024.0, self.http_api_payload_granularity_kb)
+                / self.http_api_payload_granularity_kb,
+            )
+            request_cost += self.http_api_price_per_million / 1e6 * payload_units
+        storage_cost = storage_requests / 10_000.0 * self.storage_request_price_per_10k
+        egress_cost = output_bytes / (1024.0**3) * self.egress_price_per_gb
+        components = (request_cost, storage_cost, egress_cost)
+        if len(self._static_costs) < 4096:  # kernel mode can vary output sizes
+            self._static_costs[key] = components
+        return components
 
     def billed_duration(self, duration_s: float) -> float:
         """Round an execution duration up to the billing granularity."""
@@ -108,20 +142,23 @@ class BillingModel:
         output_bytes: int = 0,
         storage_requests: int = 0,
         via_http_api: bool = True,
+        billed_duration_s: float | None = None,
     ) -> CostBreakdown:
-        """Full cost of one invocation (request + compute + storage + egress)."""
+        """Full cost of one invocation (request + compute + storage + egress).
+
+        ``billed_duration_s`` lets a caller that already rounded the duration
+        (the simulator records it on every invocation) skip the second
+        rounding pass.
+        """
         if self.vm_hourly_price > 0:
             # IaaS: cost is purely time-based, handled by hourly_cost().
             return CostBreakdown(request_cost=0.0, compute_cost=duration_s / 3600.0 * self.vm_hourly_price)
-        billed_s = self.billed_duration(duration_s)
+        billed_s = self.billed_duration(duration_s) if billed_duration_s is None else billed_duration_s
         billed_mem_gb = self.billed_memory_mb(declared_memory_mb, used_memory_mb) / 1024.0
-        request_cost = self.request_price_per_million / 1e6
-        if via_http_api and self.http_api_price_per_million > 0:
-            payload_units = max(1.0, round_up(output_bytes / 1024.0, self.http_api_payload_granularity_kb) / self.http_api_payload_granularity_kb)
-            request_cost += self.http_api_price_per_million / 1e6 * payload_units
+        request_cost, storage_cost, egress_cost = self._static_cost_components(
+            output_bytes, storage_requests, via_http_api
+        )
         compute_cost = billed_s * billed_mem_gb * self.gb_second_price
-        storage_cost = storage_requests / 10_000.0 * self.storage_request_price_per_10k
-        egress_cost = output_bytes / (1024.0**3) * self.egress_price_per_gb
         return CostBreakdown(
             request_cost=request_cost,
             compute_cost=compute_cost,

@@ -67,6 +67,10 @@ class NetworkLink:
         self._rng = rng
         #: Constant offset of the remote clock relative to the client clock.
         self.clock_offset_s = float(clock_offset_s)
+        # Direction bases precomputed once (same floats as the inline
+        # ``min_rtt_s * share`` expression).
+        self._request_base = profile.min_rtt_s * profile.asymmetry
+        self._response_base = profile.min_rtt_s * (1.0 - profile.asymmetry)
 
     @property
     def profile(self) -> NetworkProfile:
@@ -77,14 +81,17 @@ class NetworkLink:
 
         ``direction`` is ``"request"`` (client to cloud) or ``"response"``.
         """
-        if direction not in ("request", "response"):
+        if direction == "request":
+            base = self._request_base
+        elif direction == "response":
+            base = self._response_base
+        else:
             raise ConfigurationError("direction must be 'request' or 'response'")
         profile = self._profile
-        share = profile.asymmetry if direction == "request" else 1.0 - profile.asymmetry
-        base = profile.min_rtt_s * share
         jitter = float(self._rng.exponential(profile.jitter_scale_s)) if profile.jitter_scale_s > 0 else 0.0
-        serialization = payload_bytes / (profile.bandwidth_mbps * 1024 * 1024)
-        return base + jitter + serialization
+        if payload_bytes:
+            return base + jitter + payload_bytes / (profile.bandwidth_mbps * 1024 * 1024)
+        return base + jitter
 
     def round_trip(self, request_bytes: int = 0, response_bytes: int = 0) -> float:
         """Sample a full round-trip time for a request/response exchange."""

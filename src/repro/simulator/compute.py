@@ -54,6 +54,11 @@ class ComputeModel:
         self._limits = limits
         self._rng = rng
         self._storage_model = StorageLatencyModel(performance.storage, rng)
+        # Pure-function caches for the per-invocation hot path.  Every entry
+        # stores the exact float the inline computation would produce, so
+        # replays are bit-identical with or without a warm cache.
+        self._share_cache: dict[int, float] = {}
+        self._sigma_cache: dict[float, float] = {}
 
     @property
     def storage_model(self) -> StorageLatencyModel:
@@ -67,13 +72,18 @@ class ComputeModel:
 
     def cpu_share(self, memory_mb: int) -> float:
         """Usable CPU share: proportional to memory, capped at one full vCPU."""
-        share = self._limits.cpu_share(self.effective_memory(memory_mb))
-        return float(min(1.0, share))
+        cached = self._share_cache.get(memory_mb)
+        if cached is None:
+            share = self._limits.cpu_share(self.effective_memory(memory_mb))
+            cached = self._share_cache[memory_mb] = float(min(1.0, share))
+        return cached
 
     def _jitter(self, cv: float) -> float:
         if cv <= 0:
             return 1.0
-        sigma = np.sqrt(np.log(1.0 + cv**2))
+        sigma = self._sigma_cache.get(cv)
+        if sigma is None:
+            sigma = self._sigma_cache[cv] = float(np.sqrt(np.log(1.0 + cv**2)))
         return float(self._rng.lognormal(mean=-sigma**2 / 2.0, sigma=sigma))
 
     def compute_time(self, profile: WorkProfile, memory_mb: int, concurrent: bool = False) -> float:

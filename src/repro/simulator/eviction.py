@@ -9,16 +9,34 @@ substantial randomness (and Azure's function apps keep instances alive
 longer).  The policies below are applied lazily: before every scheduling
 decision the platform asks the policy which warm containers should be gone by
 ``now``.
+
+Because that question is asked once per invocation, :meth:`EvictionPolicy.apply`
+is *incremental*: each policy keeps a min-heap of upcoming eviction deadlines
+(period boundaries for the half-life policy, per-sandbox expiry instants for
+the idle-timeout policies) and only does work when the virtual clock crosses
+the earliest deadline — an O(1) peek on the hot path instead of a full-pool
+scan.  New sandboxes are discovered through the pool's append-only
+:attr:`~repro.simulator.containers.ContainerPool.creation_log`, so ingestion
+is O(new containers), not O(pool).
+
+The scan-based semantics remain available as :meth:`EvictionPolicy.apply_full`
+(and the side-effect-free :meth:`select_evictions` query); the scheduler
+equivalence suite replays identical traces through both paths and asserts
+bit-identical outcomes.
 """
 
 from __future__ import annotations
 
 import abc
+import heapq
+import itertools
+import weakref
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..exceptions import ConfigurationError
-from .containers import Container, ContainerPool
+from .containers import Container, ContainerPool, ContainerState
 
 #: The empirically measured AWS eviction period (seconds).
 AWS_EVICTION_PERIOD_S = 380.0
@@ -31,11 +49,37 @@ class EvictionPolicy(abc.ABC):
     def select_evictions(self, pool: ContainerPool, now: float) -> list[Container]:
         """Return the containers that should be evicted at time ``now``."""
 
-    def apply(self, pool: ContainerPool, now: float) -> int:
-        """Evict the selected containers; return how many were evicted."""
+    def apply_full(self, pool: ContainerPool, now: float) -> int:
+        """Scan-based application: evict everything ``select_evictions`` names.
+
+        This is the reference semantics; subclasses with an incremental
+        ``apply`` must produce identical evictions at identical times.
+        """
         victims = self.select_evictions(pool, now)
         pool.evict(victims)
+        self._note_evicted(pool, victims)
         return len(victims)
+
+    def _note_evicted(self, pool: ContainerPool, victims: list[Container]) -> None:
+        """Hook for policies that keep a ledger of their own evictions."""
+
+    def apply(self, pool: ContainerPool, now: float) -> int:
+        """Evict the selected containers; return how many were evicted."""
+        return self.apply_full(pool, now)
+
+
+@dataclass
+class _HalfLifeTracker:
+    """Per-function incremental state of the half-life policy."""
+
+    cursor: int = 0
+    #: batch period -> still-tracked members (possibly already evicted
+    #: elsewhere; filtered lazily when the batch is processed).
+    batches: dict[int, list[Container]] = field(default_factory=dict)
+    #: batch period -> the deadline currently scheduled on the heap.  Heap
+    #: entries with a different deadline are stale duplicates and skipped.
+    scheduled: dict[int, float] = field(default_factory=dict)
+    heap: list[tuple[float, int]] = field(default_factory=list)
 
 
 class HalfLifeEvictionPolicy(EvictionPolicy):
@@ -61,6 +105,14 @@ class HalfLifeEvictionPolicy(EvictionPolicy):
         # also keeps the model correct when sandboxes disappear for other
         # reasons (``update_function`` invalidating all warm containers).
         self._evicted_counts: dict[tuple[str, int], int] = {}
+        # Keyed by pool *identity* (ContainerPool hashes by identity), not
+        # function name: delete_function + create_function reuses the name
+        # with a fresh pool, whose creation log must be ingested from zero.
+        # Weak keys let a replaced pool (and the container graph its log
+        # holds) be collected instead of leaking across redeploy cycles.
+        self._trackers: "weakref.WeakKeyDictionary[ContainerPool, _HalfLifeTracker]" = (
+            weakref.WeakKeyDictionary()
+        )
 
     def _periods_elapsed(self, container: Container, now: float) -> int:
         return int((now - container.created_at) // self.period_s)
@@ -91,16 +143,84 @@ class HalfLifeEvictionPolicy(EvictionPolicy):
             victims.extend(batch[survivors:])
         return victims
 
-    def apply(self, pool: ContainerPool, now: float) -> int:
-        # The eviction ledger is only updated here, once the selected
-        # containers are actually evicted — ``select_evictions`` stays a
-        # side-effect-free query, as the EvictionPolicy contract promises.
-        victims = self.select_evictions(pool, now)
-        pool.evict(victims)
+    def _note_evicted(self, pool: ContainerPool, victims: list[Container]) -> None:
         for container in victims:
             key = (pool.function_name, int(container.created_at // self.period_s))
             self._evicted_counts[key] = self._evicted_counts.get(key, 0) + 1
-        return len(victims)
+
+    def _schedule(self, tracker: _HalfLifeTracker, batch_key: int, deadline: float) -> None:
+        tracker.scheduled[batch_key] = deadline
+        heapq.heappush(tracker.heap, (deadline, batch_key))
+
+    def _ingest(self, pool: ContainerPool, tracker: _HalfLifeTracker) -> None:
+        log = pool.creation_log
+        while tracker.cursor < len(log):
+            container = log[tracker.cursor]
+            tracker.cursor += 1
+            batch_key = int(container.created_at // self.period_s)
+            members = tracker.batches.setdefault(batch_key, [])
+            members.append(container)
+            deadline = container.created_at + self.period_s
+            if deadline < tracker.scheduled.get(batch_key, float("inf")):
+                self._schedule(tracker, batch_key, deadline)
+
+    def apply(self, pool: ContainerPool, now: float) -> int:
+        """Incremental application: only batches whose period boundary has
+        passed since the last call do any work; otherwise this is an O(1)
+        deadline peek."""
+        tracker = self._trackers.get(pool)
+        if tracker is None:
+            tracker = self._trackers[pool] = _HalfLifeTracker()
+        if tracker.cursor < len(pool.creation_log):
+            self._ingest(pool, tracker)
+        evicted = 0
+        while tracker.heap and tracker.heap[0][0] <= now:
+            deadline, batch_key = heapq.heappop(tracker.heap)
+            if tracker.scheduled.get(batch_key) != deadline:
+                continue  # stale duplicate entry
+            tracker.scheduled.pop(batch_key, None)
+            members = [c for c in tracker.batches.get(batch_key, ()) if c.is_warm]
+            if not members:
+                tracker.batches.pop(batch_key, None)
+                continue
+            members.sort(key=lambda c: (c.created_at, c.container_id))
+            key = (pool.function_name, batch_key)
+            already_evicted = self._evicted_counts.get(key, 0)
+            # As in select_evictions, the period count is anchored at the
+            # earliest *currently warm* member: if the whole batch vanished
+            # (update_function) and was repopulated, the half-life restarts.
+            periods = int((now - members[0].created_at) // self.period_s)
+            if periods <= 0:
+                tracker.batches[batch_key] = members
+                self._schedule(tracker, batch_key, members[0].created_at + self.period_s)
+                continue
+            survivors = (len(members) + already_evicted) >> periods
+            victims = members[survivors:]
+            if victims:
+                pool.evict(victims)
+                self._evicted_counts[key] = already_evicted + len(victims)
+                evicted += len(victims)
+            remaining = members[:survivors]
+            tracker.batches[batch_key] = remaining
+            if remaining:
+                self._schedule(
+                    tracker, batch_key, remaining[0].created_at + (periods + 1) * self.period_s
+                )
+            else:
+                tracker.batches.pop(batch_key, None)
+        return evicted
+
+
+@dataclass
+class _IdleTracker:
+    """Per-function incremental state of the idle-timeout policies."""
+
+    cursor: int = 0
+    #: Sandboxes seen in the creation log that were not yet warm (still
+    #: cold-starting) when ingested; their timeout draw is deferred until
+    #: they first appear warm, matching the scan-based draw order.
+    pending: list[Container] = field(default_factory=list)
+    heap: list[tuple[float, int, Container]] = field(default_factory=list)
 
 
 class IdleTimeoutEvictionPolicy(EvictionPolicy):
@@ -125,6 +245,11 @@ class IdleTimeoutEvictionPolicy(EvictionPolicy):
         self.jitter_cv = jitter_cv
         self._rng = rng or np.random.default_rng(0)
         self._timeouts: dict[str, float] = {}
+        # Weak pool-identity keys — see HalfLifeEvictionPolicy._trackers.
+        self._trackers: "weakref.WeakKeyDictionary[ContainerPool, _IdleTracker]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._entry_seq = itertools.count()
 
     def _timeout_for(self, container: Container) -> float:
         if container.container_id not in self._timeouts:
@@ -142,3 +267,55 @@ class IdleTimeoutEvictionPolicy(EvictionPolicy):
             if container.idle_time(now) > self._timeout_for(container):
                 victims.append(container)
         return victims
+
+    def _ingest(self, pool: ContainerPool, tracker: _IdleTracker) -> None:
+        log = pool.creation_log
+        while tracker.cursor < len(log):
+            tracker.pending.append(log[tracker.cursor])
+            tracker.cursor += 1
+        if not tracker.pending:
+            return
+        still_pending: list[Container] = []
+        for container in tracker.pending:
+            if container.state is ContainerState.EVICTED:
+                # Gone before the policy ever observed it warm: the
+                # scan-based path would never have drawn a timeout either.
+                continue
+            if not container.is_warm:
+                still_pending.append(container)
+                continue
+            # Drawing here — first application after the sandbox turns warm,
+            # in creation order — reproduces the RNG draw sequence of the
+            # scan-based path exactly.
+            timeout = self._timeout_for(container)
+            heapq.heappush(
+                tracker.heap,
+                (container.last_used_at + timeout, next(self._entry_seq), container),
+            )
+        tracker.pending = still_pending
+
+    def apply(self, pool: ContainerPool, now: float) -> int:
+        """Incremental application via a lazy expiry heap.
+
+        A sandbox's scheduled expiry is ``last_used_at + timeout`` *at push
+        time*; if it served again in between, the stale deadline surfaces,
+        the entry is re-pushed at the true expiry, and nothing is evicted.
+        """
+        tracker = self._trackers.get(pool)
+        if tracker is None:
+            tracker = self._trackers[pool] = _IdleTracker()
+        if tracker.cursor < len(pool.creation_log) or tracker.pending:
+            self._ingest(pool, tracker)
+        evicted = 0
+        while tracker.heap and tracker.heap[0][0] < now:
+            _, seq, container = heapq.heappop(tracker.heap)
+            if not container.is_warm:
+                continue
+            expiry = container.last_used_at + self._timeouts[container.container_id]
+            # Strict inequality mirrors idle_time(now) > timeout.
+            if expiry < now:
+                pool.evict([container])
+                evicted += 1
+            else:
+                heapq.heappush(tracker.heap, (expiry, seq, container))
+        return evicted

@@ -56,7 +56,7 @@ class IaaSPlatform(SimulatedPlatform):
     def _build_eviction_policy(self) -> EvictionPolicy:
         return _NeverEvict()
 
-    def _acquire_container(self, function, state, start_at, reserved):  # type: ignore[override]
+    def _acquire_container(self, function, state, start_at):  # type: ignore[override]
         # The VM's worker process is always running: the first invocation
         # creates the bookkeeping record, but every execution is "warm".
         containers = state.pool.all_containers()

@@ -11,10 +11,19 @@ Invocations can optionally execute the *real* benchmark kernel against the
 platform's object store (``execute_kernels=True``); by default only the
 calibrated work profile is used, which keeps large experiments (hundreds of
 thousands of invocations) fast while preserving the statistical behaviour.
+
+The invocation path is built for trace replay at scale: sandbox acquisition
+is an indexed MRU pick plus an O(1) eviction-deadline peek (no pool scans),
+sandbox occupancy is a multiset maintained through
+:meth:`~repro.simulator.containers.ContainerPool.reserve` /
+:meth:`~repro.simulator.containers.ContainerPool.release`, and per-function
+invariants (the resolved work profile) are cached instead of re-derived per
+request.  See ``docs/architecture.md`` ("Performance internals").
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Mapping
 
@@ -50,6 +59,11 @@ from .eviction import EvictionPolicy
 from .profiles import ProviderPerformanceProfile, profile_for
 from .reliability import ReliabilityModel
 
+#: Size of the UTF-8 encoding of an empty JSON payload (``b"{}"``) — the
+#: overwhelmingly common case on trace replays, special-cased to avoid a
+#: json.dumps round trip per request.
+_EMPTY_PAYLOAD_BYTES = len(json.dumps({}).encode("utf-8"))
+
 
 @dataclass
 class _LogEntry:
@@ -66,18 +80,31 @@ class _LogEntry:
 
 @dataclass
 class _FunctionRuntimeState:
-    """Per-function simulator state."""
+    """Per-function simulator state.
+
+    ``history`` is a deque so that :attr:`SimulationConfig.log_retention`
+    can bound it; ``profile`` caches the resolved work profile keyed by
+    ``profile_key`` so it is computed once per (benchmark, size, language),
+    not once per request.
+    """
 
     pool: ContainerPool
     language: Language = Language.PYTHON
     input_size: InputSize = InputSize.SMALL
-    history: list[_LogEntry] = field(default_factory=list)
+    history: deque[_LogEntry] = field(default_factory=deque)
+    profile: WorkProfile | None = None
+    profile_key: tuple | None = None
 
 
 class SimulatedPlatform(FaaSPlatform):
     """Base class of the simulated commercial providers."""
 
     provider: Provider = Provider.AWS
+
+    #: Concurrent executions one sandbox can absorb before the scheduler
+    #: stops offering it for reuse.  1 for per-invocation containers
+    #: (AWS/GCP); Azure's shared function-app instances raise it.
+    sandbox_concurrency: int = 1
 
     def __init__(
         self,
@@ -106,6 +133,17 @@ class SimulatedPlatform(FaaSPlatform):
         )
         self.eviction_policy: EvictionPolicy = self._build_eviction_policy()
 
+        # Hot-path invariants hoisted out of _simulate_invocation: stream
+        # handles (a dict lookup per draw otherwise) and profile scalars.
+        self._spurious_stream = self._streams.stream("spurious")
+        self._gateway_stream = self._streams.stream("gateway")
+        self._spurious_probability = self.performance.spurious_cold_start_probability
+        self._invocation_profile = self.performance.invocation
+        self._runtime_overhead_s = self.performance.runtime_overhead_s
+        gateway_sigma = float(self._invocation_profile.warm_jitter_cv)
+        self._gateway_sigma = gateway_sigma
+        self._gateway_mean = -(gateway_sigma**2) / 2.0
+
         from ..storage.object_store import ObjectStore
 
         #: Persistent storage attached to this deployment (S3 / Blob / GCS).
@@ -116,18 +154,30 @@ class SimulatedPlatform(FaaSPlatform):
     def _build_eviction_policy(self) -> EvictionPolicy:
         raise NotImplementedError
 
+    def _new_runtime_state(self, fname: str, language: Language) -> _FunctionRuntimeState:
+        retention = self.simulation.log_retention
+        return _FunctionRuntimeState(
+            pool=ContainerPool(fname, slot_capacity=self.sandbox_concurrency),
+            language=language,
+            history=deque(maxlen=retention),
+        )
+
     def _runtime_state(self, fname: str) -> _FunctionRuntimeState:
         function = self.get_function(fname)
         if fname not in self._state:
-            self._state[fname] = _FunctionRuntimeState(pool=ContainerPool(fname), language=function.package.language)
+            self._state[fname] = self._new_runtime_state(fname, function.package.language)
         return self._state[fname]
 
     def _benchmark_for(self, function: DeployedFunction) -> Benchmark:
         return self.registry.get(function.benchmark)
 
     def _profile_for(self, function: DeployedFunction, state: _FunctionRuntimeState) -> WorkProfile:
-        benchmark = self._benchmark_for(function)
-        return benchmark.profile(size=state.input_size, language=state.language)
+        key = (function.benchmark, state.input_size, state.language)
+        if state.profile_key != key:
+            benchmark = self._benchmark_for(function)
+            state.profile = benchmark.profile(size=state.input_size, language=state.language)
+            state.profile_key = key
+        return state.profile
 
     # --------------------------------------------------------- FaaS interface
     def package_code(self, benchmark_name: str, language: Language) -> CodePackage:
@@ -171,7 +221,7 @@ class SimulatedPlatform(FaaSPlatform):
             updated_at=self.clock.now(),
         )
         self._functions[fname] = function
-        self._state[fname] = _FunctionRuntimeState(pool=ContainerPool(fname), language=code.language)
+        self._state[fname] = self._new_runtime_state(fname, code.language)
         return function
 
     def update_function(
@@ -227,6 +277,9 @@ class SimulatedPlatform(FaaSPlatform):
         record = self._simulate_invocation(
             fname, payload, trigger, payload_bytes, concurrency=1, start_at=self.clock.now()
         )
+        # A sequential caller waits for the response, so the sandbox is free
+        # again by the time anything else happens.
+        self._state[fname].pool.release(record.container_id)
         self.clock.advance(record.client_time_s)
         return record
 
@@ -246,8 +299,8 @@ class SimulatedPlatform(FaaSPlatform):
 
         **Sandbox reservation rule.**  Because the burst is concurrent, each
         invocation occupies its sandbox for the entire batch: the burst is
-        simulated in submission order and every container that already
-        served an earlier member is put on a ``reserved`` list that
+        simulated in submission order and every invocation holds a
+        reservation (one slot of the pool's occupancy multiset) that
         :meth:`_acquire_container` excludes from warm reuse.  A burst of
         ``count`` requests against ``w`` warm sandboxes therefore produces
         exactly ``max(0, count - w)`` cold starts on AWS and GCP — the
@@ -257,11 +310,11 @@ class SimulatedPlatform(FaaSPlatform):
         **Azure exception.**  Azure Functions hosts executions in *function
         apps*: one app instance serves several concurrent executions on
         worker processes/threads, so
-        :class:`~repro.simulator.providers.AzureFunctionsSimulator`
-        reinterprets the reservation multiset — a container only becomes
-        unavailable once it already hosts ``app_instance_concurrency``
-        members of the burst (Section 3.3 of the paper; see
-        ``docs/architecture.md`` for the full scheduling semantics).
+        :class:`~repro.simulator.providers.AzureFunctionsSimulator` raises
+        ``sandbox_concurrency`` — a sandbox only becomes unavailable once it
+        already hosts that many members of the burst (Section 3.3 of the
+        paper; see ``docs/architecture.md`` for the full scheduling
+        semantics).
 
         For arrivals spread over time (rather than one instant) use
         :meth:`run_workload` / :meth:`invoke_stream`, where occupancy is
@@ -276,23 +329,26 @@ class SimulatedPlatform(FaaSPlatform):
             raise PlatformError("batch size must be positive")
         start_at = self.clock.now()
         records: list[InvocationRecord] = []
-        reserved: list[str] = []
-        for _ in range(count):
-            record = self._simulate_invocation(
-                fname,
-                payload or {},
-                trigger,
-                payload_bytes,
-                concurrency=count,
-                start_at=start_at,
-                reserved=reserved,
-            )
-            # A concurrent invocation occupies its sandbox for the whole batch,
-            # so later invocations in the same burst cannot reuse it (Azure's
-            # function apps relax this by sharing an instance between several
-            # concurrent executions; see AzureFunctionsSimulator).
-            reserved.append(record.container_id)
-            records.append(record)
+        pool = self._runtime_state(fname).pool
+        try:
+            for _ in range(count):
+                # Each invocation's reservation (taken inside
+                # _simulate_invocation) stays held until the whole batch is
+                # done, so later members of the burst cannot reuse the
+                # sandbox.
+                records.append(
+                    self._simulate_invocation(
+                        fname,
+                        payload or {},
+                        trigger,
+                        payload_bytes,
+                        concurrency=count,
+                        start_at=start_at,
+                    )
+                )
+        finally:
+            for record in records:
+                pool.release(record.container_id)
         self.clock.advance(max(record.client_time_s for record in records))
         return records
 
@@ -308,35 +364,47 @@ class SimulatedPlatform(FaaSPlatform):
         """
         return WorkloadEngine(self).stream(requests)
 
-    def run_workload(self, trace: WorkloadTrace) -> WorkloadResult:
+    def run_workload(
+        self, trace: WorkloadTrace | Iterable[InvocationRequest], keep_records: bool = True
+    ) -> WorkloadResult:
         """Replay a :class:`~repro.workload.trace.WorkloadTrace` and aggregate.
 
         Returns a :class:`~repro.workload.engine.WorkloadResult` with the
         per-invocation records, per-function latency/cold-start/cost
         summaries and simulator-throughput measurements.  Deterministic:
         the same platform seed and trace produce identical results.
+
+        With ``keep_records=False`` the replay runs in streaming-aggregation
+        mode: individual records are folded into per-function accumulators
+        (counts, costs, P² latency quantiles) as they are produced, so
+        memory stays O(functions) instead of O(invocations) — the mode for
+        million-invocation traces.  ``trace`` may then also be a lazy
+        iterable of requests rather than a materialised trace.
         """
-        return WorkloadEngine(self).run(trace)
+        return WorkloadEngine(self).run(trace, keep_records=keep_records)
 
     # ------------------------------------------------------------- internals
+    def _release_container(self, fname: str, container_id: str) -> None:
+        """Return one occupancy slot of ``container_id`` (stream completions)."""
+        state = self._state.get(fname)
+        if state is not None:
+            state.pool.release(container_id)
+
     def _acquire_container(
-        self, function: DeployedFunction, state: _FunctionRuntimeState, start_at: float, reserved: list[str]
+        self, function: DeployedFunction, state: _FunctionRuntimeState, start_at: float
     ) -> tuple[Container, StartType]:
         self.eviction_policy.apply(state.pool, start_at)
-        warm = [
-            c
-            for c in state.pool.warm_containers(version=function.version)
-            if c.container_id not in reserved
-        ]
         spurious = (
-            self.performance.spurious_cold_start_probability > 0
-            and self._streams.stream("spurious").random() < self.performance.spurious_cold_start_probability
+            self._spurious_probability > 0
+            and self._spurious_stream.random() < self._spurious_probability
         )
-        if warm and not spurious:
-            # Reuse the most recently used warm sandbox (mirrors providers
-            # preferring "hot" instances).
-            container = max(warm, key=lambda c: c.last_used_at)
-            return container, StartType.WARM
+        if not spurious:
+            # Reuse the most recently used warm sandbox with a free slot
+            # (mirrors providers preferring "hot" instances).  O(log n)
+            # indexed pick instead of a pool scan.
+            container = state.pool.pick_mru(function.version)
+            if container is not None:
+                return container, StartType.WARM
         container = Container(
             function_name=function.name,
             function_version=function.version,
@@ -362,23 +430,60 @@ class SimulatedPlatform(FaaSPlatform):
         payload_bytes: int | None,
         concurrency: int,
         start_at: float,
-        reserved: list[str] | None = None,
     ) -> InvocationRecord:
-        function = self.get_function(fname)
-        state = self._runtime_state(fname)
-        profile = self._profile_for(function, state)
-        container, start_type = self._acquire_container(function, state, start_at, reserved or [])
+        """Simulate one invocation; leaves the sandbox *reserved*.
 
+        The caller owns the reservation and must release it once the
+        invocation no longer occupies its sandbox (immediately for
+        sequential calls, at the end of the burst for batches, at the
+        completion event for stream replay).
+        """
+        function = self.get_function(fname)
+        state = self._state.get(fname)
+        if state is None:
+            state = self._runtime_state(fname)
+        profile = self._profile_for(function, state)
+        memory_mb = function.config.memory_mb
+        container, start_type = self._acquire_container(function, state, start_at)
+        state.pool.reserve(container.container_id)
+        try:
+            return self._simulate_reserved_invocation(
+                fname, function, state, profile, container, start_type,
+                payload, trigger, payload_bytes, concurrency, start_at, memory_mb,
+            )
+        except BaseException:
+            # An exception mid-invocation (e.g. a raising kernel) must not
+            # leave the sandbox reserved forever: the caller never sees a
+            # record to release.  release() re-indexes a warm sandbox whose
+            # MRU entry was already consumed by the pick.
+            state.pool.release(container.container_id)
+            raise
+
+    def _simulate_reserved_invocation(
+        self,
+        fname: str,
+        function: DeployedFunction,
+        state: _FunctionRuntimeState,
+        profile: WorkProfile,
+        container: Container,
+        start_type: StartType,
+        payload: Mapping[str, Any],
+        trigger: TriggerType,
+        payload_bytes: int | None,
+        concurrency: int,
+        start_at: float,
+        memory_mb: int,
+    ) -> InvocationRecord:
         sample = self.compute.execute(
             profile,
-            memory_mb=function.config.memory_mb,
+            memory_mb=memory_mb,
             cold=start_type is StartType.COLD,
             code_package_mb=function.package.size_mb,
             concurrent=concurrency > 1,
         )
         failure = self.reliability.check(
             profile,
-            memory_mb=function.config.memory_mb,
+            memory_mb=memory_mb,
             memory_used_mb=sample.memory_used_mb,
             concurrency=concurrency,
         )
@@ -388,14 +493,21 @@ class SimulatedPlatform(FaaSPlatform):
         if self.execute_kernels and payload and not failure.failed:
             output, output_bytes = self._execute_kernel(function, payload)
 
-        request_bytes = payload_bytes if payload_bytes is not None else len(json.dumps(payload, default=str))
-        overhead_profile = self.performance.invocation
-        gateway = (
-            overhead_profile.http_gateway_s if trigger is TriggerType.HTTP else overhead_profile.sdk_overhead_s
+        if payload_bytes is not None:
+            request_bytes = payload_bytes
+        elif payload:
+            # Measure the wire size of the request: UTF-8 encoded bytes, not
+            # unicode characters — matching _execute_kernel's output
+            # accounting.
+            request_bytes = len(json.dumps(payload, default=str).encode("utf-8"))
+        else:
+            request_bytes = _EMPTY_PAYLOAD_BYTES
+        overhead_profile = self._invocation_profile
+        via_http = trigger is TriggerType.HTTP
+        gateway = overhead_profile.http_gateway_s if via_http else overhead_profile.sdk_overhead_s
+        gateway *= float(
+            self._gateway_stream.lognormal(mean=self._gateway_mean, sigma=self._gateway_sigma)
         )
-        jitter_cv = overhead_profile.warm_jitter_cv
-        sigma = float(jitter_cv)
-        gateway *= float(self._streams.stream("gateway").lognormal(mean=-sigma**2 / 2.0, sigma=sigma))
         payload_upload_s = request_bytes / (overhead_profile.payload_bandwidth_mbps * 1024 * 1024)
         response_download_s = output_bytes / (overhead_profile.response_bandwidth_mbps * 1024 * 1024)
         request_network_s = self.network.one_way_delay("request")
@@ -406,11 +518,11 @@ class SimulatedPlatform(FaaSPlatform):
 
         if failure.failed:
             benchmark_time_s = 0.0
-            provider_time_s = self.performance.runtime_overhead_s
+            provider_time_s = self._runtime_overhead_s
             success = False
         else:
             benchmark_time_s = sample.benchmark_time_s
-            provider_time_s = benchmark_time_s + self.performance.runtime_overhead_s
+            provider_time_s = benchmark_time_s + self._runtime_overhead_s
             success = True
 
         client_time_s = invocation_overhead_s + provider_time_s + response_download_s + response_network_s
@@ -424,19 +536,22 @@ class SimulatedPlatform(FaaSPlatform):
         else:
             failure_reason = failure.reason if failure.failed else None
 
-        billed_duration_s = self.billing.billed_duration(provider_time_s)
-        cost = self.billing.invocation_cost(
+        billing = self.billing
+        billed_duration_s = billing.billed_duration(provider_time_s)
+        cost = billing.invocation_cost(
             duration_s=provider_time_s,
-            declared_memory_mb=function.config.memory_mb,
+            declared_memory_mb=memory_mb,
             used_memory_mb=sample.memory_used_mb,
             output_bytes=output_bytes if success else 0,
             storage_requests=profile.storage_read_requests + profile.storage_write_requests,
-            via_http_api=trigger is TriggerType.HTTP,
+            via_http_api=via_http,
+            billed_duration_s=billed_duration_s,
         )
 
         started_at = start_at + invocation_overhead_s
         finished_at = start_at + client_time_s
         container.serve(finished_at)
+        state.pool.touch(container)
 
         state.history.append(
             _LogEntry(
@@ -460,7 +575,7 @@ class SimulatedPlatform(FaaSPlatform):
             provider_time_s=provider_time_s,
             client_time_s=client_time_s,
             invocation_overhead_s=invocation_overhead_s,
-            memory_declared_mb=function.config.memory_mb,
+            memory_declared_mb=memory_mb,
             memory_used_mb=sample.memory_used_mb,
             billed_duration_s=billed_duration_s,
             cost=cost,

@@ -15,10 +15,8 @@ top of :class:`~repro.simulator.platform_sim.SimulatedPlatform`:
 
 from __future__ import annotations
 
-from collections import Counter
-
 from ..benchmarks.registry import BenchmarkRegistry
-from ..config import Provider, SimulationConfig, StartType
+from ..config import Provider, SimulationConfig
 from ..utils.clock import VirtualClock
 from .eviction import AWS_EVICTION_PERIOD_S, EvictionPolicy, HalfLifeEvictionPolicy, IdleTimeoutEvictionPolicy
 from .platform_sim import SimulatedPlatform
@@ -61,7 +59,15 @@ class AzureFunctionsSimulator(SimulatedPlatform):
     provider = Provider.AZURE
 
     #: Concurrent invocations a single function-app instance can absorb.
-    app_instance_concurrency = 8
+    #: This is the pool's per-sandbox slot capacity: the scheduler keeps
+    #: reusing a warm app instance until it hosts this many in-flight
+    #: executions, then starts a new one — no provider-specific scan needed.
+    sandbox_concurrency = 8
+
+    @property
+    def app_instance_concurrency(self) -> int:
+        """Backwards-compatible alias for :attr:`sandbox_concurrency`."""
+        return self.sandbox_concurrency
 
     def _build_eviction_policy(self) -> EvictionPolicy:
         return IdleTimeoutEvictionPolicy(
@@ -69,22 +75,6 @@ class AzureFunctionsSimulator(SimulatedPlatform):
             jitter_cv=0.4,
             rng=self._streams.stream("eviction"),
         )
-
-    def _acquire_container(self, function, state, start_at, reserved):  # type: ignore[override]
-        # A function-app instance can be shared by several concurrent
-        # invocations: treat a container as "reserved" only once it already
-        # hosts ``app_instance_concurrency`` members of the current burst.
-        self.eviction_policy.apply(state.pool, start_at)
-        usage = Counter(reserved)
-        warm = [
-            c
-            for c in state.pool.warm_containers(version=function.version)
-            if usage[c.container_id] < self.app_instance_concurrency
-        ]
-        if warm:
-            container = max(warm, key=lambda c: c.last_used_at)
-            return container, StartType.WARM
-        return super()._acquire_container(function, state, start_at, reserved)
 
 
 def create_platform(

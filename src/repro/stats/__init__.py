@@ -14,6 +14,7 @@ container-eviction model fit.
 from .confidence import ConfidenceInterval, nonparametric_ci
 from .regression import LinearFit, fit_linear
 from .sampling import required_samples_for_ci
+from .streaming import P2Quantile, ReservoirSample, StreamingMoments, StreamingSummary
 from .summary import DistributionSummary, summarize
 
 __all__ = [
@@ -22,6 +23,10 @@ __all__ = [
     "LinearFit",
     "fit_linear",
     "required_samples_for_ci",
+    "P2Quantile",
+    "ReservoirSample",
+    "StreamingMoments",
+    "StreamingSummary",
     "DistributionSummary",
     "summarize",
 ]

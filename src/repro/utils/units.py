@@ -52,6 +52,12 @@ def round_up(value: float, granularity: float) -> float:
         return 0.0
     quotient = value / granularity
     nearest = round(quotient)
+    # Snap to the nearest multiple only when that is genuinely float noise:
+    # the snapped result must not undershoot the value by more than 1e-9
+    # (for large value/granularity ratios the relative tolerance alone could
+    # otherwise round *down* by a real amount).
     if math.isclose(quotient, nearest, rel_tol=1e-12, abs_tol=1e-12):
-        return nearest * granularity
+        snapped = nearest * granularity
+        if snapped >= value - 1e-9:
+            return snapped
     return math.ceil(quotient) * granularity

@@ -16,12 +16,27 @@ A sandbox is therefore occupied exactly between its invocation's start and
 finish, and warm reuse, cold starts, eviction and concurrency all *emerge
 from the overlap structure* of the trace: two requests 50 ms apart hitting a
 200 ms function need two sandboxes, while the same two requests 5 s apart
-share one.  Azure's function-app instance sharing is preserved — the busy
-set carries one entry per in-flight execution, which is exactly the
-multiplicity :meth:`AzureFunctionsSimulator._acquire_container` counts.
+share one.  Occupancy is the pool's multiset
+(:meth:`~repro.simulator.containers.ContainerPool.reserve` /
+:meth:`~repro.simulator.containers.ContainerPool.release`): dispatching an
+invocation takes a slot, popping its completion returns it, which carries
+exactly the per-execution multiplicity Azure's shared function-app
+instances need.
+
+Two aggregation modes:
+
+* ``run(trace)`` (default) materialises every
+  :class:`~repro.faas.invocation.InvocationRecord` — exact percentiles,
+  full drill-down, O(invocations) memory;
+* ``run(trace, keep_records=False)`` streams records into per-function
+  accumulators (counts, costs, Welford moments and P² quantile estimators
+  from :mod:`repro.stats.streaming`) as they are produced — O(functions)
+  memory, the mode for million-invocation traces.  ``trace`` may then be a
+  lazy iterable of requests.
 
 The engine is deterministic: the same platform seed and the same trace
-produce identical schedules, cold-start counts and cost totals.
+produce identical schedules, cold-start counts and cost totals, in either
+aggregation mode.
 """
 
 from __future__ import annotations
@@ -35,6 +50,7 @@ from typing import TYPE_CHECKING, Iterable, Iterator
 from ..config import Provider, StartType
 from ..exceptions import ConfigurationError
 from ..faas.invocation import InvocationRecord, InvocationRequest
+from ..stats.streaming import StreamingSummary
 from ..stats.summary import DistributionSummary, summarize
 from .trace import WorkloadTrace
 
@@ -42,7 +58,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..simulator.platform_sim import SimulatedPlatform
 
 #: Evicted sandboxes are pruned from the pools every this many requests, so
-#: warm-list scans stay O(pool size) instead of O(all containers ever made).
+#: the pool bookkeeping stays O(live sandboxes) instead of O(all ever made).
 _PRUNE_INTERVAL = 1024
 
 
@@ -76,9 +92,102 @@ class FunctionWorkloadSummary:
         return row
 
 
+class _FunctionAccumulator:
+    """Streaming per-function aggregates (O(1) state per function)."""
+
+    __slots__ = ("function_name", "invocations", "cold_starts", "failures", "total_cost_usd", "client_time")
+
+    def __init__(self, function_name: str):
+        self.function_name = function_name
+        self.invocations = 0
+        self.cold_starts = 0
+        self.failures = 0
+        self.total_cost_usd = 0.0
+        self.client_time = StreamingSummary()
+
+    def add(self, record: InvocationRecord) -> None:
+        self.invocations += 1
+        if record.start_type is StartType.COLD:
+            self.cold_starts += 1
+        if not record.success:
+            self.failures += 1
+        self.total_cost_usd += record.cost.total
+        self.client_time.add(record.client_time_s)
+
+    def summary(self) -> FunctionWorkloadSummary:
+        return FunctionWorkloadSummary(
+            function_name=self.function_name,
+            invocations=self.invocations,
+            cold_starts=self.cold_starts,
+            failures=self.failures,
+            total_cost_usd=self.total_cost_usd,
+            client_time=self.client_time.to_summary() if self.invocations else None,
+        )
+
+
+class _ReplayAccumulator:
+    """Whole-replay streaming aggregates: span plus per-function state.
+
+    The replay totals (invocations, cold starts, failures, cost) are summed
+    from the per-function accumulators once at the end — only the span
+    needs whole-replay tracking per record.
+    """
+
+    def __init__(self) -> None:
+        self.first_submitted: float | None = None
+        self.last_finished: float | None = None
+        self.per_function: dict[str, _FunctionAccumulator] = {}
+
+    def add(self, record: InvocationRecord) -> None:
+        if self.first_submitted is None or record.submitted_at < self.first_submitted:
+            self.first_submitted = record.submitted_at
+        if self.last_finished is None or record.finished_at > self.last_finished:
+            self.last_finished = record.finished_at
+        accumulator = self.per_function.get(record.function_name)
+        if accumulator is None:
+            accumulator = self.per_function[record.function_name] = _FunctionAccumulator(
+                record.function_name
+            )
+        accumulator.add(record)
+
+    @property
+    def span_s(self) -> float:
+        if self.first_submitted is None or self.last_finished is None:
+            return 0.0
+        return self.last_finished - self.first_submitted
+
+    @property
+    def invocations(self) -> int:
+        return sum(acc.invocations for acc in self.per_function.values())
+
+    @property
+    def cold_starts(self) -> int:
+        return sum(acc.cold_starts for acc in self.per_function.values())
+
+    @property
+    def failures(self) -> int:
+        return sum(acc.failures for acc in self.per_function.values())
+
+    @property
+    def total_cost_usd(self) -> float:
+        return sum(acc.total_cost_usd for acc in self.per_function.values())
+
+    def summaries(self) -> dict[str, FunctionWorkloadSummary]:
+        return {
+            fname: self.per_function[fname].summary() for fname in sorted(self.per_function)
+        }
+
+
 @dataclass
 class WorkloadResult:
-    """Everything a workload replay produced."""
+    """Everything a workload replay produced.
+
+    In record-keeping mode the aggregate properties are derived exactly from
+    ``records``; in streaming-aggregation mode ``records`` is empty and the
+    same properties read the pre-aggregated counters instead (with
+    per-function latency distributions carried by P² estimates in
+    ``streaming_summaries``).
+    """
 
     provider: Provider
     records: list[InvocationRecord] = field(default_factory=list)
@@ -88,26 +197,41 @@ class WorkloadResult:
     wall_clock_s: float = 0.0
     #: Largest number of invocations in flight at any instant.
     peak_in_flight: int = 0
+    #: Aggregate counters (authoritative when ``records`` is empty).
+    invocation_count: int = 0
+    cold_start_total: int = 0
+    failure_total: int = 0
+    cost_usd_total: float = 0.0
+    #: Per-function summaries from the streaming accumulators (streaming
+    #: mode only; ``None`` when full records are available).
+    streaming_summaries: dict[str, FunctionWorkloadSummary] | None = None
 
     @property
     def invocations(self) -> int:
-        return len(self.records)
+        return len(self.records) if self.records else self.invocation_count
 
     @property
     def cold_start_count(self) -> int:
-        return sum(1 for record in self.records if record.start_type is StartType.COLD)
+        if self.records:
+            return sum(1 for record in self.records if record.start_type is StartType.COLD)
+        return self.cold_start_total
 
     @property
     def cold_start_rate(self) -> float:
-        return self.cold_start_count / self.invocations if self.records else 0.0
+        invocations = self.invocations
+        return self.cold_start_count / invocations if invocations else 0.0
 
     @property
     def failure_count(self) -> int:
-        return sum(1 for record in self.records if not record.success)
+        if self.records:
+            return sum(1 for record in self.records if not record.success)
+        return self.failure_total
 
     @property
     def total_cost_usd(self) -> float:
-        return sum(record.cost.total for record in self.records)
+        if self.records:
+            return sum(record.cost.total for record in self.records)
+        return self.cost_usd_total
 
     @property
     def throughput_per_s(self) -> float:
@@ -117,7 +241,13 @@ class WorkloadResult:
         return self.invocations / self.wall_clock_s
 
     def per_function(self) -> dict[str, FunctionWorkloadSummary]:
-        """Aggregate the records into per-function summaries."""
+        """Aggregate the records into per-function summaries.
+
+        Exact (with confidence intervals) when records were kept; P²
+        streaming estimates otherwise.
+        """
+        if not self.records:
+            return dict(self.streaming_summaries or {})
         grouped: dict[str, list[InvocationRecord]] = {}
         for record in self.records:
             grouped.setdefault(record.function_name, []).append(record)
@@ -158,6 +288,8 @@ class WorkloadEngine:
 
     def __init__(self, platform: "SimulatedPlatform"):
         self.platform = platform
+        #: Peak concurrency observed by the most recent stream() pass.
+        self.last_peak_in_flight = 0
 
     def stream(self, requests: Iterable[InvocationRequest]) -> Iterator[InvocationRecord]:
         """Replay ``requests`` lazily, yielding one record per request.
@@ -168,84 +300,122 @@ class WorkloadEngine:
         position when the stream starts.  When the stream is exhausted the
         clock is advanced to the last completion, so a subsequent
         ``warm_container_count`` or ``invoke`` sees the post-workload state.
+
+        Sandbox occupancy lives in the pools' reservation multisets: each
+        dispatched invocation holds one slot until its completion event is
+        popped (or, if the stream is abandoned, until the generator is
+        closed — outstanding slots are released on the way out).
         """
         platform = self.platform
         base = platform.clock.now()
         sequence = itertools.count()
-        # Completion events: (finish_time, tie-break, container_id).
-        completions: list[tuple[float, int, str]] = []
-        # In-flight executions per container (Azure packs several per app
-        # instance, so this is a multiset rather than a set).
-        busy: dict[str, int] = {}
+        # Completion events: (finish_time, tie-break, function, container_id).
+        completions: list[tuple[float, int, str, str]] = []
         last_submitted = 0.0
         last_finish = base
         processed = 0
+        peak = 0
+        self.last_peak_in_flight = 0
 
-        for request in requests:
-            if request.submitted_at < last_submitted:
-                raise ConfigurationError(
-                    "workload requests must be sorted by submission time "
-                    f"({request.submitted_at:.6f} after {last_submitted:.6f})"
+        try:
+            for request in requests:
+                if request.submitted_at < last_submitted:
+                    raise ConfigurationError(
+                        "workload requests must be sorted by submission time "
+                        f"({request.submitted_at:.6f} after {last_submitted:.6f})"
+                    )
+                last_submitted = request.submitted_at
+                now = base + request.submitted_at
+
+                # Release every sandbox whose invocation completed by `now`.
+                while completions and completions[0][0] <= now:
+                    _, _, done_fname, container_id = heapq.heappop(completions)
+                    platform._release_container(done_fname, container_id)
+
+                platform.clock.advance_to(now)
+                in_flight = len(completions)
+                record = platform._simulate_invocation(
+                    request.function_name,
+                    request.payload,
+                    request.trigger,
+                    request.payload_bytes,
+                    concurrency=in_flight + 1,
+                    start_at=now,
                 )
-            last_submitted = request.submitted_at
-            now = base + request.submitted_at
+                heapq.heappush(
+                    completions,
+                    (record.finished_at, next(sequence), request.function_name, record.container_id),
+                )
+                if in_flight + 1 > peak:
+                    peak = in_flight + 1
+                if record.finished_at > last_finish:
+                    last_finish = record.finished_at
 
-            # Release every sandbox whose invocation completed by `now`.
-            while completions and completions[0][0] <= now:
-                _, _, container_id = heapq.heappop(completions)
-                remaining = busy.get(container_id, 0) - 1
-                if remaining > 0:
-                    busy[container_id] = remaining
-                else:
-                    busy.pop(container_id, None)
+                processed += 1
+                if processed % _PRUNE_INTERVAL == 0:
+                    self._prune_pools()
+                yield record
 
-            platform.clock.advance_to(now)
-            in_flight = len(completions)
-            reserved = [cid for cid, count in busy.items() for _ in range(count)]
-            record = platform._simulate_invocation(
-                request.function_name,
-                request.payload,
-                request.trigger,
-                request.payload_bytes,
-                concurrency=in_flight + 1,
-                start_at=now,
-                reserved=reserved,
-            )
-            heapq.heappush(completions, (record.finished_at, next(sequence), record.container_id))
-            busy[record.container_id] = busy.get(record.container_id, 0) + 1
-            last_finish = max(last_finish, record.finished_at)
+            if last_finish > platform.clock.now():
+                platform.clock.advance_to(last_finish)
+        finally:
+            self.last_peak_in_flight = peak
+            # Return any outstanding occupancy slots (normal exhaustion: all
+            # in-flight work has finished by `last_finish`; early abandonment:
+            # the sandboxes must not stay reserved forever).
+            while completions:
+                _, _, done_fname, container_id = heapq.heappop(completions)
+                platform._release_container(done_fname, container_id)
 
-            processed += 1
-            if processed % _PRUNE_INTERVAL == 0:
-                self._prune_pools()
-            yield record
-
-        if last_finish > platform.clock.now():
-            platform.clock.advance_to(last_finish)
-
-    def run(self, trace: WorkloadTrace) -> WorkloadResult:
+    def run(
+        self,
+        trace: WorkloadTrace | Iterable[InvocationRequest],
+        keep_records: bool = True,
+    ) -> WorkloadResult:
         """Replay a whole trace and aggregate the outcome.
 
-        Validates every referenced function up front, so an unknown name
-        raises :class:`~repro.exceptions.FunctionNotFoundError` before any
-        simulated time passes.
+        For a :class:`~repro.workload.trace.WorkloadTrace`, every referenced
+        function is validated up front, so an unknown name raises
+        :class:`~repro.exceptions.FunctionNotFoundError` before any simulated
+        time passes.  With ``keep_records=False`` the trace may also be a
+        lazy request iterable (validated as it is consumed) and the replay
+        aggregates in O(functions) memory.
         """
-        for fname in trace.functions():
-            self.platform.get_function(fname)
+        if isinstance(trace, WorkloadTrace):
+            for fname in trace.functions():
+                self.platform.get_function(fname)
         wall_start = time.perf_counter()
-        records = list(self.stream(trace))
+        if keep_records:
+            # Exact mode: materialise the records and aggregate post-hoc —
+            # no per-record estimator work on the hot path.
+            records = list(self.stream(trace))
+            wall_clock_s = time.perf_counter() - wall_start
+            span = 0.0
+            if records:
+                span = max(r.finished_at for r in records) - min(r.submitted_at for r in records)
+            return WorkloadResult(
+                provider=self.platform.provider,
+                records=records,
+                simulated_span_s=span,
+                wall_clock_s=wall_clock_s,
+                peak_in_flight=self.last_peak_in_flight,
+            )
+        accumulator = _ReplayAccumulator()
+        for record in self.stream(trace):
+            accumulator.add(record)
         wall_clock_s = time.perf_counter() - wall_start
-        span = 0.0
-        if records:
-            span = max(r.finished_at for r in records) - min(r.submitted_at for r in records)
-        result = WorkloadResult(
+        return WorkloadResult(
             provider=self.platform.provider,
-            records=records,
-            simulated_span_s=span,
+            records=[],
+            simulated_span_s=accumulator.span_s,
             wall_clock_s=wall_clock_s,
+            peak_in_flight=self.last_peak_in_flight,
+            invocation_count=accumulator.invocations,
+            cold_start_total=accumulator.cold_starts,
+            failure_total=accumulator.failures,
+            cost_usd_total=accumulator.total_cost_usd,
+            streaming_summaries=accumulator.summaries(),
         )
-        result.peak_in_flight = self._peak_in_flight(records)
-        return result
 
     def _prune_pools(self) -> None:
         for state in self.platform._state.values():
@@ -253,7 +423,11 @@ class WorkloadEngine:
 
     @staticmethod
     def _peak_in_flight(records: list[InvocationRecord]) -> int:
-        """Maximum overlap of [submitted_at, finished_at) intervals."""
+        """Maximum overlap of [submitted_at, finished_at) intervals.
+
+        Retained as the reference computation: ``run`` tracks the same value
+        online from the live completion heap.
+        """
         if not records:
             return 0
         events: list[tuple[float, int]] = []
