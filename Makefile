@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test compile ci bench bench-smoke workload
+.PHONY: test compile ci bench bench-smoke workload workflow
 
 ## tier-1 test suite
 test:
@@ -25,3 +25,7 @@ bench-smoke:
 ## quick trace-driven workload replay demo
 workload:
 	$(PYTHON) -m repro.cli workload --pattern mixed --duration 300 --rate 2
+
+## quick DAG workflow replay demo (chain / fan-out / branch compositions)
+workflow:
+	$(PYTHON) -m repro.cli workflow --workflow pipeline --duration 300 --rate 1

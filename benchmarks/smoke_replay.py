@@ -1,10 +1,17 @@
-"""CI smoke gate: a 10k-invocation trace replay with a wall-clock budget.
+"""CI smoke gate: trace and workflow replays with wall-clock budgets.
 
 Run as a plain script (``make bench-smoke``); no pytest-benchmark needed.
-The thresholds are deliberately loose — the point is to catch catastrophic
-scheduler regressions (an accidental O(pool x in-flight) hot path pushes the
-replay from well under a second to tens of seconds), not to flake on slow CI
-runners.
+Two checks:
+
+* a 10k-invocation flat trace replay (catches catastrophic scheduler
+  regressions — an accidental O(pool x in-flight) hot path pushes the
+  replay from well under a second to tens of seconds);
+* a fan-out/fan-in workflow replay (catches regressions in the workflow
+  subsystem: the feedback request source, trigger-edge scheduling and the
+  critical-path accounting identity).
+
+The thresholds are deliberately loose — the point is to catch order-of-
+magnitude breakage, not to flake on slow CI runners.
 """
 
 from __future__ import annotations
@@ -15,14 +22,20 @@ from repro.config import Provider, SimulationConfig
 from repro.experiments.base import deploy_benchmark
 from repro.simulator.providers import create_platform
 from repro.workload import PoissonArrivals, WorkloadTrace
+from repro.workflows import standard_workflow, synthesize_workflow_arrivals
 
 SMOKE_INVOCATIONS = 10_000
 ARRIVAL_RATE_PER_S = 50.0
 #: Generous wall-clock budget (the indexed scheduler needs < 1 s).
 WALL_CLOCK_BUDGET_S = 30.0
 
+#: Workflow smoke: fanout DAG, 500 executions x (2 + 4) = 3000 invocations.
+WORKFLOW_EXECUTIONS = 500
+WORKFLOW_FAN_OUT = 4
+WORKFLOW_BUDGET_S = 30.0
 
-def main() -> int:
+
+def _smoke_trace() -> list[str]:
     platform = create_platform(Provider.AWS, SimulationConfig(seed=42))
     fname = deploy_benchmark(platform, "dynamic-html", memory_mb=256)
     duration_s = 1.05 * SMOKE_INVOCATIONS / ARRIVAL_RATE_PER_S
@@ -30,8 +43,7 @@ def main() -> int:
         fname, PoissonArrivals(ARRIVAL_RATE_PER_S), duration_s=duration_s, rng=42
     )
     if len(trace) < SMOKE_INVOCATIONS:
-        print(f"FAIL: synthesized only {len(trace)} requests")
-        return 1
+        return [f"synthesized only {len(trace)} requests"]
     trace = WorkloadTrace(list(trace)[:SMOKE_INVOCATIONS])
 
     result = platform.run_workload(trace)
@@ -48,6 +60,67 @@ def main() -> int:
         failures.append(f"replay took {result.wall_clock_s:.2f}s > {WALL_CLOCK_BUDGET_S:.0f}s budget")
     if result.cold_start_rate > 0.10:
         failures.append(f"cold-start rate {result.cold_start_rate:.3f} > 0.10")
+    return failures
+
+
+def _smoke_workflow() -> list[str]:
+    platform = create_platform(Provider.AWS, SimulationConfig(seed=42))
+    spec, functions = standard_workflow("fanout", fan_out=WORKFLOW_FAN_OUT)
+    for function in functions:
+        deploy_benchmark(
+            platform,
+            function.benchmark,
+            memory_mb=function.memory_mb,
+            function_name=function.function_name,
+        )
+    rate_per_s = 10.0
+    arrivals = synthesize_workflow_arrivals(
+        spec,
+        PoissonArrivals(rate_per_s),
+        duration_s=1.1 * WORKFLOW_EXECUTIONS / rate_per_s,
+        rng=42,
+    )
+    if len(arrivals) < WORKFLOW_EXECUTIONS:
+        return [f"synthesized only {len(arrivals)} workflow arrivals"]
+    arrivals = arrivals[:WORKFLOW_EXECUTIONS]
+
+    result = platform.run_workflows(arrivals, keep_records=False)
+    print(
+        f"bench-smoke: {result.execution_count} workflow executions "
+        f"({result.invocation_total} constituent invocations) in "
+        f"{result.wall_clock_s:.2f}s ({result.throughput_per_s:,.0f}/s), "
+        f"mean e2e {result.mean_end_to_end_s * 1000:.0f} ms"
+    )
+
+    expected_invocations = WORKFLOW_EXECUTIONS * (WORKFLOW_FAN_OUT + 2)
+    failures = []
+    if result.execution_count != WORKFLOW_EXECUTIONS:
+        failures.append(
+            f"expected {WORKFLOW_EXECUTIONS} executions, got {result.execution_count}"
+        )
+    if result.invocation_total != expected_invocations:
+        failures.append(
+            f"expected {expected_invocations} constituent invocations, "
+            f"got {result.invocation_total}"
+        )
+    if result.wall_clock_s > WORKFLOW_BUDGET_S:
+        failures.append(
+            f"workflow replay took {result.wall_clock_s:.2f}s > {WORKFLOW_BUDGET_S:.0f}s budget"
+        )
+    # Critical-path identity: components tile the end-to-end interval.
+    components = (
+        result.compute_s_total + result.cold_start_s_total + result.trigger_propagation_s_total
+    )
+    if abs(components - result.end_to_end_s_total) > 1e-6 * max(1.0, result.end_to_end_s_total):
+        failures.append(
+            f"critical-path components {components:.6f}s != end-to-end {result.end_to_end_s_total:.6f}s"
+        )
+    return failures
+
+
+def main() -> int:
+    failures = _smoke_trace()
+    failures += _smoke_workflow()
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}")

@@ -17,7 +17,10 @@ Suite for Function-as-a-Service Computing* (Copik et al., ACM Middleware
 * :mod:`repro.stats`, :mod:`repro.metrics`, :mod:`repro.reporting` — the
   measurement and reporting methodology;
 * :mod:`repro.workload` — arrival processes, workload traces and the
-  event-queue engine replaying them on the simulated platforms.
+  event-queue engine replaying them on the simulated platforms;
+* :mod:`repro.workflows` — DAG function compositions (chains,
+  fan-out/fan-in, maps, branches) joined by async trigger edges, with
+  end-to-end latency/cost accounting and critical-path analysis.
 
 Quickstart::
 
@@ -66,6 +69,15 @@ from .workload import (
     WorkloadResult,
     WorkloadTrace,
 )
+from .workflows import (
+    WorkflowArrival,
+    WorkflowReplayResult,
+    WorkflowResult,
+    WorkflowSpec,
+    WorkflowStage,
+    standard_workflow,
+    synthesize_workflow_arrivals,
+)
 
 __version__ = "1.0.0"
 
@@ -104,4 +116,11 @@ __all__ = [
     "Scenario",
     "WorkloadResult",
     "WorkloadTrace",
+    "WorkflowArrival",
+    "WorkflowReplayResult",
+    "WorkflowResult",
+    "WorkflowSpec",
+    "WorkflowStage",
+    "standard_workflow",
+    "synthesize_workflow_arrivals",
 ]

@@ -11,15 +11,19 @@ similar entry point::
     sebs-repro eviction                  # container-eviction experiment (Figure 7)
     sebs-repro faas-vs-iaas              # Table 5 comparison
     sebs-repro workload                  # trace-driven workload replay
+    sebs-repro workflow                  # DAG workflow replay (composed invocations)
 
 All experiments run against the simulated providers; ``--samples`` and
-``--batch`` trade accuracy for speed.
+``--batch`` trade accuracy for speed.  ``workload`` and ``workflow`` accept
+``--output <path>`` to write the machine-readable summary as JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from .benchmarks.registry import list_benchmarks
@@ -30,10 +34,45 @@ from .experiments.faas_vs_iaas import FaasVsIaasExperiment
 from .experiments.invocation_overhead import InvocationOverheadExperiment
 from .experiments.perf_cost import PerfCostExperiment
 from .experiments.workload_replay import WorkloadReplayExperiment
+from .experiments.workflow_replay import WorkflowReplayExperiment
+from .workflows.catalog import STANDARD_WORKFLOWS
 from .workload.scenario import STANDARD_PATTERNS
 from .workload.trace import WorkloadTrace
 from .reporting import figures
 from .reporting.tables import format_table, table2_platform_limits, table3_applications, table9_insights
+
+
+def _replay_args(parser: argparse.ArgumentParser, unit: str) -> None:
+    """Options shared by the ``workload`` and ``workflow`` replay commands."""
+    parser.add_argument(
+        "--streaming",
+        action="store_true",
+        help="streaming-aggregation mode: fold results into accumulators "
+        f"as they are produced (O({unit}s) memory) — for very large replays",
+    )
+    parser.add_argument(
+        "--log-retention",
+        type=int,
+        default=None,
+        metavar="N",
+        help="keep only the last N provider-log entries per function "
+        "(default: unlimited; long replays should set a bound)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the machine-readable summary (per-provider and "
+        f"per-{unit} rows) as JSON instead of only printing tables",
+    )
+    parser.add_argument(
+        "--providers",
+        nargs="+",
+        default=["aws", "gcp", "azure"],
+        choices=[p.value for p in (Provider.AWS, Provider.GCP, Provider.AZURE)],
+        help="providers to evaluate",
+    )
 
 
 def _experiment_args(parser: argparse.ArgumentParser) -> None:
@@ -87,30 +126,35 @@ def _build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--rate", type=float, default=2.0, help="mean arrival rate per function (1/s)")
     workload.add_argument("--trace", default=None, help="replay a JSON trace file instead of synthesizing")
     workload.add_argument("--save-trace", default=None, help="write the synthesized trace to a JSON file")
-    workload.add_argument(
-        "--streaming",
-        action="store_true",
-        help="streaming-aggregation mode: fold records into per-function "
-        "accumulators as they are produced (O(functions) memory; latency "
-        "percentiles become P2 estimates) — for very large traces",
+    _replay_args(workload, unit="function")
+
+    workflow = sub.add_parser(
+        "workflow", help="DAG workflow replay (composed invocations via async triggers)"
     )
-    workload.add_argument(
-        "--log-retention",
-        type=int,
-        default=None,
-        metavar="N",
-        help="keep only the last N provider-log entries per function "
-        "(default: unlimited; long replays should set a bound)",
+    workflow.add_argument(
+        "--workflow",
+        default="pipeline",
+        choices=list(STANDARD_WORKFLOWS),
+        help="canned workflow DAG to replay (chain / fan-out+fan-in map / "
+        "conditional branch)",
     )
-    workload.add_argument("--seed", type=int, default=42)
-    workload.add_argument(
-        "--providers",
-        nargs="+",
-        default=["aws", "gcp", "azure"],
-        choices=[p.value for p in (Provider.AWS, Provider.GCP, Provider.AZURE)],
-        help="providers to evaluate",
+    workflow.add_argument(
+        "--duration", type=float, default=300.0, help="arrival window in simulated seconds"
     )
+    workflow.add_argument(
+        "--rate", type=float, default=1.0, help="mean workflow arrival rate (1/s)"
+    )
+    workflow.add_argument(
+        "--fan-out", type=int, default=8, help="map cardinality of the fanout workflow"
+    )
+    _replay_args(workflow, unit="workflow")
     return parser
+
+
+def _write_output(path: str, payload: dict) -> None:
+    """Write one machine-readable summary document as JSON."""
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"summary written to {path}")
 
 
 def _configs(args: argparse.Namespace) -> tuple[ExperimentConfig, SimulationConfig]:
@@ -204,6 +248,55 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(format_table(result.to_rows()))
         print("\n# Provider summary")
         print(format_table(result.summary_rows()))
+        if args.output:
+            _write_output(
+                args.output,
+                {
+                    "command": "workload",
+                    "scenario": result.scenario_name,
+                    "invocations": result.trace_invocations,
+                    "duration_s": result.trace_duration_s,
+                    "seed": args.seed,
+                    "providers": result.summary_rows(),
+                    "per_function": result.to_rows(),
+                },
+            )
+        return 0
+
+    if args.command == "workflow":
+        config = ExperimentConfig(samples=1, seed=args.seed)
+        simulation = SimulationConfig(seed=args.seed, log_retention=args.log_retention)
+        experiment = WorkflowReplayExperiment(config=config, simulation=simulation)
+        providers = tuple(Provider(p) for p in args.providers)
+        # The branch workflow routes on the payload; give it a route.
+        payload = {"size": "small"} if args.workflow == "branch" else None
+        result = experiment.run(
+            providers=providers,
+            workflow=args.workflow,
+            duration_s=args.duration,
+            rate_per_s=args.rate,
+            fan_out=args.fan_out,
+            payload=payload,
+            keep_records=not args.streaming,
+        )
+        print(f"# Workflow replay: {result.workflow_name} "
+              f"({result.executions} executions over {args.duration:.0f}s)")
+        print(format_table(result.to_rows()))
+        print("\n# Provider summary")
+        print(format_table(result.summary_rows()))
+        if args.output:
+            _write_output(
+                args.output,
+                {
+                    "command": "workflow",
+                    "workflow": result.workflow_name,
+                    "executions": result.executions,
+                    "duration_s": args.duration,
+                    "seed": args.seed,
+                    "providers": result.summary_rows(),
+                    "per_workflow": result.to_rows(),
+                },
+            )
         return 0
 
     if args.command == "faas-vs-iaas":

@@ -13,7 +13,10 @@ Four experiments drive the evaluation:
 
 Beyond the paper, **Workload-Replay** replays trace-driven mixed traffic
 (Poisson / bursty / diurnal arrivals) through the event-queue engine of
-:mod:`repro.workload` and compares the providers under identical load.
+:mod:`repro.workload` and compares the providers under identical load, and
+**Workflow-Replay** replays *composed* traffic — DAG workflow executions
+from :mod:`repro.workflows` — comparing end-to-end latency, critical-path
+decomposition and per-execution cost across providers.
 
 Each experiment is a plain object configured by
 :class:`~repro.config.ExperimentConfig`; ``run()`` returns typed result
@@ -34,6 +37,7 @@ from .workload_replay import (
     WorkloadReplayExperiment,
     WorkloadReplayResult,
 )
+from .workflow_replay import WorkflowExperimentResult, WorkflowReplayExperiment
 
 __all__ = [
     "deploy_benchmark",
@@ -55,4 +59,6 @@ __all__ = [
     "WorkloadDeployment",
     "WorkloadReplayExperiment",
     "WorkloadReplayResult",
+    "WorkflowExperimentResult",
+    "WorkflowReplayExperiment",
 ]

@@ -1,0 +1,113 @@
+"""The Workflow-Replay experiment: composed traffic against each provider.
+
+Where Workload-Replay (:mod:`repro.experiments.workload_replay`) probes the
+providers with flat per-function traffic, this experiment replays *composed*
+invocations: a stream of workflow executions — chains, fan-out/fan-in maps
+and conditional branches from :mod:`repro.workflows.catalog` — whose stages
+trigger each other through queues and storage events.  End-to-end latency
+now depends on more than per-invocation speed: the critical-path
+decomposition separates how much of each provider's latency is compute,
+cold starts and trigger propagation, and the aggregated billing shows what
+a whole composition costs per execution.
+
+The same synthesized arrival stream (one seed, one workflow) is replayed
+against every provider, so differences between rows are attributable to the
+platform, not the workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import Provider
+from ..utils.rng import RandomStreams
+from ..workflows.catalog import WorkflowFunction, standard_workflow
+from ..workflows.engine import WorkflowReplayResult
+from ..workflows.spec import WorkflowArrival, WorkflowSpec, synthesize_workflow_arrivals
+from ..workload.arrivals import PoissonArrivals
+from .base import ExperimentRunner, deploy_benchmark
+
+
+@dataclass
+class WorkflowExperimentResult:
+    """Per-provider outcomes of replaying one workflow arrival stream."""
+
+    workflow_name: str
+    arrivals: list[WorkflowArrival]
+    per_provider: dict[Provider, WorkflowReplayResult] = field(default_factory=dict)
+
+    @property
+    def executions(self) -> int:
+        return len(self.arrivals)
+
+    @property
+    def constituent_invocations(self) -> int:
+        """Total constituent invocations across providers' replays."""
+        return sum(result.invocation_total for result in self.per_provider.values())
+
+    def to_rows(self) -> list[dict]:
+        """Per-provider, per-workflow rows for the reporting tables."""
+        rows = []
+        for provider in sorted(self.per_provider, key=lambda p: p.value):
+            for row in self.per_provider[provider].to_rows():
+                rows.append({"provider": provider.value, **row})
+        return rows
+
+    def summary_rows(self) -> list[dict]:
+        """One aggregate row per provider."""
+        return [
+            self.per_provider[provider].summary_row()
+            for provider in sorted(self.per_provider, key=lambda p: p.value)
+        ]
+
+
+class WorkflowReplayExperiment(ExperimentRunner):
+    """Replays a workflow arrival stream on each simulated provider."""
+
+    def run(
+        self,
+        providers: tuple[Provider, ...] = (Provider.AWS, Provider.GCP, Provider.AZURE),
+        workflow: str = "pipeline",
+        duration_s: float = 300.0,
+        rate_per_s: float = 1.0,
+        fan_out: int = 8,
+        spec: WorkflowSpec | None = None,
+        deployments: tuple[WorkflowFunction, ...] | None = None,
+        payload: dict | None = None,
+        keep_records: bool = True,
+    ) -> WorkflowExperimentResult:
+        """Deploy the functions, synthesize the arrivals once, replay everywhere.
+
+        ``spec`` (with its ``deployments``) overrides the canned
+        ``workflow`` name.  ``keep_records=False`` replays in streaming
+        mode: per-execution results are folded into per-workflow
+        accumulators as executions complete.
+        """
+        if spec is None:
+            spec, deployments = standard_workflow(workflow, fan_out=fan_out)
+        elif deployments is None:
+            raise ValueError("a custom spec needs its deployments")
+        streams = RandomStreams(self.config.seed).fork("workflow-replay", spec.name)
+        arrivals = synthesize_workflow_arrivals(
+            spec,
+            PoissonArrivals(rate_per_s),
+            duration_s,
+            rng=streams.stream("arrivals"),
+            payload=payload,
+        )
+        result = WorkflowExperimentResult(workflow_name=spec.name, arrivals=arrivals)
+        for provider in providers:
+            platform = self.make_platform(provider)
+            for deployment in deployments:
+                deploy_benchmark(
+                    platform,
+                    deployment.benchmark,
+                    memory_mb=deployment.memory_mb if platform.limits.memory_static else 0,
+                    language=self.language,
+                    input_size=self.input_size,
+                    function_name=deployment.function_name,
+                )
+            result.per_provider[provider] = platform.run_workflows(
+                arrivals, keep_records=keep_records
+            )
+        return result

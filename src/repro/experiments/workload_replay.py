@@ -18,9 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..config import Provider
+from ..exceptions import ConfigurationError
 from ..workload.engine import WorkloadResult
 from ..workload.scenario import Scenario, standard_scenario
-from ..workload.trace import WorkloadTrace
+from ..workload.trace import MergedWorkloadTrace, WorkloadTrace
 from .base import ExperimentRunner, deploy_benchmark
 
 @dataclass(frozen=True)
@@ -46,7 +47,7 @@ class WorkloadReplayResult:
     """Per-provider outcomes of replaying one trace."""
 
     scenario_name: str
-    trace: WorkloadTrace
+    trace: WorkloadTrace | MergedWorkloadTrace
     per_provider: dict[Provider, WorkloadResult] = field(default_factory=dict)
 
     @property
@@ -84,7 +85,7 @@ class WorkloadReplayExperiment(ExperimentRunner):
         duration_s: float = 600.0,
         rate_per_s: float = 2.0,
         scenario: Scenario | None = None,
-        trace: WorkloadTrace | None = None,
+        trace: WorkloadTrace | MergedWorkloadTrace | None = None,
         keep_records: bool = True,
     ) -> WorkloadReplayResult:
         """Deploy the functions, build the trace once, replay it everywhere.
@@ -102,6 +103,12 @@ class WorkloadReplayExperiment(ExperimentRunner):
                     [deployment.function_name for deployment in deployments],
                     duration_s=duration_s,
                     rate_per_s=rate_per_s,
+                )
+            if scenario.workflow_traffic:
+                raise ConfigurationError(
+                    f"scenario {scenario.name!r} carries workflow traffic, which this "
+                    "experiment would silently drop; replay it with "
+                    "WorkflowReplayExperiment / SimulatedPlatform.run_workflows"
                 )
             trace = scenario.build_trace(seed=self.config.seed)
         result = WorkloadReplayResult(

@@ -23,7 +23,16 @@ from .function import CodePackage, DeployedFunction
 from .invocation import InvocationRecord, InvocationRequest
 from .limits import PlatformLimits, limits_for
 from .platform import FaaSPlatform, LogQueryType
-from .triggers import HTTPTrigger, SDKTrigger, Trigger
+from .triggers import (
+    TRIGGER_CLASSES,
+    HTTPTrigger,
+    QueueTrigger,
+    SDKTrigger,
+    StorageTrigger,
+    TimerTrigger,
+    Trigger,
+    create_trigger,
+)
 from .wrapper import FunctionWrapper, WrapperMeasurement
 
 __all__ = [
@@ -39,8 +48,13 @@ __all__ = [
     "FaaSPlatform",
     "LogQueryType",
     "Trigger",
+    "TRIGGER_CLASSES",
+    "create_trigger",
     "HTTPTrigger",
     "SDKTrigger",
+    "QueueTrigger",
+    "StorageTrigger",
+    "TimerTrigger",
     "FunctionWrapper",
     "WrapperMeasurement",
 ]

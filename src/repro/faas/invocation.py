@@ -11,11 +11,22 @@ start-type information.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from ..config import Provider, StartType, TriggerType
 from .billing import CostBreakdown
+
+
+def payload_wire_bytes(payload: Mapping[str, Any]) -> int:
+    """Wire size of a payload: UTF-8 bytes of its JSON encoding.
+
+    The single definition of "request size" shared by the invocation path
+    (when no explicit ``payload_bytes`` is given) and the workflow
+    trigger-edge model, so the two can never drift apart.
+    """
+    return len(json.dumps(payload, default=str).encode("utf-8"))
 
 
 @dataclass(frozen=True)
@@ -52,6 +63,10 @@ class InvocationRecord:
     client_time_s: float
     #: Time between client submission and the start of function execution.
     invocation_overhead_s: float
+    #: Sandbox initialisation time inside the overhead (0 for warm starts).
+    #: Kept separately so workflow critical paths can attribute cold-start
+    #: time exactly.
+    cold_init_s: float
     memory_declared_mb: int
     memory_used_mb: float
     billed_duration_s: float
@@ -84,6 +99,7 @@ class InvocationRecord:
             "provider_time_s": self.provider_time_s,
             "client_time_s": self.client_time_s,
             "invocation_overhead_s": self.invocation_overhead_s,
+            "cold_init_s": self.cold_init_s,
             "memory_declared_mb": self.memory_declared_mb,
             "memory_used_mb": self.memory_used_mb,
             "billed_duration_s": self.billed_duration_s,

@@ -27,7 +27,7 @@ from ..exceptions import FunctionNotFoundError
 from .function import CodePackage, DeployedFunction
 from .invocation import InvocationRecord
 from .limits import PlatformLimits, limits_for
-from .triggers import HTTPTrigger, SDKTrigger, Trigger
+from .triggers import Trigger, create_trigger
 
 
 class LogQueryType(str, enum.Enum):
@@ -109,13 +109,13 @@ class FaaSPlatform(abc.ABC):
 
     # ----------------------------------------------------------- conveniences
     def create_trigger(self, fname: str, trigger: TriggerType = TriggerType.HTTP) -> Trigger:
-        """Create a trigger object bound to a deployed function."""
+        """Create a trigger object bound to a deployed function.
+
+        All five trigger types are available; see
+        :data:`repro.faas.triggers.TRIGGER_CLASSES`.
+        """
         self.get_function(fname)  # validate existence
-        if trigger is TriggerType.HTTP:
-            return HTTPTrigger(self, fname)
-        if trigger is TriggerType.SDK:
-            return SDKTrigger(self, fname)
-        raise NotImplementedError(f"trigger type {trigger.value!r} is not implemented")
+        return create_trigger(self, fname, trigger)
 
     def delete_function(self, fname: str) -> None:
         """Remove a deployed function."""

@@ -46,7 +46,7 @@ from ..exceptions import (
 )
 from ..faas.billing import BillingModel, CostBreakdown, billing_model_for
 from ..faas.function import CodePackage, DeployedFunction
-from ..faas.invocation import InvocationRecord, InvocationRequest
+from ..faas.invocation import InvocationRecord, InvocationRequest, payload_wire_bytes
 from ..faas.platform import FaaSPlatform, LogQueryType
 from ..workload.engine import WorkloadEngine, WorkloadResult
 from ..workload.trace import WorkloadTrace
@@ -383,6 +383,28 @@ class SimulatedPlatform(FaaSPlatform):
         """
         return WorkloadEngine(self).run(trace, keep_records=keep_records)
 
+    def run_workflows(
+        self, arrivals, keep_records: bool = True, record_sink=None
+    ):
+        """Replay a time-sorted stream of workflow arrivals and aggregate.
+
+        Each :class:`~repro.workflows.spec.WorkflowArrival` starts one
+        end-to-end execution of its DAG: stage tasks become event-queue
+        entries, downstream stages are scheduled at their upstream's
+        completion time plus the trigger-edge propagation delay, and every
+        execution yields a :class:`~repro.workflows.engine.WorkflowResult`
+        with end-to-end latency, critical-path decomposition and aggregated
+        billing.  ``keep_records=False`` streams executions into
+        per-workflow accumulators (O(workflows + in-flight) memory);
+        ``record_sink`` optionally observes every constituent invocation
+        record.  See :class:`~repro.workflows.engine.WorkflowEngine`.
+        """
+        from ..workflows.engine import WorkflowEngine
+
+        return WorkflowEngine(self).run(
+            arrivals, keep_records=keep_records, record_sink=record_sink
+        )
+
     # ------------------------------------------------------------- internals
     def _release_container(self, fname: str, container_id: str) -> None:
         """Return one occupancy slot of ``container_id`` (stream completions)."""
@@ -499,7 +521,7 @@ class SimulatedPlatform(FaaSPlatform):
             # Measure the wire size of the request: UTF-8 encoded bytes, not
             # unicode characters — matching _execute_kernel's output
             # accounting.
-            request_bytes = len(json.dumps(payload, default=str).encode("utf-8"))
+            request_bytes = payload_wire_bytes(payload)
         else:
             request_bytes = _EMPTY_PAYLOAD_BYTES
         overhead_profile = self._invocation_profile
@@ -575,6 +597,7 @@ class SimulatedPlatform(FaaSPlatform):
             provider_time_s=provider_time_s,
             client_time_s=client_time_s,
             invocation_overhead_s=invocation_overhead_s,
+            cold_init_s=sample.cold_init_s,
             memory_declared_mb=memory_mb,
             memory_used_mb=sample.memory_used_mb,
             billed_duration_s=billed_duration_s,

@@ -1,0 +1,60 @@
+"""Workflow orchestration: DAG function compositions with async triggers.
+
+The workflow layer composes deployed functions into multi-stage pipelines —
+chains, fan-out/fan-in, dynamic maps and conditional branches — connected
+by asynchronous trigger edges (queue messages, storage events, timers) with
+modelled propagation latency.  Executions are compiled onto the event-queue
+scheduler of :mod:`repro.workload`, so workflow replay shares the flat
+trace replay's O(1) invocation fast path and streaming aggregation mode.
+
+Typical use::
+
+    from repro import Provider, SimulationConfig, create_platform, deploy_benchmark
+    from repro.workload import PoissonArrivals
+    from repro.workflows import (
+        WorkflowSpec, WorkflowStage, synthesize_workflow_arrivals,
+    )
+
+    platform = create_platform(Provider.AWS, SimulationConfig(seed=1))
+    deploy_benchmark(platform, "thumbnailer", memory_mb=1024, function_name="thumb")
+    deploy_benchmark(platform, "uploader", memory_mb=512, function_name="up")
+    spec = WorkflowSpec("thumb-chain", (
+        WorkflowStage("make", "thumb"),
+        WorkflowStage("store", "up", after=("make",)),
+    ))
+    arrivals = synthesize_workflow_arrivals(spec, PoissonArrivals(2.0), 300.0, rng=1)
+    result = platform.run_workflows(arrivals)
+    print(result.mean_end_to_end_s, result.summary_row())
+"""
+
+from .catalog import STANDARD_WORKFLOWS, WorkflowFunction, standard_workflow
+from .edges import TriggerEdgeModel
+from .engine import (
+    WorkflowEngine,
+    WorkflowReplayResult,
+    WorkflowResult,
+    WorkflowSummary,
+)
+from .spec import (
+    WorkflowArrival,
+    WorkflowSpec,
+    WorkflowStage,
+    merge_workflow_arrivals,
+    synthesize_workflow_arrivals,
+)
+
+__all__ = [
+    "STANDARD_WORKFLOWS",
+    "WorkflowFunction",
+    "standard_workflow",
+    "TriggerEdgeModel",
+    "WorkflowEngine",
+    "WorkflowReplayResult",
+    "WorkflowResult",
+    "WorkflowSummary",
+    "WorkflowArrival",
+    "WorkflowSpec",
+    "WorkflowStage",
+    "merge_workflow_arrivals",
+    "synthesize_workflow_arrivals",
+]

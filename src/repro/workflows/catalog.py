@@ -1,0 +1,127 @@
+"""Canned workflow specs mirroring the paper's multi-stage applications.
+
+The application suite's natural compositions, expressed as
+:class:`~repro.workflows.spec.WorkflowSpec` DAGs over the deployed
+benchmark functions:
+
+* **pipeline** — the thumbnailer chain: an ingest endpoint validates the
+  request, a storage event starts the thumbnailer, whose output object
+  triggers the uploader, which finally notifies through a queue;
+* **fanout** — fan-out / fan-in: a splitter enqueues N thumbnail tasks
+  (a dynamic map), and a collector aggregates once the slowest finishes;
+* **branch** — conditional routing: a classifier directs small requests to
+  the thumbnailer and large ones to video processing, both converging on a
+  storage-triggered archival stage.
+
+``standard_workflow`` returns the spec together with the function
+deployments it needs, so experiments, the CLI and the benchmarks share one
+definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import TriggerType
+from ..exceptions import ConfigurationError
+from .spec import WorkflowSpec, WorkflowStage
+
+
+@dataclass(frozen=True)
+class WorkflowFunction:
+    """One function a canned workflow needs deployed."""
+
+    function_name: str
+    benchmark: str
+    memory_mb: int = 256
+
+
+#: Names accepted by :func:`standard_workflow` (and the CLI's ``--workflow``).
+STANDARD_WORKFLOWS = ("pipeline", "fanout", "branch")
+
+
+def standard_workflow(
+    name: str, fan_out: int = 8
+) -> tuple[WorkflowSpec, tuple[WorkflowFunction, ...]]:
+    """Build one of the canned workflow specs plus its deployments."""
+    if name == "pipeline":
+        spec = WorkflowSpec(
+            name="pipeline",
+            stages=(
+                WorkflowStage("ingest", "wf-ingest"),
+                WorkflowStage(
+                    "thumbnail", "wf-thumbnail", after=("ingest",), trigger=TriggerType.STORAGE
+                ),
+                WorkflowStage(
+                    "upload", "wf-upload", after=("thumbnail",), trigger=TriggerType.STORAGE
+                ),
+                WorkflowStage("notify", "wf-notify", after=("upload",), trigger=TriggerType.QUEUE),
+            ),
+        )
+        functions = (
+            WorkflowFunction("wf-ingest", "dynamic-html", 256),
+            WorkflowFunction("wf-thumbnail", "thumbnailer", 1024),
+            WorkflowFunction("wf-upload", "uploader", 512),
+            WorkflowFunction("wf-notify", "dynamic-html", 256),
+        )
+        return spec, functions
+    if name == "fanout":
+        if fan_out <= 0:
+            raise ConfigurationError("fan_out must be positive")
+        spec = WorkflowSpec(
+            name="fanout",
+            stages=(
+                WorkflowStage("split", "wf-split"),
+                WorkflowStage(
+                    "work",
+                    "wf-work",
+                    after=("split",),
+                    trigger=TriggerType.QUEUE,
+                    map_items=fan_out,
+                ),
+                WorkflowStage("collect", "wf-collect", after=("work",), trigger=TriggerType.QUEUE),
+            ),
+        )
+        functions = (
+            WorkflowFunction("wf-split", "dynamic-html", 256),
+            WorkflowFunction("wf-work", "thumbnailer", 1024),
+            WorkflowFunction("wf-collect", "compression", 1024),
+        )
+        return spec, functions
+    if name == "branch":
+        spec = WorkflowSpec(
+            name="branch",
+            stages=(
+                WorkflowStage("classify", "wf-classify"),
+                WorkflowStage(
+                    "small",
+                    "wf-small",
+                    after=("classify",),
+                    trigger=TriggerType.QUEUE,
+                    run_if=("size", "small"),
+                ),
+                WorkflowStage(
+                    "large",
+                    "wf-large",
+                    after=("classify",),
+                    trigger=TriggerType.QUEUE,
+                    run_if=("size", "large"),
+                ),
+                WorkflowStage(
+                    "store",
+                    "wf-store",
+                    after=("small", "large"),
+                    trigger=TriggerType.STORAGE,
+                ),
+            ),
+        )
+        functions = (
+            WorkflowFunction("wf-classify", "dynamic-html", 256),
+            WorkflowFunction("wf-small", "thumbnailer", 1024),
+            WorkflowFunction("wf-large", "video-processing", 2048),
+            WorkflowFunction("wf-store", "uploader", 512),
+        )
+        return spec, functions
+    raise ConfigurationError(
+        f"unknown workflow {name!r}; choose from {', '.join(STANDARD_WORKFLOWS)}"
+    )

@@ -26,8 +26,14 @@ from .arrivals import (
     PoissonArrivals,
 )
 from .engine import FunctionWorkloadSummary, WorkloadEngine, WorkloadResult
-from .scenario import STANDARD_PATTERNS, FunctionTraffic, Scenario, standard_scenario
-from .trace import TRACE_FORMAT_VERSION, WorkloadTrace
+from .scenario import (
+    STANDARD_PATTERNS,
+    FunctionTraffic,
+    Scenario,
+    WorkflowTraffic,
+    standard_scenario,
+)
+from .trace import TRACE_FORMAT_VERSION, MergedWorkloadTrace, WorkloadTrace
 
 __all__ = [
     "ArrivalProcess",
@@ -41,7 +47,9 @@ __all__ = [
     "STANDARD_PATTERNS",
     "FunctionTraffic",
     "Scenario",
+    "WorkflowTraffic",
     "standard_scenario",
     "TRACE_FORMAT_VERSION",
+    "MergedWorkloadTrace",
     "WorkloadTrace",
 ]

@@ -52,7 +52,7 @@ from ..exceptions import ConfigurationError
 from ..faas.invocation import InvocationRecord, InvocationRequest
 from ..stats.streaming import StreamingSummary
 from ..stats.summary import DistributionSummary, summarize
-from .trace import WorkloadTrace
+from .trace import MergedWorkloadTrace, WorkloadTrace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..simulator.platform_sim import SimulatedPlatform
@@ -369,7 +369,7 @@ class WorkloadEngine:
 
     def run(
         self,
-        trace: WorkloadTrace | Iterable[InvocationRequest],
+        trace: WorkloadTrace | MergedWorkloadTrace | Iterable[InvocationRequest],
         keep_records: bool = True,
     ) -> WorkloadResult:
         """Replay a whole trace and aggregate the outcome.
@@ -381,7 +381,7 @@ class WorkloadEngine:
         lazy request iterable (validated as it is consumed) and the replay
         aggregates in O(functions) memory.
         """
-        if isinstance(trace, WorkloadTrace):
+        if isinstance(trace, (WorkloadTrace, MergedWorkloadTrace)):
             for fname in trace.functions():
                 self.platform.get_function(fname)
         wall_start = time.perf_counter()

@@ -1,11 +1,17 @@
-"""Scenarios: mixed traffic over several functions.
+"""Scenarios: mixed traffic over several functions and workflows.
 
 A :class:`Scenario` maps deployed functions to arrival processes and builds
-the merged :class:`~repro.workload.trace.WorkloadTrace` that the engine
-replays.  Each function's arrivals are drawn from an independent random
-stream derived from the scenario seed (see :func:`repro.utils.rng.derive_seed`),
-so adding traffic for one function never perturbs another function's
-arrivals — the same property the simulator's own streams have.
+the lazily merged trace that the engine replays.  Each traffic source's
+arrivals are drawn from an independent random stream derived from the
+scenario seed (see :func:`repro.utils.rng.derive_seed`), so adding traffic
+for one function never perturbs another function's arrivals — the same
+property the simulator's own streams have.
+
+Beyond flat per-function traffic, a scenario can carry **workflow
+traffic** (:class:`WorkflowTraffic`): arrival processes that start whole
+DAG executions (:mod:`repro.workflows`) instead of single invocations.
+``build_workflow_arrivals`` synthesizes the merged, time-sorted workflow
+arrival stream the same way ``build_trace`` synthesizes request traffic.
 
 :func:`standard_scenario` builds the canned single-function scenarios the
 CLI exposes (``constant``, ``poisson``, ``bursty``, ``diurnal``) and the
@@ -16,7 +22,7 @@ functions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 from ..config import TriggerType
 from ..exceptions import ConfigurationError
@@ -28,7 +34,10 @@ from .arrivals import (
     DiurnalArrivals,
     PoissonArrivals,
 )
-from .trace import WorkloadTrace
+from .trace import MergedWorkloadTrace, WorkloadTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..workflows.spec import WorkflowArrival, WorkflowSpec
 
 
 @dataclass(frozen=True)
@@ -44,24 +53,52 @@ class FunctionTraffic:
 
 
 @dataclass(frozen=True)
+class WorkflowTraffic:
+    """Workflow-execution traffic inside a scenario.
+
+    Each arrival starts one end-to-end execution of ``workflow``
+    (see :mod:`repro.workflows`); the payload seeds every execution.
+    """
+
+    workflow: "WorkflowSpec"
+    process: ArrivalProcess
+    payload: Mapping[str, Any] = field(default_factory=dict)
+    payload_bytes: int | None = None
+
+
+@dataclass(frozen=True)
 class Scenario:
-    """A named traffic mix replayed over a fixed duration."""
+    """A named traffic mix replayed over a fixed duration.
+
+    ``traffic`` drives flat per-function requests; ``workflow_traffic``
+    drives whole DAG executions.  A scenario needs at least one source of
+    either kind.
+    """
 
     name: str
     duration_s: float
-    traffic: tuple[FunctionTraffic, ...]
+    traffic: tuple[FunctionTraffic, ...] = ()
+    workflow_traffic: tuple[WorkflowTraffic, ...] = ()
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
             raise ConfigurationError("scenario duration must be positive")
-        if not self.traffic:
+        if not self.traffic and not self.workflow_traffic:
             raise ConfigurationError("a scenario needs at least one traffic source")
 
     def functions(self) -> list[str]:
-        return sorted({traffic.function_name for traffic in self.traffic})
+        names = {traffic.function_name for traffic in self.traffic}
+        for workflow_traffic in self.workflow_traffic:
+            names.update(workflow_traffic.workflow.functions())
+        return sorted(names)
 
-    def build_trace(self, seed: int = 0) -> WorkloadTrace:
-        """Synthesize the merged trace of all traffic sources."""
+    def build_trace(self, seed: int = 0) -> MergedWorkloadTrace:
+        """Synthesize the lazily merged trace of all flat traffic sources."""
+        if not self.traffic:
+            raise ConfigurationError(
+                f"scenario {self.name!r} has no flat function traffic; "
+                "use build_workflow_arrivals for its workflow traffic"
+            )
         streams = RandomStreams(seed).fork("workload", self.name)
         traces = [
             WorkloadTrace.synthesize(
@@ -76,6 +113,31 @@ class Scenario:
             for index, traffic in enumerate(self.traffic)
         ]
         return WorkloadTrace.merge(*traces)
+
+    def build_workflow_arrivals(self, seed: int = 0) -> list["WorkflowArrival"]:
+        """Synthesize the merged, time-sorted workflow arrival stream.
+
+        Every workflow-traffic entry draws from its own derived random
+        stream (independent of the flat traffic streams), so mixing
+        workflow and request traffic never perturbs either.
+        """
+        from ..workflows.spec import merge_workflow_arrivals, synthesize_workflow_arrivals
+
+        if not self.workflow_traffic:
+            return []
+        streams = RandomStreams(seed).fork("workload", self.name)
+        groups = [
+            synthesize_workflow_arrivals(
+                traffic.workflow,
+                traffic.process,
+                self.duration_s,
+                rng=streams.stream("workflow-arrivals", f"{index}:{traffic.workflow.name}"),
+                payload=traffic.payload,
+                payload_bytes=traffic.payload_bytes,
+            )
+            for index, traffic in enumerate(self.workflow_traffic)
+        ]
+        return merge_workflow_arrivals(*groups)
 
 
 #: Names accepted by :func:`standard_scenario` (and the CLI's ``--pattern``).

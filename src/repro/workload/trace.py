@@ -17,7 +17,9 @@ engine offsets them by the platform clock when the trace is replayed.
 
 from __future__ import annotations
 
+import heapq
 import json
+from operator import attrgetter
 from pathlib import Path
 from typing import Any, Iterable, Iterator, Mapping
 
@@ -78,6 +80,10 @@ class WorkloadTrace:
             return 0.0
         return (len(self._requests) - 1) / span
 
+    def first_submitted_at(self) -> float:
+        """Timestamp of the earliest request (0 for an empty trace)."""
+        return self._requests[0].submitted_at if self._requests else 0.0
+
     # ---------------------------------------------------------- construction
     @classmethod
     def synthesize(
@@ -106,12 +112,18 @@ class WorkloadTrace:
         )
 
     @classmethod
-    def merge(cls, *traces: "WorkloadTrace") -> "WorkloadTrace":
-        """Interleave several traces into one time-sorted stream."""
-        merged: list[InvocationRequest] = []
-        for trace in traces:
-            merged.extend(trace)
-        return cls(merged)
+    def merge(cls, *traces: "WorkloadTrace | MergedWorkloadTrace") -> "MergedWorkloadTrace":
+        """Interleave several traces into one time-sorted stream — lazily.
+
+        Returns a :class:`MergedWorkloadTrace`: a re-iterable k-way
+        ``heapq.merge`` view over the (already time-sorted) inputs.  Nothing
+        is materialised, so merged traces compose with the streaming
+        ``keep_records=False`` replay path in O(k) memory; ``heapq.merge``
+        is stable, so simultaneous requests keep the order of the input
+        traces — bit-identical to the old concatenate-and-stable-sort
+        behaviour.
+        """
+        return MergedWorkloadTrace(*traces)
 
     # --------------------------------------------------------- serialisation
     def to_dict(self) -> dict[str, Any]:
@@ -177,5 +189,81 @@ class WorkloadTrace:
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
             f"WorkloadTrace({len(self)} requests, {len(self.functions())} functions, "
+            f"{self.duration_s:.1f}s)"
+        )
+
+
+class MergedWorkloadTrace:
+    """A lazy, re-iterable k-way merge of time-sorted traces.
+
+    Produced by :meth:`WorkloadTrace.merge`.  Iteration runs a
+    ``heapq.merge`` over the component traces, so the merged stream is
+    never materialised — O(k) live state for k components, which is what
+    lets multi-tenant scenarios feed the streaming (``keep_records=False``)
+    replay path at million-invocation scale.  Aggregate properties
+    (``__len__``, ``duration_s``, ``functions``) are computed from the
+    components without expanding the stream; only the serialisation helpers
+    (:meth:`materialize`, :meth:`to_dict`, :meth:`to_json`) build the full
+    request list.
+    """
+
+    def __init__(self, *sources: "WorkloadTrace | MergedWorkloadTrace"):
+        for source in sources:
+            if not isinstance(source, (WorkloadTrace, MergedWorkloadTrace)):
+                raise ConfigurationError(
+                    "WorkloadTrace.merge only accepts traces (sorted-order guarantee); "
+                    f"got {type(source).__name__}"
+                )
+        self._sources: tuple[WorkloadTrace | MergedWorkloadTrace, ...] = tuple(sources)
+
+    def __iter__(self) -> Iterator[InvocationRequest]:
+        # heapq.merge is stable: simultaneous requests keep source order.
+        return heapq.merge(*self._sources, key=attrgetter("submitted_at"))
+
+    def __len__(self) -> int:
+        return sum(len(source) for source in self._sources)
+
+    @property
+    def duration_s(self) -> float:
+        """Offset of the last request (0 for an empty merge)."""
+        durations = [source.duration_s for source in self._sources if len(source)]
+        return max(durations) if durations else 0.0
+
+    def functions(self) -> list[str]:
+        """Sorted names of the functions the merged stream invokes."""
+        names: set[str] = set()
+        for source in self._sources:
+            names.update(source.functions())
+        return sorted(names)
+
+    def mean_rate_per_s(self) -> float:
+        """Mean arrival rate over the observed span, as in :class:`WorkloadTrace`."""
+        total = len(self)
+        if total < 2:
+            return 0.0
+        span = self.duration_s - self.first_submitted_at()
+        if span <= 0:
+            return 0.0
+        return (total - 1) / span
+
+    def first_submitted_at(self) -> float:
+        """Timestamp of the earliest request (0 for an empty merge)."""
+        firsts = [source.first_submitted_at() for source in self._sources if len(source)]
+        return min(firsts) if firsts else 0.0
+
+    # --------------------------------------------------------- serialisation
+    def materialize(self) -> WorkloadTrace:
+        """Expand the merge into a plain (materialised) :class:`WorkloadTrace`."""
+        return WorkloadTrace(self)
+
+    def to_dict(self) -> dict[str, Any]:
+        return self.materialize().to_dict()
+
+    def to_json(self, path: str | Path | None = None, indent: int | None = None) -> str:
+        return self.materialize().to_json(path, indent=indent)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"MergedWorkloadTrace({len(self._sources)} sources, {len(self)} requests, "
             f"{self.duration_s:.1f}s)"
         )

@@ -152,10 +152,24 @@ class TestInvocationLifecycle:
         sdk_overheads = [sdk.invoke().invocation_overhead_s for _ in range(20)]
         assert np.median(sdk_overheads) < np.median(http_overheads)
 
-    def test_unsupported_trigger_type(self, aws):
+    def test_all_trigger_types_are_implemented(self, aws):
+        """Timer, storage and queue triggers are part of the platform model."""
         fname = deploy_benchmark(aws, "graph-bfs", memory_mb=1024)
-        with pytest.raises(NotImplementedError):
-            aws.create_trigger(fname, TriggerType.TIMER)
+        for trigger_type in TriggerType:
+            trigger = aws.create_trigger(fname, trigger_type)
+            assert trigger.trigger_type is trigger_type
+            record = trigger.invoke()
+            assert record.function_name == fname
+        # Async channels take the internal (SDK-like) path, not the gateway.
+        queue_overheads = [
+            aws.create_trigger(fname, TriggerType.QUEUE).invoke().invocation_overhead_s
+            for _ in range(20)
+        ]
+        http_overheads = [
+            aws.create_trigger(fname, TriggerType.HTTP).invoke().invocation_overhead_s
+            for _ in range(20)
+        ]
+        assert np.median(queue_overheads) < np.median(http_overheads)
 
     def test_query_logs(self, aws):
         fname = deploy_benchmark(aws, "graph-bfs", memory_mb=1024)
