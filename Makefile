@@ -1,18 +1,36 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test compile ci bench bench-smoke workload workflow
+.PHONY: test test-slow compile ci bench bench-smoke coverage regen-golden workload workflow
 
-## tier-1 test suite
+## tier-1 test suite (slow-marked tests are deselected; see test-slow)
 test:
 	$(PYTHON) -m pytest -x -q
+
+## long-running tests only (large-scale parallel equivalence, ...)
+test-slow:
+	$(PYTHON) -m pytest -x -q -m slow
 
 ## byte-compile the library as a syntax gate
 compile:
 	$(PYTHON) -m compileall -q src
 
+## coverage gate: >=80% on the stats + parallel layers (needs pytest-cov)
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
+		$(PYTHON) -m pytest -q -m "not slow" \
+			--cov=repro.stats --cov=repro.parallel \
+			--cov-report=term-missing --cov-fail-under=80; \
+	else \
+		echo "pytest-cov not installed; skipping coverage gate"; \
+	fi
+
+## intentionally regenerate the golden-trace fixtures (commit the diff!)
+regen-golden:
+	$(PYTHON) tests/golden/builder.py
+
 ## what CI runs
-ci: compile test bench-smoke
+ci: compile test test-slow coverage bench-smoke
 
 ## regenerate all paper figures/tables (pytest-benchmark harness)
 bench:

@@ -1,0 +1,123 @@
+"""Sharded parallel replay throughput: the other N-1 cores.
+
+PR 2 took the single-core replay hot path to ~27k invocations/s; this
+target measures how sharded replay (:mod:`repro.parallel`) scales it across
+workers.  A 1M-invocation streaming scenario (8 functions × Poisson 50/s)
+is replayed twice — ``workers=1`` (the in-process sequential shard backend,
+the honest baseline: identical code path minus the process pool) and
+``workers=min(4, cpu)`` — and the speedup is recorded in
+``benchmarks/BENCH_parallel_replay.json`` with the previous run carried
+along.
+
+The scenario recipe is sharded, not a materialised trace: each worker
+synthesizes its own shard's arrivals, so parent memory stays O(functions)
+and no requests are pickled.  The ≥3x-at-4-workers floor is asserted only
+on machines that actually have ≥4 cores (a single-core container cannot
+exhibit parallel speedup; the JSON still records the honest measurement).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+from pathlib import Path
+
+from conftest import run_once
+
+from repro.config import Provider, SimulationConfig
+from repro.experiments.base import deploy_benchmark
+from repro.simulator.providers import create_platform
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.scenario import FunctionTraffic, Scenario
+
+FUNCTIONS = 8
+RATE_PER_S = 50.0
+TARGET_INVOCATIONS = 1_000_000
+DURATION_S = TARGET_INVOCATIONS / (FUNCTIONS * RATE_PER_S)
+PARALLEL_WORKERS = max(1, min(4, multiprocessing.cpu_count()))
+SPEEDUP_FLOOR = 3.0
+
+BENCH_JSON = Path(__file__).resolve().parent / "BENCH_parallel_replay.json"
+
+
+def _deployed_platform():
+    platform = create_platform(Provider.AWS, SimulationConfig(seed=42, log_retention=128))
+    for index in range(FUNCTIONS):
+        deploy_benchmark(platform, "dynamic-html", memory_mb=256, function_name=f"fn-{index:02d}")
+    return platform
+
+
+def _scenario() -> Scenario:
+    return Scenario(
+        name="parallel-replay-1m",
+        duration_s=DURATION_S,
+        traffic=tuple(
+            FunctionTraffic(function_name=f"fn-{index:02d}", process=PoissonArrivals(RATE_PER_S))
+            for index in range(FUNCTIONS)
+        ),
+    )
+
+
+def _emit_bench_json(payload: dict) -> None:
+    previous = None
+    if BENCH_JSON.exists():
+        try:
+            previous = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+            previous.pop("previous", None)  # keep one generation, not a chain
+        except (OSError, ValueError):
+            previous = None
+    payload["previous"] = previous
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def test_parallel_replay_speedup_1m(benchmark):
+    scenario = _scenario()
+
+    baseline = _deployed_platform().run_workload(
+        scenario, keep_records=False, workers=1, backend="sequential"
+    )
+    parallel = run_once(
+        benchmark,
+        lambda: _deployed_platform().run_workload(
+            scenario, keep_records=False, workers=PARALLEL_WORKERS
+        ),
+    )
+
+    speedup = baseline.wall_clock_s / parallel.wall_clock_s if parallel.wall_clock_s > 0 else 0.0
+    print(
+        f"\nsharded replay of {parallel.invocations:,} invocations: "
+        f"workers=1 {baseline.wall_clock_s:.2f}s ({baseline.throughput_per_s:,.0f}/s) vs "
+        f"workers={PARALLEL_WORKERS} {parallel.wall_clock_s:.2f}s "
+        f"({parallel.throughput_per_s:,.0f}/s) => {speedup:.2f}x on "
+        f"{multiprocessing.cpu_count()} cores"
+    )
+    _emit_bench_json(
+        {
+            "benchmark": "parallel_replay_streaming_1m",
+            "invocations": parallel.invocations,
+            "functions": FUNCTIONS,
+            "cpu_count": multiprocessing.cpu_count(),
+            "workers": PARALLEL_WORKERS,
+            "wall_clock_workers1_s": round(baseline.wall_clock_s, 4),
+            "wall_clock_parallel_s": round(parallel.wall_clock_s, 4),
+            "throughput_workers1_per_s": round(baseline.throughput_per_s, 1),
+            "throughput_parallel_per_s": round(parallel.throughput_per_s, 1),
+            "speedup": round(speedup, 3),
+            "speedup_floor": SPEEDUP_FLOOR,
+            "speedup_floor_enforced": multiprocessing.cpu_count() >= 4,
+        }
+    )
+
+    # The two paths must agree exactly — parallelism is not allowed to move
+    # a single number (counts/costs are exact-merge statistics).
+    assert parallel.invocations == baseline.invocations
+    assert parallel.invocations >= TARGET_INVOCATIONS * 0.97
+    assert parallel.cold_start_total == baseline.cold_start_total
+    assert parallel.total_cost_usd == baseline.total_cost_usd
+
+    if multiprocessing.cpu_count() >= 4 and not os.environ.get("BENCH_SKIP_SPEEDUP_GATE"):
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"4-worker sharded replay achieved only {speedup:.2f}x over the "
+            f"sequential shard backend (floor {SPEEDUP_FLOOR}x)"
+        )

@@ -8,7 +8,10 @@ Two checks:
   replay from well under a second to tens of seconds);
 * a fan-out/fan-in workflow replay (catches regressions in the workflow
   subsystem: the feedback request source, trigger-edge scheduling and the
-  critical-path accounting identity).
+  critical-path accounting identity);
+* a sharded-replay equivalence gate (``--workers``, default 2): the same
+  multi-function trace replayed serially and through the parallel path
+  (:mod:`repro.parallel`) must agree *exactly* on every merged statistic.
 
 The thresholds are deliberately loose — the point is to catch order-of-
 magnitude breakage, not to flake on slow CI runners.
@@ -16,6 +19,7 @@ magnitude breakage, not to flake on slow CI runners.
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 from repro.config import Provider, SimulationConfig
@@ -118,9 +122,82 @@ def _smoke_workflow() -> list[str]:
     return failures
 
 
+#: Parallel smoke: 3 functions x 4k invocations, serial vs sharded replay.
+PARALLEL_FUNCTIONS = 3
+PARALLEL_INVOCATIONS_PER_FN = 4_000
+PARALLEL_BUDGET_S = 60.0
+
+
+def _parallel_fixture():
+    platform = create_platform(Provider.GCP, SimulationConfig(seed=42))
+    traces = []
+    for index in range(PARALLEL_FUNCTIONS):
+        fname = deploy_benchmark(
+            platform, "dynamic-html", memory_mb=256, function_name=f"smoke-{index}"
+        )
+        duration_s = 1.1 * PARALLEL_INVOCATIONS_PER_FN / ARRIVAL_RATE_PER_S
+        trace = WorkloadTrace.synthesize(
+            fname, PoissonArrivals(ARRIVAL_RATE_PER_S), duration_s=duration_s, rng=100 + index
+        )
+        traces.append(WorkloadTrace(list(trace)[:PARALLEL_INVOCATIONS_PER_FN]))
+    return platform, WorkloadTrace.merge(*traces)
+
+
+def _smoke_parallel(workers: int) -> list[str]:
+    serial_platform, trace = _parallel_fixture()
+    serial = serial_platform.run_workload(trace, keep_records=False)
+    parallel_platform, _ = _parallel_fixture()
+    parallel = parallel_platform.run_workload(trace, keep_records=False, workers=workers)
+    print(
+        f"bench-smoke: sharded replay x{workers}: {parallel.invocations} invocations in "
+        f"{parallel.wall_clock_s:.2f}s ({parallel.throughput_per_s:,.0f}/s), serial "
+        f"{serial.wall_clock_s:.2f}s"
+    )
+
+    failures = []
+    if parallel.invocations != serial.invocations:
+        failures.append(
+            f"parallel replayed {parallel.invocations} invocations, serial {serial.invocations}"
+        )
+    if parallel.cold_start_total != serial.cold_start_total:
+        failures.append(
+            f"parallel cold starts {parallel.cold_start_total} != serial {serial.cold_start_total}"
+        )
+    if parallel.total_cost_usd != serial.total_cost_usd:
+        failures.append(
+            f"parallel cost {parallel.total_cost_usd!r} != serial {serial.total_cost_usd!r}"
+        )
+    if parallel.simulated_span_s != serial.simulated_span_s:
+        failures.append(
+            f"parallel span {parallel.simulated_span_s!r} != serial {serial.simulated_span_s!r}"
+        )
+    for fname, serial_summary in serial.per_function().items():
+        parallel_summary = parallel.per_function()[fname]
+        if (
+            parallel_summary.invocations != serial_summary.invocations
+            or parallel_summary.total_cost_usd != serial_summary.total_cost_usd
+            or parallel_summary.client_time.percentiles != serial_summary.client_time.percentiles
+        ):
+            failures.append(f"per-function summary of {fname!r} diverged under sharding")
+    if parallel.wall_clock_s > PARALLEL_BUDGET_S:
+        failures.append(
+            f"sharded replay took {parallel.wall_clock_s:.2f}s > {PARALLEL_BUDGET_S:.0f}s budget"
+        )
+    return failures
+
+
 def main() -> int:
+    parser = argparse.ArgumentParser(description="CI smoke gate for replay regressions")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker count for the sharded-replay equivalence gate",
+    )
+    args = parser.parse_args()
     failures = _smoke_trace()
     failures += _smoke_workflow()
+    failures += _smoke_parallel(args.workers)
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}")

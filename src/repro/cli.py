@@ -58,6 +58,15 @@ def _replay_args(parser: argparse.ArgumentParser, unit: str) -> None:
         help="keep only the last N provider-log entries per function "
         "(default: unlimited; long replays should set a bound)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="sharded parallel replay across N processes (per-function "
+        "shards, deterministically merged — identical results to serial "
+        "replay; 1 = in-process sequential sharding)",
+    )
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument(
         "--output",
@@ -239,6 +248,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             rate_per_s=args.rate,
             trace=trace,
             keep_records=not args.streaming,
+            workers=args.workers,
         )
         if args.save_trace:
             result.trace.to_json(args.save_trace, indent=2)
@@ -278,6 +288,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             fan_out=args.fan_out,
             payload=payload,
             keep_records=not args.streaming,
+            workers=args.workers,
         )
         print(f"# Workflow replay: {result.workflow_name} "
               f"({result.executions} executions over {args.duration:.0f}s)")

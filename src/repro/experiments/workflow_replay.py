@@ -75,13 +75,15 @@ class WorkflowReplayExperiment(ExperimentRunner):
         deployments: tuple[WorkflowFunction, ...] | None = None,
         payload: dict | None = None,
         keep_records: bool = True,
+        workers: int | None = None,
     ) -> WorkflowExperimentResult:
         """Deploy the functions, synthesize the arrivals once, replay everywhere.
 
         ``spec`` (with its ``deployments``) overrides the canned
         ``workflow`` name.  ``keep_records=False`` replays in streaming
         mode: per-execution results are folded into per-workflow
-        accumulators as executions complete.
+        accumulators as executions complete.  ``workers`` uses the sharded
+        parallel path (:mod:`repro.parallel`) — identical merged results.
         """
         if spec is None:
             spec, deployments = standard_workflow(workflow, fan_out=fan_out)
@@ -108,6 +110,6 @@ class WorkflowReplayExperiment(ExperimentRunner):
                     function_name=deployment.function_name,
                 )
             result.per_provider[provider] = platform.run_workflows(
-                arrivals, keep_records=keep_records
+                arrivals, keep_records=keep_records, workers=workers
             )
         return result

@@ -87,6 +87,7 @@ class WorkloadReplayExperiment(ExperimentRunner):
         scenario: Scenario | None = None,
         trace: WorkloadTrace | MergedWorkloadTrace | None = None,
         keep_records: bool = True,
+        workers: int | None = None,
     ) -> WorkloadReplayResult:
         """Deploy the functions, build the trace once, replay it everywhere.
 
@@ -94,7 +95,18 @@ class WorkloadReplayExperiment(ExperimentRunner):
         loaded from JSON) overrides both, in which case every function named
         by the trace must appear in ``deployments``.  ``keep_records=False``
         replays in streaming-aggregation mode (O(functions) memory,
-        per-function P² latency estimates instead of exact percentiles).
+        reservoir-sampled latency percentiles instead of exact ones).
+
+        ``workers`` replays each provider's workload through the sharded
+        parallel path (:mod:`repro.parallel`) — identical results, spread
+        over that many processes.  In streaming mode the scenario recipe
+        itself is sharded, so workers synthesize their own arrivals and no
+        requests are pickled between processes.  (The experiment still
+        builds the trace once in the parent for its report —
+        ``trace_invocations``/``save-trace``; callers who need a truly
+        O(functions)-memory parent should call
+        ``platform.run_workload(scenario, keep_records=False, workers=N)``
+        directly.)
         """
         if trace is None:
             if scenario is None:
@@ -111,6 +123,17 @@ class WorkloadReplayExperiment(ExperimentRunner):
                     "WorkflowReplayExperiment / SimulatedPlatform.run_workflows"
                 )
             trace = scenario.build_trace(seed=self.config.seed)
+            # Streaming sharded replays ship the scenario recipe instead of
+            # the materialised trace: each worker synthesizes its own shard
+            # (the trace above is only retained for reporting); trace_seed
+            # makes the workers derive the same arrival streams as the
+            # trace built above.
+            if workers is not None and not keep_records:
+                workload: Scenario | WorkloadTrace | MergedWorkloadTrace = scenario
+            else:
+                workload = trace
+        else:
+            workload = trace
         result = WorkloadReplayResult(
             scenario_name=scenario.name if scenario is not None else "trace",
             trace=trace,
@@ -126,5 +149,10 @@ class WorkloadReplayExperiment(ExperimentRunner):
                     input_size=self.input_size,
                     function_name=deployment.function_name,
                 )
-            result.per_provider[provider] = platform.run_workload(trace, keep_records=keep_records)
+            result.per_provider[provider] = platform.run_workload(
+                workload,
+                keep_records=keep_records,
+                workers=workers,
+                trace_seed=self.config.seed,
+            )
         return result

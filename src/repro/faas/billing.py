@@ -21,7 +21,7 @@ reproduce the pricing rules referenced by the paper (2020 list prices):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..config import DYNAMIC_MEMORY, Provider
 from ..exceptions import ConfigurationError
@@ -240,5 +240,15 @@ _BILLING_MODELS: dict[Provider, BillingModel] = {
 
 
 def billing_model_for(provider: Provider) -> BillingModel:
-    """Return the billing model of ``provider``."""
-    return _BILLING_MODELS[provider]
+    """Return the billing model of ``provider``.
+
+    Each call returns a *fresh* instance with its own (empty) static-cost
+    memo.  The module-level table used to be handed out directly, which
+    made its mutable ``_static_costs`` cache shared state across every
+    platform in the process — harmless for determinism (the memo is pure
+    arithmetic) but a latent per-shard isolation leak, and a data race
+    waiting to happen if platforms ever run on threads.  Pricing fields are
+    frozen and excluded caches don't participate in equality, so the copies
+    compare equal to the originals.
+    """
+    return replace(_BILLING_MODELS[provider], _static_costs={})

@@ -1,0 +1,239 @@
+"""Shard execution backends and the sharded-replay entry points.
+
+Two backends run the shards produced by :mod:`repro.parallel.plan`:
+
+* **sequential** — every shard replays in-process, one after another, each
+  on its own freshly rebuilt platform.  This is the *reference backend*:
+  zero concurrency, zero pickling, and the backend ``workers=1`` resolves
+  to.  The equivalence suite pins its output bit-identical to a plain
+  serial :meth:`~repro.simulator.platform_sim.SimulatedPlatform.run_workload`.
+* **process** — shards run on a ``multiprocessing`` pool (``fork`` start
+  method where available, ``spawn`` otherwise), at most ``workers``
+  concurrently.  Because a shard's result is a pure function of the
+  snapshot and the shard — no shared state, no cross-shard draws — the
+  process backend produces byte-identical merged results to the sequential
+  one, just faster.
+
+Merged-result semantics (see :mod:`repro.parallel.merge` for the details):
+record-mode merges are bit-identical to serial replay; streaming-mode
+merges are exact for counts, sums, min and max, and carry each function's
+reservoir percentile state over unchanged (a function lives in exactly one
+shard, so its merged percentiles are byte-identical to serial).  Only
+``wall_clock_s`` (a measurement, not a simulation output) and
+``peak_in_flight`` (max over shards wherever the merged records' intervals
+are unavailable — streaming mode, and workflow merges in both modes — a
+lower bound on the cross-shard global peak) differ from serial replay.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Sequence
+
+from ..exceptions import ConfigurationError
+from ..faas.invocation import InvocationRequest
+from ..utils.rng import RandomStreams
+from ..workload.engine import WorkloadEngine, WorkloadResult, _ReplayAccumulator
+from ..workload.scenario import Scenario
+from ..workload.trace import WorkloadTrace
+from ..workflows.engine import WorkflowEngine, fold_workflow_results
+from ..workflows.spec import WorkflowArrival
+from .merge import (
+    TraceShardOutcome,
+    WorkflowShardOutcome,
+    merge_trace_outcomes,
+    merge_workflow_outcomes,
+)
+from .plan import ScenarioShard, ShardPlanner, TraceShard, WorkflowShard
+from .snapshot import PlatformSnapshot
+
+#: Backend names accepted by the ``backend`` parameters.
+BACKENDS = ("sequential", "process")
+
+
+def _resolve_backend(backend: str | None, workers: int) -> str:
+    if backend is None:
+        return "sequential" if workers == 1 else "process"
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown shard backend {backend!r}; choose from {', '.join(BACKENDS)}"
+        )
+    return backend
+
+
+def _shard_requests(shard: TraceShard | ScenarioShard) -> Iterable[InvocationRequest]:
+    """The time-sorted request stream of one shard, synthesizing if needed."""
+    if isinstance(shard, TraceShard):
+        return (request for _, request in shard.requests)
+    streams = RandomStreams(shard.seed).fork("workload", shard.scenario_name)
+    traces = [
+        WorkloadTrace.synthesize(
+            traffic.function_name,
+            traffic.process,
+            shard.duration_s,
+            rng=streams.stream("arrivals", f"{source_index}:{traffic.function_name}"),
+            payload=traffic.payload,
+            payload_bytes=traffic.payload_bytes,
+            trigger=traffic.trigger,
+        )
+        for source_index, traffic in shard.sources
+    ]
+    return WorkloadTrace.merge(*traces)
+
+
+def _replay_trace_shard(
+    snapshot: PlatformSnapshot, shard: TraceShard | ScenarioShard, keep_records: bool
+) -> TraceShardOutcome:
+    """Worker entry point: rebuild the platform, replay one shard."""
+    platform = snapshot.build(shard.functions)
+    engine = WorkloadEngine(platform)
+    requests = _shard_requests(shard)
+    if keep_records:
+        if not isinstance(shard, TraceShard):
+            raise ConfigurationError("record-mode shards must carry materialised requests")
+        records = list(engine.stream(requests))
+        indexed = list(zip((index for index, _ in shard.requests), records))
+        return TraceShardOutcome(
+            shard_index=shard.index,
+            records=indexed,
+            accumulator=None,
+            peak_in_flight=engine.last_peak_in_flight,
+        )
+    accumulator = _ReplayAccumulator()
+    for record in engine.stream(requests):
+        accumulator.add(record)
+    return TraceShardOutcome(
+        shard_index=shard.index,
+        records=None,
+        accumulator=accumulator,
+        peak_in_flight=engine.last_peak_in_flight,
+    )
+
+
+def _replay_workflow_shard(
+    snapshot: PlatformSnapshot, shard: WorkflowShard, keep_records: bool
+) -> WorkflowShardOutcome:
+    """Worker entry point: rebuild the platform, replay one workflow shard."""
+    platform = snapshot.build(shard.functions)
+    engine = WorkflowEngine(platform)
+    accumulators, executions, first_submitted, last_finished = fold_workflow_results(
+        engine.stream(
+            (arrival for _, arrival in shard.arrivals),
+            execution_indices=(index for index, _ in shard.arrivals),
+        ),
+        keep_records=keep_records,
+    )
+    return WorkflowShardOutcome(
+        shard_index=shard.index,
+        accumulators=accumulators,
+        executions=executions,
+        first_submitted=first_submitted,
+        last_finished=last_finished,
+        peak_in_flight=engine.last_peak_in_flight,
+    )
+
+
+def _execute(worker, snapshot: PlatformSnapshot, shards, keep_records: bool, workers: int, backend: str):
+    """Run ``worker(snapshot, shard, keep_records)`` for every shard."""
+    if backend == "sequential" or len(shards) <= 1:
+        return [worker(snapshot, shard, keep_records) for shard in shards]
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(shards)), mp_context=context
+    ) as pool:
+        futures = [pool.submit(worker, snapshot, shard, keep_records) for shard in shards]
+        return [future.result() for future in futures]
+
+
+def run_workload_sharded(
+    platform,
+    trace: WorkloadTrace | Scenario | Iterable[InvocationRequest],
+    *,
+    workers: int,
+    keep_records: bool = True,
+    backend: str | None = None,
+    trace_seed: int | None = None,
+) -> WorkloadResult:
+    """Sharded trace replay: partition, replay per shard, merge.
+
+    ``trace`` may be a trace / request iterable (partitioned exactly, with
+    global indices) or a :class:`~repro.workload.scenario.Scenario`
+    (streaming mode only: each worker synthesizes its own shard's arrivals,
+    so nothing is materialised in the parent).  Note that partitioning a
+    trace or iterable necessarily **materialises every request in the
+    parent** (per-function shard lists, pickled to workers) — a lazy
+    request generator loses its O(functions) memory property here, so ship
+    million-invocation sharded replays as a ``Scenario`` recipe instead.
+    The parent ``platform`` is only snapshotted — it is not mutated by the
+    replay.  ``trace_seed`` is the seed the scenario's arrivals derive from
+    (default: the platform's simulation seed, matching how the experiments
+    build their traces); it is ignored for already-materialised traces.
+    """
+    if workers < 1:
+        raise ConfigurationError("workers must be at least 1")
+    backend = _resolve_backend(backend, workers)
+    snapshot = PlatformSnapshot.capture(platform)
+    planner = ShardPlanner()
+    wall_start = time.perf_counter()
+    if isinstance(trace, Scenario):
+        if keep_records:
+            raise ConfigurationError(
+                "scenario sharding is streaming-only (keep_records=False): exact "
+                "record ordering requires a materialised trace — build one with "
+                "scenario.build_trace() first"
+            )
+        seed = platform.simulation.seed if trace_seed is None else trace_seed
+        shards: Sequence = planner.plan_scenario(trace, seed, workers)
+        deployed = set(platform.functions())
+        for shard in shards:
+            missing = [fname for fname in shard.functions if fname not in deployed]
+            if missing:
+                raise ConfigurationError(f"scenario references undeployed functions: {missing}")
+    else:
+        shards = planner.plan_trace(iter(trace), workers)
+        for shard in shards:
+            for fname in shard.functions:
+                platform.get_function(fname)  # unknown names fail before any replay
+    outcomes = _execute(_replay_trace_shard, snapshot, shards, keep_records, workers, backend)
+    wall_clock_s = time.perf_counter() - wall_start
+    return merge_trace_outcomes(
+        platform.provider, outcomes, keep_records=keep_records, wall_clock_s=wall_clock_s
+    )
+
+
+def run_workflows_sharded(
+    platform,
+    arrivals: Sequence[WorkflowArrival],
+    *,
+    workers: int,
+    keep_records: bool = True,
+    backend: str | None = None,
+):
+    """Sharded workflow replay: component partition, replay, merge.
+
+    Execution indices from the unsharded arrival order ride along with each
+    shard, so trigger-edge delays (hash-seeded by execution key) are
+    identical to serial replay.  In record mode the merged ``executions``
+    list is in canonical execution-index order (serial replay yields them
+    in completion order; sort by ``execution_index`` to compare).
+    """
+    if workers < 1:
+        raise ConfigurationError("workers must be at least 1")
+    backend = _resolve_backend(backend, workers)
+    snapshot = PlatformSnapshot.capture(platform)
+    arrivals = list(arrivals)
+    wall_start = time.perf_counter()
+    shards = ShardPlanner().plan_workflows(arrivals, workers)
+    deployed = set(platform.functions())
+    for shard in shards:
+        missing = [fname for fname in shard.functions if fname not in deployed]
+        if missing:
+            raise ConfigurationError(f"workflow arrivals reference undeployed functions: {missing}")
+    outcomes = _execute(_replay_workflow_shard, snapshot, shards, keep_records, workers, backend)
+    wall_clock_s = time.perf_counter() - wall_start
+    return merge_workflow_outcomes(
+        platform.provider, outcomes, keep_records=keep_records, wall_clock_s=wall_clock_s
+    )

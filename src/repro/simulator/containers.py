@@ -123,6 +123,23 @@ class ContainerPool:
         #: An entry whose recorded timestamp disagrees with this map is stale
         #: and discarded when it surfaces at the heap top.
         self._entry_lua: dict[str, float] = {}
+        #: Per-pool sandbox id counter (see :meth:`next_container_id`).
+        self._id_counter = itertools.count(1)
+
+    def next_container_id(self) -> str:
+        """Mint a pool-scoped sandbox id, e.g. ``thumbnails-c00000007``.
+
+        Scoping ids to the pool (function) instead of the module-level
+        default counter makes a function's sandbox ids a pure function of
+        its *own* invocation history: two platforms replaying the same trace
+        in one process, or one function replayed alone versus inside a mixed
+        trace, mint identical ids.  The eviction policies' deterministic
+        ``(created_at, container_id)`` tie-break then stays stable under
+        sharded replay — and under id-counter rollover, since the fixed-width
+        sort key only rolls over at 10^8 sandboxes *per function* rather
+        than across the whole process.
+        """
+        return f"{self.function_name}-c{next(self._id_counter):08d}"
 
     # ------------------------------------------------------------- mutation
     def add(self, container: Container) -> None:

@@ -229,6 +229,13 @@ class IdleTimeoutEvictionPolicy(EvictionPolicy):
     The timeout is randomised per container (log-normal around the mean) to
     reproduce the unpredictable cold-start behaviour observed on those
     platforms.
+
+    ``rng_factory`` (preferred) maps a function name to that function's
+    private timeout stream: every pool draws from its own generator, in its
+    own container-creation order, so one function's eviction jitter is a
+    pure function of its own history — the isolation sharded replay
+    (:mod:`repro.parallel`) depends on.  The legacy single ``rng`` is kept
+    for callers that only ever evict one pool.
     """
 
     def __init__(
@@ -236,6 +243,7 @@ class IdleTimeoutEvictionPolicy(EvictionPolicy):
         mean_idle_timeout_s: float = 900.0,
         jitter_cv: float = 0.3,
         rng: np.random.Generator | None = None,
+        rng_factory=None,
     ):
         if mean_idle_timeout_s <= 0:
             raise ConfigurationError("idle timeout must be positive")
@@ -244,18 +252,32 @@ class IdleTimeoutEvictionPolicy(EvictionPolicy):
         self.mean_idle_timeout_s = mean_idle_timeout_s
         self.jitter_cv = jitter_cv
         self._rng = rng or np.random.default_rng(0)
+        self._rng_factory = rng_factory
         self._timeouts: dict[str, float] = {}
         # Weak pool-identity keys — see HalfLifeEvictionPolicy._trackers.
         self._trackers: "weakref.WeakKeyDictionary[ContainerPool, _IdleTracker]" = (
             weakref.WeakKeyDictionary()
         )
+        self._pool_rngs: "weakref.WeakKeyDictionary[ContainerPool, np.random.Generator]" = (
+            weakref.WeakKeyDictionary()
+        )
         self._entry_seq = itertools.count()
 
-    def _timeout_for(self, container: Container) -> float:
+    def _pool_rng(self, pool: ContainerPool) -> np.random.Generator:
+        if self._rng_factory is None:
+            return self._rng
+        rng = self._pool_rngs.get(pool)
+        if rng is None:
+            rng = self._pool_rngs[pool] = self._rng_factory(pool.function_name)
+        return rng
+
+    def _timeout_for(self, pool: ContainerPool, container: Container) -> float:
         if container.container_id not in self._timeouts:
             if self.jitter_cv > 0:
                 sigma = np.sqrt(np.log(1.0 + self.jitter_cv**2))
-                factor = float(self._rng.lognormal(mean=-sigma**2 / 2.0, sigma=sigma))
+                factor = float(
+                    self._pool_rng(pool).lognormal(mean=-sigma**2 / 2.0, sigma=sigma)
+                )
             else:
                 factor = 1.0
             self._timeouts[container.container_id] = self.mean_idle_timeout_s * factor
@@ -264,7 +286,7 @@ class IdleTimeoutEvictionPolicy(EvictionPolicy):
     def select_evictions(self, pool: ContainerPool, now: float) -> list[Container]:
         victims = []
         for container in pool.warm_containers():
-            if container.idle_time(now) > self._timeout_for(container):
+            if container.idle_time(now) > self._timeout_for(pool, container):
                 victims.append(container)
         return victims
 
@@ -287,7 +309,7 @@ class IdleTimeoutEvictionPolicy(EvictionPolicy):
             # Drawing here — first application after the sandbox turns warm,
             # in creation order — reproduces the RNG draw sequence of the
             # scan-based path exactly.
-            timeout = self._timeout_for(container)
+            timeout = self._timeout_for(pool, container)
             heapq.heappush(
                 tracker.heap,
                 (container.last_used_at + timeout, next(self._entry_seq), container),

@@ -47,11 +47,21 @@ class IaaSPlatform(SimulatedPlatform):
     ):
         super().__init__(simulation=simulation, clock=clock, registry=registry, execute_kernels=execute_kernels)
         self.use_cloud_storage = use_cloud_storage
-        if use_cloud_storage:
-            # Replace the local-disk storage model with an S3-like one.
-            self.compute._storage_model = StorageLatencyModel(
-                IAAS_S3_STORAGE_PROFILE, self._streams.stream("s3-storage")
+
+    def _snapshot_init_kwargs(self) -> dict:
+        # Workers must rebuild with the same storage configuration, or a
+        # sharded replay would silently fall back to local-disk latency.
+        return {"use_cloud_storage": self.use_cloud_storage}
+
+    def _build_compute_model(self, fname: str) -> ComputeModel:
+        compute = super()._build_compute_model(fname)
+        if self.use_cloud_storage:
+            # Replace the local-disk storage model with an S3-like one (per
+            # function, like every other stochastic model).
+            compute._storage_model = StorageLatencyModel(
+                IAAS_S3_STORAGE_PROFILE, self._streams.stream("s3-storage", fname)
             )
+        return compute
 
     def _build_eviction_policy(self) -> EvictionPolicy:
         return _NeverEvict()
@@ -67,6 +77,7 @@ class IaaSPlatform(SimulatedPlatform):
             function_version=function.version,
             memory_mb=function.config.memory_mb,
             created_at=start_at,
+            container_id=state.pool.next_container_id(),
         )
         container.mark_warm(start_at)
         state.pool.add(container)

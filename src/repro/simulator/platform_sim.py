@@ -86,9 +86,23 @@ class _FunctionRuntimeState:
     can bound it; ``profile`` caches the resolved work profile keyed by
     ``profile_key`` so it is computed once per (benchmark, size, language),
     not once per request.
+
+    The stochastic models (``compute``, ``reliability``, ``network`` and
+    the spurious/gateway streams) are *per function*, each drawing from a
+    stream derived from the platform seed and the function name
+    (:func:`repro.utils.rng.derive_seed`).  A function's simulated numbers
+    are therefore a pure function of its own request history: co-deployed
+    functions never perturb each other's draws, which is what lets sharded
+    parallel replay (:mod:`repro.parallel`) reproduce serial replay
+    bit-for-bit, one function shard at a time.
     """
 
     pool: ContainerPool
+    compute: ComputeModel
+    reliability: ReliabilityModel
+    network: NetworkLink
+    spurious_stream: Any
+    gateway_stream: Any
     language: Language = Language.PYTHON
     input_size: InputSize = InputSize.SMALL
     history: deque[_LogEntry] = field(default_factory=deque)
@@ -122,10 +136,11 @@ class SimulatedPlatform(FaaSPlatform):
         self._streams = RandomStreams(self.simulation.seed).fork(self.provider.value)
         self.performance: ProviderPerformanceProfile = profile_for(self.provider)
         self.billing: BillingModel = billing_model_for(self.provider)
-        self.compute = ComputeModel(self.performance, self.limits, self._streams.stream("compute"))
-        self.reliability = ReliabilityModel(
-            self.provider, self._streams.stream("reliability"), enabled=self.simulation.enable_failures
-        )
+        # The stochastic invocation models (compute, reliability, network
+        # jitter) live on the per-function runtime state — see
+        # _new_runtime_state.  The platform keeps only this one link, whose
+        # clock offset (drawn once per deployment) the per-function links
+        # share.
         self.network = NetworkLink(
             self.performance.network,
             self._streams.stream("network"),
@@ -133,10 +148,9 @@ class SimulatedPlatform(FaaSPlatform):
         )
         self.eviction_policy: EvictionPolicy = self._build_eviction_policy()
 
-        # Hot-path invariants hoisted out of _simulate_invocation: stream
-        # handles (a dict lookup per draw otherwise) and profile scalars.
-        self._spurious_stream = self._streams.stream("spurious")
-        self._gateway_stream = self._streams.stream("gateway")
+        # Hot-path invariants hoisted out of _simulate_invocation: profile
+        # scalars (the per-function stream handles live on the runtime
+        # state, hoisted the same way).
         self._spurious_probability = self.performance.spurious_cold_start_probability
         self._invocation_profile = self.performance.invocation
         self._runtime_overhead_s = self.performance.runtime_overhead_s
@@ -154,10 +168,40 @@ class SimulatedPlatform(FaaSPlatform):
     def _build_eviction_policy(self) -> EvictionPolicy:
         raise NotImplementedError
 
+    def _snapshot_init_kwargs(self) -> dict:
+        """Extra constructor kwargs a faithful rebuild of this platform needs.
+
+        Subclasses with behaviour-changing constructor parameters beyond
+        ``simulation``/``clock`` (e.g. the IaaS storage configuration) must
+        report them here, or sharded replay would silently rebuild workers
+        with defaults (see :class:`repro.parallel.snapshot.PlatformSnapshot`).
+        """
+        return {}
+
+    def _build_compute_model(self, fname: str) -> ComputeModel:
+        """The per-function compute model (providers may customise storage)."""
+        return ComputeModel(self.performance, self.limits, self._streams.stream("compute", fname))
+
     def _new_runtime_state(self, fname: str, language: Language) -> _FunctionRuntimeState:
         retention = self.simulation.log_retention
+        streams = self._streams
         return _FunctionRuntimeState(
             pool=ContainerPool(fname, slot_capacity=self.sandbox_concurrency),
+            compute=self._build_compute_model(fname),
+            reliability=ReliabilityModel(
+                self.provider,
+                streams.stream("reliability", fname),
+                enabled=self.simulation.enable_failures,
+            ),
+            # Per-function jitter stream, but the same constant clock offset:
+            # all functions of a deployment live behind one region endpoint.
+            network=NetworkLink(
+                self.performance.network,
+                streams.stream("network", fname),
+                clock_offset_s=self.network.clock_offset_s,
+            ),
+            spurious_stream=streams.stream("spurious", fname),
+            gateway_stream=streams.stream("gateway", fname),
             language=language,
             history=deque(maxlen=retention),
         )
@@ -365,7 +409,12 @@ class SimulatedPlatform(FaaSPlatform):
         return WorkloadEngine(self).stream(requests)
 
     def run_workload(
-        self, trace: WorkloadTrace | Iterable[InvocationRequest], keep_records: bool = True
+        self,
+        trace: WorkloadTrace | Iterable[InvocationRequest],
+        keep_records: bool = True,
+        workers: int | None = None,
+        backend: str | None = None,
+        trace_seed: int | None = None,
     ) -> WorkloadResult:
         """Replay a :class:`~repro.workload.trace.WorkloadTrace` and aggregate.
 
@@ -376,15 +425,47 @@ class SimulatedPlatform(FaaSPlatform):
 
         With ``keep_records=False`` the replay runs in streaming-aggregation
         mode: individual records are folded into per-function accumulators
-        (counts, costs, P² latency quantiles) as they are produced, so
+        (counts, costs, reservoir-sampled latency quantiles) as they are produced, so
         memory stays O(functions) instead of O(invocations) — the mode for
         million-invocation traces.  ``trace`` may then also be a lazy
         iterable of requests rather than a materialised trace.
+
+        ``workers`` switches to **sharded replay** (:mod:`repro.parallel`):
+        the trace is partitioned into per-function shards, each shard
+        replays on its own rebuilt copy of this (freshly deployed) platform,
+        and the shard results are merged deterministically — bit-identical
+        records (and exactly equal counts/costs/min/max) to the serial
+        replay, by the per-function isolation the simulator maintains.
+        ``workers=1`` (or ``backend="sequential"``) runs the shards
+        in-process — the reference backend; ``workers>1`` uses
+        ``multiprocessing``.  Unlike a serial replay, the sharded path does
+        not mutate this platform instance.  Sharding a trace (or lazy
+        iterable) materialises every request in the parent to partition it;
+        for million-invocation sharded replays pass a
+        :class:`~repro.workload.scenario.Scenario` instead (streaming mode
+        only), in which case each worker synthesizes its own shard's
+        arrivals and parent memory stays O(functions).
         """
+        if workers is not None:
+            from ..parallel import run_workload_sharded
+
+            return run_workload_sharded(
+                self,
+                trace,
+                keep_records=keep_records,
+                workers=workers,
+                backend=backend,
+                trace_seed=trace_seed,
+            )
         return WorkloadEngine(self).run(trace, keep_records=keep_records)
 
     def run_workflows(
-        self, arrivals, keep_records: bool = True, record_sink=None
+        self,
+        arrivals,
+        keep_records: bool = True,
+        record_sink=None,
+        workers: int | None = None,
+        backend: str | None = None,
     ):
         """Replay a time-sorted stream of workflow arrivals and aggregate.
 
@@ -398,9 +479,24 @@ class SimulatedPlatform(FaaSPlatform):
         per-workflow accumulators (O(workflows + in-flight) memory);
         ``record_sink`` optionally observes every constituent invocation
         record.  See :class:`~repro.workflows.engine.WorkflowEngine`.
+
+        ``workers`` switches to sharded replay: arrivals are grouped into
+        function-disjoint components (workflow specs sharing a deployed
+        function always land in the same shard) and replayed on rebuilt
+        platform copies, preserving each execution's global index so the
+        hash-seeded trigger-edge delays are identical to serial replay.
+        ``record_sink`` is unsupported in that mode.
         """
         from ..workflows.engine import WorkflowEngine
 
+        if workers is not None:
+            from ..parallel import run_workflows_sharded
+
+            if record_sink is not None:
+                raise PlatformError("record_sink is not supported with sharded replay")
+            return run_workflows_sharded(
+                self, arrivals, keep_records=keep_records, workers=workers, backend=backend
+            )
         return WorkflowEngine(self).run(
             arrivals, keep_records=keep_records, record_sink=record_sink
         )
@@ -418,7 +514,7 @@ class SimulatedPlatform(FaaSPlatform):
         self.eviction_policy.apply(state.pool, start_at)
         spurious = (
             self._spurious_probability > 0
-            and self._spurious_stream.random() < self._spurious_probability
+            and state.spurious_stream.random() < self._spurious_probability
         )
         if not spurious:
             # Reuse the most recently used warm sandbox with a free slot
@@ -432,6 +528,7 @@ class SimulatedPlatform(FaaSPlatform):
             function_version=function.version,
             memory_mb=function.config.memory_mb,
             created_at=start_at,
+            container_id=state.pool.next_container_id(),
         )
         state.pool.add(container)
         return container, StartType.COLD
@@ -496,14 +593,14 @@ class SimulatedPlatform(FaaSPlatform):
         start_at: float,
         memory_mb: int,
     ) -> InvocationRecord:
-        sample = self.compute.execute(
+        sample = state.compute.execute(
             profile,
             memory_mb=memory_mb,
             cold=start_type is StartType.COLD,
             code_package_mb=function.package.size_mb,
             concurrent=concurrency > 1,
         )
-        failure = self.reliability.check(
+        failure = state.reliability.check(
             profile,
             memory_mb=memory_mb,
             memory_used_mb=sample.memory_used_mb,
@@ -528,12 +625,12 @@ class SimulatedPlatform(FaaSPlatform):
         via_http = trigger is TriggerType.HTTP
         gateway = overhead_profile.http_gateway_s if via_http else overhead_profile.sdk_overhead_s
         gateway *= float(
-            self._gateway_stream.lognormal(mean=self._gateway_mean, sigma=self._gateway_sigma)
+            state.gateway_stream.lognormal(mean=self._gateway_mean, sigma=self._gateway_sigma)
         )
         payload_upload_s = request_bytes / (overhead_profile.payload_bandwidth_mbps * 1024 * 1024)
         response_download_s = output_bytes / (overhead_profile.response_bandwidth_mbps * 1024 * 1024)
-        request_network_s = self.network.one_way_delay("request")
-        response_network_s = self.network.one_way_delay("response")
+        request_network_s = state.network.one_way_delay("request")
+        response_network_s = state.network.one_way_delay("response")
 
         # Overhead between submitting the request and the function starting.
         invocation_overhead_s = request_network_s + gateway + payload_upload_s + sample.cold_init_s

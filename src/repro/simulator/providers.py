@@ -37,10 +37,13 @@ class GoogleCloudFunctionsSimulator(SimulatedPlatform):
     provider = Provider.GCP
 
     def _build_eviction_policy(self) -> EvictionPolicy:
+        # Per-function timeout streams: a function's eviction jitter depends
+        # only on its own sandbox history, never on co-deployed functions
+        # (required for sharded replay, see repro.parallel).
         return IdleTimeoutEvictionPolicy(
             mean_idle_timeout_s=900.0,
             jitter_cv=0.5,
-            rng=self._streams.stream("eviction"),
+            rng_factory=lambda fname: self._streams.stream("eviction", fname),
         )
 
 
@@ -73,7 +76,7 @@ class AzureFunctionsSimulator(SimulatedPlatform):
         return IdleTimeoutEvictionPolicy(
             mean_idle_timeout_s=1500.0,
             jitter_cv=0.4,
-            rng=self._streams.stream("eviction"),
+            rng_factory=lambda fname: self._streams.stream("eviction", fname),
         )
 
 

@@ -14,7 +14,13 @@ container-eviction model fit.
 from .confidence import ConfidenceInterval, nonparametric_ci
 from .regression import LinearFit, fit_linear
 from .sampling import required_samples_for_ci
-from .streaming import P2Quantile, ReservoirSample, StreamingMoments, StreamingSummary
+from .streaming import (
+    MergeableReservoir,
+    P2Quantile,
+    ReservoirSample,
+    StreamingMoments,
+    StreamingSummary,
+)
 from .summary import DistributionSummary, summarize
 
 __all__ = [
@@ -23,6 +29,7 @@ __all__ = [
     "LinearFit",
     "fit_linear",
     "required_samples_for_ci",
+    "MergeableReservoir",
     "P2Quantile",
     "ReservoirSample",
     "StreamingMoments",

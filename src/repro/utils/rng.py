@@ -28,6 +28,24 @@ def derive_seed(master_seed: int, *names: str) -> int:
     return int.from_bytes(digest.digest()[:8], "little")
 
 
+def derive_generator(master_seed: int, *names: str) -> np.random.Generator:
+    """A fresh generator seeded by ``derive_seed(master_seed, *names)``.
+
+    This is the **shard-stable** derivation: the sequence a consumer draws
+    depends only on its *name*, never on how many other consumers exist or
+    in what order they were created.  The mergeable reservoirs seed their
+    tag streams through it directly; the per-function simulator streams
+    (compute/network/reliability/eviction, keyed by function name) get the
+    same property through :meth:`RandomStreams.stream`, which applies the
+    identical ``derive_seed`` naming scheme.  Replaying any subset of
+    functions — e.g. one shard of a partitioned trace — therefore draws
+    exactly the numbers the full replay would have drawn for those
+    functions, which is what makes sharded parallel replay bit-identical
+    to serial replay (see :mod:`repro.parallel`).
+    """
+    return np.random.default_rng(derive_seed(master_seed, *names))
+
+
 class RandomStreams:
     """A factory of named, independent :class:`numpy.random.Generator` streams."""
 

@@ -211,8 +211,22 @@ class _WorkflowAccumulator:
         self.compute_s = 0.0
         self.cold_start_s = 0.0
         self.trigger_s = 0.0
-        self.end_to_end = StreamingSummary()
+        self.end_to_end = StreamingSummary(key=f"workflow:{workflow}")
         self.end_to_end_s_sum = 0.0
+
+    def merge(self, other: "_WorkflowAccumulator") -> None:
+        """Fold a shard's accumulator into this one (sharded replay merge)."""
+        self.executions += other.executions
+        self.invocations += other.invocations
+        self.cold_starts += other.cold_starts
+        self.failures += other.failures
+        self.skipped_stages += other.skipped_stages
+        self.cost_usd += other.cost_usd
+        self.compute_s += other.compute_s
+        self.cold_start_s += other.cold_start_s
+        self.trigger_s += other.trigger_s
+        self.end_to_end.merge(other.end_to_end)
+        self.end_to_end_s_sum += other.end_to_end_s_sum
 
     def add(self, result: WorkflowResult) -> None:
         self.executions += 1
@@ -319,6 +333,68 @@ class WorkflowReplayResult:
         return row
 
 
+def fold_workflow_results(
+    results: Iterable[WorkflowResult], keep_records: bool
+) -> tuple[dict[str, _WorkflowAccumulator], list[WorkflowResult], float | None, float | None]:
+    """Fold per-execution results into per-workflow accumulators.
+
+    Returns ``(accumulators, kept_executions, first_submitted,
+    last_finished)``.  Shared by the serial engine and the shard workers
+    (:mod:`repro.parallel`), so both paths accumulate — and therefore
+    float-sum — identically; any change here changes them in lockstep.
+    """
+    accumulators: dict[str, _WorkflowAccumulator] = {}
+    executions: list[WorkflowResult] = []
+    first_submitted: float | None = None
+    last_finished: float | None = None
+    for result in results:
+        accumulator = accumulators.get(result.workflow)
+        if accumulator is None:
+            accumulator = accumulators[result.workflow] = _WorkflowAccumulator(result.workflow)
+        accumulator.add(result)
+        if first_submitted is None or result.submitted_at < first_submitted:
+            first_submitted = result.submitted_at
+        if last_finished is None or result.finished_at > last_finished:
+            last_finished = result.finished_at
+        if keep_records:
+            executions.append(result)
+    return accumulators, executions, first_submitted, last_finished
+
+
+def build_replay_result(
+    provider: Provider,
+    accumulators: Mapping[str, _WorkflowAccumulator],
+    executions: list[WorkflowResult],
+    simulated_span_s: float,
+    wall_clock_s: float,
+    peak_in_flight: int,
+) -> WorkflowReplayResult:
+    """Reduce per-workflow accumulators into a :class:`WorkflowReplayResult`.
+
+    Shared by the serial engine and the sharded-replay merge
+    (:mod:`repro.parallel`): float totals reduce in sorted workflow-name
+    order, so serial and merged replays produce byte-identical totals.
+    """
+    ordered = [accumulators[name] for name in sorted(accumulators)]
+    return WorkflowReplayResult(
+        provider=provider,
+        executions=executions,
+        simulated_span_s=simulated_span_s,
+        wall_clock_s=wall_clock_s,
+        peak_in_flight=peak_in_flight,
+        execution_count=sum(a.executions for a in ordered),
+        invocation_total=sum(a.invocations for a in ordered),
+        cold_start_total=sum(a.cold_starts for a in ordered),
+        failure_total=sum(a.failures for a in ordered),
+        cost_usd_total=sum(a.cost_usd for a in ordered),
+        compute_s_total=sum(a.compute_s for a in ordered),
+        cold_start_s_total=sum(a.cold_start_s for a in ordered),
+        trigger_propagation_s_total=sum(a.trigger_s for a in ordered),
+        end_to_end_s_total=sum(a.end_to_end_s_sum for a in ordered),
+        summaries={name: accumulators[name].summary() for name in sorted(accumulators)},
+    )
+
+
 class WorkflowEngine:
     """Replays workflow arrival streams against one simulated platform."""
 
@@ -335,6 +411,7 @@ class WorkflowEngine:
         self,
         arrivals: Iterable[WorkflowArrival],
         record_sink: Callable[[InvocationRecord], None] | None = None,
+        execution_indices: Iterable[int] | None = None,
     ) -> Iterator[WorkflowResult]:
         """Replay ``arrivals`` lazily, yielding one result per execution.
 
@@ -342,6 +419,12 @@ class WorkflowEngine:
         optionally receives every constituent
         :class:`~repro.faas.invocation.InvocationRecord` as it is produced
         (drill-down without the engine retaining them).
+
+        ``execution_indices`` overrides the default ``0, 1, 2, ...``
+        numbering of executions (one index per arrival, in order).  Sharded
+        replay passes each arrival's index from the *unsharded* stream so
+        the execution keys — which seed the per-edge trigger-delay
+        generators — are identical to a serial replay.
         """
         platform = self.platform
         base = platform.clock.now()
@@ -349,7 +432,7 @@ class WorkflowEngine:
         active: dict[int, _ExecutionState] = {}
         finished: deque[WorkflowResult] = deque()
         meta: deque[_Event] = deque()
-        exec_counter = itertools.count()
+        exec_counter = iter(execution_indices) if execution_indices is not None else itertools.count()
 
         def source() -> Iterator[InvocationRequest]:
             arrival_iter = iter(arrivals)
@@ -404,6 +487,7 @@ class WorkflowEngine:
         arrivals: Iterable[WorkflowArrival],
         keep_records: bool = True,
         record_sink: Callable[[InvocationRecord], None] | None = None,
+        execution_indices: Iterable[int] | None = None,
     ) -> WorkflowReplayResult:
         """Replay a whole arrival stream and aggregate the outcome.
 
@@ -414,41 +498,21 @@ class WorkflowEngine:
         executions the stream contains.
         """
         wall_start = time.perf_counter()
-        accumulators: dict[str, _WorkflowAccumulator] = {}
-        executions: list[WorkflowResult] = []
-        first_submitted: float | None = None
-        last_finished: float | None = None
-        for result in self.stream(arrivals, record_sink=record_sink):
-            accumulator = accumulators.get(result.workflow)
-            if accumulator is None:
-                accumulator = accumulators[result.workflow] = _WorkflowAccumulator(result.workflow)
-            accumulator.add(result)
-            if first_submitted is None or result.submitted_at < first_submitted:
-                first_submitted = result.submitted_at
-            if last_finished is None or result.finished_at > last_finished:
-                last_finished = result.finished_at
-            if keep_records:
-                executions.append(result)
+        accumulators, executions, first_submitted, last_finished = fold_workflow_results(
+            self.stream(arrivals, record_sink=record_sink, execution_indices=execution_indices),
+            keep_records=keep_records,
+        )
         wall_clock_s = time.perf_counter() - wall_start
         span = 0.0
         if first_submitted is not None and last_finished is not None:
             span = last_finished - first_submitted
-        return WorkflowReplayResult(
-            provider=self.platform.provider,
+        return build_replay_result(
+            self.platform.provider,
+            accumulators,
             executions=executions,
             simulated_span_s=span,
             wall_clock_s=wall_clock_s,
             peak_in_flight=self.last_peak_in_flight,
-            execution_count=sum(a.executions for a in accumulators.values()),
-            invocation_total=sum(a.invocations for a in accumulators.values()),
-            cold_start_total=sum(a.cold_starts for a in accumulators.values()),
-            failure_total=sum(a.failures for a in accumulators.values()),
-            cost_usd_total=sum(a.cost_usd for a in accumulators.values()),
-            compute_s_total=sum(a.compute_s for a in accumulators.values()),
-            cold_start_s_total=sum(a.cold_start_s for a in accumulators.values()),
-            trigger_propagation_s_total=sum(a.trigger_s for a in accumulators.values()),
-            end_to_end_s_total=sum(a.end_to_end_s_sum for a in accumulators.values()),
-            summaries={name: accumulators[name].summary() for name in sorted(accumulators)},
         )
 
     # -------------------------------------------------------------- plumbing

@@ -43,6 +43,17 @@ class ArrivalProcess(abc.ABC):
         """Short human-readable identifier used in scenario descriptions."""
         return type(self).__name__
 
+    def expected_invocations(self, duration_s: float) -> float:
+        """Expected number of arrivals in ``[0, duration_s)``.
+
+        The shard planner's cost model (:mod:`repro.parallel`) uses this to
+        load-balance scenario traffic across workers without synthesizing
+        the trace first.  Subclasses with a known mean rate override it; the
+        base fallback assumes one arrival per second, which only degrades
+        balance, never correctness.
+        """
+        return self._validate_duration(duration_s)
+
     @staticmethod
     def _validate_duration(duration_s: float) -> float:
         if duration_s <= 0:
@@ -61,6 +72,9 @@ class ConstantRateArrivals(ArrivalProcess):
         self.rate_per_s = float(rate_per_s)
         self.phase_s = float(phase_s)
 
+    def expected_invocations(self, duration_s: float) -> float:
+        return self.rate_per_s * self._validate_duration(duration_s)
+
     def generate(self, duration_s: float, rng: np.random.Generator) -> np.ndarray:
         duration_s = self._validate_duration(duration_s)
         interval = 1.0 / self.rate_per_s
@@ -77,6 +91,9 @@ class PoissonArrivals(ArrivalProcess):
         if rate_per_s <= 0:
             raise ConfigurationError("arrival rate must be positive")
         self.rate_per_s = float(rate_per_s)
+
+    def expected_invocations(self, duration_s: float) -> float:
+        return self.rate_per_s * self._validate_duration(duration_s)
 
     def generate(self, duration_s: float, rng: np.random.Generator) -> np.ndarray:
         duration_s = self._validate_duration(duration_s)
@@ -120,6 +137,14 @@ class BurstyArrivals(ArrivalProcess):
         self.mean_on_s = float(mean_on_s)
         self.mean_off_s = float(mean_off_s)
         self.off_rate_per_s = float(off_rate_per_s)
+
+    def expected_invocations(self, duration_s: float) -> float:
+        duration_s = self._validate_duration(duration_s)
+        cycle = self.mean_on_s + self.mean_off_s
+        mean_rate = (
+            self.on_rate_per_s * self.mean_on_s + self.off_rate_per_s * self.mean_off_s
+        ) / cycle
+        return mean_rate * duration_s
 
     def generate(self, duration_s: float, rng: np.random.Generator) -> np.ndarray:
         duration_s = self._validate_duration(duration_s)
@@ -170,6 +195,11 @@ class DiurnalArrivals(ArrivalProcess):
         self.amplitude = float(amplitude)
         self.period_s = float(period_s)
         self.phase_s = float(phase_s)
+
+    def expected_invocations(self, duration_s: float) -> float:
+        # The sinusoid integrates to ~zero over whole periods; the mean rate
+        # is an adequate cost-model estimate for partial ones.
+        return self.mean_rate_per_s * self._validate_duration(duration_s)
 
     def rate_at(self, t: float) -> float:
         """Instantaneous arrival rate at offset ``t`` seconds."""

@@ -29,8 +29,8 @@ Two aggregation modes:
   :class:`~repro.faas.invocation.InvocationRecord` — exact percentiles,
   full drill-down, O(invocations) memory;
 * ``run(trace, keep_records=False)`` streams records into per-function
-  accumulators (counts, costs, Welford moments and P² quantile estimators
-  from :mod:`repro.stats.streaming`) as they are produced — O(functions)
+  accumulators (counts, costs, Welford moments and mergeable reservoir percentile
+  sketches from :mod:`repro.stats.streaming`) as they are produced — O(functions)
   memory, the mode for million-invocation traces.  ``trace`` may then be a
   lazy iterable of requests.
 
@@ -93,7 +93,13 @@ class FunctionWorkloadSummary:
 
 
 class _FunctionAccumulator:
-    """Streaming per-function aggregates (O(1) state per function)."""
+    """Streaming per-function aggregates (O(1) state per function).
+
+    Mergeable: shard accumulators for the same function fold together with
+    :meth:`merge` — counts and cost sums exactly, latency distributions via
+    :meth:`repro.stats.streaming.StreamingSummary.merge` (exact when one
+    side is empty, which is the per-function sharding case).
+    """
 
     __slots__ = ("function_name", "invocations", "cold_starts", "failures", "total_cost_usd", "client_time")
 
@@ -103,7 +109,7 @@ class _FunctionAccumulator:
         self.cold_starts = 0
         self.failures = 0
         self.total_cost_usd = 0.0
-        self.client_time = StreamingSummary()
+        self.client_time = StreamingSummary(key=function_name)
 
     def add(self, record: InvocationRecord) -> None:
         self.invocations += 1
@@ -113,6 +119,13 @@ class _FunctionAccumulator:
             self.failures += 1
         self.total_cost_usd += record.cost.total
         self.client_time.add(record.client_time_s)
+
+    def merge(self, other: "_FunctionAccumulator") -> None:
+        self.invocations += other.invocations
+        self.cold_starts += other.cold_starts
+        self.failures += other.failures
+        self.total_cost_usd += other.total_cost_usd
+        self.client_time.merge(other.client_time)
 
     def summary(self) -> FunctionWorkloadSummary:
         return FunctionWorkloadSummary(
@@ -130,7 +143,9 @@ class _ReplayAccumulator:
 
     The replay totals (invocations, cold starts, failures, cost) are summed
     from the per-function accumulators once at the end — only the span
-    needs whole-replay tracking per record.
+    needs whole-replay tracking per record.  Float totals reduce in sorted
+    function-name order, so a merge of per-shard accumulators
+    (:meth:`merge`) produces byte-identical totals to a serial replay.
     """
 
     def __init__(self) -> None:
@@ -150,11 +165,31 @@ class _ReplayAccumulator:
             )
         accumulator.add(record)
 
+    def merge(self, other: "_ReplayAccumulator") -> None:
+        """Fold a shard's accumulator into this one (sharded replay merge)."""
+        if other.first_submitted is not None and (
+            self.first_submitted is None or other.first_submitted < self.first_submitted
+        ):
+            self.first_submitted = other.first_submitted
+        if other.last_finished is not None and (
+            self.last_finished is None or other.last_finished > self.last_finished
+        ):
+            self.last_finished = other.last_finished
+        for fname, accumulator in other.per_function.items():
+            mine = self.per_function.get(fname)
+            if mine is None:
+                self.per_function[fname] = accumulator
+            else:
+                mine.merge(accumulator)
+
     @property
     def span_s(self) -> float:
         if self.first_submitted is None or self.last_finished is None:
             return 0.0
         return self.last_finished - self.first_submitted
+
+    def _ordered(self) -> list[_FunctionAccumulator]:
+        return [self.per_function[fname] for fname in sorted(self.per_function)]
 
     @property
     def invocations(self) -> int:
@@ -170,7 +205,10 @@ class _ReplayAccumulator:
 
     @property
     def total_cost_usd(self) -> float:
-        return sum(acc.total_cost_usd for acc in self.per_function.values())
+        # Sorted-name reduction: the float sum is independent of function
+        # first-appearance order, hence identical for serial and merged
+        # sharded replays.
+        return sum(acc.total_cost_usd for acc in self._ordered())
 
     def summaries(self) -> dict[str, FunctionWorkloadSummary]:
         return {
@@ -185,7 +223,7 @@ class WorkloadResult:
     In record-keeping mode the aggregate properties are derived exactly from
     ``records``; in streaming-aggregation mode ``records`` is empty and the
     same properties read the pre-aggregated counters instead (with
-    per-function latency distributions carried by P² estimates in
+    per-function latency distributions carried by reservoir estimates in
     ``streaming_summaries``).
     """
 
@@ -243,8 +281,8 @@ class WorkloadResult:
     def per_function(self) -> dict[str, FunctionWorkloadSummary]:
         """Aggregate the records into per-function summaries.
 
-        Exact (with confidence intervals) when records were kept; P²
-        streaming estimates otherwise.
+        Exact (with confidence intervals) when records were kept; streaming
+        reservoir estimates otherwise.
         """
         if not self.records:
             return dict(self.streaming_summaries or {})
@@ -283,6 +321,32 @@ class WorkloadResult:
         }
 
 
+def streaming_result(
+    provider: Provider,
+    accumulator: _ReplayAccumulator,
+    wall_clock_s: float,
+    peak_in_flight: int,
+) -> WorkloadResult:
+    """Build the streaming-mode :class:`WorkloadResult` from an accumulator.
+
+    Shared by the serial engine and the sharded-replay merge
+    (:mod:`repro.parallel`), so both paths reduce the accumulator with the
+    same code — and therefore the same float-summation order.
+    """
+    return WorkloadResult(
+        provider=provider,
+        records=[],
+        simulated_span_s=accumulator.span_s,
+        wall_clock_s=wall_clock_s,
+        peak_in_flight=peak_in_flight,
+        invocation_count=accumulator.invocations,
+        cold_start_total=accumulator.cold_starts,
+        failure_total=accumulator.failures,
+        cost_usd_total=accumulator.total_cost_usd,
+        streaming_summaries=accumulator.summaries(),
+    )
+
+
 class WorkloadEngine:
     """Replays invocation streams against one simulated platform."""
 
@@ -311,6 +375,12 @@ class WorkloadEngine:
         sequence = itertools.count()
         # Completion events: (finish_time, tie-break, function, container_id).
         completions: list[tuple[float, int, str, str]] = []
+        # In-flight executions per function: the concurrency the invocation
+        # model sees.  Scoped per function — not the whole-platform heap
+        # size — so one function's burst-failure behaviour depends only on
+        # its own overlap structure (explicit per-function isolation; the
+        # invariant sharded replay relies on).
+        in_flight_by_fn: dict[str, int] = {}
         last_submitted = 0.0
         last_finish = base
         processed = 0
@@ -331,17 +401,21 @@ class WorkloadEngine:
                 while completions and completions[0][0] <= now:
                     _, _, done_fname, container_id = heapq.heappop(completions)
                     platform._release_container(done_fname, container_id)
+                    in_flight_by_fn[done_fname] -= 1
 
                 platform.clock.advance_to(now)
                 in_flight = len(completions)
+                fname = request.function_name
+                fn_in_flight = in_flight_by_fn.get(fname, 0)
                 record = platform._simulate_invocation(
-                    request.function_name,
+                    fname,
                     request.payload,
                     request.trigger,
                     request.payload_bytes,
-                    concurrency=in_flight + 1,
+                    concurrency=fn_in_flight + 1,
                     start_at=now,
                 )
+                in_flight_by_fn[fname] = fn_in_flight + 1
                 heapq.heappush(
                     completions,
                     (record.finished_at, next(sequence), request.function_name, record.container_id),
@@ -404,17 +478,11 @@ class WorkloadEngine:
         for record in self.stream(trace):
             accumulator.add(record)
         wall_clock_s = time.perf_counter() - wall_start
-        return WorkloadResult(
-            provider=self.platform.provider,
-            records=[],
-            simulated_span_s=accumulator.span_s,
+        return streaming_result(
+            self.platform.provider,
+            accumulator,
             wall_clock_s=wall_clock_s,
             peak_in_flight=self.last_peak_in_flight,
-            invocation_count=accumulator.invocations,
-            cold_start_total=accumulator.cold_starts,
-            failure_total=accumulator.failures,
-            cost_usd_total=accumulator.total_cost_usd,
-            streaming_summaries=accumulator.summaries(),
         )
 
     def _prune_pools(self) -> None:

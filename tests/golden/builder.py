@@ -1,0 +1,136 @@
+"""Shared machinery of the golden-trace regression fixtures.
+
+Two canned traces live next to this file; their exact replay summaries
+(every provider, streaming mode, full float precision) are checked in as
+``expected_*.json``.  ``tests/test_golden_traces.py`` fails on *any* drift
+— a changed RNG derivation, a reordered float reduction, a scheduler tweak
+— so intentional changes must regenerate the fixtures with
+``make regen-golden`` (which runs :func:`regenerate`) and commit the diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.config import Provider, SimulationConfig
+from repro.experiments.base import deploy_benchmark
+from repro.simulator.providers import create_platform
+from repro.workload import (
+    BurstyArrivals,
+    ConstantRateArrivals,
+    PoissonArrivals,
+    WorkloadTrace,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+GOLDEN_SEED = 1234
+PROVIDERS = (Provider.AWS, Provider.GCP, Provider.AZURE)
+
+#: function name -> (benchmark, memory_mb) for every golden deployment.
+DEPLOYMENTS = {
+    "gold-web": ("dynamic-html", 256),
+    "gold-thumb": ("thumbnailer", 1024),
+    "gold-zip": ("compression", 1024),
+}
+
+#: trace name -> builder of the canned trace.
+TRACES = {
+    # Mixed short-horizon traffic: three arrival shapes over 60 s.
+    "mixed": lambda: WorkloadTrace.merge(
+        WorkloadTrace.synthesize("gold-web", PoissonArrivals(5.0), duration_s=60.0, rng=71),
+        WorkloadTrace.synthesize(
+            "gold-thumb",
+            BurstyArrivals(on_rate_per_s=15.0, mean_on_s=5.0, mean_off_s=12.0),
+            duration_s=60.0,
+            rng=72,
+        ),
+        WorkloadTrace.synthesize("gold-zip", ConstantRateArrivals(3.0), duration_s=60.0, rng=73),
+    ),
+    # Sparse long-horizon traffic: low rate over 20 min, so idle-timeout and
+    # half-life eviction fire between arrivals (cold-start heavy).
+    "sparse": lambda: WorkloadTrace.merge(
+        WorkloadTrace.synthesize("gold-web", PoissonArrivals(0.05), duration_s=1200.0, rng=74),
+        WorkloadTrace.synthesize("gold-thumb", PoissonArrivals(0.04), duration_s=1200.0, rng=75),
+    ),
+}
+
+
+def trace_path(name: str) -> Path:
+    return GOLDEN_DIR / f"trace_{name}.json"
+
+
+def expected_path(name: str) -> Path:
+    return GOLDEN_DIR / f"expected_{name}.json"
+
+
+def _deployed_platform(provider: Provider, functions: list[str]):
+    platform = create_platform(provider, SimulationConfig(seed=GOLDEN_SEED))
+    for fname in functions:
+        benchmark, memory_mb = DEPLOYMENTS[fname]
+        deploy_benchmark(
+            platform,
+            benchmark,
+            memory_mb=memory_mb if platform.limits.memory_static else 0,
+            function_name=fname,
+        )
+    return platform
+
+
+def summarize_trace(trace: WorkloadTrace) -> dict:
+    """Replay ``trace`` on every provider and collect the exact summary doc.
+
+    Floats are kept at full ``repr`` precision (JSON round-trips them
+    exactly), so the comparison in the golden test is bitwise.
+    """
+    document: dict = {"seed": GOLDEN_SEED, "requests": len(trace), "providers": {}}
+    for provider in PROVIDERS:
+        platform = _deployed_platform(provider, trace.functions())
+        result = platform.run_workload(trace, keep_records=False)
+        per_function = {}
+        for fname, summary in result.per_function().items():
+            distribution = summary.client_time
+            per_function[fname] = {
+                "invocations": summary.invocations,
+                "cold_starts": summary.cold_starts,
+                "failures": summary.failures,
+                "total_cost_usd": summary.total_cost_usd,
+                "client_time": {
+                    "count": distribution.count,
+                    "mean": distribution.mean,
+                    "std": distribution.std,
+                    "min": distribution.minimum,
+                    "max": distribution.maximum,
+                    "median": distribution.median,
+                    "p95": distribution.percentiles[95.0],
+                },
+            }
+        document["providers"][provider.value] = {
+            "invocations": result.invocations,
+            "cold_starts": result.cold_start_count,
+            "failures": result.failure_count,
+            "peak_in_flight": result.peak_in_flight,
+            "simulated_span_s": result.simulated_span_s,
+            "cost_usd": result.total_cost_usd,
+            "per_function": per_function,
+        }
+    return document
+
+
+def regenerate() -> list[Path]:
+    """(Re)write every golden trace and its expected summary."""
+    written = []
+    for name, build in TRACES.items():
+        trace = build().materialize()
+        trace.to_json(trace_path(name), indent=2)
+        expected = summarize_trace(trace)
+        expected_path(name).write_text(
+            json.dumps(expected, indent=2) + "\n", encoding="utf-8"
+        )
+        written.extend([trace_path(name), expected_path(name)])
+    return written
+
+
+if __name__ == "__main__":
+    for path in regenerate():
+        print(f"regenerated {path}")

@@ -1,0 +1,56 @@
+"""Golden-trace regression gate: replay summaries must not drift.
+
+Two canned traces under ``tests/golden/`` have their exact (full float
+precision) streaming replay summaries checked in.  Any behavioural change
+to the simulator — RNG derivation, scheduler order, billing arithmetic,
+float reduction order — fails here; if the change is intentional, run
+``make regen-golden`` and commit the regenerated fixtures alongside it.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.workload import WorkloadTrace
+
+_GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+
+def _load_builder():
+    spec = importlib.util.spec_from_file_location("golden_builder", _GOLDEN_DIR / "builder.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("golden_builder", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+builder = _load_builder()
+
+
+@pytest.mark.parametrize("name", sorted(builder.TRACES))
+def test_golden_trace_summary_has_not_drifted(name):
+    trace_file = builder.trace_path(name)
+    expected_file = builder.expected_path(name)
+    assert trace_file.exists() and expected_file.exists(), (
+        f"golden fixtures for {name!r} missing — run `make regen-golden`"
+    )
+    trace = WorkloadTrace.from_json(trace_file)
+    actual = builder.summarize_trace(trace)
+    expected = json.loads(expected_file.read_text(encoding="utf-8"))
+    assert actual == expected, (
+        f"golden trace {name!r} drifted; if intentional, run `make regen-golden` "
+        "and commit the regenerated fixtures"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(builder.TRACES))
+def test_golden_trace_matches_its_recipe(name):
+    """The checked-in trace file equals its synthesis recipe (no bit rot)."""
+    recipe = builder.TRACES[name]().materialize()
+    stored = WorkloadTrace.from_json(builder.trace_path(name))
+    assert list(stored) == list(recipe)

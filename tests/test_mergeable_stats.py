@@ -1,0 +1,231 @@
+"""Property tests for the mergeable streaming sketches.
+
+Hypothesis drives random value streams, random shard splits and random
+merge orders through :class:`~repro.stats.streaming.StreamingMoments`,
+:class:`~repro.stats.streaming.MergeableReservoir` and
+:class:`~repro.stats.streaming.StreamingSummary`, pinning the algebra the
+sharded-replay merge relies on:
+
+* ``merge(split(xs)) == ingest(xs)`` — exactly for counts/min/max, within
+  float-associativity bounds for mean/variance;
+* reservoir union is associative, commutative and **permutation-stable**:
+  any merge tree over the same shards yields bit-identical state;
+* merging is closed under the identity element (empty accumulators).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.stats.streaming import MergeableReservoir, StreamingMoments, StreamingSummary
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+sample_lists = st.lists(finite_floats, min_size=1, max_size=200)
+
+
+def _split(xs: list[float], boundaries: list[int]) -> list[list[float]]:
+    """Cut ``xs`` into contiguous shards at the given sorted boundaries."""
+    cuts = sorted({min(b, len(xs)) for b in boundaries})
+    shards, start = [], 0
+    for cut in cuts:
+        shards.append(xs[start:cut])
+        start = cut
+    shards.append(xs[start:])
+    return shards
+
+
+@st.composite
+def stream_and_split(draw):
+    xs = draw(sample_lists)
+    boundaries = draw(st.lists(st.integers(min_value=0, max_value=len(xs)), max_size=5))
+    return xs, _split(xs, boundaries)
+
+
+class TestStreamingMomentsMerge:
+    @given(stream_and_split())
+    @settings(max_examples=200, deadline=None)
+    def test_merge_of_split_equals_ingest(self, case):
+        xs, shards = case
+        whole = StreamingMoments()
+        for x in xs:
+            whole.add(x)
+        merged = StreamingMoments()
+        for shard in shards:
+            part = StreamingMoments()
+            for x in shard:
+                part.add(x)
+            merged.merge(part)
+        assert merged.count == whole.count  # exact
+        assert merged.minimum == whole.minimum  # exact
+        assert merged.maximum == whole.maximum  # exact
+        # Documented float-associativity bounds for the derived moments.
+        assert merged.mean == pytest.approx(whole.mean, rel=1e-9, abs=1e-9)
+        scale = max(1.0, abs(whole.variance))
+        assert math.isclose(merged.variance, whole.variance, rel_tol=1e-6, abs_tol=1e-6 * scale)
+
+    @given(sample_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_empty_is_identity(self, xs):
+        filled = StreamingMoments()
+        for x in xs:
+            filled.add(x)
+        before = (filled.count, filled.mean, filled._m2, filled.minimum, filled.maximum)
+        filled.merge(StreamingMoments())
+        assert (filled.count, filled.mean, filled._m2, filled.minimum, filled.maximum) == before
+        adopted = StreamingMoments()
+        adopted.merge(filled)
+        assert (adopted.count, adopted.mean, adopted._m2, adopted.minimum, adopted.maximum) == before
+
+    @given(sample_lists, sample_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_commutative_on_exact_fields(self, xs, ys):
+        def folded(first, second):
+            a, b = StreamingMoments(), StreamingMoments()
+            for x in first:
+                a.add(x)
+            for y in second:
+                b.add(y)
+            a.merge(b)
+            return a
+        ab, ba = folded(xs, ys), folded(ys, xs)
+        assert ab.count == ba.count
+        assert ab.minimum == ba.minimum
+        assert ab.maximum == ba.maximum
+        assert ab.mean == pytest.approx(ba.mean, rel=1e-9, abs=1e-9)
+
+
+def _reservoir_state(reservoir: MergeableReservoir):
+    return (reservoir.seen, reservoir.entries())
+
+
+def _fill(key: str, values: list[float], capacity: int = 16) -> MergeableReservoir:
+    reservoir = MergeableReservoir(capacity, key=key, seed=9)
+    for value in values:
+        reservoir.add(value)
+    return reservoir
+
+
+class TestMergeableReservoir:
+    @given(
+        st.lists(sample_lists, min_size=1, max_size=6),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_union_is_permutation_stable(self, shard_values, rng):
+        """Any merge order over the same shards yields identical state."""
+        def union(order):
+            target = MergeableReservoir(16, key="sink", seed=9)
+            for index in order:
+                target.merge(_fill(f"shard-{index}", shard_values[index]))
+            return _reservoir_state(target)
+
+        order = list(range(len(shard_values)))
+        reference = union(order)
+        for _ in range(3):
+            rng.shuffle(order)
+            assert union(order) == reference
+
+    @given(st.lists(sample_lists, min_size=3, max_size=3))
+    @settings(max_examples=100, deadline=None)
+    def test_union_is_associative(self, shard_values):
+        c = _fill("s2", shard_values[2])
+        left = _fill("s0", shard_values[0])
+        left.merge(_fill("s1", shard_values[1]))
+        left.merge(c)
+        right_inner = _fill("s1", shard_values[1])
+        right_inner.merge(_fill("s2", shard_values[2]))
+        right = _fill("s0", shard_values[0])
+        right.merge(right_inner)
+        assert _reservoir_state(left) == _reservoir_state(right)
+
+    @given(sample_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_small_streams_are_kept_exactly(self, xs):
+        reservoir = _fill("whole", xs, capacity=max(16, len(xs)))
+        assert sorted(reservoir.values()) == sorted(xs)
+        assert reservoir.seen == len(xs)
+
+    @given(stream_and_split())
+    @settings(max_examples=100, deadline=None)
+    def test_shard_union_equals_whole_stream_distribution(self, case):
+        """Disjoint-shard union == one reservoir over the concatenation,
+        when every shard keeps its own tag stream (distinct keys)."""
+        xs, shards = case
+        capacity = max(16, len(xs))  # large enough that nothing is dropped
+        target = MergeableReservoir(capacity, key="sink", seed=9)
+        for index, shard in enumerate(shards):
+            target.merge(_fill(f"shard-{index}", shard, capacity=capacity))
+        assert sorted(target.values()) == sorted(xs)
+
+    def test_merge_with_self_is_rejected(self):
+        reservoir = _fill("self", [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            reservoir.merge(reservoir)
+
+    def test_percentile_of_empty_reservoir_raises(self):
+        with pytest.raises(ConfigurationError):
+            MergeableReservoir(4, key="empty").percentile(50.0)
+
+    def test_bottom_k_is_uniformly_distributed(self):
+        """Sampling sanity: kept values track the stream distribution."""
+        rng = np.random.default_rng(3)
+        xs = rng.exponential(1.0, size=20_000)
+        reservoir = MergeableReservoir(2048, key="big", seed=5)
+        for x in xs:
+            reservoir.add(float(x))
+        kept = np.asarray(reservoir.values())
+        assert len(kept) == 2048
+        assert float(np.median(kept)) == pytest.approx(float(np.median(xs)), rel=0.08)
+        assert float(np.percentile(kept, 95)) == pytest.approx(
+            float(np.percentile(xs, 95)), rel=0.10
+        )
+
+
+class TestStreamingSummaryMerge:
+    @given(stream_and_split())
+    @settings(max_examples=100, deadline=None)
+    def test_merge_of_split_matches_whole_ingest(self, case):
+        xs, shards = case
+        whole = StreamingSummary(key="whole")
+        for x in xs:
+            whole.add(x)
+        merged = StreamingSummary(key="sink")
+        for index, shard in enumerate(shards):
+            part = StreamingSummary(key=f"shard-{index}")
+            for x in shard:
+                part.add(x)
+            merged.merge(part)
+        assert merged.count == whole.count
+        assert merged.moments.minimum == whole.moments.minimum
+        assert merged.moments.maximum == whole.moments.maximum
+        assert merged.moments.mean == pytest.approx(whole.moments.mean, rel=1e-9, abs=1e-9)
+        # Below reservoir capacity both sides kept every sample: percentile
+        # queries must agree exactly (same value multiset).
+        summary = merged.to_summary()
+        assert summary.median == pytest.approx(whole.to_summary().median, rel=1e-12, abs=1e-12)
+
+    def test_merged_summary_keeps_accepting_samples(self):
+        left = StreamingSummary(key="left")
+        right = StreamingSummary(key="right")
+        for x in (1.0, 2.0, 3.0):
+            left.add(x)
+        for x in (4.0, 5.0):
+            right.add(x)
+        left.merge(right)
+        left.add(6.0)
+        assert left.count == 6
+        assert left.moments.maximum == 6.0
+
+    def test_merge_with_self_is_rejected(self):
+        summary = StreamingSummary(key="s")
+        summary.add(1.0)
+        with pytest.raises(ConfigurationError):
+            summary.merge(summary)
