@@ -1,0 +1,84 @@
+"""Overload sweep: providers under concurrency pressure (beyond Table 2).
+
+Not a paper figure — Table 2 stops at the *static* concurrency limits;
+this target sweeps the dynamic consequences with the overload subsystem
+(:mod:`repro.concurrency`): the same bursty-sync + queue-async trace is
+replayed at tightening reserved-concurrency caps on every provider, and
+the sweep reports throttle/drop rates, client retries, admission-queue
+delay, goodput and cost per cell.
+
+Besides the printed table, the target writes
+``benchmarks/BENCH_overload_sweep.json`` — machine-readable sweep rows
+plus the replay wall clock, consumed by the CI perf-regression gate
+(``benchmarks/check_regression.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from conftest import emit_bench_json, run_once
+
+from repro.config import Provider
+from repro.experiments.overload import OverloadExperiment
+
+BENCH_JSON = Path(__file__).resolve().parent / "BENCH_overload_sweep.json"
+
+PROVIDERS = (Provider.AWS, Provider.GCP, Provider.AZURE)
+RESERVED_LEVELS: tuple[int | None, ...] = (2, 8, 32, None)
+
+
+def _emit_bench_json(result, wall_clock_s: float) -> None:
+    cells = len(result.points)
+    total_invocations = result.trace_invocations * cells
+    emit_bench_json(
+        BENCH_JSON,
+        {
+            "benchmark": "overload_sweep",
+            "cells": cells,
+            "trace_invocations": result.trace_invocations,
+            "wall_clock_s": round(wall_clock_s, 4),
+            "throughput_per_s": round(total_invocations / wall_clock_s, 1)
+            if wall_clock_s > 0
+            else 0.0,
+            "rows": result.to_rows(),
+        },
+    )
+
+
+def test_overload_sweep(benchmark, experiment_config, simulation_config):
+    experiment = OverloadExperiment(config=experiment_config, simulation=simulation_config)
+    wall_start = time.perf_counter()
+    result = run_once(
+        benchmark,
+        lambda: experiment.run(providers=PROVIDERS, reserved_levels=RESERVED_LEVELS),
+    )
+    wall_clock_s = time.perf_counter() - wall_start
+
+    from repro.reporting.tables import format_table
+
+    print()
+    print(format_table(result.to_rows()))
+    _emit_bench_json(result, wall_clock_s)
+
+    assert result.trace_invocations > 0
+    for provider in PROVIDERS:
+        points = result.by_provider(provider)
+        assert [p.reserved_concurrency for p in points] == list(RESERVED_LEVELS)
+        by_level = {p.reserved_concurrency: p for p in points}
+        # Tightening the cap can only shed more work: the tightest level
+        # throttles at least as much as the loosest, and an effectively
+        # uncapped replay (account limit only) sheds next to nothing.
+        assert by_level[2].throttled >= by_level[32].throttled
+        assert by_level[2].throttle_rate > 0.10, provider
+        uncapped = by_level[None]
+        assert uncapped.throttle_rate < 0.05, provider
+        # Requests are conserved: every one resolves exactly once.
+        for point in points:
+            assert (
+                point.executed + point.throttled + point.dropped == point.invocations
+            )
+        # Shedding work cannot cost more: billed work shrinks with the cap
+        # (throttles and drops are free; retries bill once when admitted).
+        assert by_level[2].cost_usd <= uncapped.cost_usd * 1.001

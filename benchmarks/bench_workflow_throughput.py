@@ -18,14 +18,13 @@ tracked across PRs.
 
 from __future__ import annotations
 
-import json
 import resource
 import tracemalloc
 from pathlib import Path
 
 import pytest
 
-from conftest import run_once
+from conftest import emit_bench_json, run_once
 
 from repro.config import Provider, SimulationConfig
 from repro.experiments.base import deploy_benchmark
@@ -62,32 +61,30 @@ def _deployed_platform(simulation: SimulationConfig):
 
 def _emit_bench_json(result, summary) -> None:
     """Write the machine-readable perf record, keeping the previous run."""
-    previous = None
-    if BENCH_JSON.exists():
-        try:
-            previous = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
-            previous.pop("previous", None)  # keep one generation, not a chain
-        except (OSError, ValueError):
-            previous = None
-    payload = {
-        "benchmark": "workflow_throughput_100k",
-        "executions": result.execution_count,
-        "constituent_invocations": result.invocation_total,
-        "wall_clock_s": round(result.wall_clock_s, 4),
-        "throughput_per_s": round(result.throughput_per_s, 1),
-        "peak_rss_mb": round(_peak_rss_mb(), 1),
-        "e2e_p50_ms": round(summary.end_to_end.median * 1000.0, 3),
-        "e2e_p95_ms": round(summary.end_to_end.percentiles[95.0] * 1000.0, 3),
-        "cold_start_rate": round(result.cold_start_rate, 5),
-        "peak_in_flight": result.peak_in_flight,
-        "compute_share": round(
-            result.compute_s_total
-            / (result.compute_s_total + result.cold_start_s_total + result.trigger_propagation_s_total),
-            4,
-        ),
-        "previous": previous,
-    }
-    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    emit_bench_json(
+        BENCH_JSON,
+        {
+            "benchmark": "workflow_throughput_100k",
+            "executions": result.execution_count,
+            "constituent_invocations": result.invocation_total,
+            "wall_clock_s": round(result.wall_clock_s, 4),
+            "throughput_per_s": round(result.throughput_per_s, 1),
+            "peak_rss_mb": round(_peak_rss_mb(), 1),
+            "e2e_p50_ms": round(summary.end_to_end.median * 1000.0, 3),
+            "e2e_p95_ms": round(summary.end_to_end.percentiles[95.0] * 1000.0, 3),
+            "cold_start_rate": round(result.cold_start_rate, 5),
+            "peak_in_flight": result.peak_in_flight,
+            "compute_share": round(
+                result.compute_s_total
+                / (
+                    result.compute_s_total
+                    + result.cold_start_s_total
+                    + result.trigger_propagation_s_total
+                ),
+                4,
+            ),
+        },
+    )
 
 
 def test_workflow_replay_throughput_100k(benchmark):

@@ -19,14 +19,13 @@ replay's memory footprint stays O(functions), not O(invocations).
 
 from __future__ import annotations
 
-import json
 import resource
 import tracemalloc
 from pathlib import Path
 
 import numpy as np
 
-from conftest import run_once
+from conftest import emit_bench_json, run_once
 
 from repro.config import Provider, SimulationConfig, TriggerType
 from repro.faas.invocation import InvocationRequest
@@ -48,27 +47,21 @@ def _peak_rss_mb() -> float:
 
 def _emit_bench_json(result) -> None:
     """Write the machine-readable perf record, keeping the previous run."""
-    previous = None
-    if BENCH_JSON.exists():
-        try:
-            previous = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
-            previous.pop("previous", None)  # keep one generation, not a chain
-        except (OSError, ValueError):
-            previous = None
     client_times_ms = np.asarray([r.client_time_s for r in result.records]) * 1000.0
-    payload = {
-        "benchmark": "workload_throughput_100k",
-        "invocations": result.invocations,
-        "wall_clock_s": round(result.wall_clock_s, 4),
-        "throughput_per_s": round(result.throughput_per_s, 1),
-        "peak_rss_mb": round(_peak_rss_mb(), 1),
-        "client_p50_ms": round(float(np.percentile(client_times_ms, 50.0)), 3),
-        "client_p95_ms": round(float(np.percentile(client_times_ms, 95.0)), 3),
-        "cold_start_rate": round(result.cold_start_rate, 5),
-        "peak_in_flight": result.peak_in_flight,
-        "previous": previous,
-    }
-    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    emit_bench_json(
+        BENCH_JSON,
+        {
+            "benchmark": "workload_throughput_100k",
+            "invocations": result.invocations,
+            "wall_clock_s": round(result.wall_clock_s, 4),
+            "throughput_per_s": round(result.throughput_per_s, 1),
+            "peak_rss_mb": round(_peak_rss_mb(), 1),
+            "client_p50_ms": round(float(np.percentile(client_times_ms, 50.0)), 3),
+            "client_p95_ms": round(float(np.percentile(client_times_ms, 95.0)), 3),
+            "cold_start_rate": round(result.cold_start_rate, 5),
+            "peak_in_flight": result.peak_in_flight,
+        },
+    )
 
 
 def test_workload_engine_throughput_100k(benchmark, simulation_config):

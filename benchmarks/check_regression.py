@@ -1,0 +1,206 @@
+"""CI perf-regression gate: compare emitted BENCH_*.json to baselines.
+
+Every benchmark target writes a machine-readable ``BENCH_<name>.json``
+(smoke throughputs, the 100k trace/workflow replays, the 1M sharded
+replay, the overload sweep).  This script compares the figures found in
+those files against the *committed* baselines
+(``benchmarks/baselines.json``) with a relative tolerance (default ±25%)
+and fails the build on regression:
+
+* ``direction: "higher"`` metrics (throughputs) fail when the current
+  value falls below ``baseline * (1 - tolerance)``;
+* ``direction: "lower"`` metrics (wall clocks, peak RSS) fail when the
+  current value rises above ``baseline * (1 + tolerance)``.
+
+The committed baseline values are deliberately conservative (well under
+the throughput this repository's 1-core reference container measures), so
+the ±25% band flags real order-of-magnitude breakage without flaking on
+slower CI runners.  After an intentional performance change, refresh them
+with ``--write-baseline`` and commit the diff — exactly like the golden
+fixtures.
+
+Exit status: 0 when every gated metric is within tolerance, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Mapping
+
+BENCH_DIR = Path(__file__).resolve().parent
+DEFAULT_BASELINES = BENCH_DIR / "baselines.json"
+
+#: Metrics gated when ``--write-baseline`` synthesizes a fresh file:
+#: benchmark name -> (metric, direction) pairs.  "higher" = bigger is
+#: better (throughput); "lower" = smaller is better (wall clock, memory).
+#:
+#: Only benchmarks CI actually *re-runs* belong here (bench-smoke,
+#: bench-overload, bench-throughput in the Makefile ``ci`` chain) —
+#: gating a benchmark whose BENCH json CI never regenerates would compare
+#: the committed artifact against a baseline derived from itself and
+#: could never fail.  That is why ``parallel_replay_streaming_1m`` (a
+#: multi-minute target run via ``make bench`` only) is not gated.
+GATED_METRICS: dict[str, tuple[tuple[str, str], ...]] = {
+    "smoke_replay": (
+        ("trace_throughput_per_s", "higher"),
+        ("workflow_throughput_per_s", "higher"),
+        ("sharded_throughput_per_s", "higher"),
+        ("overload_throughput_per_s", "higher"),
+    ),
+    "workload_throughput_100k": (
+        ("throughput_per_s", "higher"),
+        ("peak_rss_mb", "lower"),
+    ),
+    "workflow_throughput_100k": (
+        ("throughput_per_s", "higher"),
+        ("peak_rss_mb", "lower"),
+    ),
+    "overload_sweep": (("throughput_per_s", "higher"),),
+}
+
+#: Headroom factor applied when synthesizing baselines from measured
+#: figures: the committed baseline is ``measured * factor`` for "higher"
+#: metrics (and ``measured / factor`` for "lower" ones), so the effective
+#: floor after the ±25% tolerance sits far from run-to-run noise while
+#: still catching a genuine ≥25%-of-baseline regression.
+BASELINE_HEADROOM = 0.5
+
+
+def load_current_metrics(bench_dir: Path) -> dict[str, dict]:
+    """Read every ``BENCH_*.json`` in ``bench_dir``, keyed by benchmark name."""
+    metrics: dict[str, dict] = {}
+    for path in sorted(bench_dir.glob("BENCH_*.json")):
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"unreadable benchmark record {path}: {error}")
+        name = document.get("benchmark", path.stem.removeprefix("BENCH_"))
+        metrics[name] = document
+    return metrics
+
+
+def compare(
+    current: Mapping[str, Mapping],
+    baselines: Mapping,
+    tolerance: float | None = None,
+) -> list[str]:
+    """Return the list of gate failures (empty = within tolerance).
+
+    ``baselines`` is the parsed baselines document; ``tolerance`` overrides
+    its ``tolerance`` field when given.
+    """
+    if tolerance is None:
+        tolerance = float(baselines.get("tolerance", 0.25))
+    failures: list[str] = []
+    for bench_name, gated in baselines.get("benchmarks", {}).items():
+        document = current.get(bench_name)
+        if document is None:
+            failures.append(f"{bench_name}: BENCH json missing (benchmark not run?)")
+            continue
+        for metric, spec in gated.items():
+            baseline = float(spec["baseline"])
+            direction = spec.get("direction", "higher")
+            value = document.get(metric)
+            if value is None:
+                failures.append(f"{bench_name}.{metric}: metric missing from BENCH json")
+                continue
+            value = float(value)
+            if direction == "higher":
+                floor = baseline * (1.0 - tolerance)
+                if value < floor:
+                    failures.append(
+                        f"{bench_name}.{metric}: {value:,.1f} < floor {floor:,.1f} "
+                        f"(baseline {baseline:,.1f}, tolerance {tolerance:.0%})"
+                    )
+            elif direction == "lower":
+                ceiling = baseline * (1.0 + tolerance)
+                if value > ceiling:
+                    failures.append(
+                        f"{bench_name}.{metric}: {value:,.1f} > ceiling {ceiling:,.1f} "
+                        f"(baseline {baseline:,.1f}, tolerance {tolerance:.0%})"
+                    )
+            else:
+                failures.append(f"{bench_name}.{metric}: unknown direction {direction!r}")
+    return failures
+
+
+def write_baseline(current: Mapping[str, Mapping], path: Path, tolerance: float) -> None:
+    """Synthesize a fresh baselines file from the current measurements."""
+    benchmarks: dict[str, dict] = {}
+    for bench_name, gated in GATED_METRICS.items():
+        document = current.get(bench_name)
+        if document is None:
+            continue
+        entries = {}
+        for metric, direction in gated:
+            value = document.get(metric)
+            if value is None:
+                continue
+            baseline = (
+                float(value) * BASELINE_HEADROOM
+                if direction == "higher"
+                else float(value) / BASELINE_HEADROOM
+            )
+            entries[metric] = {"baseline": round(baseline, 1), "direction": direction}
+        if entries:
+            benchmarks[bench_name] = entries
+    payload = {
+        "_comment": (
+            "Committed perf baselines for benchmarks/check_regression.py. "
+            "Values are deliberately conservative (headroom applied to the "
+            "reference container's measurements); regenerate with "
+            "`python benchmarks/check_regression.py --write-baseline` after "
+            "an intentional performance change and commit the diff."
+        ),
+        "tolerance": tolerance,
+        "benchmarks": benchmarks,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="CI perf-regression gate")
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINES, help="baselines JSON path"
+    )
+    parser.add_argument(
+        "--bench-dir", type=Path, default=BENCH_DIR, help="directory of BENCH_*.json files"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="relative tolerance override (default: the baselines file's, 0.25)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate the baselines file from the current BENCH_*.json figures",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_current_metrics(args.bench_dir)
+    if args.write_baseline:
+        write_baseline(current, args.baseline, args.tolerance if args.tolerance is not None else 0.25)
+        print(f"baselines written to {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"FAIL: baselines file {args.baseline} missing")
+        return 1
+    baselines = json.loads(args.baseline.read_text(encoding="utf-8"))
+    failures = compare(current, baselines, tolerance=args.tolerance)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    gated = sum(len(v) for v in baselines.get("benchmarks", {}).values())
+    print(f"check-regression: OK ({gated} gated metrics within tolerance)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

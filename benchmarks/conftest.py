@@ -43,3 +43,24 @@ def simulation_config() -> SimulationConfig:
 def run_once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def emit_bench_json(path, payload):
+    """Write a machine-readable ``BENCH_*.json`` perf record to ``path``.
+
+    The previous run's figures are carried along as ``previous`` (one
+    generation, not a chain) so the perf trajectory is tracked across PRs.
+    Shared by every emitting target so the dance cannot drift between
+    copies; ``benchmarks/check_regression.py`` consumes the output.
+    """
+    import json
+
+    previous = None
+    if path.exists():
+        try:
+            previous = json.loads(path.read_text(encoding="utf-8"))
+            previous.pop("previous", None)
+        except (OSError, ValueError):
+            previous = None
+    payload = {**payload, "previous": previous}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

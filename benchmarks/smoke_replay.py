@@ -1,7 +1,7 @@
 """CI smoke gate: trace and workflow replays with wall-clock budgets.
 
 Run as a plain script (``make bench-smoke``); no pytest-benchmark needed.
-Two checks:
+Four checks:
 
 * a 10k-invocation flat trace replay (catches catastrophic scheduler
   regressions — an accidental O(pool x in-flight) hot path pushes the
@@ -11,22 +11,36 @@ Two checks:
   critical-path accounting identity);
 * a sharded-replay equivalence gate (``--workers``, default 2): the same
   multi-function trace replayed serially and through the parallel path
-  (:mod:`repro.parallel`) must agree *exactly* on every merged statistic.
+  (:mod:`repro.parallel`) must agree *exactly* on every merged statistic;
+* an overloaded-replay equivalence gate: the same trace replayed under a
+  tight concurrency cap (:mod:`repro.concurrency`) must shed work
+  (throttles, drops, queue delay) *and* still merge exactly under
+  sharding.
 
 The thresholds are deliberately loose — the point is to catch order-of-
-magnitude breakage, not to flake on slow CI runners.
+magnitude breakage, not to flake on slow CI runners.  The measured
+throughputs are additionally written to ``benchmarks/BENCH_smoke.json``,
+which the perf-regression gate (``benchmarks/check_regression.py``)
+compares against the committed baselines.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
-from repro.config import Provider, SimulationConfig
+from repro.concurrency import OverloadConfig
+from repro.config import Provider, SimulationConfig, TriggerType
 from repro.experiments.base import deploy_benchmark
 from repro.simulator.providers import create_platform
 from repro.workload import PoissonArrivals, WorkloadTrace
 from repro.workflows import standard_workflow, synthesize_workflow_arrivals
+
+BENCH_JSON = Path(__file__).resolve().parent / "BENCH_smoke.json"
+
+#: Throughput figures collected by the smoke checks for BENCH_smoke.json.
+METRICS: dict[str, float] = {}
 
 SMOKE_INVOCATIONS = 10_000
 ARRIVAL_RATE_PER_S = 50.0
@@ -51,6 +65,7 @@ def _smoke_trace() -> list[str]:
     trace = WorkloadTrace(list(trace)[:SMOKE_INVOCATIONS])
 
     result = platform.run_workload(trace)
+    METRICS["trace_throughput_per_s"] = round(result.throughput_per_s, 1)
     print(
         f"bench-smoke: {result.invocations} invocations in {result.wall_clock_s:.2f}s "
         f"({result.throughput_per_s:,.0f}/s), cold rate {100 * result.cold_start_rate:.2f}%, "
@@ -89,6 +104,7 @@ def _smoke_workflow() -> list[str]:
     arrivals = arrivals[:WORKFLOW_EXECUTIONS]
 
     result = platform.run_workflows(arrivals, keep_records=False)
+    METRICS["workflow_throughput_per_s"] = round(result.throughput_per_s, 1)
     print(
         f"bench-smoke: {result.execution_count} workflow executions "
         f"({result.invocation_total} constituent invocations) in "
@@ -148,6 +164,7 @@ def _smoke_parallel(workers: int) -> list[str]:
     serial = serial_platform.run_workload(trace, keep_records=False)
     parallel_platform, _ = _parallel_fixture()
     parallel = parallel_platform.run_workload(trace, keep_records=False, workers=workers)
+    METRICS["sharded_throughput_per_s"] = round(parallel.throughput_per_s, 1)
     print(
         f"bench-smoke: sharded replay x{workers}: {parallel.invocations} invocations in "
         f"{parallel.wall_clock_s:.2f}s ({parallel.throughput_per_s:,.0f}/s), serial "
@@ -186,6 +203,91 @@ def _smoke_parallel(workers: int) -> list[str]:
     return failures
 
 
+#: Overload smoke: tight cap, sync + async traffic, serial vs sharded.
+OVERLOAD_RESERVED = 3
+OVERLOAD_INVOCATIONS_PER_FN = 1_500
+OVERLOAD_BUDGET_S = 30.0
+
+
+def _overload_fixture():
+    overload = OverloadConfig(
+        reserved_concurrency=OVERLOAD_RESERVED,
+        max_retries=2,
+        admission_queue_depth=100,
+        admission_max_age_s=5.0,
+    )
+    platform = create_platform(Provider.AWS, SimulationConfig(seed=42, overload=overload))
+    traces = []
+    for index, trigger in enumerate((TriggerType.HTTP, TriggerType.QUEUE)):
+        fname = deploy_benchmark(
+            platform, "dynamic-html", memory_mb=256, function_name=f"hot-{index}"
+        )
+        duration_s = 1.1 * OVERLOAD_INVOCATIONS_PER_FN / ARRIVAL_RATE_PER_S
+        trace = WorkloadTrace.synthesize(
+            fname,
+            PoissonArrivals(ARRIVAL_RATE_PER_S),
+            duration_s=duration_s,
+            rng=200 + index,
+            trigger=trigger,
+        )
+        traces.append(WorkloadTrace(list(trace)[:OVERLOAD_INVOCATIONS_PER_FN]))
+    return platform, WorkloadTrace.merge(*traces)
+
+
+def _smoke_overload(workers: int) -> list[str]:
+    serial_platform, trace = _overload_fixture()
+    serial = serial_platform.run_workload(trace, keep_records=False)
+    parallel_platform, _ = _overload_fixture()
+    parallel = parallel_platform.run_workload(trace, keep_records=False, workers=workers)
+    METRICS["overload_throughput_per_s"] = round(serial.throughput_per_s, 1)
+    print(
+        f"bench-smoke: overloaded replay (cap {OVERLOAD_RESERVED}): "
+        f"{serial.invocations} requests in {serial.wall_clock_s:.2f}s "
+        f"({serial.throughput_per_s:,.0f}/s), {serial.throttled_count} throttled, "
+        f"{serial.dropped_count} dropped, {serial.retry_count} retries"
+    )
+
+    failures = []
+    if serial.throttled_count == 0:
+        failures.append("overloaded replay throttled nothing (cap not enforced?)")
+    # Conservation: executed is counted independently of the shed counters,
+    # so a lost or double-counted request genuinely fails this.
+    outcome_sum = serial.executed_count + serial.throttled_count + serial.dropped_count
+    if outcome_sum != serial.invocations:
+        failures.append(
+            f"overload outcomes do not partition the requests "
+            f"({outcome_sum} != {serial.invocations})"
+        )
+    for attribute in (
+        "invocations",
+        "executed_count",
+        "throttled_count",
+        "dropped_count",
+        "retry_count",
+        "queue_delay_s",
+        "total_cost_usd",
+        "simulated_span_s",
+    ):
+        serial_value = getattr(serial, attribute)
+        parallel_value = getattr(parallel, attribute)
+        if serial_value != parallel_value:
+            failures.append(
+                f"overloaded sharded {attribute} {parallel_value!r} != serial {serial_value!r}"
+            )
+    if serial.wall_clock_s > OVERLOAD_BUDGET_S:
+        failures.append(
+            f"overloaded replay took {serial.wall_clock_s:.2f}s > {OVERLOAD_BUDGET_S:.0f}s budget"
+        )
+    return failures
+
+
+def _emit_bench_json() -> None:
+    """Write the smoke throughputs for the perf-regression gate."""
+    from conftest import emit_bench_json
+
+    emit_bench_json(BENCH_JSON, {"benchmark": "smoke_replay", **METRICS})
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description="CI smoke gate for replay regressions")
     parser.add_argument(
@@ -198,6 +300,8 @@ def main() -> int:
     failures = _smoke_trace()
     failures += _smoke_workflow()
     failures += _smoke_parallel(args.workers)
+    failures += _smoke_overload(args.workers)
+    _emit_bench_json()
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}")

@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Sequence
 
 from .benchmarks.registry import list_benchmarks
+from .concurrency import RETRY_POLICY_NAMES, OverloadConfig
 from .config import ExperimentConfig, Provider, SimulationConfig
 from .experiments.characterization import CharacterizationExperiment
 from .experiments.eviction_model import EvictionModelExperiment
@@ -66,6 +67,23 @@ def _replay_args(parser: argparse.ArgumentParser, unit: str) -> None:
         help="sharded parallel replay across N processes (per-function "
         "shards, deterministically merged — identical results to serial "
         "replay; 1 = in-process sequential sharding)",
+    )
+    parser.add_argument(
+        "--reserved-concurrency",
+        type=int,
+        default=None,
+        metavar="N",
+        help="enable the overload model with a per-function concurrency cap "
+        "of N: over-limit sync invocations are throttled (429 + client "
+        "retries), async ones spill into a bounded admission queue",
+    )
+    parser.add_argument(
+        "--retry-policy",
+        default=None,
+        choices=list(RETRY_POLICY_NAMES),
+        help="client backoff policy for throttled sync invocations "
+        "(default: exponential with full jitter; implies the overload "
+        "model when given without --reserved-concurrency)",
     )
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument(
@@ -160,6 +178,16 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _overload_config(args: argparse.Namespace) -> OverloadConfig | None:
+    """Overload model selected by the replay flags (None = disabled)."""
+    if args.reserved_concurrency is None and args.retry_policy is None:
+        return None
+    return OverloadConfig(
+        reserved_concurrency=args.reserved_concurrency,
+        retry_policy=args.retry_policy or "exponential",
+    )
+
+
 def _write_output(path: str, payload: dict) -> None:
     """Write one machine-readable summary document as JSON."""
     Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
@@ -237,7 +265,11 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "workload":
         config = ExperimentConfig(samples=1, seed=args.seed)
-        simulation = SimulationConfig(seed=args.seed, log_retention=args.log_retention)
+        simulation = SimulationConfig(
+            seed=args.seed,
+            log_retention=args.log_retention,
+            overload=_overload_config(args),
+        )
         experiment = WorkloadReplayExperiment(config=config, simulation=simulation)
         providers = tuple(Provider(p) for p in args.providers)
         trace = WorkloadTrace.from_json(args.trace) if args.trace else None
@@ -275,7 +307,11 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "workflow":
         config = ExperimentConfig(samples=1, seed=args.seed)
-        simulation = SimulationConfig(seed=args.seed, log_retention=args.log_retention)
+        simulation = SimulationConfig(
+            seed=args.seed,
+            log_retention=args.log_retention,
+            overload=_overload_config(args),
+        )
         experiment = WorkflowReplayExperiment(config=config, simulation=simulation)
         providers = tuple(Provider(p) for p in args.providers)
         # The branch workflow routes on the payload; give it a route.

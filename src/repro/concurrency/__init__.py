@@ -1,0 +1,59 @@
+"""Concurrency limits, throttling and admission control under overload.
+
+The simulator historically admitted every request unconditionally; this
+package models what heavy traffic actually hits first on a commercial
+platform:
+
+* **Limits & burst ramp-up** (:mod:`repro.concurrency.limits`) —
+  per-function reserved concurrency, the account-level cap (Table 2), and
+  provider burst behaviour: AWS's token-bucket burst allowance, Azure's
+  and GCP's instance-based scale-out rate;
+* **Client retries** (:mod:`repro.concurrency.retry`) — pluggable
+  retry/backoff policies for throttled synchronous invocations
+  (fail-fast, immediate, capped exponential backoff with full jitter from
+  per-function derived RNG streams);
+* **Async spill** (:mod:`repro.concurrency.admission`) — bounded
+  per-function admission queues for queue/storage/timer-triggered
+  invocations, with queueing-delay and age-based drop accounting.
+
+Enable it by attaching an :class:`OverloadConfig` to
+:attr:`repro.config.SimulationConfig.overload`.  Every piece of throttle
+state is per function and draw-free (retry jitter uses name-derived
+streams), so replays with throttling enabled stay bit-identical between
+serial and sharded execution (:mod:`repro.parallel`).
+"""
+
+from .admission import AdmissionQueue, QueuedInvocation
+from .config import OverloadConfig
+from .limits import (
+    BurstKind,
+    BurstProfile,
+    FunctionThrottle,
+    build_function_throttle,
+    burst_profile_for,
+)
+from .retry import (
+    RETRY_POLICY_NAMES,
+    ExponentialBackoffPolicy,
+    ImmediateRetryPolicy,
+    NoRetryPolicy,
+    RetryPolicy,
+    create_retry_policy,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "QueuedInvocation",
+    "OverloadConfig",
+    "BurstKind",
+    "BurstProfile",
+    "FunctionThrottle",
+    "build_function_throttle",
+    "burst_profile_for",
+    "RETRY_POLICY_NAMES",
+    "ExponentialBackoffPolicy",
+    "ImmediateRetryPolicy",
+    "NoRetryPolicy",
+    "RetryPolicy",
+    "create_retry_policy",
+]

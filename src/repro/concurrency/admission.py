@@ -1,0 +1,61 @@
+"""Bounded admission queue for asynchronous over-limit invocations.
+
+Queue-, storage- and timer-triggered invocations are fire-and-forget: when
+the function is at its concurrency ceiling the platform does not 429 the
+caller — the event waits in the trigger's delivery queue.  The model here
+is one bounded FIFO per function: arrivals beyond the ceiling spill in,
+capacity freed by a completion (or grown by the burst ramp) drains the
+head, and entries either run late (their queueing delay is accounted on
+the record) or drop — immediately when the queue is full, or at drain time
+once they exceed the maximum age.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import NamedTuple
+
+from ..faas.invocation import InvocationRequest
+
+
+class QueuedInvocation(NamedTuple):
+    """One spilled asynchronous request waiting for admission."""
+
+    #: Absolute (platform-clock) time the request entered the queue.
+    enqueued_at: float
+    #: Stream position of the request (its ``request_index``).
+    position: int
+    request: InvocationRequest
+
+
+class AdmissionQueue:
+    """Bounded per-function FIFO of spilled asynchronous invocations."""
+
+    __slots__ = ("depth", "max_age_s", "_items")
+
+    def __init__(self, depth: int, max_age_s: float | None = None):
+        self.depth = depth
+        self.max_age_s = max_age_s
+        self._items: deque[QueuedInvocation] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def push(self, entry: QueuedInvocation) -> bool:
+        """Enqueue ``entry``; ``False`` if the queue is full (caller drops)."""
+        if len(self._items) >= self.depth:
+            return False
+        self._items.append(entry)
+        return True
+
+    def head(self) -> QueuedInvocation:
+        return self._items[0]
+
+    def pop(self) -> QueuedInvocation:
+        return self._items.popleft()
+
+    def head_expired(self, now: float) -> bool:
+        """Whether the head entry has waited longer than the maximum age."""
+        if self.max_age_s is None or not self._items:
+            return False
+        return now - self._items[0].enqueued_at > self.max_age_s

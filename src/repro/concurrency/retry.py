@@ -1,0 +1,115 @@
+"""Pluggable client retry/backoff policies for throttled invocations.
+
+When the admission layer rejects a synchronous invocation with a 429
+(:class:`~repro.config.InvocationOutcome.THROTTLED` on the final record),
+the simulated *client* decides whether and when to try again.  Policies are
+deliberately policy-free middleware in the Dearle et al. sense: the engine
+only asks "given that attempt ``n`` was throttled, how long until the next
+attempt?" and the policy answers with a delay (or ``None`` to give up) —
+no policy ever touches simulator state.
+
+Determinism: jittered policies draw from the **per-function** retry stream
+the platform derives as ``(seed, "retry", function name)``
+(:func:`repro.utils.rng.derive_seed`), so a function's backoff sequence is
+a pure function of its own throttle history.  Co-deployed functions never
+perturb each other's draws, which keeps sharded parallel replay
+(:mod:`repro.parallel`) bit-identical to serial replay with throttling
+enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Base class: how a client reacts to throttled attempts.
+
+    ``max_retries`` is the number of *additional* attempts after the first:
+    a request throttled on every attempt produces ``max_retries + 1``
+    throttle events before the client gives up.
+    """
+
+    max_retries: int = 0
+
+    def next_delay(self, attempt: int, rng) -> float | None:
+        """Seconds until the next attempt after throttled attempt ``attempt``.
+
+        ``attempt`` counts from 1 (the first attempt).  ``None`` means the
+        client gives up and the request resolves as THROTTLED.  ``rng`` is
+        the function's derived retry stream; deterministic policies must
+        not draw from it.
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class NoRetryPolicy(RetryPolicy):
+    """Fail fast: the first 429 is final."""
+
+    def next_delay(self, attempt: int, rng) -> float | None:
+        return None
+
+
+@dataclass(frozen=True)
+class ImmediateRetryPolicy(RetryPolicy):
+    """Retry with no client-side delay (the throttle round trip still costs).
+
+    Deterministic — never draws from the retry stream.
+    """
+
+    max_retries: int = 3
+
+    def next_delay(self, attempt: int, rng) -> float | None:
+        if attempt > self.max_retries:
+            return None
+        return 0.0
+
+
+@dataclass(frozen=True)
+class ExponentialBackoffPolicy(RetryPolicy):
+    """Capped exponential backoff with full jitter (AWS SDK style).
+
+    The delay before attempt ``n + 1`` is drawn uniformly from
+    ``[0, min(max_delay, base * 2**(n-1))]`` — the "full jitter" variant,
+    which decorrelates the retry storms a synchronized backoff would
+    re-create.  Draws come from the per-function retry stream, so the
+    sequence is reproducible per seed and shard-stable.
+    """
+
+    max_retries: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+
+    def next_delay(self, attempt: int, rng) -> float | None:
+        if attempt > self.max_retries:
+            return None
+        ceiling = min(self.max_delay_s, self.base_delay_s * (2.0 ** (attempt - 1)))
+        return float(rng.uniform(0.0, ceiling))
+
+
+#: Policy names accepted by :func:`create_retry_policy` and the CLI.
+RETRY_POLICY_NAMES = ("none", "immediate", "exponential")
+
+
+def create_retry_policy(
+    name: str,
+    max_retries: int = 3,
+    base_delay_s: float = 0.05,
+    max_delay_s: float = 2.0,
+) -> RetryPolicy:
+    """Instantiate a named retry policy with the given budget."""
+    if name == "none":
+        return NoRetryPolicy(max_retries=0)
+    if name == "immediate":
+        return ImmediateRetryPolicy(max_retries=max_retries)
+    if name == "exponential":
+        return ExponentialBackoffPolicy(
+            max_retries=max_retries, base_delay_s=base_delay_s, max_delay_s=max_delay_s
+        )
+    raise ConfigurationError(
+        f"unknown retry policy {name!r}; choose from {', '.join(RETRY_POLICY_NAMES)}"
+    )

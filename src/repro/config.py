@@ -11,9 +11,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 from .exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .concurrency.config import OverloadConfig
 
 
 class Provider(str, enum.Enum):
@@ -64,11 +67,34 @@ class TriggerType(str, enum.Enum):
 
 
 class StartType(str, enum.Enum):
-    """Whether an invocation hit a cold or a warm sandbox."""
+    """Whether an invocation hit a cold or a warm sandbox.
+
+    ``NONE`` marks requests that never reached a sandbox at all — throttled
+    or dropped by the admission layer (:mod:`repro.concurrency`).
+    """
 
     COLD = "cold"
     WARM = "warm"
     BURST = "burst"
+    NONE = "none"
+
+
+class InvocationOutcome(str, enum.Enum):
+    """Terminal outcome of one invocation request.
+
+    ``COMPLETED`` and ``FAILED`` describe requests that actually executed
+    (the function ran; ``FAILED`` covers runtime errors, OOM and timeouts).
+    ``THROTTLED`` marks synchronous requests rejected by the concurrency
+    limiter after exhausting their retry budget — they never occupied a
+    sandbox and are not billed.  ``DROPPED`` marks asynchronous requests
+    that spilled into the admission queue and were discarded (queue full,
+    or aged out before capacity freed up).
+    """
+
+    COMPLETED = "completed"
+    FAILED = "failed"
+    THROTTLED = "throttled"
+    DROPPED = "dropped"
 
 
 #: Default regions used by the paper's evaluation (Section 6, Configuration).
@@ -145,12 +171,18 @@ class SimulationConfig:
         (what ``query_logs`` reads).  ``None`` (the default) keeps every
         entry; long trace replays should set a bound so the provider log
         does not grow O(invocations).
+    overload:
+        Concurrency-limit and throttling model
+        (:class:`repro.concurrency.OverloadConfig`).  ``None`` (the
+        default) admits every request unconditionally — the pre-overload
+        behaviour, bit-identical to earlier releases.
     """
 
     seed: int = 42
     time_of_day_factor: float = 1.0
     enable_failures: bool = True
     log_retention: int | None = None
+    overload: "OverloadConfig | None" = None
     network_rtt_ms: Mapping[Provider, float] = field(
         default_factory=lambda: {
             Provider.AWS: 109.0,

@@ -16,7 +16,10 @@ Beyond the paper, **Workload-Replay** replays trace-driven mixed traffic
 :mod:`repro.workload` and compares the providers under identical load, and
 **Workflow-Replay** replays *composed* traffic — DAG workflow executions
 from :mod:`repro.workflows` — comparing end-to-end latency, critical-path
-decomposition and per-execution cost across providers.
+decomposition and per-execution cost across providers, and **Overload**
+sweeps reserved-concurrency caps under a fixed overload trace
+(:mod:`repro.concurrency`), comparing throttle/drop rates, goodput and
+queueing delay across providers.
 
 Each experiment is a plain object configured by
 :class:`~repro.config.ExperimentConfig`; ``run()`` returns typed result
@@ -38,6 +41,11 @@ from .workload_replay import (
     WorkloadReplayResult,
 )
 from .workflow_replay import WorkflowExperimentResult, WorkflowReplayExperiment
+from .overload import (
+    OverloadExperiment,
+    OverloadExperimentResult,
+    OverloadSweepPoint,
+)
 
 __all__ = [
     "deploy_benchmark",
@@ -61,4 +69,7 @@ __all__ = [
     "WorkloadReplayResult",
     "WorkflowExperimentResult",
     "WorkflowReplayExperiment",
+    "OverloadExperiment",
+    "OverloadExperimentResult",
+    "OverloadSweepPoint",
 ]

@@ -15,7 +15,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
-from ..config import Provider, StartType, TriggerType
+from ..config import InvocationOutcome, Provider, StartType, TriggerType
 from .billing import CostBreakdown
 
 
@@ -48,7 +48,16 @@ class InvocationRequest:
 
 @dataclass(frozen=True)
 class InvocationRecord:
-    """The outcome and measurements of one invocation."""
+    """The outcome and measurements of one invocation request.
+
+    With the overload model enabled (:mod:`repro.concurrency`) a record
+    describes the request's *terminal* outcome: a request throttled and
+    retried until it executed yields one record whose ``attempts`` counts
+    the admission attempts and whose ``admission_delay_s`` carries the
+    backoff (sync) or queueing (async) delay between submission and the
+    admitted execution.  ``client_time_s == finished_at - submitted_at``
+    holds for every record, throttled and dropped ones included.
+    """
 
     function_name: str
     benchmark: str
@@ -78,10 +87,38 @@ class InvocationRecord:
     finished_at: float = 0.0
     error: str | None = None
     output: Mapping[str, Any] = field(default_factory=dict)
+    #: Terminal outcome class (see :class:`repro.config.InvocationOutcome`).
+    #: ``success`` stays the executed-and-succeeded boolean; throttled and
+    #: dropped requests never executed, so they are distinguished here
+    #: rather than inflating the failure counts.
+    outcome: InvocationOutcome = InvocationOutcome.COMPLETED
+    #: Admission attempts made (1 = admitted first try; throttled records
+    #: count every 429'd attempt).
+    attempts: int = 1
+    #: When the admitted execution actually started occupying capacity
+    #: (``submitted_at`` plus backoff/queueing delay; equals
+    #: ``submitted_at`` without overload).
+    admitted_at: float = 0.0
+    #: Client-side delay between submission and admission: retry backoff
+    #: for synchronous requests, admission-queue wait for asynchronous
+    #: ones (0 when admitted immediately).
+    admission_delay_s: float = 0.0
+    #: Position of the request in its replay stream (-1 outside replays).
+    #: Sharded replay threads the *global* stream index through, so merged
+    #: records sort back into exact arrival order.  Excluded from equality:
+    #: it is stream metadata, not an invocation outcome — a function's
+    #: records must compare equal whether it replays alone or inside a
+    #: mixed trace (the state-isolation invariant).
+    request_index: int = field(default=-1, compare=False)
 
     @property
     def is_cold(self) -> bool:
         return self.start_type is StartType.COLD
+
+    @property
+    def executed(self) -> bool:
+        """Whether the request ever ran (throttled/dropped ones did not)."""
+        return self.outcome in (InvocationOutcome.COMPLETED, InvocationOutcome.FAILED)
 
     @property
     def platform_overhead_s(self) -> float:
@@ -107,4 +144,7 @@ class InvocationRecord:
             "output_bytes": self.output_bytes,
             "container_id": self.container_id,
             "error": self.error,
+            "outcome": self.outcome.value,
+            "attempts": self.attempts,
+            "admission_delay_s": self.admission_delay_s,
         }

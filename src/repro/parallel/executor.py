@@ -93,8 +93,14 @@ def _replay_trace_shard(
     if keep_records:
         if not isinstance(shard, TraceShard):
             raise ConfigurationError("record-mode shards must carry materialised requests")
-        records = list(engine.stream(requests))
-        indexed = list(zip((index for index, _ in shard.requests), records))
+        # Thread the *global* stream indices through the replay: each record
+        # reports the index of the request that produced it, which stays
+        # correct even when the overload model resolves requests out of
+        # arrival order (retries, admission queueing).
+        records = list(
+            engine.stream(requests, positions=(index for index, _ in shard.requests))
+        )
+        indexed = [(record.request_index, record) for record in records]
         return TraceShardOutcome(
             shard_index=shard.index,
             records=indexed,
@@ -102,7 +108,10 @@ def _replay_trace_shard(
             peak_in_flight=engine.last_peak_in_flight,
         )
     accumulator = _ReplayAccumulator()
-    for record in engine.stream(requests):
+    positions = (
+        (index for index, _ in shard.requests) if isinstance(shard, TraceShard) else None
+    )
+    for record in engine.stream(requests, positions=positions):
         accumulator.add(record)
     return TraceShardOutcome(
         shard_index=shard.index,

@@ -15,6 +15,10 @@ accumulators, which merge in shard-index order:
 * invocation/cold-start/failure counts, cost sums, span bounds and
   per-function min/max — **exact** (integer sums, float min/max, and the
   sorted-function-name float reduction shared with the serial engine);
+* the overload counters (throttles, drops, throttle events, retries,
+  queued count and queue-delay sums, :mod:`repro.concurrency`) — **exact**:
+  integers sum, and the queue-delay float total reduces in sorted
+  function-name order exactly like the cost total;
 * per-function mean/variance — exact under per-function sharding (one
   shard owns the whole function stream); within float associativity if a
   caller ever splits one function across shards;

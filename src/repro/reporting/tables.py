@@ -16,11 +16,22 @@ from ..faas.limits import limits_for
 
 
 def format_table(rows: Sequence[Mapping[str, Any]], columns: Sequence[str] | None = None) -> str:
-    """Render rows of dictionaries as an aligned plain-text table."""
+    """Render rows of dictionaries as an aligned plain-text table.
+
+    The default column set is the *union* of all rows' keys, ordered by
+    first appearance — rows may legitimately be ragged (e.g. the overload
+    counters only appear on functions the limiter actually shed), and
+    deriving columns from the first row alone would silently hide the
+    other rows' extra fields.
+    """
     if not rows:
         return "(no data)"
     if columns is None:
-        columns = list(rows[0].keys())
+        seen: dict[str, None] = {}
+        for row in rows:
+            for key in row.keys():
+                seen.setdefault(key)
+        columns = list(seen)
     widths = {col: len(str(col)) for col in columns}
     for row in rows:
         for col in columns:

@@ -31,9 +31,11 @@ import json
 
 from ..benchmarks.base import Benchmark, BenchmarkContext, InputSize, WorkProfile
 from ..benchmarks.registry import BenchmarkRegistry, default_registry
+from ..concurrency import build_function_throttle, create_retry_policy
 from ..config import (
     DYNAMIC_MEMORY,
     FunctionConfig,
+    InvocationOutcome,
     Language,
     Provider,
     SimulationConfig,
@@ -108,6 +110,12 @@ class _FunctionRuntimeState:
     history: deque[_LogEntry] = field(default_factory=deque)
     profile: WorkProfile | None = None
     profile_key: tuple | None = None
+    #: Admission gate (:class:`repro.concurrency.FunctionThrottle`); ``None``
+    #: when the overload model is disabled — the engine then admits
+    #: unconditionally.
+    throttle: Any = None
+    #: Per-function retry-jitter stream (``(seed, "retry", fname)``).
+    retry_stream: Any = None
 
 
 class SimulatedPlatform(FaaSPlatform):
@@ -158,6 +166,19 @@ class SimulatedPlatform(FaaSPlatform):
         self._gateway_sigma = gateway_sigma
         self._gateway_mean = -(gateway_sigma**2) / 2.0
 
+        # Overload model (None = admit everything, the pre-overload paths
+        # stay byte-identical).  The retry policy object is stateless and
+        # shared; jitter draws come from per-function streams.
+        self._overload = self.simulation.overload
+        self._retry_policy = None
+        if self._overload is not None:
+            self._retry_policy = create_retry_policy(
+                self._overload.retry_policy,
+                max_retries=self._overload.max_retries,
+                base_delay_s=self._overload.retry_base_delay_s,
+                max_delay_s=self._overload.retry_max_delay_s,
+            )
+
         from ..storage.object_store import ObjectStore
 
         #: Persistent storage attached to this deployment (S3 / Blob / GCS).
@@ -185,7 +206,20 @@ class SimulatedPlatform(FaaSPlatform):
     def _new_runtime_state(self, fname: str, language: Language) -> _FunctionRuntimeState:
         retention = self.simulation.log_retention
         streams = self._streams
+        throttle = None
+        retry_stream = None
+        if self._overload is not None:
+            throttle = build_function_throttle(
+                fname,
+                self._overload,
+                self.limits,
+                self.provider,
+                slot_capacity=self.sandbox_concurrency,
+            )
+            retry_stream = streams.stream("retry", fname)
         return _FunctionRuntimeState(
+            throttle=throttle,
+            retry_stream=retry_stream,
             pool=ContainerPool(fname, slot_capacity=self.sandbox_concurrency),
             compute=self._build_compute_model(fname),
             reliability=ReliabilityModel(
@@ -533,6 +567,65 @@ class SimulatedPlatform(FaaSPlatform):
         state.pool.add(container)
         return container, StartType.COLD
 
+    # ------------------------------------------------- overload / admission
+    def _throttle_response_s(self, trigger: TriggerType) -> float:
+        """Latency of a 429 response: the gateway turns it around without a
+        sandbox, so only the constant gateway overhead applies.
+
+        Deliberately draw-free: throttle traffic must not shift the
+        per-function jitter streams, so an admitted execution's numbers are
+        identical whether or not earlier requests got throttled.
+        """
+        profile = self._invocation_profile
+        return profile.http_gateway_s if trigger is TriggerType.HTTP else profile.sdk_overhead_s
+
+    def _overload_record(
+        self,
+        fname: str,
+        *,
+        outcome: InvocationOutcome,
+        submitted_at: float,
+        finished_at: float,
+        attempts: int,
+        admission_delay_s: float,
+        request_index: int,
+        error: str,
+    ) -> InvocationRecord:
+        """Record of a request the admission layer rejected (never executed).
+
+        No sandbox, no billing: providers do not charge throttled requests
+        or dropped queue events.
+        """
+        function = self.get_function(fname)
+        client_time_s = finished_at - submitted_at
+        return InvocationRecord(
+            function_name=fname,
+            benchmark=function.benchmark,
+            provider=self.provider,
+            start_type=StartType.NONE,
+            success=False,
+            benchmark_time_s=0.0,
+            provider_time_s=0.0,
+            client_time_s=client_time_s,
+            invocation_overhead_s=client_time_s,
+            cold_init_s=0.0,
+            memory_declared_mb=function.config.memory_mb,
+            memory_used_mb=0.0,
+            billed_duration_s=0.0,
+            cost=CostBreakdown(request_cost=0.0, compute_cost=0.0),
+            output_bytes=0,
+            container_id="",
+            submitted_at=submitted_at,
+            started_at=finished_at,
+            finished_at=finished_at,
+            error=error,
+            outcome=outcome,
+            attempts=attempts,
+            admitted_at=finished_at,
+            admission_delay_s=admission_delay_s,
+            request_index=request_index,
+        )
+
     def _execute_kernel(self, function: DeployedFunction, payload: Mapping[str, Any]) -> tuple[dict, int]:
         """Optionally run the real kernel; returns (output, output_bytes)."""
         benchmark = self._benchmark_for(function)
@@ -549,6 +642,7 @@ class SimulatedPlatform(FaaSPlatform):
         payload_bytes: int | None,
         concurrency: int,
         start_at: float,
+        request_index: int = -1,
     ) -> InvocationRecord:
         """Simulate one invocation; leaves the sandbox *reserved*.
 
@@ -569,6 +663,7 @@ class SimulatedPlatform(FaaSPlatform):
             return self._simulate_reserved_invocation(
                 fname, function, state, profile, container, start_type,
                 payload, trigger, payload_bytes, concurrency, start_at, memory_mb,
+                request_index,
             )
         except BaseException:
             # An exception mid-invocation (e.g. a raising kernel) must not
@@ -592,6 +687,7 @@ class SimulatedPlatform(FaaSPlatform):
         concurrency: int,
         start_at: float,
         memory_mb: int,
+        request_index: int = -1,
     ) -> InvocationRecord:
         sample = state.compute.execute(
             profile,
@@ -706,4 +802,7 @@ class SimulatedPlatform(FaaSPlatform):
             finished_at=finished_at,
             error=failure_reason,
             output=output,
+            outcome=InvocationOutcome.COMPLETED if success else InvocationOutcome.FAILED,
+            admitted_at=start_at,
+            request_index=request_index,
         )

@@ -48,7 +48,7 @@ from ..exceptions import ConfigurationError
 from ..faas.invocation import InvocationRecord, InvocationRequest, payload_wire_bytes
 from ..stats.streaming import StreamingSummary
 from ..stats.summary import DistributionSummary
-from ..workload.engine import WorkloadEngine
+from ..workload.engine import REPLENISH, WorkloadEngine
 from .edges import TriggerEdgeModel
 from .spec import WorkflowArrival, WorkflowSpec, WorkflowStage
 
@@ -431,8 +431,26 @@ class WorkflowEngine:
         pending: list[_Event] = []
         active: dict[int, _ExecutionState] = {}
         finished: deque[WorkflowResult] = deque()
-        meta: deque[_Event] = deque()
+        # Stage-task metadata keyed by the inner engine's request position
+        # (the record's ``request_index``).  With the overload model enabled
+        # records can resolve out of submission order (retries, admission
+        # queueing), so a FIFO correspondence would mis-attribute records;
+        # the position key is order-independent.
+        meta: dict[int, _Event] = {}
+        task_positions = itertools.count()
         exec_counter = iter(execution_indices) if execution_indices is not None else itertools.count()
+
+        # Under the overload model the inner engine buffers work (admission
+        # queues, retry backoff) whose eventual records schedule *new*
+        # source events — possibly earlier than this source's current next
+        # event.  Before committing to an event, the source therefore
+        # compares the engine's feedback horizon (earliest instant buffered
+        # work could emit a record) against it and yields the REPLENISH
+        # sentinel instead whenever the buffered work comes first: the
+        # engine resolves it, the records land here, and the heap re-sorts.
+        # Never needed in fast mode, where every consumed request resolves
+        # before the next pull and the horizon is always None.
+        overload_active = getattr(platform, "_overload", None) is not None
 
         def source() -> Iterator[InvocationRequest]:
             arrival_iter = iter(arrivals)
@@ -450,13 +468,23 @@ class WorkflowEngine:
                     last_submitted = nxt.submitted_at
                     self._admit(nxt, next(exec_counter), active, pending, finished)
                     nxt = next(arrival_iter, None)
+                if overload_active:
+                    horizon = inner.feedback_horizon()
+                    if horizon is not None and (not pending or horizon <= pending[0][0]):
+                        yield REPLENISH  # type: ignore[misc]
+                        continue
                 if not pending:
+                    if overload_active and active and nxt is None:
+                        # No event ready but executions are still in flight:
+                        # their tasks live in the engine's buffers.
+                        yield REPLENISH  # type: ignore[misc]
+                        continue
                     break
                 event = heapq.heappop(pending)
                 event_time, exec_index, stage_name, map_index = event
                 state = active[exec_index]
                 stage = state.spec.stage(stage_name)
-                meta.append(event)
+                meta[next(task_positions)] = event
                 yield InvocationRequest(
                     function_name=stage.function_name,
                     payload=self._task_payload(state, stage, map_index),
@@ -470,7 +498,7 @@ class WorkflowEngine:
             for record in inner.stream(source()):
                 if record_sink is not None:
                     record_sink(record)
-                _, exec_index, stage_name, _ = meta.popleft()
+                _, exec_index, stage_name, _ = meta.pop(record.request_index)
                 state = active[exec_index]
                 self._on_record(state, stage_name, record, base, active, pending, finished)
                 while finished:

@@ -37,6 +37,20 @@ Two aggregation modes:
 The engine is deterministic: the same platform seed and the same trace
 produce identical schedules, cold-start counts and cost totals, in either
 aggregation mode.
+
+**Overload mode** (:mod:`repro.concurrency`, enabled through
+:attr:`repro.config.SimulationConfig.overload`): before dispatching, the
+engine consults the function's admission gate.  Over-limit *synchronous*
+(HTTP/SDK) requests are throttled and fed to the client retry policy —
+re-attempts ride a feedback heap merged with the arrival stream (the same
+no-re-sort discipline the workflow engine uses), so the event queue stays
+time-sorted.  Over-limit *asynchronous* (queue/storage/timer) requests
+spill into a bounded per-function admission queue drained as completions
+free capacity, with age-based drops.  Every request still yields exactly
+one record carrying its terminal outcome, attempt count and
+backoff/queueing delay; records in record mode are ordered by the
+request's position in the trace (identical to production order when
+throttling is off).
 """
 
 from __future__ import annotations
@@ -44,10 +58,12 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from operator import attrgetter
 from typing import TYPE_CHECKING, Iterable, Iterator
 
-from ..config import Provider, StartType
+from ..concurrency import AdmissionQueue, QueuedInvocation
+from ..config import InvocationOutcome, Provider, StartType, TriggerType
 from ..exceptions import ConfigurationError
 from ..faas.invocation import InvocationRecord, InvocationRequest
 from ..stats.streaming import StreamingSummary
@@ -61,10 +77,31 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: the pool bookkeeping stays O(live sandboxes) instead of O(all ever made).
 _PRUNE_INTERVAL = 1024
 
+#: Trigger channels whose invocations are fire-and-forget: over the
+#: concurrency limit they spill into the admission queue instead of
+#: receiving a synchronous 429.
+ASYNC_TRIGGERS = frozenset((TriggerType.QUEUE, TriggerType.STORAGE, TriggerType.TIMER))
+
+#: Sentinel a *feedback* request source (the workflow engine) may yield when
+#: it has no request ready right now but more will appear once the engine
+#: resolves work it is holding internally (admission-queued tasks, pending
+#: retries).  The overload engine reacts by processing its earliest internal
+#: event and pulling again; the source sees the resulting records before the
+#: next pull, exactly like the ordinary feedback hand-off.  Never emitted in
+#: fast (non-overload) mode, where the engine buffers nothing.
+REPLENISH = object()
+
 
 @dataclass(frozen=True)
 class FunctionWorkloadSummary:
-    """Per-function outcome of a workload replay."""
+    """Per-function outcome of a workload replay.
+
+    ``invocations`` counts every request, throttled and dropped ones
+    included; ``failures`` counts only *executed* requests that failed.
+    ``client_time`` aggregates executed requests only (a 429 or a queue
+    drop has no meaningful service latency).  The overload counters are 0
+    when the model is disabled.
+    """
 
     function_name: str
     invocations: int
@@ -72,6 +109,18 @@ class FunctionWorkloadSummary:
     failures: int
     total_cost_usd: float
     client_time: DistributionSummary | None = None
+    #: Requests that resolved as THROTTLED (retry budget exhausted).
+    throttled: int = 0
+    #: Asynchronous requests dropped from the admission queue.
+    dropped: int = 0
+    #: Total 429 responses (every throttled attempt, retried or final).
+    throttle_events: int = 0
+    #: Retry attempts made by the client (admitted or not).
+    retries: int = 0
+    #: Admitted asynchronous requests that waited in the admission queue.
+    queued: int = 0
+    #: Total admission-queue wait of those requests, seconds.
+    queue_delay_s: float = 0.0
 
     @property
     def cold_start_rate(self) -> float:
@@ -86,6 +135,14 @@ class FunctionWorkloadSummary:
             "failures": self.failures,
             "cost_usd": round(self.total_cost_usd, 8),
         }
+        if self.throttled or self.dropped or self.throttle_events or self.queued:
+            row["throttled"] = self.throttled
+            row["dropped"] = self.dropped
+            row["retries"] = self.retries
+            if self.queued:
+                row["queue_delay_ms_mean"] = round(
+                    1000.0 * self.queue_delay_s / self.queued, 2
+                )
         if self.client_time is not None:
             row["client_p50_ms"] = round(self.client_time.median * 1000.0, 2)
             row["client_p95_ms"] = round(self.client_time.percentiles.get(95.0, float("nan")) * 1000.0, 2)
@@ -101,7 +158,11 @@ class _FunctionAccumulator:
     side is empty, which is the per-function sharding case).
     """
 
-    __slots__ = ("function_name", "invocations", "cold_starts", "failures", "total_cost_usd", "client_time")
+    __slots__ = (
+        "function_name", "invocations", "cold_starts", "failures", "total_cost_usd",
+        "client_time", "executed", "throttled", "dropped", "throttle_events",
+        "retries", "queued", "queue_delay_s",
+    )
 
     def __init__(self, function_name: str):
         self.function_name = function_name
@@ -110,9 +171,35 @@ class _FunctionAccumulator:
         self.failures = 0
         self.total_cost_usd = 0.0
         self.client_time = StreamingSummary(key=function_name)
+        self.executed = 0
+        self.throttled = 0
+        self.dropped = 0
+        self.throttle_events = 0
+        self.retries = 0
+        self.queued = 0
+        self.queue_delay_s = 0.0
 
     def add(self, record: InvocationRecord) -> None:
         self.invocations += 1
+        outcome = record.outcome
+        if outcome is InvocationOutcome.THROTTLED:
+            # Every attempt of a finally-throttled request got a 429.
+            self.throttled += 1
+            self.throttle_events += record.attempts
+            self.retries += record.attempts - 1
+            return
+        if outcome is InvocationOutcome.DROPPED:
+            self.dropped += 1
+            return
+        self.executed += 1
+        if record.attempts > 1:
+            # Executed after backoff: all prior attempts were throttled.
+            self.throttle_events += record.attempts - 1
+            self.retries += record.attempts - 1
+        elif record.admission_delay_s > 0.0:
+            # Single-attempt admission delay = time in the async queue.
+            self.queued += 1
+            self.queue_delay_s += record.admission_delay_s
         if record.start_type is StartType.COLD:
             self.cold_starts += 1
         if not record.success:
@@ -126,6 +213,13 @@ class _FunctionAccumulator:
         self.failures += other.failures
         self.total_cost_usd += other.total_cost_usd
         self.client_time.merge(other.client_time)
+        self.executed += other.executed
+        self.throttled += other.throttled
+        self.dropped += other.dropped
+        self.throttle_events += other.throttle_events
+        self.retries += other.retries
+        self.queued += other.queued
+        self.queue_delay_s += other.queue_delay_s
 
     def summary(self) -> FunctionWorkloadSummary:
         return FunctionWorkloadSummary(
@@ -134,7 +228,13 @@ class _FunctionAccumulator:
             cold_starts=self.cold_starts,
             failures=self.failures,
             total_cost_usd=self.total_cost_usd,
-            client_time=self.client_time.to_summary() if self.invocations else None,
+            client_time=self.client_time.to_summary() if self.executed else None,
+            throttled=self.throttled,
+            dropped=self.dropped,
+            throttle_events=self.throttle_events,
+            retries=self.retries,
+            queued=self.queued,
+            queue_delay_s=self.queue_delay_s,
         )
 
 
@@ -210,6 +310,35 @@ class _ReplayAccumulator:
         # sharded replays.
         return sum(acc.total_cost_usd for acc in self._ordered())
 
+    @property
+    def executed(self) -> int:
+        return sum(acc.executed for acc in self.per_function.values())
+
+    @property
+    def throttled(self) -> int:
+        return sum(acc.throttled for acc in self.per_function.values())
+
+    @property
+    def dropped(self) -> int:
+        return sum(acc.dropped for acc in self.per_function.values())
+
+    @property
+    def throttle_events(self) -> int:
+        return sum(acc.throttle_events for acc in self.per_function.values())
+
+    @property
+    def retries(self) -> int:
+        return sum(acc.retries for acc in self.per_function.values())
+
+    @property
+    def queued(self) -> int:
+        return sum(acc.queued for acc in self.per_function.values())
+
+    @property
+    def queue_delay_s(self) -> float:
+        # Sorted-name reduction, as for costs: exact under sharded merge.
+        return sum(acc.queue_delay_s for acc in self._ordered())
+
     def summaries(self) -> dict[str, FunctionWorkloadSummary]:
         return {
             fname: self.per_function[fname].summary() for fname in sorted(self.per_function)
@@ -240,6 +369,17 @@ class WorkloadResult:
     cold_start_total: int = 0
     failure_total: int = 0
     cost_usd_total: float = 0.0
+    #: Overload counters (0 whenever the overload model is disabled).
+    #: ``executed_total`` is counted independently of the throttle/drop
+    #: counters, so ``executed + throttled + dropped == invocations`` is a
+    #: real conservation check, not an identity.
+    executed_total: int = 0
+    throttled_total: int = 0
+    dropped_total: int = 0
+    throttle_event_total: int = 0
+    retry_total: int = 0
+    queued_total: int = 0
+    queue_delay_s_total: float = 0.0
     #: Per-function summaries from the streaming accumulators (streaming
     #: mode only; ``None`` when full records are available).
     streaming_summaries: dict[str, FunctionWorkloadSummary] | None = None
@@ -261,9 +401,66 @@ class WorkloadResult:
 
     @property
     def failure_count(self) -> int:
+        """Executed requests that failed (throttles/drops counted separately)."""
         if self.records:
-            return sum(1 for record in self.records if not record.success)
+            return sum(
+                1 for record in self.records if record.outcome is InvocationOutcome.FAILED
+            )
         return self.failure_total
+
+    @property
+    def executed_count(self) -> int:
+        """Requests that actually ran (admitted first try, retried or queued)."""
+        if self.records:
+            return sum(1 for record in self.records if record.executed)
+        return self.executed_total
+
+    @property
+    def throttled_count(self) -> int:
+        """Requests that resolved as THROTTLED (retry budget exhausted)."""
+        if self.records:
+            return sum(
+                1 for record in self.records if record.outcome is InvocationOutcome.THROTTLED
+            )
+        return self.throttled_total
+
+    @property
+    def dropped_count(self) -> int:
+        """Asynchronous requests dropped from the admission queue."""
+        if self.records:
+            return sum(
+                1 for record in self.records if record.outcome is InvocationOutcome.DROPPED
+            )
+        return self.dropped_total
+
+    @property
+    def retry_count(self) -> int:
+        """Client retry attempts across all requests."""
+        if self.records:
+            return sum(record.attempts - 1 for record in self.records)
+        return self.retry_total
+
+    @property
+    def queued_count(self) -> int:
+        """Admitted requests that waited in the admission queue first."""
+        if self.records:
+            return sum(
+                1
+                for record in self.records
+                if record.executed and record.attempts == 1 and record.admission_delay_s > 0.0
+            )
+        return self.queued_total
+
+    @property
+    def queue_delay_s(self) -> float:
+        """Total admission-queue wait of queued-then-admitted requests."""
+        if self.records:
+            return sum(
+                record.admission_delay_s
+                for record in self.records
+                if record.executed and record.attempts == 1
+            )
+        return self.queue_delay_s_total
 
     @property
     def total_cost_usd(self) -> float:
@@ -292,13 +489,32 @@ class WorkloadResult:
         summaries = {}
         for fname in sorted(grouped):
             records = grouped[fname]
+            executed = [r for r in records if r.executed]
             summaries[fname] = FunctionWorkloadSummary(
                 function_name=fname,
                 invocations=len(records),
-                cold_starts=sum(1 for r in records if r.start_type is StartType.COLD),
-                failures=sum(1 for r in records if not r.success),
-                total_cost_usd=sum(r.cost.total for r in records),
-                client_time=summarize([r.client_time_s for r in records]),
+                cold_starts=sum(1 for r in executed if r.start_type is StartType.COLD),
+                failures=sum(1 for r in executed if not r.success),
+                total_cost_usd=sum(r.cost.total for r in executed),
+                client_time=summarize([r.client_time_s for r in executed]) if executed else None,
+                throttled=sum(
+                    1 for r in records if r.outcome is InvocationOutcome.THROTTLED
+                ),
+                dropped=sum(1 for r in records if r.outcome is InvocationOutcome.DROPPED),
+                throttle_events=sum(
+                    r.attempts - 1 if r.executed else r.attempts
+                    for r in records
+                    if r.outcome is not InvocationOutcome.DROPPED
+                ),
+                retries=sum(r.attempts - 1 for r in records),
+                queued=sum(
+                    1 for r in executed if r.attempts == 1 and r.admission_delay_s > 0.0
+                ),
+                queue_delay_s=sum(
+                    r.admission_delay_s
+                    for r in executed
+                    if r.attempts == 1 and r.admission_delay_s > 0.0
+                ),
             )
         return summaries
 
@@ -308,7 +524,7 @@ class WorkloadResult:
 
     def summary_row(self) -> dict:
         """One aggregate row describing the whole replay."""
-        return {
+        row = {
             "provider": self.provider.value,
             "invocations": self.invocations,
             "cold_starts": self.cold_start_count,
@@ -319,6 +535,12 @@ class WorkloadResult:
             "simulated_span_s": round(self.simulated_span_s, 3),
             "throughput_inv_per_s": round(self.throughput_per_s, 1),
         }
+        throttled, dropped, retries = self.throttled_count, self.dropped_count, self.retry_count
+        if throttled or dropped or retries:
+            row["throttled"] = throttled
+            row["dropped"] = dropped
+            row["retries"] = retries
+        return row
 
 
 def streaming_result(
@@ -343,6 +565,13 @@ def streaming_result(
         cold_start_total=accumulator.cold_starts,
         failure_total=accumulator.failures,
         cost_usd_total=accumulator.total_cost_usd,
+        executed_total=accumulator.executed,
+        throttled_total=accumulator.throttled,
+        dropped_total=accumulator.dropped,
+        throttle_event_total=accumulator.throttle_events,
+        retry_total=accumulator.retries,
+        queued_total=accumulator.queued,
+        queue_delay_s_total=accumulator.queue_delay_s,
         streaming_summaries=accumulator.summaries(),
     )
 
@@ -354,8 +583,31 @@ class WorkloadEngine:
         self.platform = platform
         #: Peak concurrency observed by the most recent stream() pass.
         self.last_peak_in_flight = 0
+        #: Set while an overload stream is active: callable returning the
+        #: earliest trace-relative time at which buffered internal work
+        #: (due retries, completions that would drain an admission queue)
+        #: could emit a record.  See :meth:`feedback_horizon`.
+        self._horizon_fn = None
 
-    def stream(self, requests: Iterable[InvocationRequest]) -> Iterator[InvocationRecord]:
+    def feedback_horizon(self) -> float | None:
+        """Earliest trace-relative instant buffered work could emit a record.
+
+        A *feedback* request source (the workflow engine) must not commit to
+        its next event while the engine holds buffered work that could
+        resolve records — and thereby schedule new, earlier source events —
+        at or before that event's time.  The source compares this horizon
+        against its own next event and yields :data:`REPLENISH` instead when
+        the buffered work comes first.  ``None`` whenever nothing buffered
+        can produce a record (always, in fast mode: it buffers nothing).
+        """
+        fn = self._horizon_fn
+        return fn() if fn is not None else None
+
+    def stream(
+        self,
+        requests: Iterable[InvocationRequest],
+        positions: Iterable[int] | None = None,
+    ) -> Iterator[InvocationRecord]:
         """Replay ``requests`` lazily, yielding one record per request.
 
         Requests must arrive in non-decreasing ``submitted_at`` order
@@ -369,10 +621,30 @@ class WorkloadEngine:
         dispatched invocation holds one slot until its completion event is
         popped (or, if the stream is abandoned, until the generator is
         closed — outstanding slots are released on the way out).
+
+        ``positions`` overrides the default ``0, 1, 2, ...`` numbering of
+        requests (one index per request, in consumption order); each record
+        carries its request's number as ``request_index``.  Sharded replay
+        passes the indices from the *unsharded* stream so merged records
+        sort back into exact arrival order.  With the overload model
+        enabled, records are yielded as their requests *resolve* — a
+        retried or queued request's record appears after later arrivals
+        that resolved first; ``request_index`` recovers arrival order.
         """
+        if getattr(self.platform, "_overload", None) is not None:
+            return self._stream_overload(requests, positions)
+        return self._stream_fast(requests, positions)
+
+    def _stream_fast(
+        self,
+        requests: Iterable[InvocationRequest],
+        positions: Iterable[int] | None = None,
+    ) -> Iterator[InvocationRecord]:
+        """The no-throttling hot path (admission is unconditional)."""
         platform = self.platform
         base = platform.clock.now()
         sequence = itertools.count()
+        position_iter = iter(positions) if positions is not None else itertools.count()
         # Completion events: (finish_time, tie-break, function, container_id).
         completions: list[tuple[float, int, str, str]] = []
         # In-flight executions per function: the concurrency the invocation
@@ -414,6 +686,7 @@ class WorkloadEngine:
                     request.payload_bytes,
                     concurrency=fn_in_flight + 1,
                     start_at=now,
+                    request_index=next(position_iter),
                 )
                 in_flight_by_fn[fname] = fn_in_flight + 1
                 heapq.heappush(
@@ -441,6 +714,332 @@ class WorkloadEngine:
                 _, _, done_fname, container_id = heapq.heappop(completions)
                 platform._release_container(done_fname, container_id)
 
+    def _stream_overload(
+        self,
+        requests: Iterable[InvocationRequest],
+        positions: Iterable[int] | None = None,
+    ) -> Iterator[InvocationRecord]:
+        """The admission-controlled replay loop (overload model enabled).
+
+        Three event sources merge in time order without ever re-sorting the
+        heap of scheduled work:
+
+        * **arrivals** from the (already sorted) input stream;
+        * **retry attempts** of throttled synchronous requests, pushed onto
+          a feedback heap at their backoff deadline — taken before an
+          arrival with the same timestamp;
+        * **completions**, which free capacity and drain the owning
+          function's admission queue at the completion instant.
+
+        Everything that orders a single function's events — its arrivals,
+        its retries, its completions, its queue — is derived from that
+        function's own history, so an overloaded replay shards exactly like
+        an unthrottled one.
+        """
+        platform = self.platform
+        overload = platform._overload
+        policy = platform._retry_policy
+        base = platform.clock.now()
+        sequence = itertools.count()
+        retry_sequence = itertools.count()
+        position_iter = iter(positions) if positions is not None else itertools.count()
+        completions: list[tuple[float, int, str, str]] = []
+        #: Feedback heap of retry attempts:
+        #: (due [trace-relative], tie-break, request, position, first_submitted, attempts).
+        retries: list[tuple[float, int, InvocationRequest, int, float, int]] = []
+        queues: dict[str, AdmissionQueue] = {}
+        in_flight_by_fn: dict[str, int] = {}
+        last_submitted = 0.0
+        last_finish = base
+        processed = 0
+        peak = 0
+        self.last_peak_in_flight = 0
+        #: Records produced since the last flush point, yielded before the
+        #: engine pulls the next request (the feedback contract: a consumer
+        #: sees every resolved record before it is asked for more input).
+        out: list[InvocationRecord] = []
+
+        def execute(
+            request: InvocationRequest, position: int, now_abs: float,
+            first_submitted_abs: float, attempts: int,
+        ) -> InvocationRecord:
+            """Dispatch an admitted request at ``now_abs``."""
+            nonlocal peak, last_finish, processed
+            fname = request.function_name
+            in_flight = len(completions)
+            fn_in_flight = in_flight_by_fn.get(fname, 0)
+            record = platform._simulate_invocation(
+                fname,
+                request.payload,
+                request.trigger,
+                request.payload_bytes,
+                concurrency=fn_in_flight + 1,
+                start_at=now_abs,
+                request_index=position,
+            )
+            if attempts > 1 or first_submitted_abs != record.submitted_at:
+                # Retried or queue-delayed: the client's clock started at the
+                # original submission, not at the admitted attempt.
+                record = replace(
+                    record,
+                    submitted_at=first_submitted_abs,
+                    client_time_s=record.finished_at - first_submitted_abs,
+                    attempts=attempts,
+                    admission_delay_s=now_abs - first_submitted_abs,
+                )
+            in_flight_by_fn[fname] = fn_in_flight + 1
+            heapq.heappush(
+                completions, (record.finished_at, next(sequence), fname, record.container_id)
+            )
+            if in_flight + 1 > peak:
+                peak = in_flight + 1
+            if record.finished_at > last_finish:
+                last_finish = record.finished_at
+            processed += 1
+            if processed % _PRUNE_INTERVAL == 0:
+                self._prune_pools()
+            return record
+
+        def drain_queue(fname: str, now_abs: float) -> None:
+            """Admit (or age-drop) spilled requests of ``fname`` at ``now_abs``."""
+            queue = queues.get(fname)
+            if queue is None or not len(queue):
+                return
+            throttle = platform._runtime_state(fname).throttle
+            while len(queue):
+                if queue.head_expired(now_abs):
+                    entry = queue.pop()
+                    out.append(
+                        platform._overload_record(
+                            fname,
+                            outcome=InvocationOutcome.DROPPED,
+                            submitted_at=entry.enqueued_at,
+                            finished_at=now_abs,
+                            attempts=1,
+                            admission_delay_s=now_abs - entry.enqueued_at,
+                            request_index=entry.position,
+                            error="expired",
+                        )
+                    )
+                    continue
+                if not throttle.try_admit(now_abs, in_flight_by_fn.get(fname, 0)):
+                    break
+                entry = queue.pop()
+                out.append(
+                    execute(entry.request, entry.position, now_abs, entry.enqueued_at, 1)
+                )
+            if not len(queue):
+                # Drop drained queues so the feedback-horizon scan stays
+                # O(functions currently spilling), not O(ever spilled).
+                del queues[fname]
+
+        def pop_completions(until_abs: float) -> None:
+            """Release sandboxes done by ``until_abs``, draining their queues.
+
+            All completions sharing one finish instant are released *before*
+            any queue drains at that instant, so an admission triggered by
+            the drain sees the post-release concurrency — matching the
+            interval reference :meth:`_peak_in_flight`, which orders ``-1``
+            events before ``+1`` events at equal times.
+            """
+            while completions and completions[0][0] <= until_abs:
+                finish = completions[0][0]
+                drained_fnames: list[str] = []
+                while completions and completions[0][0] == finish:
+                    _, _, done_fname, container_id = heapq.heappop(completions)
+                    platform._release_container(done_fname, container_id)
+                    in_flight_by_fn[done_fname] -= 1
+                    queue = queues.get(done_fname)
+                    if queue is not None and len(queue) and done_fname not in drained_fnames:
+                        drained_fnames.append(done_fname)
+                for done_fname in drained_fnames:
+                    platform.clock.advance_to(finish)
+                    drain_queue(done_fname, finish)
+
+        def handle(
+            request: InvocationRequest, position: int, now_rel: float,
+            first_rel: float, attempts: int,
+        ) -> None:
+            """Process one admission attempt at ``now_rel`` (arrival or retry)."""
+            nonlocal last_finish
+            now_abs = base + now_rel
+            pop_completions(now_abs)
+            platform.clock.advance_to(now_abs)
+            fname = request.function_name
+            state = platform._runtime_state(fname)
+            throttle = state.throttle
+            # FIFO fairness: spilled work of this function admits first.
+            drain_queue(fname, now_abs)
+            first_abs = base + first_rel
+            if throttle is None or throttle.try_admit(
+                now_abs, in_flight_by_fn.get(fname, 0)
+            ):
+                out.append(execute(request, position, now_abs, first_abs, attempts + 1))
+            elif request.trigger in ASYNC_TRIGGERS:
+                queue = queues.get(fname)
+                if queue is None and overload.admission_queue_depth > 0:
+                    queue = queues[fname] = AdmissionQueue(
+                        overload.admission_queue_depth, overload.admission_max_age_s
+                    )
+                # depth 0 disables queueing entirely — never materialise a
+                # queue (it would leak: drain-time pruning never sees it).
+                if queue is None or not queue.push(QueuedInvocation(now_abs, position, request)):
+                    out.append(
+                        platform._overload_record(
+                            fname,
+                            outcome=InvocationOutcome.DROPPED,
+                            submitted_at=now_abs,
+                            finished_at=now_abs,
+                            attempts=1,
+                            admission_delay_s=0.0,
+                            request_index=position,
+                            error="queue-full",
+                        )
+                    )
+            else:
+                attempts += 1  # this attempt was 429'd
+                response_s = platform._throttle_response_s(request.trigger)
+                delay = policy.next_delay(attempts, state.retry_stream)
+                if delay is None:
+                    finished_abs = now_abs + response_s
+                    if finished_abs > last_finish:
+                        last_finish = finished_abs
+                    out.append(
+                        platform._overload_record(
+                            fname,
+                            outcome=InvocationOutcome.THROTTLED,
+                            submitted_at=first_abs,
+                            finished_at=finished_abs,
+                            attempts=attempts,
+                            admission_delay_s=now_abs - first_abs,
+                            request_index=position,
+                            error="throttled",
+                        )
+                    )
+                else:
+                    heapq.heappush(
+                        retries,
+                        (
+                            now_rel + response_s + delay,
+                            next(retry_sequence),
+                            request,
+                            position,
+                            first_rel,
+                            attempts,
+                        ),
+                    )
+
+        def advance_internal() -> bool:
+            """Process the earliest internal event (a REPLENISH pull).
+
+            Only reached when the source has no request ready: either the
+            next completion (with its queue drain) or the next due retry,
+            whichever is earlier — completions first on ties, matching the
+            ``<=`` pop of the main flow.  Returns False when the engine
+            holds no internal work at all.
+            """
+            next_completion = completions[0][0] if completions else None
+            next_retry = base + retries[0][0] if retries else None
+            if next_completion is None and next_retry is None:
+                return False
+            if next_retry is not None and (
+                next_completion is None or next_retry < next_completion
+            ):
+                now_rel, _, request, position, first_rel, attempts = heapq.heappop(retries)
+                handle(request, position, now_rel, first_rel, attempts)
+            else:
+                pop_completions(next_completion)
+            return True
+
+        def horizon_rel() -> float | None:
+            """Earliest trace-relative time buffered work could emit a record.
+
+            Due retries always can; completions can only when some admission
+            queue is non-empty (the earliest completion is a conservative
+            bound — it may belong to a queue-less function, costing at most
+            an extra replenish round).
+            """
+            candidates = []
+            if retries:
+                candidates.append(retries[0][0])
+            if completions and any(len(queue) for queue in queues.values()):
+                candidates.append(completions[0][0] - base)
+            return min(candidates) if candidates else None
+
+        self._horizon_fn = horizon_rel
+        try:
+            request_iter = iter(requests)
+            #: Arrival pulled from the source but not yet processed.
+            pending_request: InvocationRequest | None = None
+            exhausted = False
+            while True:
+                # Flush before pulling: the feedback contract guarantees a
+                # source sees every resolved record before the next pull.
+                if out:
+                    yield from out
+                    out.clear()
+                if pending_request is None and not exhausted:
+                    item = next(request_iter, None)
+                    if item is None:
+                        exhausted = True
+                    elif item is REPLENISH:
+                        if not advance_internal():
+                            raise ConfigurationError(
+                                "feedback request source asked the engine to "
+                                "replenish, but no internal work is pending"
+                            )
+                        continue
+                    else:
+                        pending_request = item
+                # A due retry precedes an arrival with the same timestamp:
+                # the deterministic, function-independent tie-break.
+                if retries and (
+                    pending_request is None
+                    or retries[0][0] <= pending_request.submitted_at
+                ):
+                    now_rel, _, request, position, first_rel, attempts = heapq.heappop(retries)
+                    handle(request, position, now_rel, first_rel, attempts)
+                elif pending_request is not None:
+                    request = pending_request
+                    pending_request = None
+                    if request.submitted_at < last_submitted:
+                        raise ConfigurationError(
+                            "workload requests must be sorted by submission time "
+                            f"({request.submitted_at:.6f} after {last_submitted:.6f})"
+                        )
+                    last_submitted = request.submitted_at
+                    handle(
+                        request,
+                        next(position_iter),
+                        request.submitted_at,
+                        request.submitted_at,
+                        0,
+                    )
+                elif exhausted:
+                    break
+            if out:
+                yield from out
+                out.clear()
+
+            # Input exhausted: run the remaining completions to drain the
+            # admission queues.  Progress is guaranteed — a completion always
+            # pops, and a function with an empty in-flight set always admits
+            # its queue head (every throttle allows concurrency 1).
+            while completions:
+                pop_completions(completions[0][0])
+                if out:
+                    yield from out
+                    out.clear()
+
+            if last_finish > platform.clock.now():
+                platform.clock.advance_to(last_finish)
+        finally:
+            self._horizon_fn = None
+            self.last_peak_in_flight = peak
+            while completions:
+                _, _, done_fname, container_id = heapq.heappop(completions)
+                platform._release_container(done_fname, container_id)
+
     def run(
         self,
         trace: WorkloadTrace | MergedWorkloadTrace | Iterable[InvocationRequest],
@@ -463,6 +1062,11 @@ class WorkloadEngine:
             # Exact mode: materialise the records and aggregate post-hoc —
             # no per-record estimator work on the hot path.
             records = list(self.stream(trace))
+            if getattr(self.platform, "_overload", None) is not None:
+                # Throttled/queued requests resolve out of arrival order;
+                # restore it so serial and sharded record lists agree (the
+                # sharded merge sorts by the same index).
+                records.sort(key=attrgetter("request_index"))
             wall_clock_s = time.perf_counter() - wall_start
             span = 0.0
             if records:
@@ -491,16 +1095,21 @@ class WorkloadEngine:
 
     @staticmethod
     def _peak_in_flight(records: list[InvocationRecord]) -> int:
-        """Maximum overlap of [submitted_at, finished_at) intervals.
+        """Maximum overlap of [admitted_at, finished_at) execution intervals.
 
         Retained as the reference computation: ``run`` tracks the same value
-        online from the live completion heap.
+        online from the live completion heap.  Throttled and dropped
+        requests never executed, so they carry no interval; a retried or
+        queue-delayed request occupies capacity only from its *admitted*
+        attempt (``admitted_at == submitted_at`` without overload).
         """
         if not records:
             return 0
         events: list[tuple[float, int]] = []
         for record in records:
-            events.append((record.submitted_at, 1))
+            if not record.executed:
+                continue
+            events.append((record.admitted_at, 1))
             events.append((record.finished_at, -1))
         events.sort()
         peak = current = 0

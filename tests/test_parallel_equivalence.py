@@ -337,6 +337,126 @@ def test_same_named_specs_share_a_shard():
     assert len(ShardPlanner().plan_workflows(arrivals, workers=4)) == 1
 
 
+# ------------------------------------------------------------- overload
+def _overload_platform(provider: Provider, seed: int = 7):
+    """The standard deployment under a tight concurrency cap."""
+    from repro.concurrency import OverloadConfig
+
+    overload = OverloadConfig(
+        reserved_concurrency=3,
+        max_retries=2,
+        admission_queue_depth=50,
+        admission_max_age_s=5.0,
+    )
+    platform = create_platform(provider, SimulationConfig(seed=seed, overload=overload))
+    for fname, benchmark, memory_mb in _DEPLOYMENTS:
+        deploy_benchmark(
+            platform,
+            benchmark,
+            memory_mb=memory_mb if platform.limits.memory_static else 0,
+            function_name=fname,
+        )
+    return platform
+
+
+def _overload_trace(duration_s: float = 45.0):
+    """Sync-heavy traffic on two functions plus an async queue source."""
+    from repro.config import TriggerType
+
+    return WorkloadTrace.merge(
+        WorkloadTrace.synthesize("web", PoissonArrivals(25.0), duration_s=duration_s, rng=401),
+        WorkloadTrace.synthesize("thumbs", PoissonArrivals(20.0), duration_s=duration_s, rng=402),
+        WorkloadTrace.synthesize(
+            "arch",
+            PoissonArrivals(20.0),
+            duration_s=duration_s,
+            rng=403,
+            trigger=TriggerType.QUEUE,
+        ),
+    )
+
+
+@pytest.mark.parametrize("provider", PROVIDERS, ids=lambda p: p.value)
+@pytest.mark.parametrize("backend", ("sequential", "process"))
+def test_overloaded_replay_workers4_is_bit_identical(provider, backend):
+    """Acceptance: an overloaded trace sharded over 4 workers replays
+    bit-identically — throttle, retry and admission-queue state is per
+    function, so it shards exactly like the unthrottled scheduler state."""
+    trace = _overload_trace()
+    serial = _overload_platform(provider).run_workload(trace)
+    assert serial.throttled_count > 0  # the cap actually bites
+    sharded = _overload_platform(provider).run_workload(
+        trace, workers=4, backend=backend
+    )
+    assert sharded.records == serial.records
+    assert sharded.peak_in_flight == serial.peak_in_flight
+    assert sharded.simulated_span_s == serial.simulated_span_s
+    assert sharded.total_cost_usd == serial.total_cost_usd
+
+
+@pytest.mark.parametrize("provider", PROVIDERS, ids=lambda p: p.value)
+def test_overloaded_streaming_counters_merge_exactly(provider):
+    """Acceptance: throttle/drop/queue-delay counters merge exactly."""
+    trace = _overload_trace()
+    serial = _overload_platform(provider).run_workload(trace, keep_records=False)
+    parallel = _overload_platform(provider).run_workload(
+        trace, keep_records=False, workers=4, backend="sequential"
+    )
+    _assert_streaming_equal(serial, parallel)
+    for attribute in (
+        "throttled_count",
+        "dropped_count",
+        "retry_count",
+        "queued_total",
+        "queue_delay_s",
+        "throttle_event_total",
+    ):
+        assert getattr(parallel, attribute) == getattr(serial, attribute), attribute
+    serial_fns, parallel_fns = serial.per_function(), parallel.per_function()
+    for fname, serial_summary in serial_fns.items():
+        parallel_summary = parallel_fns[fname]
+        assert parallel_summary.throttled == serial_summary.throttled
+        assert parallel_summary.dropped == serial_summary.dropped
+        assert parallel_summary.retries == serial_summary.retries
+        assert parallel_summary.queued == serial_summary.queued
+        # Exact float equality: one shard owns the whole function stream.
+        assert parallel_summary.queue_delay_s == serial_summary.queue_delay_s
+
+
+def test_overloaded_workflow_sharded_replay_matches_serial():
+    """Workflow components replayed under a cap still merge exactly."""
+    from repro.concurrency import OverloadConfig
+
+    def build():
+        overload = OverloadConfig(reserved_concurrency=2, max_retries=1)
+        platform = create_platform(
+            Provider.AWS, SimulationConfig(seed=11, overload=overload)
+        )
+        deployed = set()
+        for workflow in ("pipeline", "fanout"):
+            _, functions = standard_workflow(workflow, fan_out=3)
+            for function in functions:
+                if function.function_name in deployed:
+                    continue
+                deployed.add(function.function_name)
+                deploy_benchmark(
+                    platform,
+                    function.benchmark,
+                    memory_mb=function.memory_mb,
+                    function_name=function.function_name,
+                )
+        return platform
+
+    arrivals = _workflow_arrivals()
+    serial = build().run_workflows(arrivals)
+    assert serial.failure_total > 0  # the cap sheds some stage tasks
+    parallel = build().run_workflows(arrivals, workers=2)
+    assert sorted(serial.executions, key=lambda r: r.execution_index) == parallel.executions
+    assert parallel.failure_total == serial.failure_total
+    assert parallel.cost_usd_total == serial.cost_usd_total
+    assert parallel.end_to_end_s_total == serial.end_to_end_s_total
+
+
 @pytest.mark.slow
 def test_large_scale_streaming_parallel_equivalence():
     """60k-invocation stress variant of the streaming merge equivalence."""
