@@ -3,19 +3,22 @@ SMOKE_WORKERS ?= 2
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-slow test-cov compile lint ci ci-golden check-regression \
-	bench bench-smoke bench-overload bench-throughput regen-golden workload workflow
+	bench bench-smoke bench-overload bench-fault-storm bench-throughput \
+	regen-golden workload workflow
 
 ## tier-1 test suite (slow-marked tests are deselected; see test-slow)
 test:
 	$(PYTHON) -m pytest -x -q
 
 ## tier-1 suite with the coverage gate CI enforces (>=80% on stats +
-## parallel).  Falls back to the plain tier-1 run when pytest-cov is not
-## installed, so `make ci` works in minimal environments too.
+## parallel + faults + resilience).  Falls back to the plain tier-1 run
+## when pytest-cov is not installed, so `make ci` works in minimal
+## environments too.
 test-cov:
 	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
 		$(PYTHON) -m pytest -x -q \
 			--cov=repro.stats --cov=repro.parallel \
+			--cov=repro.faults --cov=repro.resilience \
 			--cov-report=term-missing --cov-fail-under=80; \
 	else \
 		echo "pytest-cov not installed; running tier-1 tests without the coverage gate"; \
@@ -53,7 +56,7 @@ check-regression:
 
 ## what CI runs — the workflow invokes these same targets, one per step,
 ## in this order, so local `make ci` and CI can never drift
-ci: compile lint test-cov test-slow bench-smoke bench-overload bench-throughput check-regression ci-golden
+ci: compile lint test-cov test-slow bench-smoke bench-overload bench-fault-storm bench-throughput check-regression ci-golden
 
 ## regenerate all paper figures/tables (pytest-benchmark harness)
 bench:
@@ -67,6 +70,10 @@ bench-smoke:
 ## overload sweep benchmark (emits BENCH_overload_sweep.json)
 bench-overload:
 	$(PYTHON) -m pytest benchmarks/bench_overload_sweep.py -q -s
+
+## fault-storm / metastable-failure benchmark (emits BENCH_fault_storm.json)
+bench-fault-storm:
+	$(PYTHON) -m pytest benchmarks/bench_fault_storm.py -q -s
 
 ## 100k trace + workflow throughput benchmarks (refresh the BENCH jsons the
 ## perf-regression gate compares — a gated benchmark CI never re-ran would

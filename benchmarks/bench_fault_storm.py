@@ -1,0 +1,125 @@
+"""Fault-storm benchmark: metastable failure and breaker-driven recovery.
+
+Not a paper figure — the source paper measures healthy platforms; this
+target injects a full outage window (:mod:`repro.faults`) into a
+capacity-limited replay and contrasts two clients (:mod:`repro.resilience`):
+
+* the **naive** client (unjittered tight-capped retry ladder, deep budget,
+  per-attempt staleness resubmission, no breaker) drives the platform into
+  a *metastable failure* state — goodput stays collapsed long after the
+  outage clears, sustained purely by retry amplification;
+* the **resilient** client (circuit breaker + full-jitter exponential
+  backoff) sheds load during the outage and recovers to the pre-fault
+  goodput almost immediately.
+
+Besides the printed table, the target writes
+``benchmarks/BENCH_fault_storm.json`` — recovery ratios and per-variant
+rows plus the replay wall clock, consumed by the CI perf-regression gate
+(``benchmarks/check_regression.py``).  The run also re-executes the naive
+variant sharded (``workers=4``) and asserts bit-identity with the serial
+replay — the chaos-equivalence guarantee, at benchmark scale.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from conftest import emit_bench_json, run_once
+
+from repro.experiments.resilience import ResilienceExperiment
+
+BENCH_JSON = Path(__file__).resolve().parent / "BENCH_fault_storm.json"
+
+#: Acceptance thresholds: the naive client must stay collapsed after the
+#: outage (metastability), the resilient client must recover.
+NAIVE_RECOVERY_CEILING = 0.5
+RESILIENT_RECOVERY_FLOOR = 0.9
+
+EQUIVALENCE_WORKERS = 4
+
+
+def _emit_bench_json(result, wall_clock_s: float) -> None:
+    total_invocations = sum(v.invocations for v in result.variants)
+    emit_bench_json(
+        BENCH_JSON,
+        {
+            "benchmark": "fault_storm",
+            "duration_s": result.duration_s,
+            "outage_start_s": result.outage_start_s,
+            "outage_end_s": result.outage_end_s,
+            "invocations": total_invocations,
+            "wall_clock_s": round(wall_clock_s, 4),
+            "throughput_per_s": round(total_invocations / wall_clock_s, 1)
+            if wall_clock_s > 0
+            else 0.0,
+            "naive_recovery_ratio": round(result.variant("naive").recovery_ratio, 4),
+            "resilient_recovery_ratio": round(
+                result.variant("resilient").recovery_ratio, 4
+            ),
+            "variants": result.to_dict()["variants"],
+        },
+    )
+
+
+def _variant_rows(result) -> list[dict]:
+    rows = []
+    for v in result.variants:
+        rows.append(
+            {
+                "variant": v.name,
+                "retry policy": v.retry_policy,
+                "breaker": "yes" if v.breaker_enabled else "no",
+                "requests": v.invocations,
+                "executed": v.executed,
+                "stale/failed": v.failures,
+                "faulted": v.faulted,
+                "short-circuited": v.short_circuited,
+                "retries": v.retries,
+                "pre goodput/s": f"{v.pre.goodput_per_s:.2f}",
+                "post goodput/s": f"{v.post.goodput_per_s:.2f}",
+                "recovery": f"{v.recovery_ratio:.2f}",
+                "cost USD": f"{v.cost_usd:.4f}",
+            }
+        )
+    return rows
+
+
+def test_fault_storm(benchmark, experiment_config, simulation_config):
+    experiment = ResilienceExperiment(
+        config=experiment_config, simulation=simulation_config
+    )
+    wall_start = time.perf_counter()
+    result = run_once(benchmark, experiment.run)
+    wall_clock_s = time.perf_counter() - wall_start
+
+    from repro.reporting.tables import format_table
+
+    print()
+    print(format_table(_variant_rows(result)))
+    _emit_bench_json(result, wall_clock_s)
+
+    naive = result.variant("naive")
+    resilient = result.variant("resilient")
+    # Both variants replay the identical trace and fault schedule.
+    assert naive.invocations == resilient.invocations > 0
+    # Requests are conserved: every one resolves exactly once.
+    for v in result.variants:
+        executed_failures = v.executed  # completed + failed (stale)
+        assert (
+            executed_failures + v.throttled + v.dropped + v.faulted + v.short_circuited
+            == v.invocations
+        ), v.name
+    # The metastability contrast itself.
+    assert naive.recovery_ratio <= NAIVE_RECOVERY_CEILING, naive.recovery_ratio
+    assert resilient.recovery_ratio >= RESILIENT_RECOVERY_FLOOR, resilient.recovery_ratio
+    # The breaker sheds during the outage; the naive client never does.
+    assert resilient.short_circuited > 0
+    assert naive.short_circuited == 0
+    # Retry amplification is what sustains the naive collapse.
+    assert naive.retries > resilient.retries
+
+    # Chaos equivalence at benchmark scale: the same storm replayed through
+    # the sharded path must be bit-identical to the serial result above.
+    sharded = experiment.run(workers=EQUIVALENCE_WORKERS)
+    assert sharded.to_dict() == result.to_dict()

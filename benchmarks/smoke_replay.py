@@ -15,7 +15,12 @@ Four checks:
 * an overloaded-replay equivalence gate: the same trace replayed under a
   tight concurrency cap (:mod:`repro.concurrency`) must shed work
   (throttles, drops, queue delay) *and* still merge exactly under
-  sharding.
+  sharding;
+* a fault-storm gate (:mod:`repro.faults` + :mod:`repro.resilience`): the
+  retry-storm experiment must keep demonstrating metastable failure — the
+  naive client's post-recovery goodput stays collapsed (<= 50% of
+  pre-outage) while the breaker-equipped client recovers (>= 90%) — and
+  the whole scenario must stay bit-identical under sharded replay.
 
 The thresholds are deliberately loose — the point is to catch order-of-
 magnitude breakage, not to flake on slow CI runners.  The measured
@@ -28,10 +33,12 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 from repro.concurrency import OverloadConfig
-from repro.config import Provider, SimulationConfig, TriggerType
+from repro.config import ExperimentConfig, Provider, SimulationConfig, TriggerType
+from repro.experiments.resilience import ResilienceExperiment
 from repro.experiments.base import deploy_benchmark
 from repro.simulator.providers import create_platform
 from repro.workload import PoissonArrivals, WorkloadTrace
@@ -281,6 +288,55 @@ def _smoke_overload(workers: int) -> list[str]:
     return failures
 
 
+#: Fault-storm smoke: the canned retry-storm scenario, serial vs sharded.
+FAULT_STORM_BUDGET_S = 60.0
+NAIVE_RECOVERY_CEILING = 0.5
+RESILIENT_RECOVERY_FLOOR = 0.9
+
+
+def _smoke_fault_storm(workers: int) -> list[str]:
+    experiment = ResilienceExperiment(
+        config=ExperimentConfig(seed=42), simulation=SimulationConfig(seed=42)
+    )
+    wall_start = time.perf_counter()
+    serial = experiment.run()
+    wall_clock_s = time.perf_counter() - wall_start
+    invocations = sum(v.invocations for v in serial.variants)
+    METRICS["fault_storm_throughput_per_s"] = (
+        round(invocations / wall_clock_s, 1) if wall_clock_s > 0 else 0.0
+    )
+    naive = serial.variant("naive")
+    resilient = serial.variant("resilient")
+    print(
+        f"bench-smoke: fault storm: {invocations} requests in {wall_clock_s:.2f}s, "
+        f"recovery naive {naive.recovery_ratio:.2f} "
+        f"(retries {naive.retries}), resilient {resilient.recovery_ratio:.2f} "
+        f"(short-circuited {resilient.short_circuited})"
+    )
+
+    failures = []
+    if naive.recovery_ratio > NAIVE_RECOVERY_CEILING:
+        failures.append(
+            f"naive client recovered to {naive.recovery_ratio:.2f} > "
+            f"{NAIVE_RECOVERY_CEILING} of pre-outage goodput (metastability lost?)"
+        )
+    if resilient.recovery_ratio < RESILIENT_RECOVERY_FLOOR:
+        failures.append(
+            f"breaker client recovered only to {resilient.recovery_ratio:.2f} < "
+            f"{RESILIENT_RECOVERY_FLOOR} of pre-outage goodput"
+        )
+    if resilient.short_circuited == 0:
+        failures.append("breaker never short-circuited during the outage")
+    sharded = experiment.run(workers=workers)
+    if sharded.to_dict() != serial.to_dict():
+        failures.append(f"fault-storm replay diverged under sharding (x{workers})")
+    if wall_clock_s > FAULT_STORM_BUDGET_S:
+        failures.append(
+            f"fault-storm replay took {wall_clock_s:.2f}s > {FAULT_STORM_BUDGET_S:.0f}s budget"
+        )
+    return failures
+
+
 def _emit_bench_json() -> None:
     """Write the smoke throughputs for the perf-regression gate."""
     from conftest import emit_bench_json
@@ -301,6 +357,7 @@ def main() -> int:
     failures += _smoke_workflow()
     failures += _smoke_parallel(args.workers)
     failures += _smoke_overload(args.workers)
+    failures += _smoke_fault_storm(args.workers)
     _emit_bench_json()
     if failures:
         for failure in failures:

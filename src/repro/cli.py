@@ -12,6 +12,7 @@ similar entry point::
     sebs-repro faas-vs-iaas              # Table 5 comparison
     sebs-repro workload                  # trace-driven workload replay
     sebs-repro workflow                  # DAG workflow replay (composed invocations)
+    sebs-repro fault-storm               # retry-storm / metastable-failure experiment
 
 All experiments run against the simulated providers; ``--samples`` and
 ``--batch`` trade accuracy for speed.  ``workload`` and ``workflow`` accept
@@ -29,6 +30,8 @@ from typing import Sequence
 from .benchmarks.registry import list_benchmarks
 from .concurrency import RETRY_POLICY_NAMES, OverloadConfig
 from .config import ExperimentConfig, Provider, SimulationConfig
+from .faults import ContainerCrash, FaultPlaneConfig, LatencyStorm, OutageWindow
+from .resilience import CircuitBreakerConfig, HedgeConfig, ResilienceConfig
 from .experiments.characterization import CharacterizationExperiment
 from .experiments.eviction_model import EvictionModelExperiment
 from .experiments.faas_vs_iaas import FaasVsIaasExperiment
@@ -84,6 +87,80 @@ def _replay_args(parser: argparse.ArgumentParser, unit: str) -> None:
         help="client backoff policy for throttled sync invocations "
         "(default: exponential with full jitter; implies the overload "
         "model when given without --reserved-concurrency)",
+    )
+    parser.add_argument(
+        "--outage",
+        nargs=2,
+        type=float,
+        action="append",
+        default=None,
+        metavar=("START", "DURATION"),
+        help="inject a region outage window (seconds into the replay; "
+        "repeatable) — see also --outage-mode",
+    )
+    parser.add_argument(
+        "--outage-mode",
+        default="fail-fast",
+        choices=["fail-fast", "hang"],
+        help="how outage-window requests fail: immediate fault responses "
+        "or hangs until the client timeout (default: fail-fast)",
+    )
+    parser.add_argument(
+        "--crash",
+        nargs=2,
+        type=float,
+        action="append",
+        default=None,
+        metavar=("AT", "SURVIVE_FRACTION"),
+        help="inject a correlated container crash at AT seconds, evicting "
+        "warm containers so only SURVIVE_FRACTION survive (repeatable)",
+    )
+    parser.add_argument(
+        "--latency-storm",
+        nargs=3,
+        type=float,
+        action="append",
+        default=None,
+        metavar=("START", "DURATION", "MULTIPLIER"),
+        help="inject a latency storm: compute and network draws are scaled "
+        "by MULTIPLIER inside the window (repeatable)",
+    )
+    parser.add_argument(
+        "--breaker",
+        action="store_true",
+        help="give the simulated clients a per-function circuit breaker "
+        "(trips on outage/failure storms, sheds load, probes recovery)",
+    )
+    parser.add_argument(
+        "--breaker-cooldown-s",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="breaker OPEN cooldown before recovery probes (default: 30)",
+    )
+    parser.add_argument(
+        "--hedge-delay-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="hedge synchronous requests whose primary attempt is still "
+        "running after S seconds (first completion wins, both billed)",
+    )
+    parser.add_argument(
+        "--client-retry-policy",
+        default=None,
+        choices=list(RETRY_POLICY_NAMES),
+        help="client backoff policy for fault responses and stale "
+        "resubmissions (default: none — fail fast)",
+    )
+    parser.add_argument(
+        "--stale-after-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="client staleness deadline: executions admitted later than S "
+        "seconds after submission are wasted work (billed, recorded as "
+        "stale failures; resubmitted when --client-retry-policy is set)",
     )
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument(
@@ -175,6 +252,35 @@ def _build_parser() -> argparse.ArgumentParser:
         "--fan-out", type=int, default=8, help="map cardinality of the fanout workflow"
     )
     _replay_args(workflow, unit="workflow")
+
+    storm = sub.add_parser(
+        "fault-storm",
+        help="retry-storm experiment: metastable failure vs breaker recovery",
+    )
+    storm.add_argument(
+        "--duration", type=float, default=120.0, help="trace duration in simulated seconds"
+    )
+    storm.add_argument("--rate", type=float, default=14.0, help="arrival rate (1/s)")
+    storm.add_argument(
+        "--outage-start", type=float, default=40.0, help="outage begin (seconds into the trace)"
+    )
+    storm.add_argument(
+        "--outage-duration", type=float, default=15.0, help="outage length in seconds"
+    )
+    storm.add_argument("--seed", type=int, default=42)
+    storm.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="sharded parallel replay across N processes (bit-identical)",
+    )
+    storm.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the full result (variants, goodput curves) as JSON",
+    )
     return parser
 
 
@@ -185,6 +291,52 @@ def _overload_config(args: argparse.Namespace) -> OverloadConfig | None:
     return OverloadConfig(
         reserved_concurrency=args.reserved_concurrency,
         retry_policy=args.retry_policy or "exponential",
+    )
+
+
+def _fault_config(args: argparse.Namespace) -> FaultPlaneConfig | None:
+    """Fault plane selected by the replay flags (None = disabled)."""
+    if not (args.outage or args.crash or args.latency_storm):
+        return None
+    return FaultPlaneConfig(
+        outages=tuple(
+            OutageWindow(start_s=start, duration_s=duration, mode=args.outage_mode)
+            for start, duration in (args.outage or ())
+        ),
+        crashes=tuple(
+            ContainerCrash(at_s=at, survive_fraction=survive)
+            for at, survive in (args.crash or ())
+        ),
+        storms=tuple(
+            LatencyStorm(
+                start_s=start,
+                duration_s=duration,
+                compute_multiplier=multiplier,
+                network_multiplier=multiplier,
+            )
+            for start, duration, multiplier in (args.latency_storm or ())
+        ),
+    )
+
+
+def _resilience_config(args: argparse.Namespace) -> ResilienceConfig | None:
+    """Client resilience stack selected by the replay flags (None = disabled)."""
+    if not (
+        args.breaker
+        or args.hedge_delay_s is not None
+        or args.client_retry_policy is not None
+        or args.stale_after_s is not None
+    ):
+        return None
+    return ResilienceConfig(
+        breaker=CircuitBreakerConfig(cooldown_s=args.breaker_cooldown_s)
+        if args.breaker
+        else None,
+        hedge=HedgeConfig(delay_s=args.hedge_delay_s)
+        if args.hedge_delay_s is not None
+        else None,
+        retry_policy=args.client_retry_policy or "none",
+        stale_after_s=args.stale_after_s,
     )
 
 
@@ -269,6 +421,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             seed=args.seed,
             log_retention=args.log_retention,
             overload=_overload_config(args),
+            faults=_fault_config(args),
+            resilience=_resilience_config(args),
         )
         experiment = WorkloadReplayExperiment(config=config, simulation=simulation)
         providers = tuple(Provider(p) for p in args.providers)
@@ -311,6 +465,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             seed=args.seed,
             log_retention=args.log_retention,
             overload=_overload_config(args),
+            faults=_fault_config(args),
+            resilience=_resilience_config(args),
         )
         experiment = WorkflowReplayExperiment(config=config, simulation=simulation)
         providers = tuple(Provider(p) for p in args.providers)
@@ -344,6 +500,42 @@ def main(argv: Sequence[str] | None = None) -> int:
                     "per_workflow": result.to_rows(),
                 },
             )
+        return 0
+
+    if args.command == "fault-storm":
+        from .experiments.resilience import ResilienceExperiment
+
+        config = ExperimentConfig(samples=1, seed=args.seed)
+        experiment = ResilienceExperiment(config=config, simulation=SimulationConfig(seed=args.seed))
+        result = experiment.run(
+            duration_s=args.duration,
+            rate_per_s=args.rate,
+            outage_start_s=args.outage_start,
+            outage_duration_s=args.outage_duration,
+            workers=args.workers,
+        )
+        print(
+            f"# Fault storm: outage [{result.outage_start_s:.0f}s, "
+            f"{result.outage_end_s:.0f}s) in a {result.duration_s:.0f}s trace"
+        )
+        rows = []
+        for variant in result.variants:
+            rows.append(
+                {
+                    "variant": variant.name,
+                    "retry policy": variant.retry_policy,
+                    "breaker": "yes" if variant.breaker_enabled else "no",
+                    "requests": variant.invocations,
+                    "retries": variant.retries,
+                    "short-circuited": variant.short_circuited,
+                    "pre goodput/s": f"{variant.pre.goodput_per_s:.2f}",
+                    "post goodput/s": f"{variant.post.goodput_per_s:.2f}",
+                    "recovery": f"{variant.recovery_ratio:.2f}",
+                }
+            )
+        print(format_table(rows))
+        if args.output:
+            _write_output(args.output, {"command": "fault-storm", "seed": args.seed, **result.to_dict()})
         return 0
 
     if args.command == "faas-vs-iaas":

@@ -36,6 +36,7 @@ from .retry import (
     RETRY_POLICY_NAMES,
     ExponentialBackoffPolicy,
     ImmediateRetryPolicy,
+    NoJitterBackoffPolicy,
     NoRetryPolicy,
     RetryPolicy,
     create_retry_policy,
@@ -53,6 +54,7 @@ __all__ = [
     "RETRY_POLICY_NAMES",
     "ExponentialBackoffPolicy",
     "ImmediateRetryPolicy",
+    "NoJitterBackoffPolicy",
     "NoRetryPolicy",
     "RetryPolicy",
     "create_retry_policy",

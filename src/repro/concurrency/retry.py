@@ -91,8 +91,31 @@ class ExponentialBackoffPolicy(RetryPolicy):
         return float(rng.uniform(0.0, ceiling))
 
 
+@dataclass(frozen=True)
+class NoJitterBackoffPolicy(RetryPolicy):
+    """Capped exponential backoff **without** jitter — the naive client.
+
+    The delay before attempt ``n + 1`` is exactly
+    ``min(max_delay, base * 2**(n-1))``.  Every client that failed at the
+    same moment retries at the same moment: under an outage this is the
+    policy that synchronizes retries into load-amplifying bunches and keeps
+    goodput collapsed after recovery (the metastable-failure baseline of
+    ``benchmarks/bench_fault_storm.py``).  Deterministic — never draws from
+    the retry stream.
+    """
+
+    max_retries: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+
+    def next_delay(self, attempt: int, rng) -> float | None:
+        if attempt > self.max_retries:
+            return None
+        return min(self.max_delay_s, self.base_delay_s * (2.0 ** (attempt - 1)))
+
+
 #: Policy names accepted by :func:`create_retry_policy` and the CLI.
-RETRY_POLICY_NAMES = ("none", "immediate", "exponential")
+RETRY_POLICY_NAMES = ("none", "immediate", "exponential", "no-jitter")
 
 
 def create_retry_policy(
@@ -108,6 +131,10 @@ def create_retry_policy(
         return ImmediateRetryPolicy(max_retries=max_retries)
     if name == "exponential":
         return ExponentialBackoffPolicy(
+            max_retries=max_retries, base_delay_s=base_delay_s, max_delay_s=max_delay_s
+        )
+    if name == "no-jitter":
+        return NoJitterBackoffPolicy(
             max_retries=max_retries, base_delay_s=base_delay_s, max_delay_s=max_delay_s
         )
     raise ConfigurationError(

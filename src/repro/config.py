@@ -17,6 +17,8 @@ from .exceptions import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .concurrency.config import OverloadConfig
+    from .faults.config import FaultPlaneConfig
+    from .resilience.config import ResilienceConfig
 
 
 class Provider(str, enum.Enum):
@@ -88,13 +90,20 @@ class InvocationOutcome(str, enum.Enum):
     limiter after exhausting their retry budget — they never occupied a
     sandbox and are not billed.  ``DROPPED`` marks asynchronous requests
     that spilled into the admission queue and were discarded (queue full,
-    or aged out before capacity freed up).
+    or aged out before capacity freed up).  ``FAULTED`` marks requests
+    whose every attempt fell inside a fault-plane outage window
+    (:mod:`repro.faults`) — the platform answered with errors, no sandbox
+    was occupied, nothing was billed.  ``SHORT_CIRCUITED`` marks requests
+    an open client circuit breaker (:mod:`repro.resilience`) rejected
+    without contacting the platform at all.
     """
 
     COMPLETED = "completed"
     FAILED = "failed"
     THROTTLED = "throttled"
     DROPPED = "dropped"
+    FAULTED = "faulted"
+    SHORT_CIRCUITED = "short-circuited"
 
 
 #: Default regions used by the paper's evaluation (Section 6, Configuration).
@@ -176,6 +185,17 @@ class SimulationConfig:
         (:class:`repro.concurrency.OverloadConfig`).  ``None`` (the
         default) admits every request unconditionally — the pre-overload
         behaviour, bit-identical to earlier releases.
+    faults:
+        Fault-injection plane (:class:`repro.faults.FaultPlaneConfig`):
+        deterministic outage windows, correlated container crashes and
+        latency storms injected into trace replay.  ``None`` (the default)
+        injects nothing.
+    resilience:
+        Client-side resilience layer
+        (:class:`repro.resilience.ResilienceConfig`): circuit breakers,
+        hedged requests, fault retries and staleness deadlines for
+        synchronous invocations.  ``None`` (the default) models a plain
+        client.
     """
 
     seed: int = 42
@@ -183,6 +203,8 @@ class SimulationConfig:
     enable_failures: bool = True
     log_retention: int | None = None
     overload: "OverloadConfig | None" = None
+    faults: "FaultPlaneConfig | None" = None
+    resilience: "ResilienceConfig | None" = None
     network_rtt_ms: Mapping[Provider, float] = field(
         default_factory=lambda: {
             Provider.AWS: 109.0,

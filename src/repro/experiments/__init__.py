@@ -19,7 +19,10 @@ from :mod:`repro.workflows` — comparing end-to-end latency, critical-path
 decomposition and per-execution cost across providers, and **Overload**
 sweeps reserved-concurrency caps under a fixed overload trace
 (:mod:`repro.concurrency`), comparing throttle/drop rates, goodput and
-queueing delay across providers.
+queueing delay across providers, and **Resilience** replays a retry-storm
+scenario with an injected outage (:mod:`repro.faults`) under naive and
+breaker-equipped clients (:mod:`repro.resilience`), demonstrating
+metastable failure and breaker-driven recovery.
 
 Each experiment is a plain object configured by
 :class:`~repro.config.ExperimentConfig`; ``run()`` returns typed result
@@ -45,6 +48,12 @@ from .overload import (
     OverloadExperiment,
     OverloadExperimentResult,
     OverloadSweepPoint,
+)
+from .resilience import (
+    GoodputWindow,
+    ResilienceExperiment,
+    ResilienceExperimentResult,
+    ResilienceVariantResult,
 )
 
 __all__ = [
@@ -72,4 +81,8 @@ __all__ = [
     "OverloadExperiment",
     "OverloadExperimentResult",
     "OverloadSweepPoint",
+    "GoodputWindow",
+    "ResilienceExperiment",
+    "ResilienceExperimentResult",
+    "ResilienceVariantResult",
 ]

@@ -1,0 +1,335 @@
+"""The Resilience experiment: retry storms, metastable failure and recovery.
+
+A fixed synchronous trace is replayed through the same capacity-limited
+platform twice, with the same fault schedule — a full outage window in the
+middle of the trace — and only the *client* changed:
+
+* the **naive** client retries every error aggressively — a short,
+  tightly-capped backoff ladder with *no jitter* and a deep retry budget,
+  and no circuit breaker.  The outage turns every in-flight request into
+  a poller hammering the platform twice a second; when the platform
+  recovers, the accumulated herd and the fresh arrivals compete for
+  admission slots, so a typical request only admits after several 429
+  rounds — past the client staleness deadline.  The work still executes
+  and bills, but the caller is long gone, so the platform runs saturated
+  on worthless work while fresh requests join the retry storm themselves:
+  each failed admission adds another 2-per-second poller.  The amplified
+  load is self-sustaining at an offered load the platform handled
+  comfortably before the fault — the *metastable failure* state of
+  Bronson et al., a congested equilibrium the system does not leave on
+  its own.  Goodput stays collapsed long after the fault has cleared.
+* the **resilient** client adds a per-function circuit breaker and full
+  jitter.  The breaker trips shortly after the outage begins and sheds
+  load locally (short-circuited requests are terminal, so no retry backlog
+  forms); after the cooldown its probes observe the recovered platform,
+  the breaker closes, and goodput returns to the pre-fault level almost
+  immediately.
+
+The experiment quantifies the contrast as *post-recovery goodput relative
+to pre-outage goodput* per variant, plus a bucketed goodput curve for
+plotting the collapse and recovery.  Both replays draw from identical
+per-function RNG streams, so the comparison is deterministic and
+shard-stable (``workers`` reproduces it bit-identically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..concurrency import OverloadConfig
+from ..config import Provider
+from ..exceptions import ConfigurationError
+from ..faults import FaultPlaneConfig, OutageWindow
+from ..resilience import CircuitBreakerConfig, ResilienceConfig
+from ..simulator.providers import create_platform
+from ..workload.arrivals import PoissonArrivals
+from ..workload.engine import WorkloadResult
+from ..workload.trace import WorkloadTrace
+from .base import ExperimentRunner, deploy_benchmark
+
+#: Function name of the canned resilience deployment.
+STORM_FUNCTION = "storm-api"
+
+#: The two canned client variants replayed against the same fault schedule.
+VARIANT_NAMES = ("naive", "resilient")
+
+
+@dataclass(frozen=True)
+class GoodputWindow:
+    """Goodput measured over one submission-time window of the replay."""
+
+    start_s: float
+    end_s: float
+    #: Requests submitted inside the window.
+    submitted: int
+    #: Requests submitted inside the window that returned a success to the
+    #: client (stale responses do not count — nobody was waiting).
+    successes: int
+
+    @property
+    def goodput_per_s(self) -> float:
+        width = self.end_s - self.start_s
+        return self.successes / width if width > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "submitted": self.submitted,
+            "successes": self.successes,
+            "goodput_per_s": self.goodput_per_s,
+        }
+
+
+@dataclass(frozen=True)
+class ResilienceVariantResult:
+    """One client variant's replay against the shared fault schedule."""
+
+    name: str
+    retry_policy: str
+    breaker_enabled: bool
+    invocations: int
+    executed: int
+    #: Executed-but-failed requests; under this scenario these are almost
+    #: entirely stale responses (admitted past the client deadline).
+    failures: int
+    throttled: int
+    dropped: int
+    faulted: int
+    short_circuited: int
+    hedges: int
+    retries: int
+    cost_usd: float
+    #: Goodput before the outage begins (after warm-up).
+    pre: GoodputWindow
+    #: Goodput after the outage has ended and the recovery margin passed.
+    post: GoodputWindow
+    #: ``(bucket_start_s, submitted, successes)`` per bucket over the whole
+    #: trace, for plotting the collapse/recovery curve.
+    curve: tuple[tuple[float, int, int], ...]
+
+    @property
+    def recovery_ratio(self) -> float:
+        """Post-recovery goodput as a fraction of pre-outage goodput."""
+        if self.pre.goodput_per_s <= 0:
+            return 0.0
+        return self.post.goodput_per_s / self.pre.goodput_per_s
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "retry_policy": self.retry_policy,
+            "breaker_enabled": self.breaker_enabled,
+            "invocations": self.invocations,
+            "executed": self.executed,
+            "failures": self.failures,
+            "throttled": self.throttled,
+            "dropped": self.dropped,
+            "faulted": self.faulted,
+            "short_circuited": self.short_circuited,
+            "hedges": self.hedges,
+            "retries": self.retries,
+            "cost_usd": self.cost_usd,
+            "pre": self.pre.to_dict(),
+            "post": self.post.to_dict(),
+            "recovery_ratio": self.recovery_ratio,
+            "curve": [list(bucket) for bucket in self.curve],
+        }
+
+
+@dataclass
+class ResilienceExperimentResult:
+    """Both client variants against the shared outage, plus the scenario."""
+
+    provider: Provider = Provider.AWS
+    duration_s: float = 0.0
+    outage_start_s: float = 0.0
+    outage_end_s: float = 0.0
+    variants: list[ResilienceVariantResult] = field(default_factory=list)
+
+    def variant(self, name: str) -> ResilienceVariantResult:
+        for entry in self.variants:
+            if entry.name == name:
+                return entry
+        raise KeyError(name)
+
+    def to_dict(self) -> dict:
+        return {
+            "provider": self.provider.value,
+            "duration_s": self.duration_s,
+            "outage_start_s": self.outage_start_s,
+            "outage_end_s": self.outage_end_s,
+            "variants": {entry.name: entry.to_dict() for entry in self.variants},
+        }
+
+
+class ResilienceExperiment(ExperimentRunner):
+    """Replays the retry-storm scenario with naive and resilient clients."""
+
+    def run(
+        self,
+        provider: Provider = Provider.AWS,
+        duration_s: float = 120.0,
+        rate_per_s: float = 14.0,
+        reserved_concurrency: int = 8,
+        outage_start_s: float = 40.0,
+        outage_duration_s: float = 15.0,
+        stale_after_s: float = 1.5,
+        naive_retry: tuple[float, float, int] = (0.25, 0.5, 60),
+        resilient_retry: tuple[float, float, int] = (0.5, 8.0, 6),
+        breaker: CircuitBreakerConfig | None = None,
+        warmup_s: float = 10.0,
+        recovery_margin_s: float = 20.0,
+        bucket_s: float = 5.0,
+        workers: int | None = None,
+    ) -> ResilienceExperimentResult:
+        """Replay the shared storm trace once per client variant.
+
+        The trace, the platform capacity and the fault schedule are
+        identical across variants; every difference between the two goodput
+        curves is attributable to the client policy.  The measurement
+        windows bracket the outage: ``pre`` is ``[warmup_s,
+        outage_start_s)`` and ``post`` is ``[outage end + recovery_margin_s,
+        duration_s)`` — the margin gives the resilient client's breaker
+        time to cool down and probe, so what ``post`` measures is the
+        *steady state* each client converges back to, not the transient.
+
+        ``naive_retry`` and ``resilient_retry`` are ``(base_delay_s,
+        max_delay_s, max_retries)`` ladders.  The naive default is the
+        storm-prone anti-pattern — a tight cap (every retry lands within
+        half a second, unjittered) and a deep budget; the resilient
+        default is a conventional jittered exponential ladder with a
+        shallow budget.
+        """
+        outage_end_s = outage_start_s + outage_duration_s
+        if not warmup_s < outage_start_s:
+            raise ConfigurationError("warm-up must end before the outage starts")
+        if not outage_end_s + recovery_margin_s < duration_s:
+            raise ConfigurationError(
+                "the trace must extend past the outage plus the recovery margin"
+            )
+        if breaker is None:
+            breaker = CircuitBreakerConfig(
+                window=20,
+                min_calls=5,
+                failure_threshold=0.5,
+                cooldown_s=max(2.0, outage_duration_s / 3.0),
+                half_open_probes=3,
+            )
+        trace = WorkloadTrace.synthesize(
+            STORM_FUNCTION,
+            PoissonArrivals(rate_per_s),
+            duration_s=duration_s,
+            rng=self.config.seed + 11,
+        )
+        faults = FaultPlaneConfig(
+            outages=(OutageWindow(start_s=outage_start_s, duration_s=outage_duration_s),)
+        )
+        result = ResilienceExperimentResult(
+            provider=provider,
+            duration_s=duration_s,
+            outage_start_s=outage_start_s,
+            outage_end_s=outage_end_s,
+        )
+        for name in VARIANT_NAMES:
+            resilient = name == "resilient"
+            retry_policy = "exponential" if resilient else "no-jitter"
+            base_delay_s, max_delay_s, max_retries = (
+                resilient_retry if resilient else naive_retry
+            )
+            overload = OverloadConfig(
+                reserved_concurrency=reserved_concurrency,
+                retry_policy=retry_policy,
+                max_retries=max_retries,
+                retry_base_delay_s=base_delay_s,
+                retry_max_delay_s=max_delay_s,
+            )
+            resilience = ResilienceConfig(
+                breaker=breaker if resilient else None,
+                retry_policy=retry_policy,
+                max_retries=max_retries,
+                retry_base_delay_s=base_delay_s,
+                retry_max_delay_s=max_delay_s,
+                stale_after_s=stale_after_s,
+            )
+            platform = create_platform(
+                provider,
+                replace(self.simulation, overload=overload, resilience=resilience, faults=faults),
+            )
+            deploy_benchmark(
+                platform,
+                "dynamic-html",
+                memory_mb=256 if platform.limits.memory_static else 0,
+                language=self.language,
+                input_size=self.input_size,
+                function_name=STORM_FUNCTION,
+            )
+            replay = platform.run_workload(trace, keep_records=True, workers=workers)
+            result.variants.append(
+                self._variant_result(
+                    name,
+                    retry_policy,
+                    resilient,
+                    replay,
+                    duration_s=duration_s,
+                    pre_window=(warmup_s, outage_start_s),
+                    post_window=(outage_end_s + recovery_margin_s, duration_s),
+                    bucket_s=bucket_s,
+                )
+            )
+        return result
+
+    @staticmethod
+    def _variant_result(
+        name: str,
+        retry_policy: str,
+        breaker_enabled: bool,
+        replay: WorkloadResult,
+        duration_s: float,
+        pre_window: tuple[float, float],
+        post_window: tuple[float, float],
+        bucket_s: float,
+    ) -> ResilienceVariantResult:
+        # Records carry absolute clock times; a fresh platform's clock
+        # starts at zero, so ``submitted_at`` is directly trace-relative.
+        submitted = [0] * (int(duration_s / bucket_s) + 1)
+        succeeded = [0] * len(submitted)
+        for record in replay.records:
+            bucket = min(len(submitted) - 1, int(record.submitted_at / bucket_s))
+            submitted[bucket] += 1
+            if record.success:
+                succeeded[bucket] += 1
+        curve = tuple(
+            (index * bucket_s, submitted[index], succeeded[index])
+            for index in range(len(submitted))
+        )
+        return ResilienceVariantResult(
+            name=name,
+            retry_policy=retry_policy,
+            breaker_enabled=breaker_enabled,
+            invocations=replay.invocations,
+            executed=replay.executed_count,
+            failures=replay.failure_count,
+            throttled=replay.throttled_count,
+            dropped=replay.dropped_count,
+            faulted=replay.faulted_count,
+            short_circuited=replay.short_circuited_count,
+            hedges=replay.hedge_count,
+            retries=replay.retry_count,
+            cost_usd=replay.total_cost_usd,
+            pre=_window(replay, pre_window),
+            post=_window(replay, post_window),
+            curve=curve,
+        )
+
+
+def _window(replay: WorkloadResult, window: tuple[float, float]) -> GoodputWindow:
+    start_s, end_s = window
+    submitted = 0
+    successes = 0
+    for record in replay.records:
+        if start_s <= record.submitted_at < end_s:
+            submitted += 1
+            if record.success:
+                successes += 1
+    return GoodputWindow(start_s=start_s, end_s=end_s, submitted=submitted, successes=successes)

@@ -103,6 +103,11 @@ class InvocationRecord:
     #: for synchronous requests, admission-queue wait for asynchronous
     #: ones (0 when admitted immediately).
     admission_delay_s: float = 0.0
+    #: Hedge duplicates the client sent for this request
+    #: (:mod:`repro.resilience`).  The record describes the *winning*
+    #: attempt, but ``cost`` sums every attempt — the provider executed
+    #: and billed them all.
+    hedges: int = 0
     #: Position of the request in its replay stream (-1 outside replays).
     #: Sharded replay threads the *global* stream index through, so merged
     #: records sort back into exact arrival order.  Excluded from equality:
@@ -147,4 +152,5 @@ class InvocationRecord:
             "outcome": self.outcome.value,
             "attempts": self.attempts,
             "admission_delay_s": self.admission_delay_s,
+            "hedges": self.hedges,
         }

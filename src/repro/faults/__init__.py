@@ -1,0 +1,41 @@
+"""Deterministic fault-injection plane for trace replay.
+
+The reliability model (:mod:`repro.simulator.reliability`) covers
+*per-invocation* spurious failures; this package adds the correlated,
+time-windowed failure modes that dominate real FaaS operations:
+
+* **Outage windows** (:class:`OutageWindow`) — all invocations of the
+  affected functions fail fast or hang to the function timeout;
+* **Container crashes** (:class:`ContainerCrash`) — correlated events that
+  evict warm pools mid-replay, triggering cold-start storms;
+* **Latency storms** (:class:`LatencyStorm`) — multiplier windows on the
+  compute and network draws (degradation without outright failure).
+
+Enable it by attaching a :class:`FaultPlaneConfig` to
+:attr:`repro.config.SimulationConfig.faults`.  Every schedule is derived
+per function from the stream ``(seed, "fault", function name)``
+(:func:`repro.utils.rng.derive_seed`), so fault replays stay bit-identical
+between serial and sharded execution — the chaos-equivalence guarantee
+pinned by ``tests/test_parallel_equivalence.py``.  Client-side reactions
+(circuit breakers, hedging, fault retries) live in
+:mod:`repro.resilience`.
+"""
+
+from .config import (
+    OUTAGE_MODES,
+    ContainerCrash,
+    FaultPlaneConfig,
+    LatencyStorm,
+    OutageWindow,
+)
+from .plane import FunctionFaultState, build_fault_state
+
+__all__ = [
+    "OUTAGE_MODES",
+    "ContainerCrash",
+    "FaultPlaneConfig",
+    "LatencyStorm",
+    "OutageWindow",
+    "FunctionFaultState",
+    "build_fault_state",
+]

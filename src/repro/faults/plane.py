@@ -1,0 +1,133 @@
+"""Per-function runtime view of the fault schedule.
+
+The engine never consults :class:`~repro.faults.config.FaultPlaneConfig`
+directly; at runtime-state creation each function builds a
+:class:`FunctionFaultState` — its own filtered, boundary-jittered copy of
+the schedule — from the derived stream ``(seed, "fault", function name)``.
+Window boundaries are drawn **eagerly, in config order**, so the schedule a
+function sees depends only on the master seed, the config and its own name:
+never on traffic, co-deployed functions, or shard membership.  That is the
+invariant that keeps fault-storm replays bit-identical between serial and
+sharded execution (:mod:`repro.parallel`).
+
+Crash events apply lazily, at the first dispatch of the function after the
+crash instant: idle warm sandboxes created before the crash are evicted
+(surviving ones drawn per sandbox from the same fault stream, in pool
+creation order).  Lazy application is exact — a pool only changes when its
+function dispatches, so no observable state differs from an eager sweep —
+and it keeps the event queue free of engine-global fault events.
+"""
+
+from __future__ import annotations
+
+from .config import ContainerCrash, FaultPlaneConfig, LatencyStorm, OutageWindow
+
+
+class FunctionFaultState:
+    """One function's materialised fault schedule (see module docstring)."""
+
+    __slots__ = ("_outages", "_crashes", "_storms", "_crash_cursor", "_stream", "crash_evictions")
+
+    def __init__(
+        self,
+        outages: list[tuple[float, float, OutageWindow]],
+        crashes: list[ContainerCrash],
+        storms: list[tuple[float, float, LatencyStorm]],
+        stream,
+    ):
+        self._outages = outages
+        self._crashes = sorted(crashes, key=lambda crash: crash.at_s)
+        self._storms = storms
+        self._crash_cursor = 0
+        self._stream = stream
+        #: Sandboxes evicted by crash events so far (reporting/tests).
+        self.crash_evictions = 0
+
+    def outage_at(self, now_rel: float) -> OutageWindow | None:
+        """The outage window covering trace-relative ``now_rel``, if any."""
+        for start, end, window in self._outages:
+            if start <= now_rel < end:
+                return window
+        return None
+
+    def multipliers_at(self, now_rel: float) -> tuple[float, float] | None:
+        """Combined (compute, network) storm multipliers at ``now_rel``.
+
+        ``None`` when no storm is active, so the engine can skip the scaling
+        path entirely (a calm instant of a faulty replay produces the exact
+        bytes a fault-free replay would).
+        """
+        compute = network = 1.0
+        active = False
+        for start, end, storm in self._storms:
+            if start <= now_rel < end:
+                compute *= storm.compute_multiplier
+                network *= storm.network_multiplier
+                active = True
+        return (compute, network) if active else None
+
+    def apply_crashes(self, pool, now_rel: float) -> int:
+        """Apply every crash event due by ``now_rel`` to ``pool``.
+
+        Evicts idle warm sandboxes (``in_use_count == 0``) present at the
+        crash; each victim independently survives with the event's
+        ``survive_fraction`` (one draw per victim, in pool creation order).
+        Returns the number of sandboxes evicted by this call.
+        """
+        evicted = 0
+        while self._crash_cursor < len(self._crashes):
+            crash = self._crashes[self._crash_cursor]
+            if crash.at_s > now_rel:
+                break
+            self._crash_cursor += 1
+            victims = [
+                container
+                for container in pool
+                if container.is_warm and pool.in_use_count(container.container_id) == 0
+            ]
+            if crash.survive_fraction > 0.0:
+                victims = [
+                    container
+                    for container in victims
+                    if float(self._stream.random()) >= crash.survive_fraction
+                ]
+            pool.evict(victims)
+            evicted += len(victims)
+        self.crash_evictions += evicted
+        return evicted
+
+
+def build_fault_state(
+    fname: str, config: FaultPlaneConfig, stream
+) -> FunctionFaultState | None:
+    """Materialise ``fname``'s view of the fault schedule.
+
+    Filters events to those applying to ``fname`` and jitters window starts
+    with ``boundary_jitter_s`` draws from ``stream`` (the function's derived
+    fault stream).  Draws happen here, eagerly, one per applicable
+    outage/storm window **in config order** — the draw sequence is a pure
+    function of (config, function name), independent of traffic.  Returns
+    ``None`` when no event applies to ``fname`` at all (the engine then pays
+    zero per-request fault overhead for it).
+    """
+    jitter = config.boundary_jitter_s
+
+    def jittered(start_s: float) -> float:
+        if jitter <= 0.0:
+            return start_s
+        return start_s + float(stream.uniform(0.0, jitter))
+
+    outages = []
+    for window in config.outages:
+        if window.applies_to(fname):
+            start = jittered(window.start_s)
+            outages.append((start, start + window.duration_s, window))
+    crashes = [crash for crash in config.crashes if crash.applies_to(fname)]
+    storms = []
+    for storm in config.storms:
+        if storm.applies_to(fname):
+            start = jittered(storm.start_s)
+            storms.append((start, start + storm.duration_s, storm))
+    if not (outages or crashes or storms):
+        return None
+    return FunctionFaultState(outages, crashes, storms, stream)

@@ -19,6 +19,11 @@ accumulators, which merge in shard-index order:
   queued count and queue-delay sums, :mod:`repro.concurrency`) — **exact**:
   integers sum, and the queue-delay float total reduces in sorted
   function-name order exactly like the cost total;
+* the fault/resilience counters (faulted, breaker short-circuits and
+  hedge totals, :mod:`repro.faults` / :mod:`repro.resilience`) —
+  **exact**: all three are per-function integer sums, and breaker state
+  itself is a pure function of each function's own outcome stream, so
+  shards reproduce serial trip/recovery points identically;
 * per-function mean/variance — exact under per-function sharding (one
   shard owns the whole function stream); within float associativity if a
   caller ever splits one function across shards;

@@ -1,0 +1,37 @@
+"""Client-side resilience layer: circuit breakers, hedging, fault retries.
+
+Where :mod:`repro.faults` models what the *platform* does to traffic, this
+package models what well-built *clients* do back:
+
+* **Circuit breakers** (:class:`CircuitBreaker`) — per-function
+  closed/open/half-open state machines over sliding failure-rate windows,
+  with cooldown and recovery probes;
+* **Hedged requests** (:class:`HedgeConfig`) — duplicate a slow
+  synchronous request after a p-latency delay, first completion wins,
+  both invocations billed;
+* **Fault retries** — the pluggable backoff registry of
+  :mod:`repro.concurrency.retry` applied to outage fault responses, with
+  jitter from the derived stream ``(seed, "client-retry", fname)``;
+* **Staleness deadline** — admissions older than ``stale_after_s`` are
+  wasted work, the mechanism behind metastable goodput collapse.
+
+Enable it by attaching a :class:`ResilienceConfig` to
+:attr:`repro.config.SimulationConfig.resilience`.  All state is per
+function and deterministic, so resilience-enabled replays stay
+bit-identical between serial and sharded execution.  The emergent
+retry-storm/metastable-failure result is demonstrated by
+:class:`repro.experiments.resilience.ResilienceExperiment` and gated in
+``benchmarks/bench_fault_storm.py``.
+"""
+
+from .breaker import VALID_TRANSITIONS, BreakerState, CircuitBreaker
+from .config import CircuitBreakerConfig, HedgeConfig, ResilienceConfig
+
+__all__ = [
+    "VALID_TRANSITIONS",
+    "BreakerState",
+    "CircuitBreaker",
+    "CircuitBreakerConfig",
+    "HedgeConfig",
+    "ResilienceConfig",
+]

@@ -1,0 +1,175 @@
+"""The client circuit-breaker state machine.
+
+A breaker guards one function's synchronous call path.  It consumes two
+kinds of events, both timestamped on the virtual clock:
+
+* :meth:`CircuitBreaker.allow` — asked before each dispatch attempt;
+* :meth:`CircuitBreaker.on_outcome` — one verdict per attempt the client
+  observed: a success/failure from an execution result or fault response,
+  or a *throttle* (HTTP 429).  Throttles are deliberately asymmetric:
+  while CLOSED they are ignored (a busy-but-healthy platform must not
+  trip the breaker — ordinary congestion is the retry policy's job), but
+  a throttled HALF_OPEN probe counts as a failed probe and re-trips (a
+  platform that cannot even admit the probe is not recovered, and
+  consuming the probe budget without a verdict would otherwise wedge the
+  breaker in HALF_OPEN forever).
+
+States and transitions (the only legal ones, property-tested in
+``tests/test_resilience.py``)::
+
+            trip (failure rate >= threshold over >= min_calls)
+    CLOSED ----------------------------------------------------> OPEN
+      ^                                                           |
+      |  half_open_probes successes                cooldown_s     |
+      |                                            elapsed, on    |
+      +------------------- HALF_OPEN <--------------- allow() ----+
+                            |    ^
+                            +----+  any failure -> OPEN (re-trip)
+
+* **CLOSED** admits everything and keeps a sliding window of the last
+  ``window`` outcomes; once at least ``min_calls`` outcomes are in the
+  window and the failure fraction reaches ``failure_threshold``, it trips.
+* **OPEN** rejects everything (the engine records ``SHORT_CIRCUITED``)
+  until ``cooldown_s`` has elapsed since the trip; the first ``allow``
+  after that moves to HALF_OPEN.  Outcomes arriving while OPEN (late
+  completions of pre-trip dispatches) are ignored.
+* **HALF_OPEN** admits up to ``half_open_probes`` probe requests and
+  rejects the rest.  *Any* observed failure re-trips immediately;
+  ``half_open_probes`` successes close the breaker and clear the window.
+
+Determinism: the breaker holds no RNG and is driven exclusively by its own
+function's event stream (every timestamp it sees derives from that
+function's request history), so breaker decisions are a pure function of
+the per-function outcome stream — the property that keeps sharded replay
+bit-identical to serial (:mod:`repro.parallel`).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+
+from .config import CircuitBreakerConfig
+
+
+class BreakerState(str, enum.Enum):
+    """The three circuit-breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+#: Legal (from, to) state transitions; anything else is a bug.
+VALID_TRANSITIONS = frozenset(
+    {
+        (BreakerState.CLOSED, BreakerState.OPEN),
+        (BreakerState.OPEN, BreakerState.HALF_OPEN),
+        (BreakerState.HALF_OPEN, BreakerState.OPEN),
+        (BreakerState.HALF_OPEN, BreakerState.CLOSED),
+    }
+)
+
+
+class CircuitBreaker:
+    """Per-function breaker (see module docstring for the state machine)."""
+
+    __slots__ = (
+        "config",
+        "state",
+        "_window",
+        "_window_failures",
+        "_opened_at",
+        "_probes_sent",
+        "_probe_successes",
+        "opens",
+    )
+
+    def __init__(self, config: CircuitBreakerConfig):
+        self.config = config
+        self.state = BreakerState.CLOSED
+        self._window: deque[bool] = deque(maxlen=config.window)
+        self._window_failures = 0
+        self._opened_at = 0.0
+        self._probes_sent = 0
+        self._probe_successes = 0
+        #: Number of CLOSED/HALF_OPEN -> OPEN transitions so far.
+        self.opens = 0
+
+    # ------------------------------------------------------------- queries
+    @property
+    def opened_at(self) -> float:
+        """Virtual time of the most recent trip (meaningful while not CLOSED)."""
+        return self._opened_at
+
+    def allow(self, now: float) -> bool:
+        """Whether a dispatch attempt at ``now`` may proceed.
+
+        May advance OPEN to HALF_OPEN (the recovery probe path); in
+        HALF_OPEN each ``True`` consumes one probe slot.
+        """
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if now - self._opened_at < self.config.cooldown_s:
+                return False
+            self._enter_half_open()
+        # HALF_OPEN: admit while probe budget remains.
+        if self._probes_sent < self.config.half_open_probes:
+            self._probes_sent += 1
+            return True
+        return False
+
+    # -------------------------------------------------------------- events
+    def on_outcome(self, now: float, success: bool, throttle: bool = False) -> None:
+        """Feed one observed attempt outcome (timestamped ``now``).
+
+        ``throttle`` marks a 429 response: ignored while CLOSED, treated
+        as a failed probe while HALF_OPEN (see the module docstring for
+        why the asymmetry).  ``success`` is ignored when ``throttle``.
+        """
+        if self.state is BreakerState.OPEN:
+            # Late verdict of a pre-trip dispatch: the breaker already acted.
+            return
+        if self.state is BreakerState.HALF_OPEN:
+            if throttle or not success:
+                self._trip(now)
+            else:
+                self._probe_successes += 1
+                if self._probe_successes >= self.config.half_open_probes:
+                    self._close()
+            return
+        if throttle:
+            # Ordinary congestion: not the breaker's business while CLOSED.
+            return
+        # CLOSED: slide the outcome window and check the trip condition.
+        if len(self._window) == self._window.maxlen and not self._window[0]:
+            self._window_failures -= 1
+        self._window.append(success)
+        if not success:
+            self._window_failures += 1
+        if (
+            len(self._window) >= self.config.min_calls
+            and self._window_failures >= self.config.failure_threshold * len(self._window)
+        ):
+            self._trip(now)
+
+    # --------------------------------------------------------- transitions
+    def _trip(self, now: float) -> None:
+        self.state = BreakerState.OPEN
+        self._opened_at = now
+        self._window.clear()
+        self._window_failures = 0
+        self._probes_sent = 0
+        self._probe_successes = 0
+        self.opens += 1
+
+    def _enter_half_open(self) -> None:
+        self.state = BreakerState.HALF_OPEN
+        self._probes_sent = 0
+        self._probe_successes = 0
+
+    def _close(self) -> None:
+        self.state = BreakerState.CLOSED
+        self._window.clear()
+        self._window_failures = 0

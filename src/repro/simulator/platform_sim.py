@@ -48,6 +48,8 @@ from ..exceptions import (
 )
 from ..faas.billing import BillingModel, CostBreakdown, billing_model_for
 from ..faas.function import CodePackage, DeployedFunction
+from ..faults.plane import build_fault_state
+from ..resilience.breaker import CircuitBreaker
 from ..faas.invocation import InvocationRecord, InvocationRequest, payload_wire_bytes
 from ..faas.platform import FaaSPlatform, LogQueryType
 from ..workload.engine import WorkloadEngine, WorkloadResult
@@ -116,6 +118,17 @@ class _FunctionRuntimeState:
     throttle: Any = None
     #: Per-function retry-jitter stream (``(seed, "retry", fname)``).
     retry_stream: Any = None
+    #: This function's materialised fault schedule
+    #: (:class:`repro.faults.FunctionFaultState`); ``None`` when the fault
+    #: plane is disabled or no scheduled event applies to the function.
+    fault_state: Any = None
+    #: Client circuit breaker (:class:`repro.resilience.CircuitBreaker`);
+    #: ``None`` when resilience is disabled or no breaker is configured.
+    breaker: Any = None
+    #: Jitter stream of the client's fault-retry policy
+    #: (``(seed, "client-retry", fname)``) — separate from the 429 retry
+    #: stream so enabling one layer never shifts the other's draws.
+    client_retry_stream: Any = None
 
 
 class SimulatedPlatform(FaaSPlatform):
@@ -179,6 +192,33 @@ class SimulatedPlatform(FaaSPlatform):
                 max_delay_s=self._overload.retry_max_delay_s,
             )
 
+        # Fault plane and client resilience layer (both None = the
+        # pre-fault paths stay byte-identical).
+        self._faults = self.simulation.faults
+        self._resilience = self.simulation.resilience
+        self._hedge = None
+        self._stale_after_s = None
+        self._client_retry_policy = None
+        if self._resilience is not None:
+            self._hedge = self._resilience.hedge
+            self._stale_after_s = self._resilience.stale_after_s
+            if self._resilience.retry_policy != "none":
+                self._client_retry_policy = create_retry_policy(
+                    self._resilience.retry_policy,
+                    max_retries=self._resilience.max_retries,
+                    base_delay_s=self._resilience.retry_base_delay_s,
+                    max_delay_s=self._resilience.retry_max_delay_s,
+                )
+        #: Whether trace replay must run the controlled (event-buffering)
+        #: engine path: any of overload admission, fault injection or
+        #: client resilience is active.  The fast path stays byte-identical
+        #: to earlier releases whenever this is False.
+        self._controlled_replay = (
+            self._overload is not None
+            or self._faults is not None
+            or self._resilience is not None
+        )
+
         from ..storage.object_store import ObjectStore
 
         #: Persistent storage attached to this deployment (S3 / Blob / GCS).
@@ -217,9 +257,22 @@ class SimulatedPlatform(FaaSPlatform):
                 slot_capacity=self.sandbox_concurrency,
             )
             retry_stream = streams.stream("retry", fname)
+        fault_state = None
+        if self._faults is not None:
+            fault_state = build_fault_state(fname, self._faults, streams.stream("fault", fname))
+        breaker = None
+        client_retry_stream = None
+        if self._resilience is not None:
+            if self._resilience.breaker is not None:
+                breaker = CircuitBreaker(self._resilience.breaker)
+            if self._client_retry_policy is not None:
+                client_retry_stream = streams.stream("client-retry", fname)
         return _FunctionRuntimeState(
             throttle=throttle,
             retry_stream=retry_stream,
+            fault_state=fault_state,
+            breaker=breaker,
+            client_retry_stream=client_retry_stream,
             pool=ContainerPool(fname, slot_capacity=self.sandbox_concurrency),
             compute=self._build_compute_model(fname),
             reliability=ReliabilityModel(
@@ -591,10 +644,13 @@ class SimulatedPlatform(FaaSPlatform):
         request_index: int,
         error: str,
     ) -> InvocationRecord:
-        """Record of a request the admission layer rejected (never executed).
+        """Record of a request that never executed.
 
-        No sandbox, no billing: providers do not charge throttled requests
-        or dropped queue events.
+        Shared by every rejected-request path — admission throttles/drops,
+        fault-plane outage responses (``FAULTED``) and client breaker
+        rejections (``SHORT_CIRCUITED``).  No sandbox, no billing:
+        providers do not charge requests that never reached a sandbox, and
+        a breaker rejection never even left the client.
         """
         function = self.get_function(fname)
         client_time_s = finished_at - submitted_at
@@ -643,6 +699,7 @@ class SimulatedPlatform(FaaSPlatform):
         concurrency: int,
         start_at: float,
         request_index: int = -1,
+        fault_scale: tuple[float, float] | None = None,
     ) -> InvocationRecord:
         """Simulate one invocation; leaves the sandbox *reserved*.
 
@@ -650,6 +707,11 @@ class SimulatedPlatform(FaaSPlatform):
         invocation no longer occupies its sandbox (immediately for
         sequential calls, at the end of the burst for batches, at the
         completion event for stream replay).
+
+        ``fault_scale`` is the active latency-storm multiplier pair
+        ``(compute, network)`` from the fault plane (:mod:`repro.faults`),
+        applied to the sampled durations *after* all draws — ``None`` (no
+        storm) leaves every number byte-identical to a storm-free replay.
         """
         function = self.get_function(fname)
         state = self._state.get(fname)
@@ -663,7 +725,7 @@ class SimulatedPlatform(FaaSPlatform):
             return self._simulate_reserved_invocation(
                 fname, function, state, profile, container, start_type,
                 payload, trigger, payload_bytes, concurrency, start_at, memory_mb,
-                request_index,
+                request_index, fault_scale,
             )
         except BaseException:
             # An exception mid-invocation (e.g. a raising kernel) must not
@@ -688,6 +750,7 @@ class SimulatedPlatform(FaaSPlatform):
         start_at: float,
         memory_mb: int,
         request_index: int = -1,
+        fault_scale: tuple[float, float] | None = None,
     ) -> InvocationRecord:
         sample = state.compute.execute(
             profile,
@@ -728,15 +791,31 @@ class SimulatedPlatform(FaaSPlatform):
         request_network_s = state.network.one_way_delay("request")
         response_network_s = state.network.one_way_delay("response")
 
+        sampled_benchmark_time_s = sample.benchmark_time_s
+        cold_init_s = sample.cold_init_s
+        if fault_scale is not None:
+            # An active latency storm scales the already-drawn durations —
+            # compute work and sandbox init by the compute multiplier, every
+            # wire segment by the network multiplier.  Draw counts never
+            # change, so the streams stay aligned with a calm replay.
+            compute_scale, network_scale = fault_scale
+            sampled_benchmark_time_s *= compute_scale
+            cold_init_s *= compute_scale
+            gateway *= network_scale
+            payload_upload_s *= network_scale
+            response_download_s *= network_scale
+            request_network_s *= network_scale
+            response_network_s *= network_scale
+
         # Overhead between submitting the request and the function starting.
-        invocation_overhead_s = request_network_s + gateway + payload_upload_s + sample.cold_init_s
+        invocation_overhead_s = request_network_s + gateway + payload_upload_s + cold_init_s
 
         if failure.failed:
             benchmark_time_s = 0.0
             provider_time_s = self._runtime_overhead_s
             success = False
         else:
-            benchmark_time_s = sample.benchmark_time_s
+            benchmark_time_s = sampled_benchmark_time_s
             provider_time_s = benchmark_time_s + self._runtime_overhead_s
             success = True
 
@@ -790,7 +869,7 @@ class SimulatedPlatform(FaaSPlatform):
             provider_time_s=provider_time_s,
             client_time_s=client_time_s,
             invocation_overhead_s=invocation_overhead_s,
-            cold_init_s=sample.cold_init_s,
+            cold_init_s=cold_init_s,
             memory_declared_mb=memory_mb,
             memory_used_mb=sample.memory_used_mb,
             billed_duration_s=billed_duration_s,

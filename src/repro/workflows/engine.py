@@ -450,7 +450,7 @@ class WorkflowEngine:
         # engine resolves it, the records land here, and the heap re-sorts.
         # Never needed in fast mode, where every consumed request resolves
         # before the next pull and the horizon is always None.
-        overload_active = getattr(platform, "_overload", None) is not None
+        overload_active = getattr(platform, "_controlled_replay", False)
 
         def source() -> Iterator[InvocationRequest]:
             arrival_iter = iter(arrivals)

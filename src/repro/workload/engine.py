@@ -51,6 +51,28 @@ one record carrying its terminal outcome, attempt count and
 backoff/queueing delay; records in record mode are ordered by the
 request's position in the trace (identical to production order when
 throttling is off).
+
+**Fault plane & client resilience** (:mod:`repro.faults`,
+:mod:`repro.resilience`): the same controlled replay path also injects
+scheduled faults and runs the client's defences, composing with the retry
+feedback heap without ever re-sorting the event queue:
+
+* an arrival first consults the function's **circuit breaker** — an open
+  breaker rejects instantly (``SHORT_CIRCUITED``), with no platform
+  contact and no breaker feedback;
+* inside an **outage window** the attempt fails at the fault-response
+  instant (one gateway round trip, or the full function timeout in
+  ``hang`` mode); synchronous clients may re-attempt via the fault retry
+  policy on the same feedback heap, asynchronous deliveries are lost
+  (``FAULTED``);
+* admitted executions apply due **container crashes** to the warm pool,
+  scale their draws by active **latency storms**, may send a **hedge
+  duplicate** (first completion wins, both billed), and flip to ``stale``
+  failures when admitted past the client deadline;
+* every attempt outcome the client observes — execution result, fault
+  response, 429 — feeds the breaker at its response instant via
+  container-less completion events, so breaker state is a pure function
+  of the function's own timeline and sharded replay stays bit-identical.
 """
 
 from __future__ import annotations
@@ -65,6 +87,7 @@ from typing import TYPE_CHECKING, Iterable, Iterator
 from ..concurrency import AdmissionQueue, QueuedInvocation
 from ..config import InvocationOutcome, Provider, StartType, TriggerType
 from ..exceptions import ConfigurationError
+from ..faas.billing import CostBreakdown
 from ..faas.invocation import InvocationRecord, InvocationRequest
 from ..stats.streaming import StreamingSummary
 from ..stats.summary import DistributionSummary, summarize
@@ -81,6 +104,13 @@ _PRUNE_INTERVAL = 1024
 #: concurrency limit they spill into the admission queue instead of
 #: receiving a synchronous 429.
 ASYNC_TRIGGERS = frozenset((TriggerType.QUEUE, TriggerType.STORAGE, TriggerType.TIMER))
+
+#: Breaker-signal codes carried on completion entries of the controlled
+#: replay loop (:meth:`WorkloadEngine._stream_overload`).  Throttles are a
+#: distinct code because the breaker treats them asymmetrically (ignored
+#: while CLOSED, failed-probe while HALF_OPEN — see
+#: :meth:`repro.resilience.CircuitBreaker.on_outcome`).
+_SIG_FAILURE, _SIG_SUCCESS, _SIG_THROTTLE = 0, 1, 2
 
 #: Sentinel a *feedback* request source (the workflow engine) may yield when
 #: it has no request ready right now but more will appear once the engine
@@ -113,7 +143,10 @@ class FunctionWorkloadSummary:
     throttled: int = 0
     #: Asynchronous requests dropped from the admission queue.
     dropped: int = 0
-    #: Total 429 responses (every throttled attempt, retried or final).
+    #: Rejected-attempt responses the client saw from requests that ended
+    #: throttled or executed: 429s, and fault responses once the fault
+    #: plane is active (an executed request's earlier attempts may have
+    #: been either).
     throttle_events: int = 0
     #: Retry attempts made by the client (admitted or not).
     retries: int = 0
@@ -121,6 +154,12 @@ class FunctionWorkloadSummary:
     queued: int = 0
     #: Total admission-queue wait of those requests, seconds.
     queue_delay_s: float = 0.0
+    #: Requests whose every attempt fell in a fault-plane outage window.
+    faulted: int = 0
+    #: Requests rejected client-side by an open circuit breaker.
+    short_circuited: int = 0
+    #: Hedge duplicates sent (each billed alongside its primary).
+    hedges: int = 0
 
     @property
     def cold_start_rate(self) -> float:
@@ -143,6 +182,10 @@ class FunctionWorkloadSummary:
                 row["queue_delay_ms_mean"] = round(
                     1000.0 * self.queue_delay_s / self.queued, 2
                 )
+        if self.faulted or self.short_circuited or self.hedges:
+            row["faulted"] = self.faulted
+            row["short_circuited"] = self.short_circuited
+            row["hedges"] = self.hedges
         if self.client_time is not None:
             row["client_p50_ms"] = round(self.client_time.median * 1000.0, 2)
             row["client_p95_ms"] = round(self.client_time.percentiles.get(95.0, float("nan")) * 1000.0, 2)
@@ -161,7 +204,7 @@ class _FunctionAccumulator:
     __slots__ = (
         "function_name", "invocations", "cold_starts", "failures", "total_cost_usd",
         "client_time", "executed", "throttled", "dropped", "throttle_events",
-        "retries", "queued", "queue_delay_s",
+        "retries", "queued", "queue_delay_s", "faulted", "short_circuited", "hedges",
     )
 
     def __init__(self, function_name: str):
@@ -178,10 +221,20 @@ class _FunctionAccumulator:
         self.retries = 0
         self.queued = 0
         self.queue_delay_s = 0.0
+        self.faulted = 0
+        self.short_circuited = 0
+        self.hedges = 0
 
     def add(self, record: InvocationRecord) -> None:
         self.invocations += 1
         outcome = record.outcome
+        if not record.executed:
+            # Non-executed terminal records usually cost nothing, but a
+            # stale-resubmission saga that exhausted its budget against a
+            # 429/outage/breaker rejection still billed the executions the
+            # client timed out on — the terminal record carries them.
+            self.total_cost_usd += record.cost.total
+            self.hedges += record.hedges
         if outcome is InvocationOutcome.THROTTLED:
             # Every attempt of a finally-throttled request got a 429.
             self.throttled += 1
@@ -191,9 +244,19 @@ class _FunctionAccumulator:
         if outcome is InvocationOutcome.DROPPED:
             self.dropped += 1
             return
+        if outcome is InvocationOutcome.FAULTED:
+            self.faulted += 1
+            self.retries += record.attempts - 1
+            return
+        if outcome is InvocationOutcome.SHORT_CIRCUITED:
+            self.short_circuited += 1
+            self.retries += record.attempts - 1
+            return
         self.executed += 1
+        self.hedges += record.hedges
         if record.attempts > 1:
-            # Executed after backoff: all prior attempts were throttled.
+            # Executed after backoff: all prior attempts were rejected
+            # (429s, or fault responses once the fault plane is active).
             self.throttle_events += record.attempts - 1
             self.retries += record.attempts - 1
         elif record.admission_delay_s > 0.0:
@@ -220,6 +283,9 @@ class _FunctionAccumulator:
         self.retries += other.retries
         self.queued += other.queued
         self.queue_delay_s += other.queue_delay_s
+        self.faulted += other.faulted
+        self.short_circuited += other.short_circuited
+        self.hedges += other.hedges
 
     def summary(self) -> FunctionWorkloadSummary:
         return FunctionWorkloadSummary(
@@ -235,6 +301,9 @@ class _FunctionAccumulator:
             retries=self.retries,
             queued=self.queued,
             queue_delay_s=self.queue_delay_s,
+            faulted=self.faulted,
+            short_circuited=self.short_circuited,
+            hedges=self.hedges,
         )
 
 
@@ -335,6 +404,18 @@ class _ReplayAccumulator:
         return sum(acc.queued for acc in self.per_function.values())
 
     @property
+    def faulted(self) -> int:
+        return sum(acc.faulted for acc in self.per_function.values())
+
+    @property
+    def short_circuited(self) -> int:
+        return sum(acc.short_circuited for acc in self.per_function.values())
+
+    @property
+    def hedges(self) -> int:
+        return sum(acc.hedges for acc in self.per_function.values())
+
+    @property
     def queue_delay_s(self) -> float:
         # Sorted-name reduction, as for costs: exact under sharded merge.
         return sum(acc.queue_delay_s for acc in self._ordered())
@@ -369,10 +450,11 @@ class WorkloadResult:
     cold_start_total: int = 0
     failure_total: int = 0
     cost_usd_total: float = 0.0
-    #: Overload counters (0 whenever the overload model is disabled).
-    #: ``executed_total`` is counted independently of the throttle/drop
-    #: counters, so ``executed + throttled + dropped == invocations`` is a
-    #: real conservation check, not an identity.
+    #: Overload/fault/resilience counters (0 whenever those models are
+    #: disabled).  ``executed_total`` is counted independently of the
+    #: rejection counters, so ``executed + throttled + dropped + faulted +
+    #: short_circuited == invocations`` is a real conservation check, not
+    #: an identity.
     executed_total: int = 0
     throttled_total: int = 0
     dropped_total: int = 0
@@ -380,6 +462,9 @@ class WorkloadResult:
     retry_total: int = 0
     queued_total: int = 0
     queue_delay_s_total: float = 0.0
+    faulted_total: int = 0
+    short_circuited_total: int = 0
+    hedge_total: int = 0
     #: Per-function summaries from the streaming accumulators (streaming
     #: mode only; ``None`` when full records are available).
     streaming_summaries: dict[str, FunctionWorkloadSummary] | None = None
@@ -432,6 +517,33 @@ class WorkloadResult:
                 1 for record in self.records if record.outcome is InvocationOutcome.DROPPED
             )
         return self.dropped_total
+
+    @property
+    def faulted_count(self) -> int:
+        """Requests whose every attempt fell in a fault-plane outage window."""
+        if self.records:
+            return sum(
+                1 for record in self.records if record.outcome is InvocationOutcome.FAULTED
+            )
+        return self.faulted_total
+
+    @property
+    def short_circuited_count(self) -> int:
+        """Requests rejected client-side by an open circuit breaker."""
+        if self.records:
+            return sum(
+                1
+                for record in self.records
+                if record.outcome is InvocationOutcome.SHORT_CIRCUITED
+            )
+        return self.short_circuited_total
+
+    @property
+    def hedge_count(self) -> int:
+        """Hedge duplicates sent (each billed alongside its primary)."""
+        if self.records:
+            return sum(record.hedges for record in self.records)
+        return self.hedge_total
 
     @property
     def retry_count(self) -> int:
@@ -495,18 +607,31 @@ class WorkloadResult:
                 invocations=len(records),
                 cold_starts=sum(1 for r in executed if r.start_type is StartType.COLD),
                 failures=sum(1 for r in executed if not r.success),
-                total_cost_usd=sum(r.cost.total for r in executed),
+                # All records, not just executed ones: an exhausted
+                # stale-resubmission saga's terminal record can be
+                # non-executed yet carry the cost of the executions the
+                # client timed out on.
+                total_cost_usd=sum(r.cost.total for r in records),
                 client_time=summarize([r.client_time_s for r in executed]) if executed else None,
                 throttled=sum(
                     1 for r in records if r.outcome is InvocationOutcome.THROTTLED
                 ),
                 dropped=sum(1 for r in records if r.outcome is InvocationOutcome.DROPPED),
                 throttle_events=sum(
-                    r.attempts - 1 if r.executed else r.attempts
+                    (r.attempts - 1) if r.executed else r.attempts
                     for r in records
-                    if r.outcome is not InvocationOutcome.DROPPED
+                    if r.executed or r.outcome is InvocationOutcome.THROTTLED
                 ),
                 retries=sum(r.attempts - 1 for r in records),
+                faulted=sum(
+                    1 for r in records if r.outcome is InvocationOutcome.FAULTED
+                ),
+                short_circuited=sum(
+                    1
+                    for r in records
+                    if r.outcome is InvocationOutcome.SHORT_CIRCUITED
+                ),
+                hedges=sum(r.hedges for r in records),
                 queued=sum(
                     1 for r in executed if r.attempts == 1 and r.admission_delay_s > 0.0
                 ),
@@ -540,6 +665,13 @@ class WorkloadResult:
             row["throttled"] = throttled
             row["dropped"] = dropped
             row["retries"] = retries
+        faulted, short_circuited, hedges = (
+            self.faulted_count, self.short_circuited_count, self.hedge_count,
+        )
+        if faulted or short_circuited or hedges:
+            row["faulted"] = faulted
+            row["short_circuited"] = short_circuited
+            row["hedges"] = hedges
         return row
 
 
@@ -572,6 +704,9 @@ def streaming_result(
         retry_total=accumulator.retries,
         queued_total=accumulator.queued,
         queue_delay_s_total=accumulator.queue_delay_s,
+        faulted_total=accumulator.faulted,
+        short_circuited_total=accumulator.short_circuited,
+        hedge_total=accumulator.hedges,
         streaming_summaries=accumulator.summaries(),
     )
 
@@ -631,7 +766,7 @@ class WorkloadEngine:
         retried or queued request's record appears after later arrivals
         that resolved first; ``request_index`` recovers arrival order.
         """
-        if getattr(self.platform, "_overload", None) is not None:
+        if getattr(self.platform, "_controlled_replay", False):
             return self._stream_overload(requests, positions)
         return self._stream_fast(requests, positions)
 
@@ -719,36 +854,64 @@ class WorkloadEngine:
         requests: Iterable[InvocationRequest],
         positions: Iterable[int] | None = None,
     ) -> Iterator[InvocationRecord]:
-        """The admission-controlled replay loop (overload model enabled).
+        """The controlled replay loop (overload, faults and/or resilience).
 
         Three event sources merge in time order without ever re-sorting the
         heap of scheduled work:
 
         * **arrivals** from the (already sorted) input stream;
-        * **retry attempts** of throttled synchronous requests, pushed onto
-          a feedback heap at their backoff deadline — taken before an
-          arrival with the same timestamp;
-        * **completions**, which free capacity and drain the owning
-          function's admission queue at the completion instant.
+        * **retry attempts** of rejected synchronous requests (throttled,
+          or faulted during an outage), pushed onto a feedback heap at
+          their backoff deadline — taken before an arrival with the same
+          timestamp;
+        * **completions**, which free capacity, feed circuit breakers and
+          drain the owning function's admission queue at the completion
+          instant.
+
+        Completion entries are ``(finish, tie-break, function, container,
+        counted, signal)``: ``container`` is empty for container-less
+        events (fault/429 responses whose only job is delivering breaker
+        evidence), ``counted`` marks entries that represent one logical
+        in-flight request (hedge losers do not — the pair is one request),
+        and ``signal`` is the verdict to feed the breaker (``None`` when
+        no breaker is listening, else a success / failure / throttle
+        code).  Heap order never inspects the tail fields: the tie-break
+        is unique.
 
         Everything that orders a single function's events — its arrivals,
-        its retries, its completions, its queue — is derived from that
-        function's own history, so an overloaded replay shards exactly like
-        an unthrottled one.
+        its retries, its completions, its queue, its breaker and fault
+        schedule — is derived from that function's own history, so a
+        controlled replay shards exactly like an unthrottled one.
         """
         platform = self.platform
         overload = platform._overload
         policy = platform._retry_policy
+        hedge = platform._hedge
+        stale_after_s = platform._stale_after_s
+        client_policy = platform._client_retry_policy
         base = platform.clock.now()
         sequence = itertools.count()
         retry_sequence = itertools.count()
         position_iter = iter(positions) if positions is not None else itertools.count()
-        completions: list[tuple[float, int, str, str]] = []
-        #: Feedback heap of retry attempts:
-        #: (due [trace-relative], tie-break, request, position, first_submitted, attempts).
-        retries: list[tuple[float, int, InvocationRequest, int, float, int]] = []
+        completions: list[tuple[float, int, str, str, bool, int | None]] = []
+        #: Feedback heap of retry attempts: (due [trace-relative],
+        #: tie-break, request, position, first_submitted, attempts,
+        #: carried).  ``carried`` is ``None`` except for stale-resubmission
+        #: sagas, where it accumulates the (cost, hedges) of executions the
+        #: client already timed out on.
+        retries: list[
+            tuple[
+                float, int, InvocationRequest, int, float, int,
+                tuple[CostBreakdown, int] | None,
+            ]
+        ] = []
         queues: dict[str, AdmissionQueue] = {}
         in_flight_by_fn: dict[str, int] = {}
+        #: Logical requests currently executing (counted completion
+        #: entries).  Tracked explicitly rather than as ``len(completions)``
+        #: because the heap also carries breaker-signal events and hedge
+        #: losers, which are not in-flight requests.
+        in_flight_total = 0
         last_submitted = 0.0
         last_finish = base
         processed = 0
@@ -762,11 +925,25 @@ class WorkloadEngine:
         def execute(
             request: InvocationRequest, position: int, now_abs: float,
             first_submitted_abs: float, attempts: int,
-        ) -> InvocationRecord:
-            """Dispatch an admitted request at ``now_abs``."""
-            nonlocal peak, last_finish, processed
+            carried: tuple[CostBreakdown, int] | None = None,
+        ) -> InvocationRecord | None:
+            """Dispatch an admitted request at ``now_abs``.
+
+            Returns the request's terminal record — or ``None`` when the
+            response came back past the client's staleness deadline and the
+            client resubmitted (the doomed execution's cost rides along in
+            the retry's ``carried`` slot until a terminal record emits it).
+            """
+            nonlocal peak, last_finish, processed, in_flight_total
             fname = request.function_name
-            in_flight = len(completions)
+            state = platform._runtime_state(fname)
+            sync = request.trigger not in ASYNC_TRIGGERS
+            fault_scale = None
+            fault_state = state.fault_state
+            if fault_state is not None:
+                now_rel = now_abs - base
+                fault_state.apply_crashes(state.pool, now_rel)
+                fault_scale = fault_state.multipliers_at(now_rel)
             fn_in_flight = in_flight_by_fn.get(fname, 0)
             record = platform._simulate_invocation(
                 fname,
@@ -776,10 +953,53 @@ class WorkloadEngine:
                 concurrency=fn_in_flight + 1,
                 start_at=now_abs,
                 request_index=position,
+                fault_scale=fault_scale,
             )
+            if (
+                hedge is not None
+                and sync
+                and record.finished_at - now_abs > hedge.delay_s
+            ):
+                # The primary will still be running when the hedge timer
+                # fires: the client sends one duplicate.  First completion
+                # wins; the loser still occupies its sandbox to its own
+                # finish (the provider cannot un-run it) and both attempts
+                # are billed.  The duplicate rides its primary's fault view
+                # — crashes and storm multipliers as of the dispatch
+                # instant — keeping the pair a single scheduling decision.
+                duplicate = platform._simulate_invocation(
+                    fname,
+                    request.payload,
+                    request.trigger,
+                    request.payload_bytes,
+                    concurrency=fn_in_flight + 2,
+                    start_at=now_abs + hedge.delay_s,
+                    request_index=position,
+                    fault_scale=fault_scale,
+                )
+                if duplicate.finished_at < record.finished_at:
+                    winner, loser = duplicate, record
+                else:
+                    winner, loser = record, duplicate
+                # The loser's completion releases its sandbox but is not a
+                # logical request (counted=False) and carries no breaker
+                # evidence — the client only observes the winning response.
+                heapq.heappush(
+                    completions,
+                    (loser.finished_at, next(sequence), fname, loser.container_id, False, None),
+                )
+                if loser.finished_at > last_finish:
+                    last_finish = loser.finished_at
+                record = replace(
+                    winner,
+                    admitted_at=now_abs,
+                    cost=record.cost + duplicate.cost,
+                    hedges=1,
+                )
             if attempts > 1 or first_submitted_abs != record.submitted_at:
-                # Retried or queue-delayed: the client's clock started at the
-                # original submission, not at the admitted attempt.
+                # Retried, queue-delayed or hedge-won-by-duplicate: the
+                # client's clock started at the original submission, not at
+                # the attempt that produced the winning response.
                 record = replace(
                     record,
                     submitted_at=first_submitted_abs,
@@ -787,17 +1007,75 @@ class WorkloadEngine:
                     attempts=attempts,
                     admission_delay_s=now_abs - first_submitted_abs,
                 )
-            in_flight_by_fn[fname] = fn_in_flight + 1
-            heapq.heappush(
-                completions, (record.finished_at, next(sequence), fname, record.container_id)
+            stale = (
+                stale_after_s is not None
+                and sync
+                and now_abs - first_submitted_abs > stale_after_s
             )
-            if in_flight + 1 > peak:
-                peak = in_flight + 1
+            if stale and record.success:
+                # Admitted past the client deadline: the work ran and is
+                # billed, but nobody was waiting for the answer.
+                record = replace(
+                    record,
+                    success=False,
+                    outcome=InvocationOutcome.FAILED,
+                    error="stale",
+                )
+            signal = None
+            if state.breaker is not None and sync:
+                signal = _SIG_SUCCESS if record.success else _SIG_FAILURE
+            in_flight_by_fn[fname] = fn_in_flight + 1
+            in_flight_total += 1
+            heapq.heappush(
+                completions,
+                (record.finished_at, next(sequence), fname, record.container_id, True, signal),
+            )
+            if in_flight_total > peak:
+                peak = in_flight_total
             if record.finished_at > last_finish:
                 last_finish = record.finished_at
             processed += 1
             if processed % _PRUNE_INTERVAL == 0:
                 self._prune_pools()
+            if stale and client_policy is not None:
+                # The client's per-attempt timeout already fired: from its
+                # point of view this attempt failed, so it retries — while
+                # the timed-out execution still runs (and bills).  This is
+                # the work-amplification anti-pattern behind metastable
+                # retry storms: once a saga is past its original deadline,
+                # every further execution is doomed to be stale too, so a
+                # congested platform burns its whole capacity on worthless
+                # work until the retry budgets run out.  A circuit breaker
+                # (which counts these stale responses as failures) is the
+                # escape hatch.
+                delay = client_policy.next_delay(attempts, state.client_retry_stream)
+                if delay is not None:
+                    carried_cost = record.cost
+                    carried_hedges = record.hedges
+                    if carried is not None:
+                        carried_cost = carried[0] + carried_cost
+                        carried_hedges += carried[1]
+                    heapq.heappush(
+                        retries,
+                        (
+                            now_abs - base + delay,
+                            next(retry_sequence),
+                            request,
+                            position,
+                            first_submitted_abs - base,
+                            attempts,
+                            (carried_cost, carried_hedges),
+                        ),
+                    )
+                    return None
+            if carried is not None:
+                # Terminal record of a resubmission saga: bill every
+                # execution the saga burned, not just the last one.
+                record = replace(
+                    record,
+                    cost=record.cost + carried[0],
+                    hedges=record.hedges + carried[1],
+                )
             return record
 
         def drain_queue(fname: str, now_abs: float) -> None:
@@ -805,7 +1083,13 @@ class WorkloadEngine:
             queue = queues.get(fname)
             if queue is None or not len(queue):
                 return
-            throttle = platform._runtime_state(fname).throttle
+            state = platform._runtime_state(fname)
+            fault_state = state.fault_state
+            if fault_state is not None and fault_state.outage_at(now_abs - base) is not None:
+                # The function's region is down: spilled work holds in the
+                # queue (ageing out as usual) until the outage window ends.
+                return
+            throttle = state.throttle
             while len(queue):
                 if queue.head_expired(now_abs):
                     entry = queue.pop()
@@ -825,9 +1109,11 @@ class WorkloadEngine:
                 if not throttle.try_admit(now_abs, in_flight_by_fn.get(fname, 0)):
                     break
                 entry = queue.pop()
-                out.append(
-                    execute(entry.request, entry.position, now_abs, entry.enqueued_at, 1)
+                record = execute(
+                    entry.request, entry.position, now_abs, entry.enqueued_at, 1
                 )
+                if record is not None:  # async: never stale-resubmitted
+                    out.append(record)
             if not len(queue):
                 # Drop drained queues so the feedback-horizon scan stays
                 # O(functions currently spilling), not O(ever spilled).
@@ -842,13 +1128,27 @@ class WorkloadEngine:
             interval reference :meth:`_peak_in_flight`, which orders ``-1``
             events before ``+1`` events at equal times.
             """
+            nonlocal in_flight_total
             while completions and completions[0][0] <= until_abs:
                 finish = completions[0][0]
                 drained_fnames: list[str] = []
                 while completions and completions[0][0] == finish:
-                    _, _, done_fname, container_id = heapq.heappop(completions)
-                    platform._release_container(done_fname, container_id)
-                    in_flight_by_fn[done_fname] -= 1
+                    _, _, done_fname, container_id, counted, signal = heapq.heappop(
+                        completions
+                    )
+                    if container_id:
+                        platform._release_container(done_fname, container_id)
+                    if counted:
+                        in_flight_by_fn[done_fname] -= 1
+                        in_flight_total -= 1
+                    if signal is not None:
+                        # Breaker verdicts apply at the instant the client
+                        # observes the response — never at dispatch time.
+                        platform._runtime_state(done_fname).breaker.on_outcome(
+                            finish,
+                            signal == _SIG_SUCCESS,
+                            throttle=signal == _SIG_THROTTLE,
+                        )
                     queue = queues.get(done_fname)
                     if queue is not None and len(queue) and done_fname not in drained_fnames:
                         drained_fnames.append(done_fname)
@@ -859,6 +1159,7 @@ class WorkloadEngine:
         def handle(
             request: InvocationRequest, position: int, now_rel: float,
             first_rel: float, attempts: int,
+            carried: tuple[CostBreakdown, int] | None = None,
         ) -> None:
             """Process one admission attempt at ``now_rel`` (arrival or retry)."""
             nonlocal last_finish
@@ -867,14 +1168,107 @@ class WorkloadEngine:
             platform.clock.advance_to(now_abs)
             fname = request.function_name
             state = platform._runtime_state(fname)
+            first_abs = base + first_rel
+            sync = request.trigger not in ASYNC_TRIGGERS
+            breaker = state.breaker
+
+            def terminal(record: InvocationRecord) -> InvocationRecord:
+                """Fold a resubmission saga's burned executions into its
+                terminal record (no-op for ordinary requests)."""
+                if carried is None:
+                    return record
+                return replace(
+                    record,
+                    cost=record.cost + carried[0],
+                    hedges=record.hedges + carried[1],
+                )
+
+            if breaker is not None and sync and not breaker.allow(now_abs):
+                # The client's breaker rejects locally: the platform never
+                # sees the request, nothing new is billed, and the breaker
+                # learns nothing from its own rejections (only probe and
+                # pass-through outcomes feed the window).
+                out.append(
+                    terminal(
+                        platform._overload_record(
+                            fname,
+                            outcome=InvocationOutcome.SHORT_CIRCUITED,
+                            submitted_at=first_abs,
+                            finished_at=now_abs,
+                            attempts=attempts + 1,
+                            admission_delay_s=now_abs - first_abs,
+                            request_index=position,
+                            error="breaker-open",
+                        )
+                    )
+                )
+                return
+            fault_state = state.fault_state
+            outage = fault_state.outage_at(now_rel) if fault_state is not None else None
+            if outage is not None:
+                attempts += 1
+                if outage.mode == "hang":
+                    # The request holds a client connection until its own
+                    # timeout budget expires — no sandbox is occupied.
+                    response_s = platform.get_function(fname).config.timeout_s
+                else:
+                    response_s = platform._throttle_response_s(request.trigger)
+                finished_abs = now_abs + response_s
+                if breaker is not None and sync:
+                    # The error response reaches the client at
+                    # ``finished_abs``; deliver the breaker verdict there
+                    # via a container-less completion event.
+                    heapq.heappush(
+                        completions,
+                        (finished_abs, next(sequence), fname, "", False, _SIG_FAILURE),
+                    )
+                delay = (
+                    client_policy.next_delay(attempts, state.client_retry_stream)
+                    if (sync and client_policy is not None)
+                    else None
+                )
+                if delay is None:
+                    if finished_abs > last_finish:
+                        last_finish = finished_abs
+                    out.append(
+                        terminal(
+                            platform._overload_record(
+                                fname,
+                                outcome=InvocationOutcome.FAULTED,
+                                submitted_at=first_abs,
+                                finished_at=finished_abs,
+                                attempts=attempts,
+                                admission_delay_s=now_abs - first_abs,
+                                request_index=position,
+                                error=f"outage-{outage.mode}",
+                            )
+                        )
+                    )
+                else:
+                    heapq.heappush(
+                        retries,
+                        (
+                            now_rel + response_s + delay,
+                            next(retry_sequence),
+                            request,
+                            position,
+                            first_rel,
+                            attempts,
+                            carried,
+                        ),
+                    )
+                return
             throttle = state.throttle
             # FIFO fairness: spilled work of this function admits first.
             drain_queue(fname, now_abs)
-            first_abs = base + first_rel
             if throttle is None or throttle.try_admit(
                 now_abs, in_flight_by_fn.get(fname, 0)
             ):
-                out.append(execute(request, position, now_abs, first_abs, attempts + 1))
+                record = execute(
+                    request, position, now_abs, first_abs, attempts + 1, carried
+                )
+                if record is not None:
+                    out.append(record)
             elif request.trigger in ASYNC_TRIGGERS:
                 queue = queues.get(fname)
                 if queue is None and overload.admission_queue_depth > 0:
@@ -899,21 +1293,32 @@ class WorkloadEngine:
             else:
                 attempts += 1  # this attempt was 429'd
                 response_s = platform._throttle_response_s(request.trigger)
+                if breaker is not None:
+                    # The breaker must see 429s: without them, throttled
+                    # half-open probes would exhaust the probe budget with
+                    # no verdict and wedge the breaker in HALF_OPEN.  The
+                    # throttle code lets it ignore them while CLOSED.
+                    heapq.heappush(
+                        completions,
+                        (now_abs + response_s, next(sequence), fname, "", False, _SIG_THROTTLE),
+                    )
                 delay = policy.next_delay(attempts, state.retry_stream)
                 if delay is None:
                     finished_abs = now_abs + response_s
                     if finished_abs > last_finish:
                         last_finish = finished_abs
                     out.append(
-                        platform._overload_record(
-                            fname,
-                            outcome=InvocationOutcome.THROTTLED,
-                            submitted_at=first_abs,
-                            finished_at=finished_abs,
-                            attempts=attempts,
-                            admission_delay_s=now_abs - first_abs,
-                            request_index=position,
-                            error="throttled",
+                        terminal(
+                            platform._overload_record(
+                                fname,
+                                outcome=InvocationOutcome.THROTTLED,
+                                submitted_at=first_abs,
+                                finished_at=finished_abs,
+                                attempts=attempts,
+                                admission_delay_s=now_abs - first_abs,
+                                request_index=position,
+                                error="throttled",
+                            )
                         )
                     )
                 else:
@@ -926,6 +1331,7 @@ class WorkloadEngine:
                             position,
                             first_rel,
                             attempts,
+                            carried,
                         ),
                     )
 
@@ -945,8 +1351,10 @@ class WorkloadEngine:
             if next_retry is not None and (
                 next_completion is None or next_retry < next_completion
             ):
-                now_rel, _, request, position, first_rel, attempts = heapq.heappop(retries)
-                handle(request, position, now_rel, first_rel, attempts)
+                now_rel, _, request, position, first_rel, attempts, carried = (
+                    heapq.heappop(retries)
+                )
+                handle(request, position, now_rel, first_rel, attempts, carried)
             else:
                 pop_completions(next_completion)
             return True
@@ -997,8 +1405,10 @@ class WorkloadEngine:
                     pending_request is None
                     or retries[0][0] <= pending_request.submitted_at
                 ):
-                    now_rel, _, request, position, first_rel, attempts = heapq.heappop(retries)
-                    handle(request, position, now_rel, first_rel, attempts)
+                    now_rel, _, request, position, first_rel, attempts, carried = (
+                        heapq.heappop(retries)
+                    )
+                    handle(request, position, now_rel, first_rel, attempts, carried)
                 elif pending_request is not None:
                     request = pending_request
                     pending_request = None
@@ -1037,8 +1447,9 @@ class WorkloadEngine:
             self._horizon_fn = None
             self.last_peak_in_flight = peak
             while completions:
-                _, _, done_fname, container_id = heapq.heappop(completions)
-                platform._release_container(done_fname, container_id)
+                _, _, done_fname, container_id, _, _ = heapq.heappop(completions)
+                if container_id:
+                    platform._release_container(done_fname, container_id)
 
     def run(
         self,
@@ -1062,7 +1473,7 @@ class WorkloadEngine:
             # Exact mode: materialise the records and aggregate post-hoc —
             # no per-record estimator work on the hot path.
             records = list(self.stream(trace))
-            if getattr(self.platform, "_overload", None) is not None:
+            if getattr(self.platform, "_controlled_replay", False):
                 # Throttled/queued requests resolve out of arrival order;
                 # restore it so serial and sharded record lists agree (the
                 # sharded merge sorts by the same index).

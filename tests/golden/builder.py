@@ -13,8 +13,11 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.concurrency import OverloadConfig
 from repro.config import Provider, SimulationConfig
 from repro.experiments.base import deploy_benchmark
+from repro.faults import FaultPlaneConfig, OutageWindow
+from repro.resilience import ResilienceConfig
 from repro.simulator.providers import create_platform
 from repro.workload import (
     BurstyArrivals,
@@ -54,6 +57,75 @@ TRACES = {
         WorkloadTrace.synthesize("gold-thumb", PoissonArrivals(0.04), duration_s=1200.0, rng=75),
     ),
 }
+
+
+#: The metastable-failure golden scenario: a naive client (unjittered
+#: tight-capped retry ladder, staleness resubmission, no breaker) replayed
+#: through a capacity-limited platform with a mid-trace outage.  Pins the
+#: whole fault/resilience stack — outage handling, 429 retries, stale
+#: resubmission sagas, cost folding — at full float precision.
+STORM_NAME = "storm"
+STORM_FUNCTION = "gold-web"
+STORM_BUCKET_S = 5.0
+
+
+def storm_trace() -> WorkloadTrace:
+    return WorkloadTrace.synthesize(
+        STORM_FUNCTION, PoissonArrivals(10.0), duration_s=60.0, rng=76
+    )
+
+
+def _storm_platform(provider: Provider):
+    ladder = dict(
+        retry_policy="no-jitter",
+        max_retries=40,
+        retry_base_delay_s=0.25,
+        retry_max_delay_s=0.5,
+    )
+    simulation = SimulationConfig(
+        seed=GOLDEN_SEED,
+        overload=OverloadConfig(reserved_concurrency=4, **ladder),
+        resilience=ResilienceConfig(stale_after_s=1.5, **ladder),
+        faults=FaultPlaneConfig(outages=(OutageWindow(start_s=20.0, duration_s=10.0),)),
+    )
+    platform = create_platform(provider, simulation)
+    benchmark, memory_mb = DEPLOYMENTS[STORM_FUNCTION]
+    deploy_benchmark(
+        platform,
+        benchmark,
+        memory_mb=memory_mb if platform.limits.memory_static else 0,
+        function_name=STORM_FUNCTION,
+    )
+    return platform
+
+
+def summarize_storm(trace: WorkloadTrace) -> dict:
+    """Replay the storm trace per provider; exact counters + goodput curve."""
+    document: dict = {"seed": GOLDEN_SEED, "requests": len(trace), "providers": {}}
+    for provider in PROVIDERS:
+        platform = _storm_platform(provider)
+        result = platform.run_workload(trace, keep_records=True)
+        buckets = [[0, 0] for _ in range(int(60.0 / STORM_BUCKET_S) + 1)]
+        for record in result.records:
+            index = min(len(buckets) - 1, int(record.submitted_at / STORM_BUCKET_S))
+            buckets[index][0] += 1
+            if record.success:
+                buckets[index][1] += 1
+        document["providers"][provider.value] = {
+            "invocations": result.invocations,
+            "executed": result.executed_count,
+            "failures": result.failure_count,
+            "throttled": result.throttled_count,
+            "dropped": result.dropped_count,
+            "faulted": result.faulted_count,
+            "short_circuited": result.short_circuited_count,
+            "hedges": result.hedge_count,
+            "retries": result.retry_count,
+            "cost_usd": result.total_cost_usd,
+            "simulated_span_s": result.simulated_span_s,
+            "goodput_curve": [list(bucket) for bucket in buckets],
+        }
+    return document
 
 
 def trace_path(name: str) -> Path:
@@ -128,6 +200,12 @@ def regenerate() -> list[Path]:
             json.dumps(expected, indent=2) + "\n", encoding="utf-8"
         )
         written.extend([trace_path(name), expected_path(name)])
+    trace = storm_trace()
+    trace.to_json(trace_path(STORM_NAME), indent=2)
+    expected_path(STORM_NAME).write_text(
+        json.dumps(summarize_storm(trace), indent=2) + "\n", encoding="utf-8"
+    )
+    written.extend([trace_path(STORM_NAME), expected_path(STORM_NAME)])
     return written
 
 

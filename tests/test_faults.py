@@ -1,0 +1,278 @@
+"""Fault-injection plane: schedules, crash eviction, storm scaling.
+
+Unit tests drive :mod:`repro.faults` directly (with stub pools/streams);
+the integration tests replay small traces through the platform and check
+the observable failure modes — faulted records for outages, cold-start
+storms for crashes, latency inflation (and nothing else) for storms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import Provider, SimulationConfig
+from repro.exceptions import ConfigurationError
+from repro.experiments.base import deploy_benchmark
+from repro.faults import (
+    ContainerCrash,
+    FaultPlaneConfig,
+    LatencyStorm,
+    OutageWindow,
+    build_fault_state,
+)
+from repro.simulator.providers import create_platform
+from repro.workload import PoissonArrivals, WorkloadTrace
+
+# ------------------------------------------------------------------ stubs
+
+
+class _Stream:
+    """Deterministic stand-in for the derived per-function fault stream."""
+
+    def __init__(self, values=()):
+        self._values = list(values)
+
+    def random(self):
+        return self._values.pop(0)
+
+    def uniform(self, low, high):
+        return low + (high - low) * self._values.pop(0)
+
+
+class _Container:
+    def __init__(self, container_id, warm=True):
+        self.container_id = container_id
+        self.is_warm = warm
+
+
+class _Pool:
+    def __init__(self, containers, in_use=()):
+        self.containers = list(containers)
+        self._in_use = set(in_use)
+
+    def __iter__(self):
+        return iter(self.containers)
+
+    def in_use_count(self, container_id):
+        return 1 if container_id in self._in_use else 0
+
+    def evict(self, victims):
+        for victim in victims:
+            self.containers.remove(victim)
+
+
+# ----------------------------------------------------------- config layer
+
+
+class TestFaultConfigValidation:
+    def test_outage_rejects_bad_fields(self):
+        with pytest.raises(ConfigurationError):
+            OutageWindow(start_s=-1.0, duration_s=5.0)
+        with pytest.raises(ConfigurationError):
+            OutageWindow(start_s=0.0, duration_s=0.0)
+        with pytest.raises(ConfigurationError, match="mode"):
+            OutageWindow(start_s=0.0, duration_s=1.0, mode="explode")
+
+    def test_crash_rejects_bad_fields(self):
+        with pytest.raises(ConfigurationError):
+            ContainerCrash(at_s=-0.1)
+        with pytest.raises(ConfigurationError):
+            ContainerCrash(at_s=1.0, survive_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            ContainerCrash(at_s=1.0, survive_fraction=-0.2)
+
+    def test_storm_rejects_bad_fields(self):
+        with pytest.raises(ConfigurationError):
+            LatencyStorm(start_s=0.0, duration_s=0.0)
+        with pytest.raises(ConfigurationError):
+            LatencyStorm(start_s=0.0, duration_s=1.0, compute_multiplier=0.0)
+
+    def test_plane_needs_at_least_one_event(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            FaultPlaneConfig()
+        with pytest.raises(ConfigurationError):
+            FaultPlaneConfig(
+                outages=(OutageWindow(start_s=0.0, duration_s=1.0),),
+                boundary_jitter_s=-1.0,
+            )
+
+    def test_function_scoping(self):
+        window = OutageWindow(start_s=0.0, duration_s=1.0, functions=("web",))
+        assert window.applies_to("web") and not window.applies_to("api")
+        region_wide = OutageWindow(start_s=0.0, duration_s=1.0)
+        assert region_wide.applies_to("anything")
+
+
+# ------------------------------------------------------------ plane layer
+
+
+class TestBuildFaultState:
+    def test_returns_none_when_nothing_applies(self):
+        config = FaultPlaneConfig(
+            outages=(OutageWindow(start_s=0.0, duration_s=1.0, functions=("other",)),)
+        )
+        assert build_fault_state("web", config, _Stream()) is None
+
+    def test_outage_window_boundaries_are_half_open(self):
+        config = FaultPlaneConfig(outages=(OutageWindow(start_s=10.0, duration_s=5.0),))
+        state = build_fault_state("web", config, _Stream())
+        assert state.outage_at(9.999) is None
+        assert state.outage_at(10.0) is not None
+        assert state.outage_at(14.999) is not None
+        assert state.outage_at(15.0) is None
+
+    def test_boundary_jitter_shifts_starts_deterministically(self):
+        config = FaultPlaneConfig(
+            outages=(OutageWindow(start_s=10.0, duration_s=5.0),),
+            storms=(LatencyStorm(start_s=20.0, duration_s=5.0, compute_multiplier=2.0),),
+            boundary_jitter_s=2.0,
+        )
+        # Draws happen eagerly in config order: outage first, then storm.
+        state = build_fault_state("web", config, _Stream([0.5, 0.25]))
+        assert state.outage_at(10.5) is None  # shifted to start at 11.0
+        assert state.outage_at(11.0) is not None
+        assert state.multipliers_at(20.25) is None  # shifted to 20.5
+        assert state.multipliers_at(20.5) == (2.0, 1.0)
+
+    def test_schedule_is_pure_function_of_stream(self):
+        config = FaultPlaneConfig(
+            outages=(OutageWindow(start_s=5.0, duration_s=5.0),),
+            boundary_jitter_s=1.0,
+        )
+        draws = [float(x) for x in np.random.default_rng(3).random(4)]
+        first = build_fault_state("web", config, _Stream(list(draws)))
+        second = build_fault_state("web", config, _Stream(list(draws)))
+        for t in (4.0, 5.0, 5.5, 6.0, 9.9, 10.5, 11.0):
+            assert (first.outage_at(t) is None) == (second.outage_at(t) is None)
+
+    def test_overlapping_storms_multiply(self):
+        config = FaultPlaneConfig(
+            storms=(
+                LatencyStorm(start_s=0.0, duration_s=10.0, compute_multiplier=2.0, network_multiplier=3.0),
+                LatencyStorm(start_s=5.0, duration_s=10.0, compute_multiplier=1.5),
+            )
+        )
+        state = build_fault_state("web", config, _Stream())
+        assert state.multipliers_at(2.0) == (2.0, 3.0)
+        assert state.multipliers_at(7.0) == (3.0, 3.0)
+        assert state.multipliers_at(12.0) == (1.5, 1.0)
+        assert state.multipliers_at(20.0) is None
+
+
+class TestCrashEviction:
+    def _state(self, crashes, stream=None):
+        config = FaultPlaneConfig(crashes=tuple(crashes))
+        return build_fault_state("web", config, stream or _Stream())
+
+    def test_evicts_idle_warm_only(self):
+        state = self._state([ContainerCrash(at_s=10.0)])
+        pool = _Pool(
+            [_Container("a"), _Container("b"), _Container("c", warm=False)],
+            in_use=("b",),
+        )
+        # Not due yet: nothing happens.
+        assert state.apply_crashes(pool, 9.0) == 0
+        # Due: only the idle warm container "a" dies ("b" is in flight,
+        # "c" is not warm).
+        assert state.apply_crashes(pool, 10.0) == 1
+        assert [c.container_id for c in pool.containers] == ["b", "c"]
+        assert state.crash_evictions == 1
+        # The event applied exactly once; a later call is a no-op.
+        assert state.apply_crashes(pool, 20.0) == 0
+
+    def test_survive_fraction_draws_per_victim_in_pool_order(self):
+        # One draw per victim in pool order; a draw below survive_fraction
+        # spares the sandbox: a=0.1 survives, b=0.9 evicted, c=0.2 survives.
+        state = self._state(
+            [ContainerCrash(at_s=1.0, survive_fraction=0.5)],
+            stream=_Stream([0.1, 0.9, 0.2]),
+        )
+        pool = _Pool([_Container("a"), _Container("b"), _Container("c")])
+        assert state.apply_crashes(pool, 1.0) == 1
+        assert [c.container_id for c in pool.containers] == ["a", "c"]
+
+    def test_multiple_due_crashes_apply_in_order(self):
+        state = self._state([ContainerCrash(at_s=5.0), ContainerCrash(at_s=2.0)])
+        pool = _Pool([_Container("a")])
+        assert state.apply_crashes(pool, 6.0) == 1
+        assert pool.containers == []
+
+
+# ------------------------------------------------------------ integration
+
+
+def _replay(faults=None, seed=7, rate=6.0, duration_s=40.0):
+    platform = create_platform(
+        Provider.AWS, SimulationConfig(seed=seed, faults=faults)
+    )
+    fname = deploy_benchmark(
+        platform, "dynamic-html", memory_mb=256, function_name="fault-web"
+    )
+    trace = WorkloadTrace.synthesize(
+        fname, PoissonArrivals(rate), duration_s=duration_s, rng=31
+    )
+    return platform.run_workload(trace, keep_records=True)
+
+
+class TestFaultReplayIntegration:
+    def test_outage_faults_requests_inside_the_window(self):
+        faults = FaultPlaneConfig(outages=(OutageWindow(start_s=10.0, duration_s=10.0),))
+        result = _replay(faults)
+        baseline = _replay()
+        assert result.faulted_count > 0
+        # Conservation: every request resolves exactly once.
+        assert result.executed_count + result.faulted_count == result.invocations
+        assert result.invocations == baseline.invocations
+        for record in result.records:
+            if record.outcome.value == "faulted":
+                assert 10.0 <= record.submitted_at < 20.0
+                assert record.error == "outage-fail-fast"
+                assert record.cost.total == 0.0
+
+    def test_hang_outage_holds_clients_until_timeout(self):
+        fast = _replay(FaultPlaneConfig(outages=(OutageWindow(start_s=10.0, duration_s=10.0),)))
+        hang = _replay(
+            FaultPlaneConfig(outages=(OutageWindow(start_s=10.0, duration_s=10.0, mode="hang"),))
+        )
+        fast_faulted = [r for r in fast.records if r.outcome.value == "faulted"]
+        hang_faulted = [r for r in hang.records if r.outcome.value == "faulted"]
+        assert len(fast_faulted) == len(hang_faulted)
+        # The hang variant's clients wait for the function timeout.
+        assert min(r.client_time_s for r in hang_faulted) > max(
+            r.client_time_s for r in fast_faulted
+        )
+
+    def test_crash_causes_cold_start_storm(self):
+        faults = FaultPlaneConfig(crashes=(ContainerCrash(at_s=20.0),))
+        crashed = _replay(faults)
+        baseline = _replay()
+        assert crashed.invocations == baseline.invocations
+        assert crashed.cold_start_count > baseline.cold_start_count
+        # Before the crash both replays are byte-identical.
+        pre = [r for r in crashed.records if r.submitted_at < 20.0]
+        assert pre == [r for r in baseline.records if r.submitted_at < 20.0]
+
+    def test_storm_inflates_latency_without_changing_outcomes(self):
+        faults = FaultPlaneConfig(
+            storms=(
+                LatencyStorm(
+                    start_s=10.0, duration_s=20.0, compute_multiplier=4.0, network_multiplier=2.0
+                ),
+            )
+        )
+        stormy = _replay(faults)
+        baseline = _replay()
+        assert stormy.invocations == baseline.invocations
+        assert stormy.executed_count == baseline.executed_count
+        by_id = {r.submitted_at: r for r in baseline.records}
+        inside = [
+            (r, by_id[r.submitted_at])
+            for r in stormy.records
+            if 10.0 <= r.submitted_at < 30.0
+        ]
+        assert inside
+        assert all(s.client_time_s > b.client_time_s for s, b in inside)
+        # Calm instants replay the exact fault-free bytes.
+        calm = [r for r in stormy.records if r.submitted_at < 10.0]
+        assert calm == [r for r in baseline.records if r.submitted_at < 10.0]

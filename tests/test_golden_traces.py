@@ -54,3 +54,32 @@ def test_golden_trace_matches_its_recipe(name):
     recipe = builder.TRACES[name]().materialize()
     stored = WorkloadTrace.from_json(builder.trace_path(name))
     assert list(stored) == list(recipe)
+
+
+def test_golden_storm_summary_has_not_drifted():
+    """The metastable-failure scenario (outage + naive retry storm) is
+    pinned at full float precision — fault handling, stale-resubmission
+    sagas and their cost folding cannot change silently."""
+    trace_file = builder.trace_path(builder.STORM_NAME)
+    expected_file = builder.expected_path(builder.STORM_NAME)
+    assert trace_file.exists() and expected_file.exists(), (
+        "golden storm fixtures missing — run `make regen-golden`"
+    )
+    trace = WorkloadTrace.from_json(trace_file)
+    actual = builder.summarize_storm(trace)
+    expected = json.loads(expected_file.read_text(encoding="utf-8"))
+    assert actual == expected, (
+        "golden storm scenario drifted; if intentional, run `make regen-golden` "
+        "and commit the regenerated fixtures"
+    )
+    # Sanity of the pinned scenario itself: the outage faults or sheds work
+    # and the post-outage retry herd produces stale failures somewhere.
+    for summary in actual["providers"].values():
+        assert summary["retries"] > 0
+        assert summary["throttled"] + summary["faulted"] + summary["failures"] > 0
+
+
+def test_golden_storm_trace_matches_its_recipe():
+    recipe = builder.storm_trace()
+    stored = WorkloadTrace.from_json(builder.trace_path(builder.STORM_NAME))
+    assert list(stored) == list(recipe)

@@ -457,6 +457,143 @@ def test_overloaded_workflow_sharded_replay_matches_serial():
     assert parallel.end_to_end_s_total == serial.end_to_end_s_total
 
 
+# ------------------------------------------------------------ fault storms
+def _chaos_platform(provider: Provider, seed: int = 7):
+    """The standard deployment under the full fault + resilience stack:
+    a tight concurrency cap, a region outage, a partial-zone crash, a
+    latency storm, jittered window boundaries, circuit breakers, hedging
+    and a staleness deadline with client resubmission — every new
+    mechanism active at once."""
+    from repro.concurrency import OverloadConfig
+    from repro.faults import ContainerCrash, FaultPlaneConfig, LatencyStorm, OutageWindow
+    from repro.resilience import CircuitBreakerConfig, HedgeConfig, ResilienceConfig
+
+    overload = OverloadConfig(
+        reserved_concurrency=4,
+        max_retries=3,
+        admission_queue_depth=50,
+        admission_max_age_s=5.0,
+    )
+    faults = FaultPlaneConfig(
+        outages=(
+            OutageWindow(start_s=10.0, duration_s=6.0),
+            OutageWindow(start_s=30.0, duration_s=4.0, mode="hang", functions=("thumbs",)),
+        ),
+        crashes=(ContainerCrash(at_s=20.0, survive_fraction=0.3),),
+        storms=(
+            LatencyStorm(
+                start_s=24.0, duration_s=8.0, compute_multiplier=2.5, network_multiplier=1.5
+            ),
+        ),
+        boundary_jitter_s=0.5,
+    )
+    resilience = ResilienceConfig(
+        breaker=CircuitBreakerConfig(
+            window=10, min_calls=5, failure_threshold=0.5, cooldown_s=4.0, half_open_probes=2
+        ),
+        hedge=HedgeConfig(delay_s=1.0),
+        retry_policy="exponential",
+        max_retries=3,
+        stale_after_s=3.0,
+    )
+    platform = create_platform(
+        provider,
+        SimulationConfig(seed=seed, overload=overload, faults=faults, resilience=resilience),
+    )
+    for fname, benchmark, memory_mb in _DEPLOYMENTS:
+        deploy_benchmark(
+            platform,
+            benchmark,
+            memory_mb=memory_mb if platform.limits.memory_static else 0,
+            function_name=fname,
+        )
+    return platform
+
+
+def _chaos_trace(duration_s: float = 45.0):
+    from repro.config import TriggerType
+
+    return WorkloadTrace.merge(
+        WorkloadTrace.synthesize("web", PoissonArrivals(12.0), duration_s=duration_s, rng=501),
+        WorkloadTrace.synthesize("thumbs", PoissonArrivals(8.0), duration_s=duration_s, rng=502),
+        WorkloadTrace.synthesize(
+            "arch",
+            PoissonArrivals(6.0),
+            duration_s=duration_s,
+            rng=503,
+            trigger=TriggerType.QUEUE,
+        ),
+    )
+
+
+@pytest.mark.parametrize("provider", PROVIDERS, ids=lambda p: p.value)
+@pytest.mark.parametrize("backend", ("sequential", "process"))
+def test_fault_storm_workers4_is_bit_identical(provider, backend):
+    """Chaos equivalence: a replay with outages, crashes, storms, breakers,
+    hedges and stale resubmission all active shards bit-identically — the
+    whole fault/resilience state is per function, so it partitions exactly
+    like the scheduler state."""
+    trace = _chaos_trace()
+    serial = _chaos_platform(provider).run_workload(trace)
+    # The scenario actually exercises the new machinery.
+    assert serial.faulted_count > 0
+    assert serial.short_circuited_count > 0
+    sharded = _chaos_platform(provider).run_workload(trace, workers=4, backend=backend)
+    assert sharded.records == serial.records
+    assert sharded.peak_in_flight == serial.peak_in_flight
+    assert sharded.simulated_span_s == serial.simulated_span_s
+    assert sharded.total_cost_usd == serial.total_cost_usd
+
+
+@pytest.mark.parametrize("provider", PROVIDERS, ids=lambda p: p.value)
+def test_fault_storm_streaming_counters_merge_exactly(provider):
+    """Breaker-open, hedge and fault counters are per-function integer sums,
+    so the sharded merge reproduces them exactly."""
+    trace = _chaos_trace()
+    serial = _chaos_platform(provider).run_workload(trace, keep_records=False)
+    parallel = _chaos_platform(provider).run_workload(
+        trace, keep_records=False, workers=4, backend="sequential"
+    )
+    _assert_streaming_equal(serial, parallel)
+    for attribute in (
+        "throttled_count",
+        "dropped_count",
+        "retry_count",
+        "faulted_count",
+        "short_circuited_count",
+        "hedge_count",
+    ):
+        assert getattr(parallel, attribute) == getattr(serial, attribute), attribute
+    serial_fns, parallel_fns = serial.per_function(), parallel.per_function()
+    for fname, serial_summary in serial_fns.items():
+        parallel_summary = parallel_fns[fname]
+        assert parallel_summary.faulted == serial_summary.faulted
+        assert parallel_summary.short_circuited == serial_summary.short_circuited
+        assert parallel_summary.hedges == serial_summary.hedges
+        assert parallel_summary.retries == serial_summary.retries
+
+
+def test_fault_storm_records_and_streaming_agree():
+    """The two aggregation modes count the same storm the same way."""
+    trace = _chaos_trace()
+    records = _chaos_platform(Provider.AWS).run_workload(trace)
+    streaming = _chaos_platform(Provider.AWS).run_workload(trace, keep_records=False)
+    assert streaming.invocations == records.invocations
+    assert streaming.faulted_count == records.faulted_count
+    assert streaming.short_circuited_count == records.short_circuited_count
+    assert streaming.hedge_count == records.hedge_count
+    assert streaming.total_cost_usd == pytest.approx(records.total_cost_usd)
+    # Conservation under the full stack: every request resolves once.
+    assert (
+        records.executed_count
+        + records.throttled_count
+        + records.dropped_count
+        + records.faulted_count
+        + records.short_circuited_count
+        == records.invocations
+    )
+
+
 @pytest.mark.slow
 def test_large_scale_streaming_parallel_equivalence():
     """60k-invocation stress variant of the streaming merge equivalence."""

@@ -1,0 +1,361 @@
+"""Client-side resilience layer: breaker properties, hedging, staleness.
+
+The circuit breaker is property-tested (hypothesis): arbitrary event
+sequences may only ever produce the legal state transitions, OPEN can
+advance to HALF_OPEN only after the cooldown, and the whole state trace is
+a pure function of the per-function outcome stream (interleaving two
+functions' streams changes nothing) — the invariant that keeps sharded
+replay bit-identical.  Integration tests replay small traces with hedging,
+staleness deadlines and breakers enabled.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.concurrency import OverloadConfig
+from repro.config import Provider, SimulationConfig
+from repro.exceptions import ConfigurationError
+from repro.experiments.base import deploy_benchmark
+from repro.faults import FaultPlaneConfig, OutageWindow
+from repro.resilience import (
+    BreakerState,
+    CircuitBreaker,
+    CircuitBreakerConfig,
+    HedgeConfig,
+    ResilienceConfig,
+    VALID_TRANSITIONS,
+)
+from repro.simulator.providers import create_platform
+from repro.workload import PoissonArrivals, WorkloadTrace
+
+# ----------------------------------------------------------- strategies
+
+breaker_configs = st.integers(min_value=2, max_value=12).flatmap(
+    lambda window: st.builds(
+        CircuitBreakerConfig,
+        window=st.just(window),
+        min_calls=st.integers(min_value=1, max_value=window),
+        failure_threshold=st.floats(min_value=0.1, max_value=1.0),
+        cooldown_s=st.floats(min_value=0.5, max_value=10.0),
+        half_open_probes=st.integers(min_value=1, max_value=4),
+    )
+)
+
+#: One breaker-visible event: (time delta, kind).
+events = st.lists(
+    st.tuples(
+        st.floats(min_value=0.01, max_value=5.0, allow_nan=False),
+        st.sampled_from(["allow", "success", "failure", "throttle"]),
+    ),
+    max_size=80,
+)
+
+
+def _drive(breaker: CircuitBreaker, sequence):
+    """Feed a sequence of events; return the [(before, after)] state trace."""
+    now = 0.0
+    trace = []
+    for dt, kind in sequence:
+        now += dt
+        before = breaker.state
+        if kind == "allow":
+            allowed = breaker.allow(now)
+            if before is BreakerState.OPEN and breaker.state is BreakerState.HALF_OPEN:
+                # OPEN may only yield to HALF_OPEN once the cooldown elapsed.
+                assert now - breaker.opened_at >= breaker.config.cooldown_s
+            if breaker.state is BreakerState.OPEN:
+                assert not allowed
+        elif kind == "success":
+            breaker.on_outcome(now, True)
+        elif kind == "failure":
+            breaker.on_outcome(now, False)
+        else:
+            breaker.on_outcome(now, False, throttle=True)
+        trace.append((before, breaker.state))
+    return trace
+
+
+class TestBreakerProperties:
+    @given(breaker_configs, events)
+    @settings(max_examples=200)
+    def test_only_legal_transitions_ever_occur(self, config, sequence):
+        trace = _drive(CircuitBreaker(config), sequence)
+        for before, after in trace:
+            if before is not after:
+                assert (before, after) in VALID_TRANSITIONS
+
+    @given(breaker_configs, events)
+    @settings(max_examples=100)
+    def test_state_trace_is_pure_function_of_event_stream(self, config, sequence):
+        first = _drive(CircuitBreaker(config), sequence)
+        second = _drive(CircuitBreaker(config), sequence)
+        assert first == second
+
+    @given(breaker_configs, events, events, st.lists(st.booleans(), max_size=160))
+    @settings(max_examples=100)
+    def test_interleaving_two_functions_changes_nothing(
+        self, config, sequence_a, sequence_b, picks
+    ):
+        """Two per-function breakers fed in any interleaved order produce
+        exactly the traces of driving each stream alone — no shared state,
+        which is what lets each shard replay its functions independently."""
+        alone_a = _drive(CircuitBreaker(config), sequence_a)
+        alone_b = _drive(CircuitBreaker(config), sequence_b)
+
+        breaker_a, breaker_b = CircuitBreaker(config), CircuitBreaker(config)
+        queue_a, queue_b = list(sequence_a), list(sequence_b)
+        now_a = now_b = 0.0
+        trace_a, trace_b = [], []
+        picks = iter(picks)
+        while queue_a or queue_b:
+            take_a = bool(queue_a) and (not queue_b or next(picks, True))
+            if take_a:
+                dt, kind = queue_a.pop(0)
+                now_a += dt
+                trace_a.append(_step(breaker_a, now_a, kind))
+            else:
+                dt, kind = queue_b.pop(0)
+                now_b += dt
+                trace_b.append(_step(breaker_b, now_b, kind))
+        assert trace_a == [pair for pair in alone_a]
+        assert trace_b == [pair for pair in alone_b]
+
+    @given(breaker_configs, events)
+    @settings(max_examples=100)
+    def test_open_always_follows_a_trip_and_counts_opens(self, config, sequence):
+        breaker = CircuitBreaker(config)
+        trace = _drive(breaker, sequence)
+        trips = sum(
+            1 for before, after in trace
+            if before is not BreakerState.OPEN and after is BreakerState.OPEN
+        )
+        assert breaker.opens == trips
+
+
+def _step(breaker, now, kind):
+    before = breaker.state
+    if kind == "allow":
+        breaker.allow(now)
+    elif kind == "success":
+        breaker.on_outcome(now, True)
+    elif kind == "failure":
+        breaker.on_outcome(now, False)
+    else:
+        breaker.on_outcome(now, False, throttle=True)
+    return (before, breaker.state)
+
+
+# ----------------------------------------------------------- breaker units
+
+_CONFIG = CircuitBreakerConfig(
+    window=4, min_calls=4, failure_threshold=0.5, cooldown_s=10.0, half_open_probes=2
+)
+
+
+class TestBreakerStateMachine:
+    def _tripped(self):
+        breaker = CircuitBreaker(_CONFIG)
+        for i in range(4):
+            breaker.on_outcome(float(i), i % 2 == 0)  # 2 failures of 4 = 50%
+        assert breaker.state is BreakerState.OPEN
+        return breaker
+
+    def test_trips_at_threshold_after_min_calls(self):
+        breaker = CircuitBreaker(_CONFIG)
+        breaker.on_outcome(0.0, False)
+        breaker.on_outcome(1.0, False)
+        assert breaker.state is BreakerState.CLOSED  # below min_calls
+        breaker.on_outcome(2.0, True)
+        breaker.on_outcome(3.0, True)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opened_at == 3.0
+
+    def test_open_rejects_until_cooldown_then_probes(self):
+        breaker = self._tripped()
+        assert not breaker.allow(breaker.opened_at + 9.9)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.allow(breaker.opened_at + 10.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        # Probe budget: one more probe, then rejection.
+        assert breaker.allow(breaker.opened_at + 10.1)
+        assert not breaker.allow(breaker.opened_at + 10.2)
+
+    def test_probe_successes_close_and_clear_the_window(self):
+        breaker = self._tripped()
+        now = breaker.opened_at + 10.0
+        breaker.allow(now)
+        breaker.on_outcome(now + 0.1, True)
+        breaker.on_outcome(now + 0.2, True)
+        assert breaker.state is BreakerState.CLOSED
+        # The window restarted: min_calls failures are needed again.
+        breaker.on_outcome(now + 0.3, False)
+        breaker.on_outcome(now + 0.4, False)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_probe_failure_re_trips(self):
+        breaker = self._tripped()
+        now = breaker.opened_at + 10.0
+        breaker.allow(now)
+        breaker.on_outcome(now + 0.1, False)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opened_at == now + 0.1
+        assert breaker.opens == 2
+
+    def test_throttles_ignored_while_closed(self):
+        breaker = CircuitBreaker(_CONFIG)
+        for i in range(50):
+            breaker.on_outcome(float(i), False, throttle=True)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_throttled_probe_re_trips(self):
+        breaker = self._tripped()
+        now = breaker.opened_at + 10.0
+        breaker.allow(now)
+        breaker.on_outcome(now + 0.1, False, throttle=True)
+        assert breaker.state is BreakerState.OPEN
+
+    def test_outcomes_while_open_are_ignored(self):
+        breaker = self._tripped()
+        breaker.on_outcome(breaker.opened_at + 1.0, True)
+        breaker.on_outcome(breaker.opened_at + 2.0, False)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opens == 1
+
+
+# ------------------------------------------------------------- validation
+
+
+class TestResilienceConfigValidation:
+    def test_breaker_config_bounds(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreakerConfig(window=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreakerConfig(window=5, min_calls=6)
+        with pytest.raises(ConfigurationError):
+            CircuitBreakerConfig(failure_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreakerConfig(cooldown_s=0.0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreakerConfig(half_open_probes=0)
+
+    def test_hedge_and_resilience_bounds(self):
+        with pytest.raises(ConfigurationError):
+            HedgeConfig(delay_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(retry_policy="nope")
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(stale_after_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(max_retries=-1)
+
+
+# ------------------------------------------------------------ integration
+
+
+def _replay(resilience=None, faults=None, overload=None, seed=7, rate=6.0, duration_s=40.0):
+    platform = create_platform(
+        Provider.AWS,
+        SimulationConfig(seed=seed, resilience=resilience, faults=faults, overload=overload),
+    )
+    fname = deploy_benchmark(
+        platform, "dynamic-html", memory_mb=256, function_name="res-web"
+    )
+    trace = WorkloadTrace.synthesize(
+        fname, PoissonArrivals(rate), duration_s=duration_s, rng=33
+    )
+    return platform.run_workload(trace, keep_records=True)
+
+
+def _conserved(result) -> bool:
+    return (
+        result.executed_count
+        + result.throttled_count
+        + result.dropped_count
+        + result.faulted_count
+        + result.short_circuited_count
+        == result.invocations
+    )
+
+
+class TestResilienceIntegration:
+    def test_hedging_duplicates_slow_requests_and_bills_both(self):
+        hedged = _replay(ResilienceConfig(hedge=HedgeConfig(delay_s=0.15)))
+        baseline = _replay()
+        assert hedged.invocations == baseline.invocations
+        assert hedged.hedge_count > 0
+        assert _conserved(hedged)
+        # One record per logical request even when hedged; both attempts bill.
+        assert len(hedged.records) == len(baseline.records)
+        assert hedged.total_cost_usd > baseline.total_cost_usd
+        for record in hedged.records:
+            assert record.hedges in (0, 1)
+
+    def test_breaker_short_circuits_during_outage_and_recovers(self):
+        faults = FaultPlaneConfig(outages=(OutageWindow(start_s=10.0, duration_s=10.0),))
+        resilience = ResilienceConfig(
+            breaker=CircuitBreakerConfig(
+                window=10, min_calls=4, failure_threshold=0.5, cooldown_s=3.0
+            )
+        )
+        result = _replay(resilience=resilience, faults=faults)
+        assert result.short_circuited_count > 0
+        assert _conserved(result)
+        for record in result.records:
+            if record.outcome.value == "short-circuited":
+                assert record.error == "breaker-open"
+                assert record.cost.total == 0.0
+        # After the outage plus cooldown the breaker closes again and
+        # traffic executes normally.
+        tail = [r for r in result.records if r.submitted_at >= 25.0]
+        assert tail and all(r.success for r in tail)
+
+    def test_client_retries_ride_out_the_outage(self):
+        faults = FaultPlaneConfig(outages=(OutageWindow(start_s=10.0, duration_s=5.0),))
+        fail_fast = _replay(faults=faults)
+        retrying = _replay(
+            resilience=ResilienceConfig(
+                retry_policy="exponential", max_retries=6, retry_max_delay_s=4.0
+            ),
+            faults=faults,
+        )
+        assert retrying.invocations == fail_fast.invocations
+        # Retries push outage-window requests past the window: fewer faults.
+        assert retrying.faulted_count < fail_fast.faulted_count
+        assert retrying.retry_count > 0
+        assert _conserved(retrying)
+
+    def test_stale_deadline_resubmits_and_folds_saga_cost(self):
+        overload = OverloadConfig(
+            reserved_concurrency=2,
+            retry_policy="no-jitter",
+            max_retries=10,
+            retry_base_delay_s=0.2,
+            retry_max_delay_s=0.4,
+        )
+        resilience = ResilienceConfig(
+            retry_policy="no-jitter",
+            max_retries=10,
+            retry_base_delay_s=0.2,
+            retry_max_delay_s=0.4,
+            stale_after_s=1.0,
+        )
+        result = _replay(resilience=resilience, overload=overload, rate=12.0)
+        stale = [r for r in result.records if r.error == "stale"]
+        assert stale
+        assert _conserved(result)
+        # A stale saga burned at least one execution: its terminal record
+        # carries the cost even though the outcome is FAILED.
+        assert all(r.cost.total > 0.0 for r in stale)
+        assert result.failure_count >= len(stale)
+        # Costs are conserved: the per-function totals equal the record sum.
+        summary = result.per_function()["res-web"]
+        assert summary.total_cost_usd == pytest.approx(
+            sum(r.cost.total for r in result.records)
+        )
+
+    def test_defaults_off_replay_is_untouched(self):
+        """resilience=None replays bit-identically to the seed behaviour."""
+        assert _replay().records == _replay(resilience=None).records
