@@ -3,8 +3,8 @@ SMOKE_WORKERS ?= 2
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-slow test-cov compile lint ci ci-golden check-regression \
-	bench bench-smoke bench-overload bench-fault-storm bench-throughput \
-	regen-golden workload workflow
+	bench bench-smoke bench-overload bench-fault-storm bench-chaos \
+	bench-throughput regen-golden workload workflow
 
 ## tier-1 test suite (slow-marked tests are deselected; see test-slow)
 test:
@@ -56,7 +56,7 @@ check-regression:
 
 ## what CI runs — the workflow invokes these same targets, one per step,
 ## in this order, so local `make ci` and CI can never drift
-ci: compile lint test-cov test-slow bench-smoke bench-overload bench-fault-storm bench-throughput check-regression ci-golden
+ci: compile lint test-cov test-slow bench-smoke bench-overload bench-fault-storm bench-chaos bench-throughput check-regression ci-golden
 
 ## regenerate all paper figures/tables (pytest-benchmark harness)
 bench:
@@ -74,6 +74,11 @@ bench-overload:
 ## fault-storm / metastable-failure benchmark (emits BENCH_fault_storm.json)
 bench-fault-storm:
 	$(PYTHON) -m pytest benchmarks/bench_fault_storm.py -q -s
+
+## chaos replay benchmark: supervision overhead (<=5%) + crash-recovery
+## wall clock under an injected worker kill (emits BENCH_chaos_replay.json)
+bench-chaos:
+	$(PYTHON) -m pytest benchmarks/bench_chaos_replay.py -q -s
 
 ## 100k trace + workflow throughput benchmarks (refresh the BENCH jsons the
 ## perf-regression gate compares — a gated benchmark CI never re-ran would

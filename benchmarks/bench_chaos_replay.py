@@ -1,0 +1,150 @@
+"""Chaos replay benchmark: what supervision costs, and what recovery costs.
+
+Two questions, one scenario (6 functions x Poisson 40/s, streaming mode,
+sharded over 2 workers):
+
+* **Supervision overhead** — the same clean replay run unsupervised and
+  under :class:`~repro.parallel.SupervisorConfig` (heartbeats, the Manager
+  dict, the poll loop).  Min-of-N wall clocks; the supervised run must stay
+  within ``OVERHEAD_CEILING`` (5%) of the unsupervised baseline.  Set
+  ``BENCH_SKIP_OVERHEAD_GATE=1`` to record the measurement without
+  enforcing it (noisy shared runners).
+* **Recovery wall clock** — the same replay with one worker killed by
+  fault injection (``os._exit`` mid-shard, breaking the pool): the
+  supervisor rebuilds the pool, requeues the dead shard, and the run still
+  completes with results bit-identical to the unsupervised baseline.  The
+  crashed run's total wall clock is the gated ``recovery_wall_clock_s``.
+
+Emits ``benchmarks/BENCH_chaos_replay.json``; both headline metrics are
+gated by ``benchmarks/check_regression.py`` (this benchmark runs in the CI
+chain via ``make bench-chaos``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from conftest import emit_bench_json, run_once
+
+from repro.config import Provider, SimulationConfig
+from repro.experiments.base import deploy_benchmark
+from repro.parallel import ShardFault, SupervisorConfig, WorkerFaultInjection
+from repro.simulator.providers import create_platform
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.scenario import FunctionTraffic, Scenario
+
+FUNCTIONS = 6
+RATE_PER_S = 40.0
+TARGET_INVOCATIONS = 150_000
+DURATION_S = TARGET_INVOCATIONS / (FUNCTIONS * RATE_PER_S)
+WORKERS = 2
+#: Paired (unsupervised, supervised) samples: at least MIN, stopping early
+#: once the overhead gate is satisfied, at most MAX.  Run-to-run noise on a
+#: busy 2-core runner exceeds the 5% ceiling, so a fixed small N flakes;
+#: min-over-pairs with early exit converges while still failing a genuine
+#: regression every time.
+MIN_REPETITIONS = 2
+MAX_REPETITIONS = 6
+OVERHEAD_CEILING = 0.05
+
+BENCH_JSON = Path(__file__).resolve().parent / "BENCH_chaos_replay.json"
+
+
+def _deployed_platform():
+    platform = create_platform(Provider.AWS, SimulationConfig(seed=42, log_retention=128))
+    for index in range(FUNCTIONS):
+        deploy_benchmark(platform, "dynamic-html", memory_mb=256, function_name=f"fn-{index:02d}")
+    return platform
+
+
+def _scenario() -> Scenario:
+    return Scenario(
+        name="chaos-replay",
+        duration_s=DURATION_S,
+        traffic=tuple(
+            FunctionTraffic(function_name=f"fn-{index:02d}", process=PoissonArrivals(RATE_PER_S))
+            for index in range(FUNCTIONS)
+        ),
+    )
+
+
+def _supervision(fault: WorkerFaultInjection | None = None) -> SupervisorConfig:
+    return SupervisorConfig(shard_timeout_s=60.0, fault_injection=fault)
+
+
+def _run(scenario, supervision=None):
+    start = time.perf_counter()
+    result = _deployed_platform().run_workload(
+        scenario, keep_records=False, workers=WORKERS, supervision=supervision
+    )
+    return result, time.perf_counter() - start
+
+
+def test_chaos_replay_overhead_and_recovery(benchmark):
+    scenario = _scenario()
+
+    unsupervised_walls, supervised_walls = [], []
+    baseline = supervised = None
+    overhead = 0.0
+    for repetition in range(MAX_REPETITIONS):
+        baseline, wall = _run(scenario)
+        unsupervised_walls.append(wall)
+        supervised, wall = _run(scenario, supervision=_supervision())
+        supervised_walls.append(wall)
+        unsupervised_wall = min(unsupervised_walls)
+        supervised_wall = min(supervised_walls)
+        overhead = supervised_wall / unsupervised_wall - 1.0 if unsupervised_wall > 0 else 0.0
+        if repetition + 1 >= MIN_REPETITIONS and overhead <= OVERHEAD_CEILING:
+            break
+
+    # One worker dies mid-replay (pool breakage); the run must still finish.
+    crashed, recovery_wall = run_once(
+        benchmark,
+        lambda: _run(
+            scenario,
+            supervision=_supervision(WorkerFaultInjection({0: ShardFault("crash")})),
+        ),
+    )
+
+    throughput = baseline.invocations / supervised_wall if supervised_wall > 0 else 0.0
+    print(
+        f"\nchaos replay of {baseline.invocations:,} invocations x{WORKERS}: "
+        f"unsupervised {unsupervised_wall:.2f}s, supervised {supervised_wall:.2f}s "
+        f"({100 * overhead:+.1f}% overhead), crash recovery {recovery_wall:.2f}s "
+        f"({crashed.supervision['pool_breaks']} pool break(s), "
+        f"{crashed.supervision['retries']} retr{'y' if crashed.supervision['retries'] == 1 else 'ies'})"
+    )
+    emit_bench_json(
+        BENCH_JSON,
+        {
+            "benchmark": "chaos_replay",
+            "invocations": baseline.invocations,
+            "functions": FUNCTIONS,
+            "workers": WORKERS,
+            "wall_clock_unsupervised_s": round(unsupervised_wall, 4),
+            "wall_clock_supervised_s": round(supervised_wall, 4),
+            "clean_supervised_throughput_per_s": round(throughput, 1),
+            "supervision_overhead": round(overhead, 4),
+            "overhead_ceiling": OVERHEAD_CEILING,
+            "recovery_wall_clock_s": round(recovery_wall, 4),
+            "recovery_pool_breaks": crashed.supervision["pool_breaks"],
+            "recovery_retries": crashed.supervision["retries"],
+        },
+    )
+
+    # Neither supervision nor the mid-replay worker kill may move a number.
+    for result in (supervised, crashed):
+        assert result.invocations == baseline.invocations
+        assert result.cold_start_total == baseline.cold_start_total
+        assert result.total_cost_usd == baseline.total_cost_usd
+        assert result.simulated_span_s == baseline.simulated_span_s
+    assert crashed.supervision["pool_breaks"] >= 1
+    assert crashed.supervision["retries"] >= 1
+
+    if not os.environ.get("BENCH_SKIP_OVERHEAD_GATE"):
+        assert overhead <= OVERHEAD_CEILING, (
+            f"supervised clean replay is {100 * overhead:.1f}% slower than the "
+            f"unsupervised baseline (ceiling {100 * OVERHEAD_CEILING:.0f}%)"
+        )

@@ -18,12 +18,11 @@ exhibit parallel speedup; the JSON still records the honest measurement).
 
 from __future__ import annotations
 
-import json
 import multiprocessing
 import os
 from pathlib import Path
 
-from conftest import run_once
+from conftest import emit_bench_json, run_once
 
 from repro.config import Provider, SimulationConfig
 from repro.experiments.base import deploy_benchmark
@@ -59,18 +58,6 @@ def _scenario() -> Scenario:
     )
 
 
-def _emit_bench_json(payload: dict) -> None:
-    previous = None
-    if BENCH_JSON.exists():
-        try:
-            previous = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
-            previous.pop("previous", None)  # keep one generation, not a chain
-        except (OSError, ValueError):
-            previous = None
-    payload["previous"] = previous
-    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-
-
 def test_parallel_replay_speedup_1m(benchmark):
     scenario = _scenario()
 
@@ -92,7 +79,8 @@ def test_parallel_replay_speedup_1m(benchmark):
         f"({parallel.throughput_per_s:,.0f}/s) => {speedup:.2f}x on "
         f"{multiprocessing.cpu_count()} cores"
     )
-    _emit_bench_json(
+    emit_bench_json(
+        BENCH_JSON,
         {
             "benchmark": "parallel_replay_streaming_1m",
             "invocations": parallel.invocations,

@@ -34,7 +34,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 from pathlib import Path
 from typing import Mapping
 
@@ -58,6 +60,7 @@ GATED_METRICS: dict[str, tuple[tuple[str, str], ...]] = {
         ("sharded_throughput_per_s", "higher"),
         ("overload_throughput_per_s", "higher"),
         ("fault_storm_throughput_per_s", "higher"),
+        ("chaos_recovery_throughput_per_s", "higher"),
     ),
     "workload_throughput_100k": (
         ("throughput_per_s", "higher"),
@@ -69,6 +72,10 @@ GATED_METRICS: dict[str, tuple[tuple[str, str], ...]] = {
     ),
     "overload_sweep": (("throughput_per_s", "higher"),),
     "fault_storm": (("throughput_per_s", "higher"),),
+    "chaos_replay": (
+        ("clean_supervised_throughput_per_s", "higher"),
+        ("recovery_wall_clock_s", "lower"),
+    ),
 }
 
 #: Benchmarks that emit a BENCH json but are *deliberately* ungated — the
@@ -185,7 +192,21 @@ def write_baseline(current: Mapping[str, Mapping], path: Path, tolerance: float)
         "tolerance": tolerance,
         "benchmarks": benchmarks,
     }
-    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    # Atomic publish (tmp + rename): an interrupted --write-baseline must
+    # never leave a truncated baselines file for the next CI run to parse.
+    # Inlined rather than imported from repro.utils.io — this script runs
+    # standalone, without PYTHONPATH=src.
+    handle, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+            tmp.write(json.dumps(payload, indent=2) + "\n")
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def main(argv: list[str] | None = None) -> int:

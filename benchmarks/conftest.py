@@ -51,9 +51,13 @@ def emit_bench_json(path, payload):
     The previous run's figures are carried along as ``previous`` (one
     generation, not a chain) so the perf trajectory is tracked across PRs.
     Shared by every emitting target so the dance cannot drift between
-    copies; ``benchmarks/check_regression.py`` consumes the output.
+    copies; ``benchmarks/check_regression.py`` consumes the output.  The
+    write is atomic (tmp + rename), so an interrupted benchmark can never
+    leave a truncated artifact for the regression gate to choke on.
     """
     import json
+
+    from repro.utils.io import atomic_write_json
 
     previous = None
     if path.exists():
@@ -62,5 +66,4 @@ def emit_bench_json(path, payload):
             previous.pop("previous", None)
         except (OSError, ValueError):
             previous = None
-    payload = {**payload, "previous": previous}
-    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    atomic_write_json(path, {**payload, "previous": previous})

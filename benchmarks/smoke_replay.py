@@ -20,7 +20,11 @@ Four checks:
   retry-storm experiment must keep demonstrating metastable failure — the
   naive client's post-recovery goodput stays collapsed (<= 50% of
   pre-outage) while the breaker-equipped client recovers (>= 90%) — and
-  the whole scenario must stay bit-identical under sharded replay.
+  the whole scenario must stay bit-identical under sharded replay;
+* a crash-recovery gate (:mod:`repro.parallel.supervisor`): a worker
+  killed mid-replay must be detected, the pool rebuilt and the shard
+  retried, with the merged result bit-identical to serial replay, inside
+  a 60 s budget.
 
 The thresholds are deliberately loose — the point is to catch order-of-
 magnitude breakage, not to flake on slow CI runners.  The measured
@@ -337,6 +341,59 @@ def _smoke_fault_storm(workers: int) -> list[str]:
     return failures
 
 
+#: Chaos smoke: one injected worker kill mid-replay; the supervisor must
+#: recover (pool rebuild + retry) to a bit-identical result inside budget.
+CHAOS_BUDGET_S = 60.0
+
+
+def _smoke_chaos_recovery(workers: int) -> list[str]:
+    from repro.parallel import ShardFault, SupervisorConfig, WorkerFaultInjection
+
+    serial_platform, trace = _parallel_fixture()
+    serial = serial_platform.run_workload(trace, keep_records=False)
+    supervision = SupervisorConfig(
+        shard_timeout_s=30.0,
+        fault_injection=WorkerFaultInjection({0: ShardFault("crash")}),
+    )
+    chaos_platform, _ = _parallel_fixture()
+    # Crash injection breaks the pool, so it needs the process backend —
+    # at least 2 workers regardless of the smoke worker count.
+    recovered = chaos_platform.run_workload(
+        trace, keep_records=False, workers=max(2, workers), supervision=supervision
+    )
+    METRICS["chaos_recovery_throughput_per_s"] = round(recovered.throughput_per_s, 1)
+    report = recovered.supervision or {}
+    print(
+        f"bench-smoke: chaos recovery: worker killed mid-replay, "
+        f"{recovered.invocations} invocations in {recovered.wall_clock_s:.2f}s "
+        f"({recovered.throughput_per_s:,.0f}/s), {report.get('pool_breaks', 0)} "
+        f"pool break(s), {report.get('retries', 0)} retr(ies)"
+    )
+
+    failures = []
+    if report.get("pool_breaks", 0) < 1:
+        failures.append("chaos recovery: injected worker kill broke no pool (injection inert?)")
+    if report.get("retries", 0) < 1:
+        failures.append("chaos recovery: killed shard was never retried")
+    for attribute in (
+        "invocations",
+        "cold_start_total",
+        "total_cost_usd",
+        "simulated_span_s",
+    ):
+        serial_value = getattr(serial, attribute)
+        recovered_value = getattr(recovered, attribute)
+        if recovered_value != serial_value:
+            failures.append(
+                f"chaos recovery {attribute} {recovered_value!r} != serial {serial_value!r}"
+            )
+    if recovered.wall_clock_s > CHAOS_BUDGET_S:
+        failures.append(
+            f"chaos recovery took {recovered.wall_clock_s:.2f}s > {CHAOS_BUDGET_S:.0f}s budget"
+        )
+    return failures
+
+
 def _emit_bench_json() -> None:
     """Write the smoke throughputs for the perf-regression gate."""
     from conftest import emit_bench_json
@@ -358,6 +415,7 @@ def main() -> int:
     failures += _smoke_parallel(args.workers)
     failures += _smoke_overload(args.workers)
     failures += _smoke_fault_storm(args.workers)
+    failures += _smoke_chaos_recovery(args.workers)
     _emit_bench_json()
     if failures:
         for failure in failures:

@@ -30,6 +30,8 @@ from typing import Sequence
 from .benchmarks.registry import list_benchmarks
 from .concurrency import RETRY_POLICY_NAMES, OverloadConfig
 from .config import ExperimentConfig, Provider, SimulationConfig
+from .exceptions import CheckpointError, ConfigurationError, ShardReplayError
+from .utils.io import atomic_write_json
 from .faults import ContainerCrash, FaultPlaneConfig, LatencyStorm, OutageWindow
 from .resilience import CircuitBreakerConfig, HedgeConfig, ResilienceConfig
 from .experiments.characterization import CharacterizationExperiment
@@ -70,6 +72,39 @@ def _replay_args(parser: argparse.ArgumentParser, unit: str) -> None:
         help="sharded parallel replay across N processes (per-function "
         "shards, deterministically merged — identical results to serial "
         "replay; 1 = in-process sequential sharding)",
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="supervise the sharded replay: SIGKILL and retry any shard "
+        "whose worker heartbeat goes stale for S seconds (requires "
+        "--workers; implies supervision with default retries)",
+    )
+    parser.add_argument(
+        "--shard-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="supervise the sharded replay: retry a failed shard up to N "
+        "times with exponential backoff before quarantining it in-process "
+        "(requires --workers; implies supervision)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="persist each completed shard outcome atomically under DIR "
+        "(keyed by a plan fingerprint), so an interrupted replay can be "
+        "resumed with --resume (requires --workers)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="reload intact shard checkpoints from --checkpoint-dir and "
+        "replay only the missing shards — byte-identical to an "
+        "uninterrupted run",
     )
     parser.add_argument(
         "--reserved-concurrency",
@@ -340,9 +375,23 @@ def _resilience_config(args: argparse.Namespace) -> ResilienceConfig | None:
     )
 
 
+def _supervision_config(args: argparse.Namespace):
+    """Supervisor policy selected by the replay flags (None = unsupervised)."""
+    if args.shard_timeout is None and args.shard_retries is None:
+        return None
+    from .parallel import SupervisorConfig
+
+    overrides: dict = {}
+    if args.shard_timeout is not None:
+        overrides["shard_timeout_s"] = args.shard_timeout
+    if args.shard_retries is not None:
+        overrides["max_retries"] = args.shard_retries
+    return SupervisorConfig(**overrides)
+
+
 def _write_output(path: str, payload: dict) -> None:
-    """Write one machine-readable summary document as JSON."""
-    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    """Write one machine-readable summary document as JSON (atomically)."""
+    atomic_write_json(Path(path), payload)
     print(f"summary written to {path}")
 
 
@@ -356,10 +405,43 @@ def _configs(args: argparse.Namespace) -> tuple[ExperimentConfig, SimulationConf
     )
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point of the ``sebs-repro`` command."""
-    args = _build_parser().parse_args(argv)
+#: Structured exit codes, one per failure class, for scripted callers.
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_CONFIG = 2
+EXIT_SHARD_FAILURE = 3
+EXIT_CHECKPOINT = 4
 
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``sebs-repro`` command.
+
+    Returns a structured exit code per failure class: 0 success, 2 invalid
+    configuration, 3 sharded replay failed after exhausting supervision
+    (the offending shard is reported), 4 checkpoint-store misuse, 1 any
+    other library error.
+    """
+    args = _build_parser().parse_args(argv)
+    try:
+        return _run(args)
+    except ShardReplayError as error:
+        print(f"shard replay failed: {error}", file=sys.stderr)
+        print(
+            f"  shard {error.shard_index} (functions: "
+            f"{', '.join(error.functions) or '?'}) after {error.attempts} attempt(s); "
+            f"{len(error.partial_outcomes)} completed shard(s) salvaged",
+            file=sys.stderr,
+        )
+        return EXIT_SHARD_FAILURE
+    except CheckpointError as error:
+        print(f"checkpoint error: {error}", file=sys.stderr)
+        return EXIT_CHECKPOINT
+    except ConfigurationError as error:
+        print(f"configuration error: {error}", file=sys.stderr)
+        return EXIT_CONFIG
+
+
+def _run(args: argparse.Namespace) -> int:
     if args.command == "list":
         for name in list_benchmarks():
             print(name)
@@ -435,6 +517,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             trace=trace,
             keep_records=not args.streaming,
             workers=args.workers,
+            supervision=_supervision_config(args),
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
         )
         if args.save_trace:
             result.trace.to_json(args.save_trace, indent=2)
@@ -481,6 +566,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             payload=payload,
             keep_records=not args.streaming,
             workers=args.workers,
+            supervision=_supervision_config(args),
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
         )
         print(f"# Workflow replay: {result.workflow_name} "
               f"({result.executions} executions over {args.duration:.0f}s)")
@@ -545,7 +633,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(format_table(result.to_rows()))
         return 0
 
-    return 1
+    return EXIT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -121,5 +121,51 @@ class ExperimentError(SeBSError):
     """An experiment could not be executed or produced inconsistent results."""
 
 
+class ShardReplayError(SeBSError):
+    """A sharded replay failed after exhausting its supervision budget.
+
+    Raised by :mod:`repro.parallel.supervisor` once a shard has burned
+    through its retries (and, when enabled, its in-process quarantine
+    replay).  Carries full shard provenance so callers can requeue, log, or
+    resume precisely:
+
+    * ``shard_index`` / ``functions`` — which shard died and whose traffic
+      it carried;
+    * ``attempts`` — how many times the supervisor tried it;
+    * ``cause`` — the last underlying exception (also set as
+      ``__cause__``), or ``None`` when the worker died silently
+      (SIGKILL/OOM);
+    * ``partial_outcomes`` — every *completed* shard outcome salvaged from
+      the run, in shard order, so a caller with a checkpoint store loses no
+      finished work.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard_index: int,
+        functions: tuple[str, ...] = (),
+        attempts: int = 0,
+        cause: BaseException | None = None,
+        partial_outcomes: tuple = (),
+    ):
+        super().__init__(message)
+        self.shard_index = shard_index
+        self.functions = tuple(functions)
+        self.attempts = attempts
+        self.cause = cause
+        self.partial_outcomes = tuple(partial_outcomes)
+
+
+class CheckpointError(SeBSError):
+    """A checkpoint store could not be used as configured.
+
+    Raised for structural misuse — ``resume=True`` without a
+    ``checkpoint_dir``, or a checkpoint directory that cannot be created.
+    Corrupt or mismatched checkpoint *files* are never an error: they are
+    ignored and the shard is simply replayed."""
+
+
 class ModelFitError(SeBSError):
     """An analytical model could not be fitted to the measured data."""

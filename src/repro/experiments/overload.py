@@ -119,6 +119,7 @@ class OverloadExperiment(ExperimentRunner):
         admission_queue_depth: int = 200,
         admission_max_age_s: float = 10.0,
         workers: int | None = None,
+        supervision=None,
     ) -> OverloadExperimentResult:
         """Replay the same overload trace at every (provider, cap) cell.
 
@@ -126,7 +127,9 @@ class OverloadExperiment(ExperimentRunner):
         shared across all cells, so differences between rows are
         attributable to the limiter, not the workload.  ``workers`` routes
         each replay through the sharded parallel path — identical results
-        by the per-function throttle-state isolation.
+        by the per-function throttle-state isolation; ``supervision`` adds
+        the shard recovery ladder (:class:`~repro.parallel.SupervisorConfig`)
+        to every cell's replay.
         """
         trace = self._build_trace(duration_s, sync_rate_per_s, async_rate_per_s)
         result = OverloadExperimentResult(
@@ -153,7 +156,9 @@ class OverloadExperiment(ExperimentRunner):
                         input_size=self.input_size,
                         function_name=fname,
                     )
-                replay = platform.run_workload(trace, keep_records=False, workers=workers)
+                replay = platform.run_workload(
+                    trace, keep_records=False, workers=workers, supervision=supervision
+                )
                 result.points.append(
                     self._point(provider, reserved, retry_policy, replay)
                 )

@@ -182,6 +182,7 @@ class ResilienceExperiment(ExperimentRunner):
         recovery_margin_s: float = 20.0,
         bucket_s: float = 5.0,
         workers: int | None = None,
+        supervision=None,
     ) -> ResilienceExperimentResult:
         """Replay the shared storm trace once per client variant.
 
@@ -264,7 +265,9 @@ class ResilienceExperiment(ExperimentRunner):
                 input_size=self.input_size,
                 function_name=STORM_FUNCTION,
             )
-            replay = platform.run_workload(trace, keep_records=True, workers=workers)
+            replay = platform.run_workload(
+                trace, keep_records=True, workers=workers, supervision=supervision
+            )
             result.variants.append(
                 self._variant_result(
                     name,

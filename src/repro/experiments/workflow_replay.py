@@ -76,6 +76,9 @@ class WorkflowReplayExperiment(ExperimentRunner):
         payload: dict | None = None,
         keep_records: bool = True,
         workers: int | None = None,
+        supervision=None,
+        checkpoint_dir=None,
+        resume: bool = False,
     ) -> WorkflowExperimentResult:
         """Deploy the functions, synthesize the arrivals once, replay everywhere.
 
@@ -84,6 +87,10 @@ class WorkflowReplayExperiment(ExperimentRunner):
         mode: per-execution results are folded into per-workflow
         accumulators as executions complete.  ``workers`` uses the sharded
         parallel path (:mod:`repro.parallel`) — identical merged results.
+        ``supervision`` and ``checkpoint_dir``/``resume`` pass through to
+        the sharded replay (shard recovery ladder + byte-identical crash
+        resume); the checkpoint fingerprint covers the provider, so one
+        directory serves all of them.
         """
         if spec is None:
             spec, deployments = standard_workflow(workflow, fan_out=fan_out)
@@ -110,6 +117,11 @@ class WorkflowReplayExperiment(ExperimentRunner):
                     function_name=deployment.function_name,
                 )
             result.per_provider[provider] = platform.run_workflows(
-                arrivals, keep_records=keep_records, workers=workers
+                arrivals,
+                keep_records=keep_records,
+                workers=workers,
+                supervision=supervision,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
             )
         return result

@@ -88,6 +88,9 @@ class WorkloadReplayExperiment(ExperimentRunner):
         trace: WorkloadTrace | MergedWorkloadTrace | None = None,
         keep_records: bool = True,
         workers: int | None = None,
+        supervision=None,
+        checkpoint_dir=None,
+        resume: bool = False,
     ) -> WorkloadReplayResult:
         """Deploy the functions, build the trace once, replay it everywhere.
 
@@ -107,6 +110,13 @@ class WorkloadReplayExperiment(ExperimentRunner):
         O(functions)-memory parent should call
         ``platform.run_workload(scenario, keep_records=False, workers=N)``
         directly.)
+
+        ``supervision`` (a :class:`~repro.parallel.SupervisorConfig`) and
+        ``checkpoint_dir``/``resume`` pass through to the sharded replay:
+        shard timeouts/retries/quarantine and atomic per-shard
+        checkpointing with byte-identical crash resume.  The checkpoint
+        fingerprint covers the provider, so one directory serves all of
+        them.
         """
         if trace is None:
             if scenario is None:
@@ -154,5 +164,8 @@ class WorkloadReplayExperiment(ExperimentRunner):
                 keep_records=keep_records,
                 workers=workers,
                 trace_seed=self.config.seed,
+                supervision=supervision,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
             )
         return result

@@ -19,9 +19,17 @@ Layout:
   :func:`run_workflows_sharded` entry points
   (``SimulatedPlatform.run_workload(..., workers=N)`` delegates here);
 * :mod:`~repro.parallel.merge` — deterministic shard-outcome merging, with
-  the exact-vs-approximate contract documented per statistic.
+  the exact-vs-approximate contract documented per statistic;
+* :mod:`~repro.parallel.supervisor` — :class:`ShardSupervisor`: heartbeat
+  timeouts, bounded retries with backoff, pool-breakage recovery, graceful
+  degradation and poison-shard quarantine (opt-in via
+  :class:`SupervisorConfig`);
+* :mod:`~repro.parallel.checkpoint` — :class:`CheckpointStore`: atomic
+  per-shard outcome persistence keyed by a plan fingerprint, powering
+  ``checkpoint_dir=... , resume=True`` crash recovery.
 """
 
+from .checkpoint import CheckpointStore, plan_fingerprint
 from .executor import BACKENDS, run_workload_sharded, run_workflows_sharded
 from .merge import (
     TraceShardOutcome,
@@ -31,19 +39,35 @@ from .merge import (
 )
 from .plan import ScenarioShard, ShardPlanner, TraceShard, WorkflowShard
 from .snapshot import FunctionSnapshot, PlatformSnapshot
+from .supervisor import (
+    InjectedWorkerFault,
+    ShardFault,
+    ShardSupervisor,
+    SupervisionReport,
+    SupervisorConfig,
+    WorkerFaultInjection,
+)
 
 __all__ = [
     "BACKENDS",
+    "CheckpointStore",
     "FunctionSnapshot",
+    "InjectedWorkerFault",
     "PlatformSnapshot",
     "ScenarioShard",
+    "ShardFault",
     "ShardPlanner",
+    "ShardSupervisor",
+    "SupervisionReport",
+    "SupervisorConfig",
     "TraceShard",
     "TraceShardOutcome",
+    "WorkerFaultInjection",
     "WorkflowShard",
     "WorkflowShardOutcome",
     "merge_trace_outcomes",
     "merge_workflow_outcomes",
+    "plan_fingerprint",
     "run_workload_sharded",
     "run_workflows_sharded",
 ]

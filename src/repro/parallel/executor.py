@@ -23,16 +23,28 @@ shard, so its merged percentiles are byte-identical to serial).  Only
 ``peak_in_flight`` (max over shards wherever the merged records' intervals
 are unavailable — streaming mode, and workflow merges in both modes — a
 lower bound on the cross-shard global peak) differ from serial replay.
+
+Robustness is layered on without touching the merge contract: the
+unsupervised process backend **fails fast** (first shard failure cancels
+every still-pending shard), an optional
+:class:`~repro.parallel.supervisor.SupervisorConfig` adds heartbeat
+timeouts / bounded retries / pool rebuild / quarantine, and an optional
+``checkpoint_dir`` + ``resume`` pair persists completed shard outcomes so
+an interrupted replay re-runs only what is missing
+(:mod:`repro.parallel.checkpoint`) — all of which reproduce the
+uninterrupted result byte for byte, because each shard outcome is a pure
+function of ``(snapshot, shard)``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import time
-from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
 
-from ..exceptions import ConfigurationError
+from ..exceptions import CheckpointError, ConfigurationError
 from ..faas.invocation import InvocationRequest
 from ..utils.rng import RandomStreams
 from ..workload.engine import WorkloadEngine, WorkloadResult, _ReplayAccumulator
@@ -40,6 +52,7 @@ from ..workload.scenario import Scenario
 from ..workload.trace import WorkloadTrace
 from ..workflows.engine import WorkflowEngine, fold_workflow_results
 from ..workflows.spec import WorkflowArrival
+from .checkpoint import CheckpointStore
 from .merge import (
     TraceShardOutcome,
     WorkflowShardOutcome,
@@ -48,6 +61,7 @@ from .merge import (
 )
 from .plan import ScenarioShard, ShardPlanner, TraceShard, WorkflowShard
 from .snapshot import PlatformSnapshot
+from .supervisor import ShardSupervisor, SupervisorConfig
 
 #: Backend names accepted by the ``backend`` parameters.
 BACKENDS = ("sequential", "process")
@@ -144,17 +158,85 @@ def _replay_workflow_shard(
     )
 
 
-def _execute(worker, snapshot: PlatformSnapshot, shards, keep_records: bool, workers: int, backend: str):
-    """Run ``worker(snapshot, shard, keep_records)`` for every shard."""
-    if backend == "sequential" or len(shards) <= 1:
-        return [worker(snapshot, shard, keep_records) for shard in shards]
+def _mp_context():
     methods = multiprocessing.get_all_start_methods()
-    context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _execute(
+    worker,
+    snapshot: PlatformSnapshot,
+    shards,
+    keep_records: bool,
+    workers: int,
+    backend: str,
+    supervision: SupervisorConfig | None = None,
+    on_complete: Callable[[object], None] | None = None,
+):
+    """Run ``worker(snapshot, shard, keep_records)`` for every shard.
+
+    Returns ``(outcomes, supervision_report_dict_or_None)`` with outcomes
+    in shard order.  ``on_complete`` fires once per completed outcome, as
+    it lands (checkpoint persistence hook).  With ``supervision`` set the
+    shards route through :class:`~repro.parallel.supervisor.ShardSupervisor`
+    (timeouts, retries, pool rebuild, quarantine); without it, failures
+    **fail fast**: the first shard exception cancels every still-pending
+    shard instead of letting doomed work run to completion.
+    """
+    if supervision is not None:
+        supervisor = ShardSupervisor(
+            worker, snapshot, keep_records, workers, supervision, on_complete=on_complete
+        )
+        if backend == "sequential" or len(shards) <= 1:
+            outcomes = supervisor.execute_sequential(shards)
+        else:
+            outcomes = supervisor.execute(shards, _mp_context())
+        return outcomes, supervisor.report.to_dict()
+    if backend == "sequential" or len(shards) <= 1:
+        outcomes = []
+        for shard in shards:
+            outcome = worker(snapshot, shard, keep_records)
+            if on_complete is not None:
+                on_complete(outcome)
+            outcomes.append(outcome)
+        return outcomes, None
     with ProcessPoolExecutor(
-        max_workers=min(workers, len(shards)), mp_context=context
+        max_workers=min(workers, len(shards)), mp_context=_mp_context()
     ) as pool:
-        futures = [pool.submit(worker, snapshot, shard, keep_records) for shard in shards]
-        return [future.result() for future in futures]
+        future_map = {
+            pool.submit(worker, snapshot, shard, keep_records): shard for shard in shards
+        }
+        completed: dict[int, object] = {}
+        try:
+            for future in as_completed(future_map):
+                outcome = future.result()
+                if on_complete is not None:
+                    on_complete(outcome)
+                completed[future_map[future].index] = outcome
+        except BaseException:
+            # Fail fast: a doomed merge cannot use the remaining shards, so
+            # don't let them burn wall-clock.  Running shards finish their
+            # current task; queued ones never start.
+            for future in future_map:
+                future.cancel()
+            raise
+        return [completed[shard.index] for shard in shards], None
+
+
+def _open_store(
+    checkpoint_dir: Path | str | None,
+    resume: bool,
+    snapshot: PlatformSnapshot,
+    shards,
+    keep_records: bool,
+):
+    """Resolve the checkpoint store and the already-completed outcomes."""
+    if checkpoint_dir is None:
+        if resume:
+            raise CheckpointError("resume=True requires a checkpoint_dir")
+        return None, {}
+    store = CheckpointStore.for_plan(checkpoint_dir, snapshot, shards, keep_records)
+    return store, (dict(store.load()) if resume else {})
 
 
 def run_workload_sharded(
@@ -165,6 +247,9 @@ def run_workload_sharded(
     keep_records: bool = True,
     backend: str | None = None,
     trace_seed: int | None = None,
+    supervision: SupervisorConfig | None = None,
+    checkpoint_dir: Path | str | None = None,
+    resume: bool = False,
 ) -> WorkloadResult:
     """Sharded trace replay: partition, replay per shard, merge.
 
@@ -180,13 +265,28 @@ def run_workload_sharded(
     replay.  ``trace_seed`` is the seed the scenario's arrivals derive from
     (default: the platform's simulation seed, matching how the experiments
     build their traces); it is ignored for already-materialised traces.
+
+    ``supervision`` routes the shards through the
+    :class:`~repro.parallel.supervisor.ShardSupervisor` recovery ladder
+    (heartbeat timeouts, bounded retries, pool rebuild, degradation,
+    quarantine); the report lands on ``result.supervision``.
+    ``checkpoint_dir`` persists each completed shard outcome atomically
+    under the plan fingerprint; ``resume=True`` reloads intact checkpoints
+    and replays only the missing shards — the merged result is byte
+    identical to an uninterrupted run (``wall_clock_s`` aside, which is a
+    measurement of *this* run).
+
+    ``wall_clock_s`` covers everything from snapshot capture through
+    planning, shard replay and the merge — both sharded entry points time
+    the same phases, so workload and workflow throughput figures compare
+    like for like.
     """
     if workers < 1:
         raise ConfigurationError("workers must be at least 1")
+    wall_start = time.perf_counter()
     backend = _resolve_backend(backend, workers)
     snapshot = PlatformSnapshot.capture(platform)
     planner = ShardPlanner()
-    wall_start = time.perf_counter()
     if isinstance(trace, Scenario):
         if keep_records:
             raise ConfigurationError(
@@ -206,11 +306,25 @@ def run_workload_sharded(
         for shard in shards:
             for fname in shard.functions:
                 platform.get_function(fname)  # unknown names fail before any replay
-    outcomes = _execute(_replay_trace_shard, snapshot, shards, keep_records, workers, backend)
+    store, preloaded = _open_store(checkpoint_dir, resume, snapshot, shards, keep_records)
+    todo = [shard for shard in shards if shard.index not in preloaded]
+    outcomes, report = _execute(
+        _replay_trace_shard,
+        snapshot,
+        todo,
+        keep_records,
+        workers,
+        backend,
+        supervision=supervision,
+        on_complete=store.store if store is not None else None,
+    )
+    outcomes = list(outcomes) + list(preloaded.values())
     wall_clock_s = time.perf_counter() - wall_start
-    return merge_trace_outcomes(
+    result = merge_trace_outcomes(
         platform.provider, outcomes, keep_records=keep_records, wall_clock_s=wall_clock_s
     )
+    result.supervision = report
+    return result
 
 
 def run_workflows_sharded(
@@ -220,6 +334,9 @@ def run_workflows_sharded(
     workers: int,
     keep_records: bool = True,
     backend: str | None = None,
+    supervision: SupervisorConfig | None = None,
+    checkpoint_dir: Path | str | None = None,
+    resume: bool = False,
 ):
     """Sharded workflow replay: component partition, replay, merge.
 
@@ -228,21 +345,40 @@ def run_workflows_sharded(
     identical to serial replay.  In record mode the merged ``executions``
     list is in canonical execution-index order (serial replay yields them
     in completion order; sort by ``execution_index`` to compare).
+
+    ``supervision`` / ``checkpoint_dir`` / ``resume`` behave exactly as in
+    :func:`run_workload_sharded`.  ``wall_clock_s`` starts before arrival
+    materialisation and shard planning — the same phases the workload
+    entry point times.
     """
     if workers < 1:
         raise ConfigurationError("workers must be at least 1")
+    wall_start = time.perf_counter()
     backend = _resolve_backend(backend, workers)
     snapshot = PlatformSnapshot.capture(platform)
     arrivals = list(arrivals)
-    wall_start = time.perf_counter()
     shards = ShardPlanner().plan_workflows(arrivals, workers)
     deployed = set(platform.functions())
     for shard in shards:
         missing = [fname for fname in shard.functions if fname not in deployed]
         if missing:
             raise ConfigurationError(f"workflow arrivals reference undeployed functions: {missing}")
-    outcomes = _execute(_replay_workflow_shard, snapshot, shards, keep_records, workers, backend)
+    store, preloaded = _open_store(checkpoint_dir, resume, snapshot, shards, keep_records)
+    todo = [shard for shard in shards if shard.index not in preloaded]
+    outcomes, report = _execute(
+        _replay_workflow_shard,
+        snapshot,
+        todo,
+        keep_records,
+        workers,
+        backend,
+        supervision=supervision,
+        on_complete=store.store if store is not None else None,
+    )
+    outcomes = list(outcomes) + list(preloaded.values())
     wall_clock_s = time.perf_counter() - wall_start
-    return merge_workflow_outcomes(
+    result = merge_workflow_outcomes(
         platform.provider, outcomes, keep_records=keep_records, wall_clock_s=wall_clock_s
     )
+    result.supervision = report
+    return result

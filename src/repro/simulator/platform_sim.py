@@ -43,6 +43,7 @@ from ..config import (
     TriggerType,
 )
 from ..exceptions import (
+    ConfigurationError,
     FunctionAlreadyExistsError,
     PlatformError,
 )
@@ -502,6 +503,9 @@ class SimulatedPlatform(FaaSPlatform):
         workers: int | None = None,
         backend: str | None = None,
         trace_seed: int | None = None,
+        supervision=None,
+        checkpoint_dir=None,
+        resume: bool = False,
     ) -> WorkloadResult:
         """Replay a :class:`~repro.workload.trace.WorkloadTrace` and aggregate.
 
@@ -532,6 +536,13 @@ class SimulatedPlatform(FaaSPlatform):
         :class:`~repro.workload.scenario.Scenario` instead (streaming mode
         only), in which case each worker synthesizes its own shard's
         arrivals and parent memory stays O(functions).
+
+        ``supervision`` (a :class:`~repro.parallel.SupervisorConfig`) adds
+        the shard recovery ladder — heartbeat timeouts, bounded retries,
+        pool rebuild, quarantine — and ``checkpoint_dir``/``resume``
+        persist completed shard outcomes so an interrupted replay re-runs
+        only the missing shards; both preserve bit-identical results.
+        They require ``workers``.
         """
         if workers is not None:
             from ..parallel import run_workload_sharded
@@ -543,6 +554,14 @@ class SimulatedPlatform(FaaSPlatform):
                 workers=workers,
                 backend=backend,
                 trace_seed=trace_seed,
+                supervision=supervision,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
+            )
+        if supervision is not None or checkpoint_dir is not None or resume:
+            raise ConfigurationError(
+                "supervision/checkpoint_dir/resume apply to sharded replay only: "
+                "pass workers= as well"
             )
         return WorkloadEngine(self).run(trace, keep_records=keep_records)
 
@@ -553,6 +572,9 @@ class SimulatedPlatform(FaaSPlatform):
         record_sink=None,
         workers: int | None = None,
         backend: str | None = None,
+        supervision=None,
+        checkpoint_dir=None,
+        resume: bool = False,
     ):
         """Replay a time-sorted stream of workflow arrivals and aggregate.
 
@@ -573,6 +595,8 @@ class SimulatedPlatform(FaaSPlatform):
         platform copies, preserving each execution's global index so the
         hash-seeded trigger-edge delays are identical to serial replay.
         ``record_sink`` is unsupported in that mode.
+        ``supervision``/``checkpoint_dir``/``resume`` behave exactly as in
+        :meth:`run_workload` (sharded replay only).
         """
         from ..workflows.engine import WorkflowEngine
 
@@ -582,7 +606,19 @@ class SimulatedPlatform(FaaSPlatform):
             if record_sink is not None:
                 raise PlatformError("record_sink is not supported with sharded replay")
             return run_workflows_sharded(
-                self, arrivals, keep_records=keep_records, workers=workers, backend=backend
+                self,
+                arrivals,
+                keep_records=keep_records,
+                workers=workers,
+                backend=backend,
+                supervision=supervision,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
+            )
+        if supervision is not None or checkpoint_dir is not None or resume:
+            raise ConfigurationError(
+                "supervision/checkpoint_dir/resume apply to sharded replay only: "
+                "pass workers= as well"
             )
         return WorkflowEngine(self).run(
             arrivals, keep_records=keep_records, record_sink=record_sink

@@ -1,6 +1,7 @@
 """Shared utilities: virtual clock, seeded randomness, units, serialization."""
 
 from .clock import VirtualClock
+from .io import atomic_write_json, atomic_write_text
 from .rng import RandomStreams, derive_seed
 from .units import (
     GB,
@@ -16,6 +17,8 @@ from .units import (
 __all__ = [
     "VirtualClock",
     "RandomStreams",
+    "atomic_write_json",
+    "atomic_write_text",
     "derive_seed",
     "KB",
     "MB",

@@ -1,0 +1,66 @@
+"""Atomic file writes for benchmark, baseline, and fixture artifacts.
+
+Every JSON artifact the CI gates consume — ``BENCH_*.json`` emissions,
+``benchmarks/baselines.json``, the golden fixtures — is written through
+these helpers: the content lands in a same-directory temp file first and
+is published with :func:`os.replace`, so an interrupted benchmark or
+``make regen-golden`` (Ctrl-C, OOM kill, power loss) can never leave a
+truncated or half-written file for ``check_regression.py`` to choke on.
+Readers either see the old complete artifact or the new complete one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+
+def atomic_write_text(path: Path | str, text: str, encoding: str = "utf-8") -> Path:
+    """Write ``text`` to ``path`` atomically (tmp file + ``os.replace``).
+
+    The temp file is created in the destination directory so the final
+    rename never crosses a filesystem boundary.  On any failure the temp
+    file is removed and the destination is left untouched.
+    """
+    path = Path(path)
+    handle, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "w", encoding=encoding) as tmp:
+            tmp.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_bytes(path: Path | str, data: bytes) -> Path:
+    """Binary twin of :func:`atomic_write_text` (checkpoint payloads)."""
+    path = Path(path)
+    handle, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "wb") as tmp:
+            tmp.write(data)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_json(path: Path | str, payload: Any, indent: int = 2) -> Path:
+    """Serialize ``payload`` and atomically write it with a trailing newline."""
+    return atomic_write_text(path, json.dumps(payload, indent=indent) + "\n")

@@ -282,6 +282,10 @@ class WorkflowReplayResult:
     trigger_propagation_s_total: float = 0.0
     end_to_end_s_total: float = 0.0
     summaries: dict[str, WorkflowSummary] = field(default_factory=dict)
+    #: Supervision diagnostics from a supervised sharded replay (see
+    #: ``WorkloadResult.supervision``); ``None`` otherwise and excluded
+    #: from ``to_dict()``.
+    supervision: dict | None = None
 
     @property
     def throughput_per_s(self) -> float:

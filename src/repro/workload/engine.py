@@ -468,6 +468,12 @@ class WorkloadResult:
     #: Per-function summaries from the streaming accumulators (streaming
     #: mode only; ``None`` when full records are available).
     streaming_summaries: dict[str, FunctionWorkloadSummary] | None = None
+    #: Supervision diagnostics from a supervised sharded replay
+    #: (:class:`repro.parallel.supervisor.SupervisionReport` as a dict):
+    #: retries, pool breaks, timeouts, quarantined shards, degradation.
+    #: ``None`` for serial and unsupervised runs; deliberately excluded
+    #: from ``to_dict()`` so supervised results compare byte-identical.
+    supervision: dict | None = None
 
     @property
     def invocations(self) -> int:

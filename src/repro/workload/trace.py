@@ -28,6 +28,7 @@ import numpy as np
 from ..config import TriggerType
 from ..exceptions import ConfigurationError
 from ..faas.invocation import InvocationRequest
+from ..utils.io import atomic_write_text
 from .arrivals import ArrivalProcess
 
 #: Version tag written into serialised traces.
@@ -147,10 +148,10 @@ class WorkloadTrace:
         }
 
     def to_json(self, path: str | Path | None = None, indent: int | None = None) -> str:
-        """Serialise the trace; optionally write it to ``path``."""
+        """Serialise the trace; optionally write it to ``path`` (atomically)."""
         text = json.dumps(self.to_dict(), indent=indent)
         if path is not None:
-            Path(path).write_text(text, encoding="utf-8")
+            atomic_write_text(Path(path), text)
         return text
 
     @classmethod

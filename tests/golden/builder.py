@@ -19,6 +19,7 @@ from repro.experiments.base import deploy_benchmark
 from repro.faults import FaultPlaneConfig, OutageWindow
 from repro.resilience import ResilienceConfig
 from repro.simulator.providers import create_platform
+from repro.utils.io import atomic_write_text
 from repro.workload import (
     BurstyArrivals,
     ConstantRateArrivals,
@@ -190,20 +191,23 @@ def summarize_trace(trace: WorkloadTrace) -> dict:
 
 
 def regenerate() -> list[Path]:
-    """(Re)write every golden trace and its expected summary."""
+    """(Re)write every golden trace and its expected summary.
+
+    All writes are atomic (``repro.utils.io``): an interrupted
+    ``make regen-golden`` leaves the previous intact fixtures, never a
+    truncated one for the golden-drift gate to choke on.
+    """
     written = []
     for name, build in TRACES.items():
         trace = build().materialize()
         trace.to_json(trace_path(name), indent=2)
         expected = summarize_trace(trace)
-        expected_path(name).write_text(
-            json.dumps(expected, indent=2) + "\n", encoding="utf-8"
-        )
+        atomic_write_text(expected_path(name), json.dumps(expected, indent=2) + "\n")
         written.extend([trace_path(name), expected_path(name)])
     trace = storm_trace()
     trace.to_json(trace_path(STORM_NAME), indent=2)
-    expected_path(STORM_NAME).write_text(
-        json.dumps(summarize_storm(trace), indent=2) + "\n", encoding="utf-8"
+    atomic_write_text(
+        expected_path(STORM_NAME), json.dumps(summarize_storm(trace), indent=2) + "\n"
     )
     written.extend([trace_path(STORM_NAME), expected_path(STORM_NAME)])
     return written
