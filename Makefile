@@ -4,21 +4,22 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-slow test-cov compile lint ci ci-golden check-regression \
 	bench bench-smoke bench-overload bench-fault-storm bench-chaos \
-	bench-throughput regen-golden workload workflow
+	bench-throughput bench-observability regen-golden workload workflow
 
 ## tier-1 test suite (slow-marked tests are deselected; see test-slow)
 test:
 	$(PYTHON) -m pytest -x -q
 
 ## tier-1 suite with the coverage gate CI enforces (>=80% on stats +
-## parallel + faults + resilience).  Falls back to the plain tier-1 run
-## when pytest-cov is not installed, so `make ci` works in minimal
-## environments too.
+## parallel + faults + resilience + observe).  Falls back to the plain
+## tier-1 run when pytest-cov is not installed, so `make ci` works in
+## minimal environments too.
 test-cov:
 	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
 		$(PYTHON) -m pytest -x -q \
 			--cov=repro.stats --cov=repro.parallel \
 			--cov=repro.faults --cov=repro.resilience \
+			--cov=repro.observe \
 			--cov-report=term-missing --cov-fail-under=80; \
 	else \
 		echo "pytest-cov not installed; running tier-1 tests without the coverage gate"; \
@@ -56,7 +57,7 @@ check-regression:
 
 ## what CI runs — the workflow invokes these same targets, one per step,
 ## in this order, so local `make ci` and CI can never drift
-ci: compile lint test-cov test-slow bench-smoke bench-overload bench-fault-storm bench-chaos bench-throughput check-regression ci-golden
+ci: compile lint test-cov test-slow bench-smoke bench-overload bench-fault-storm bench-chaos bench-throughput bench-observability check-regression ci-golden
 
 ## regenerate all paper figures/tables (pytest-benchmark harness)
 bench:
@@ -85,6 +86,11 @@ bench-chaos:
 ## be comparing the committed artifact against itself)
 bench-throughput:
 	$(PYTHON) -m pytest benchmarks/bench_workload_throughput.py benchmarks/bench_workflow_throughput.py -q
+
+## pure-observer overhead gate: detached hooks <=1%, attached observers
+## <=10% on the 100k trace (emits BENCH_observability.json)
+bench-observability:
+	$(PYTHON) -m pytest benchmarks/bench_observability.py -q -s
 
 ## quick trace-driven workload replay demo
 workload:

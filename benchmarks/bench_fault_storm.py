@@ -120,6 +120,8 @@ def test_fault_storm(benchmark, experiment_config, simulation_config):
     assert naive.retries > resilient.retries
 
     # Chaos equivalence at benchmark scale: the same storm replayed through
-    # the sharded path must be bit-identical to the serial result above.
+    # the sharded path must be bit-identical to the serial result above —
+    # simulation outputs only; the host-side replay block (wall clock)
+    # legitimately differs between the two runs.
     sharded = experiment.run(workers=EQUIVALENCE_WORKERS)
-    assert sharded.to_dict() == result.to_dict()
+    assert sharded.to_dict(include_replay=False) == result.to_dict(include_replay=False)

@@ -1,0 +1,170 @@
+"""Observability overhead: attaching observers must stay near-free.
+
+Not a paper figure — this target guards the *pure observer* contract's
+performance half (the correctness half — bit-identical replay — lives in
+``tests/test_observe.py``).  The same 100 000-invocation Poisson trace as
+``bench_workload_throughput`` replays three ways, interleaved round-robin
+so machine noise hits every configuration equally:
+
+* **reference** — the plain replay, no observability keywords at all;
+* **detached** — every observability keyword passed explicitly as its
+  disabled default (``observer=None``, ``timeseries=None``,
+  ``profile=False``), timing the guard branches themselves;
+* **attached** — a full :class:`~repro.observe.EventLog` plus a windowed
+  time-series builder, the heaviest supported combination.
+
+Each configuration keeps its best throughput over the rounds run so far
+(min wall clock — the standard noise-robust estimator); like
+``bench_chaos_replay``, rounds repeat from MIN up to MAX with an early
+exit once both gates hold, because run-to-run noise on a busy runner
+exceeds the 1% ceiling while min-over-rounds converges — and a genuine
+regression still fails every time.  Two measurement controls keep the
+comparison honest at the 1% scale:
+
+* the configuration order **rotates** every round — three identical
+  replays run back-to-back measure up to ~7% apart purely by position
+  (frequency/thermal decay over a sustained burst), so a fixed order
+  would bill the decay to whichever configuration runs last;
+* each replay is timed with the cyclic **GC paused** (collect first,
+  disable, re-enable after — exactly ``timeit``'s default).  Whether a
+  replay crosses a generation threshold mid-run depends on allocation
+  counts entirely unrelated to the observers, and one extra gen-2 sweep
+  over 100k live records costs more than the whole observer hot path.
+
+The gates: detached costs ≤ 1% and attached ≤ 10% against the
+reference.  The measured throughputs land in
+``benchmarks/BENCH_observability.json`` and are tracked by
+``benchmarks/check_regression.py`` against ``baselines.json``.
+"""
+
+from __future__ import annotations
+
+import gc
+from pathlib import Path
+
+from conftest import emit_bench_json, run_once
+
+from repro.config import Provider
+from repro.experiments.base import deploy_benchmark
+from repro.observe import EventLog, TimeSeriesSpec
+from repro.simulator.providers import create_platform
+from repro.workload import PoissonArrivals, WorkloadTrace
+
+TRACE_INVOCATIONS = 100_000
+ARRIVAL_RATE_PER_S = 50.0
+MIN_ROUNDS = 2
+#: Run-to-run noise on a busy runner reaches tens of percent while the
+#: true attached cost is ~6%; min-over-rounds needs head-room to catch a
+#: quiet window for every configuration.
+MAX_ROUNDS = 10
+DETACHED_BUDGET = 0.01
+ATTACHED_BUDGET = 0.10
+
+BENCH_JSON = Path(__file__).resolve().parent / "BENCH_observability.json"
+
+
+def _trace(simulation_config) -> WorkloadTrace:
+    duration_s = 1.02 * TRACE_INVOCATIONS / ARRIVAL_RATE_PER_S
+    trace = WorkloadTrace.synthesize(
+        "dynamic-html-0",
+        PoissonArrivals(ARRIVAL_RATE_PER_S),
+        duration_s=duration_s,
+        rng=simulation_config.seed,
+    )
+    assert len(trace) >= TRACE_INVOCATIONS
+    return WorkloadTrace(list(trace)[:TRACE_INVOCATIONS])
+
+
+def _fresh_platform(simulation_config):
+    platform = create_platform(Provider.AWS, simulation_config)
+    deploy_benchmark(platform, "dynamic-html", memory_mb=256, function_name="dynamic-html-0")
+    return platform
+
+
+def test_observer_overhead_100k(benchmark, simulation_config):
+    trace = _trace(simulation_config)
+    last_event_count = 0
+
+    def reference():
+        return _fresh_platform(simulation_config).run_workload(trace)
+
+    def detached():
+        return _fresh_platform(simulation_config).run_workload(
+            trace, observer=None, timeseries=None, profile=False
+        )
+
+    def attached():
+        nonlocal last_event_count
+        log = EventLog()
+        result = _fresh_platform(simulation_config).run_workload(
+            trace, observer=log, timeseries=TimeSeriesSpec()
+        )
+        last_event_count = len(log)
+        return result
+
+    configurations = (("reference", reference), ("detached", detached), ("attached", attached))
+
+    def interleaved_rounds():
+        best = {name: 0.0 for name, _ in configurations}
+        reference_result = None
+        rounds = 0
+        for round_index in range(MAX_ROUNDS):
+            rounds = round_index + 1
+            shift = round_index % len(configurations)
+            for name, replay in configurations[shift:] + configurations[:shift]:
+                gc.collect()
+                gc.disable()
+                try:
+                    result = replay()
+                finally:
+                    gc.enable()
+                assert result.invocations == TRACE_INVOCATIONS
+                best[name] = max(best[name], result.throughput_per_s)
+                if name == "reference":
+                    reference_result = result
+            if (
+                rounds >= MIN_ROUNDS
+                and 1.0 - best["detached"] / best["reference"] <= DETACHED_BUDGET
+                and 1.0 - best["attached"] / best["reference"] <= ATTACHED_BUDGET
+            ):
+                break
+        return best, reference_result, rounds
+
+    best, reference_result, rounds = run_once(benchmark, interleaved_rounds)
+
+    detached_overhead = 1.0 - best["detached"] / best["reference"]
+    attached_overhead = 1.0 - best["attached"] / best["reference"]
+    print(
+        f"\nreference {best['reference']:,.0f}/s, "
+        f"detached {best['detached']:,.0f}/s ({detached_overhead:+.2%}), "
+        f"attached {best['attached']:,.0f}/s ({attached_overhead:+.2%}) "
+        f"[{last_event_count} events collected, {rounds} round(s)]"
+    )
+
+    emit_bench_json(
+        BENCH_JSON,
+        {
+            "benchmark": "observability_overhead_100k",
+            "invocations": TRACE_INVOCATIONS,
+            "rounds": rounds,
+            "reference_throughput_per_s": round(best["reference"], 1),
+            "detached_throughput_per_s": round(best["detached"], 1),
+            "attached_throughput_per_s": round(best["attached"], 1),
+            "detached_overhead": round(detached_overhead, 4),
+            "attached_overhead": round(attached_overhead, 4),
+            "events_collected": last_event_count,
+        },
+    )
+
+    # The lifecycle stream saw the whole replay (spans + container churn).
+    assert last_event_count >= TRACE_INVOCATIONS
+    assert reference_result is not None and reference_result.records
+    # The pure-observer budgets: guard branches are free, and even the
+    # heaviest attachment (typed events + windowed series) stays cheap.
+    assert detached_overhead <= DETACHED_BUDGET, (
+        f"detached observability hooks cost {detached_overhead:.2%} "
+        f"(budget {DETACHED_BUDGET:.0%})"
+    )
+    assert attached_overhead <= ATTACHED_BUDGET, (
+        f"attached observers cost {attached_overhead:.2%} (budget {ATTACHED_BUDGET:.0%})"
+    )

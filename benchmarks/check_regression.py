@@ -76,6 +76,10 @@ GATED_METRICS: dict[str, tuple[tuple[str, str], ...]] = {
         ("clean_supervised_throughput_per_s", "higher"),
         ("recovery_wall_clock_s", "lower"),
     ),
+    "observability_overhead_100k": (
+        ("detached_throughput_per_s", "higher"),
+        ("attached_throughput_per_s", "higher"),
+    ),
 }
 
 #: Benchmarks that emit a BENCH json but are *deliberately* ungated — the

@@ -332,7 +332,9 @@ def _smoke_fault_storm(workers: int) -> list[str]:
     if resilient.short_circuited == 0:
         failures.append("breaker never short-circuited during the outage")
     sharded = experiment.run(workers=workers)
-    if sharded.to_dict() != serial.to_dict():
+    # Simulation outputs only: the host-side replay block (wall clock,
+    # throughput) legitimately differs between the two runs.
+    if sharded.to_dict(include_replay=False) != serial.to_dict(include_replay=False):
         failures.append(f"fault-storm replay diverged under sharding (x{workers})")
     if wall_clock_s > FAULT_STORM_BUDGET_S:
         failures.append(

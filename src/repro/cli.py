@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from pathlib import Path
 from typing import Sequence
@@ -45,6 +46,7 @@ from .workflows.catalog import STANDARD_WORKFLOWS
 from .workload.scenario import STANDARD_PATTERNS
 from .workload.trace import WorkloadTrace
 from .reporting import figures
+from .reporting.summaries import replay_summary
 from .reporting.tables import format_table, table2_platform_limits, table3_applications, table9_insights
 
 
@@ -206,6 +208,43 @@ def _replay_args(parser: argparse.ArgumentParser, unit: str) -> None:
         f"per-{unit} rows) as JSON instead of only printing tables",
     )
     parser.add_argument(
+        "--observe",
+        action="store_true",
+        help="attach the lifecycle-event observer (typed invocation spans, "
+        "container churn, breaker transitions, fault windows) — purely "
+        "observational, replay output stays bit-identical; serial replay "
+        "only (incompatible with --workers)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the observed event stream as Chrome trace-event JSON "
+        "(load in Perfetto / chrome://tracing; implies --observe; with "
+        "multiple providers, PATH gets a -<provider> suffix)",
+    )
+    parser.add_argument(
+        "--timeseries-out",
+        default=None,
+        metavar="PATH",
+        help="write windowed simulated-time metrics (goodput, in-flight, "
+        "throttle/drop/fault rates, warm pool, latency percentiles) as "
+        "CSV — works with --workers and --streaming (exact sharded merge)",
+    )
+    parser.add_argument(
+        "--timeseries-window",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="simulated-time bucket width for --timeseries-out (default: 5)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the replay machinery itself (host wall clock per "
+        "phase: planning, shard execution, merge) and print the breakdown",
+    )
+    parser.add_argument(
         "--providers",
         nargs="+",
         default=["aws", "gcp", "azure"],
@@ -229,6 +268,14 @@ def _experiment_args(parser: argparse.ArgumentParser) -> None:
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="sebs-repro", description=__doc__)
+    parser.add_argument(
+        "--log-level",
+        default="warning",
+        choices=["debug", "info", "warning", "error"],
+        help="logging verbosity (before the subcommand, e.g. "
+        "'sebs-repro --log-level info workload ...'); supervisor recovery "
+        "actions log at INFO/WARNING (default: warning)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available benchmarks")
@@ -395,6 +442,64 @@ def _write_output(path: str, payload: dict) -> None:
     print(f"summary written to {path}")
 
 
+def _observability(args: argparse.Namespace):
+    """Resolve the --observe/--trace-out/--timeseries-* flags.
+
+    Returns ``(observer_factory, event_logs, timeseries_spec)``: the
+    factory hands each provider its own :class:`~repro.observe.EventLog`
+    (collected in ``event_logs``), the spec requests the windowed series.
+    """
+    event_logs: dict = {}
+    observer_factory = None
+    if args.observe or args.trace_out is not None:
+        from .observe import EventLog
+
+        def observer_factory(provider):
+            log = EventLog()
+            event_logs[provider] = log
+            return log
+
+    timeseries = None
+    if args.timeseries_out is not None:
+        from .observe import TimeSeriesSpec
+
+        timeseries = TimeSeriesSpec(window_s=args.timeseries_window)
+    return observer_factory, event_logs, timeseries
+
+
+def _provider_path(path: str, provider: Provider, multi: bool) -> Path:
+    """Suffix ``path`` with the provider when several providers replay."""
+    resolved = Path(path)
+    if not multi:
+        return resolved
+    return resolved.with_name(f"{resolved.stem}-{provider.value}{resolved.suffix}")
+
+
+def _emit_observability(args: argparse.Namespace, providers, per_provider, event_logs) -> None:
+    """Write trace/series files and print profiles for each provider."""
+    multi = len(providers) > 1
+    for provider in providers:
+        replay = per_provider[provider]
+        log = event_logs.get(provider)
+        if log is not None:
+            print(f"{len(log)} lifecycle events observed ({provider.value})")
+        if args.trace_out is not None and log is not None:
+            from .observe import write_chrome_trace
+
+            path = _provider_path(args.trace_out, provider, multi)
+            write_chrome_trace(log.events, path)
+            print(f"trace written to {path}")
+        if args.timeseries_out is not None and replay.timeseries is not None:
+            from .observe import write_timeseries_csv
+
+            path = _provider_path(args.timeseries_out, provider, multi)
+            write_timeseries_csv(replay.timeseries, path)
+            print(f"time series written to {path}")
+        if args.profile and replay.profile is not None:
+            print(f"\n# Replay profile ({provider.value})")
+            print(format_table(replay.profile.rows()))
+
+
 def _configs(args: argparse.Namespace) -> tuple[ExperimentConfig, SimulationConfig]:
     samples = getattr(args, "samples", 50)
     batch = getattr(args, "batch", 20)
@@ -422,6 +527,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     other library error.
     """
     args = _build_parser().parse_args(argv)
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        format="%(levelname)s %(name)s: %(message)s",
+    )
     try:
         return _run(args)
     except ShardReplayError as error:
@@ -509,6 +618,7 @@ def _run(args: argparse.Namespace) -> int:
         experiment = WorkloadReplayExperiment(config=config, simulation=simulation)
         providers = tuple(Provider(p) for p in args.providers)
         trace = WorkloadTrace.from_json(args.trace) if args.trace else None
+        observer_factory, event_logs, timeseries = _observability(args)
         result = experiment.run(
             providers=providers,
             pattern=args.pattern,
@@ -520,6 +630,9 @@ def _run(args: argparse.Namespace) -> int:
             supervision=_supervision_config(args),
             checkpoint_dir=args.checkpoint_dir,
             resume=args.resume,
+            observer_factory=observer_factory,
+            timeseries=timeseries,
+            profile=args.profile,
         )
         if args.save_trace:
             result.trace.to_json(args.save_trace, indent=2)
@@ -529,6 +642,7 @@ def _run(args: argparse.Namespace) -> int:
         print(format_table(result.to_rows()))
         print("\n# Provider summary")
         print(format_table(result.summary_rows()))
+        _emit_observability(args, providers, result.per_provider, event_logs)
         if args.output:
             _write_output(
                 args.output,
@@ -540,6 +654,10 @@ def _run(args: argparse.Namespace) -> int:
                     "seed": args.seed,
                     "providers": result.summary_rows(),
                     "per_function": result.to_rows(),
+                    "replay": {
+                        provider.value: replay_summary(result.per_provider[provider])
+                        for provider in providers
+                    },
                 },
             )
         return 0
@@ -557,6 +675,7 @@ def _run(args: argparse.Namespace) -> int:
         providers = tuple(Provider(p) for p in args.providers)
         # The branch workflow routes on the payload; give it a route.
         payload = {"size": "small"} if args.workflow == "branch" else None
+        observer_factory, event_logs, timeseries = _observability(args)
         result = experiment.run(
             providers=providers,
             workflow=args.workflow,
@@ -569,12 +688,16 @@ def _run(args: argparse.Namespace) -> int:
             supervision=_supervision_config(args),
             checkpoint_dir=args.checkpoint_dir,
             resume=args.resume,
+            observer_factory=observer_factory,
+            timeseries=timeseries,
+            profile=args.profile,
         )
         print(f"# Workflow replay: {result.workflow_name} "
               f"({result.executions} executions over {args.duration:.0f}s)")
         print(format_table(result.to_rows()))
         print("\n# Provider summary")
         print(format_table(result.summary_rows()))
+        _emit_observability(args, providers, result.per_provider, event_logs)
         if args.output:
             _write_output(
                 args.output,
@@ -586,6 +709,10 @@ def _run(args: argparse.Namespace) -> int:
                     "seed": args.seed,
                     "providers": result.summary_rows(),
                     "per_workflow": result.to_rows(),
+                    "replay": {
+                        provider.value: replay_summary(result.per_provider[provider])
+                        for provider in providers
+                    },
                 },
             )
         return 0

@@ -40,6 +40,7 @@ from ..concurrency import OverloadConfig
 from ..config import Provider
 from ..exceptions import ConfigurationError
 from ..faults import FaultPlaneConfig, OutageWindow
+from ..reporting.summaries import replay_summary
 from ..resilience import CircuitBreakerConfig, ResilienceConfig
 from ..simulator.providers import create_platform
 from ..workload.arrivals import PoissonArrivals
@@ -107,6 +108,14 @@ class ResilienceVariantResult:
     #: ``(bucket_start_s, submitted, successes)`` per bucket over the whole
     #: trace, for plotting the collapse/recovery curve.
     curve: tuple[tuple[float, int, int], ...]
+    #: Host wall clock of this variant's replay, and the derived
+    #: invocations-per-wall-second figure — measurements of *this* run,
+    #: reported alongside the simulation outputs so every CLI subcommand's
+    #: ``--output`` carries the same replay block.
+    wall_clock_s: float = 0.0
+    throughput_per_s: float = 0.0
+    #: Supervision report dict when the replay ran supervised sharded.
+    supervision: dict | None = None
 
     @property
     def recovery_ratio(self) -> float:
@@ -115,8 +124,13 @@ class ResilienceVariantResult:
             return 0.0
         return self.post.goodput_per_s / self.pre.goodput_per_s
 
-    def to_dict(self) -> dict:
-        return {
+    def to_dict(self, include_replay: bool = True) -> dict:
+        """Document form.  ``include_replay=False`` drops the host-side
+        replay block (wall clock, throughput) — the simulation outputs
+        alone, which is what serial-vs-sharded bit-identity gates compare:
+        host timings legitimately differ between two runs of the same
+        replay."""
+        document = {
             "name": self.name,
             "retry_policy": self.retry_policy,
             "breaker_enabled": self.breaker_enabled,
@@ -135,6 +149,9 @@ class ResilienceVariantResult:
             "recovery_ratio": self.recovery_ratio,
             "curve": [list(bucket) for bucket in self.curve],
         }
+        if include_replay:
+            document["replay"] = replay_summary(self)
+        return document
 
 
 @dataclass
@@ -153,13 +170,18 @@ class ResilienceExperimentResult:
                 return entry
         raise KeyError(name)
 
-    def to_dict(self) -> dict:
+    def to_dict(self, include_replay: bool = True) -> dict:
+        """Document form; see :meth:`ResilienceVariantResult.to_dict` for
+        ``include_replay``."""
         return {
             "provider": self.provider.value,
             "duration_s": self.duration_s,
             "outage_start_s": self.outage_start_s,
             "outage_end_s": self.outage_end_s,
-            "variants": {entry.name: entry.to_dict() for entry in self.variants},
+            "variants": {
+                entry.name: entry.to_dict(include_replay=include_replay)
+                for entry in self.variants
+            },
         }
 
 
@@ -323,6 +345,9 @@ class ResilienceExperiment(ExperimentRunner):
             pre=_window(replay, pre_window),
             post=_window(replay, post_window),
             curve=curve,
+            wall_clock_s=replay.wall_clock_s,
+            throughput_per_s=replay.throughput_per_s,
+            supervision=replay.supervision,
         )
 
 

@@ -79,6 +79,9 @@ class WorkflowReplayExperiment(ExperimentRunner):
         supervision=None,
         checkpoint_dir=None,
         resume: bool = False,
+        observer_factory=None,
+        timeseries=None,
+        profile: bool = False,
     ) -> WorkflowExperimentResult:
         """Deploy the functions, synthesize the arrivals once, replay everywhere.
 
@@ -90,7 +93,10 @@ class WorkflowReplayExperiment(ExperimentRunner):
         ``supervision`` and ``checkpoint_dir``/``resume`` pass through to
         the sharded replay (shard recovery ladder + byte-identical crash
         resume); the checkpoint fingerprint covers the provider, so one
-        directory serves all of them.
+        directory serves all of them.  ``observer_factory`` /
+        ``timeseries`` / ``profile`` behave exactly as in
+        :meth:`WorkloadReplayExperiment.run
+        <repro.experiments.workload_replay.WorkloadReplayExperiment.run>`.
         """
         if spec is None:
             spec, deployments = standard_workflow(workflow, fan_out=fan_out)
@@ -123,5 +129,8 @@ class WorkflowReplayExperiment(ExperimentRunner):
                 supervision=supervision,
                 checkpoint_dir=checkpoint_dir,
                 resume=resume,
+                observer=observer_factory(provider) if observer_factory is not None else None,
+                timeseries=timeseries,
+                profile=profile,
             )
         return result

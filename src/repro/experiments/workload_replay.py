@@ -91,6 +91,9 @@ class WorkloadReplayExperiment(ExperimentRunner):
         supervision=None,
         checkpoint_dir=None,
         resume: bool = False,
+        observer_factory=None,
+        timeseries=None,
+        profile: bool = False,
     ) -> WorkloadReplayResult:
         """Deploy the functions, build the trace once, replay it everywhere.
 
@@ -117,6 +120,14 @@ class WorkloadReplayExperiment(ExperimentRunner):
         checkpointing with byte-identical crash resume.  The checkpoint
         fingerprint covers the provider, so one directory serves all of
         them.
+
+        ``observer_factory`` is called once per provider (with the
+        :class:`~repro.config.Provider`) and must return a
+        :class:`~repro.observe.events.ReplayObserver` (or ``None``) for
+        that provider's replay — one event log per provider, no mingling.
+        ``timeseries`` (a spec or window width) and ``profile`` pass
+        straight through to each provider's replay, landing on
+        ``result.per_provider[p].timeseries`` / ``.profile``.
         """
         if trace is None:
             if scenario is None:
@@ -167,5 +178,8 @@ class WorkloadReplayExperiment(ExperimentRunner):
                 supervision=supervision,
                 checkpoint_dir=checkpoint_dir,
                 resume=resume,
+                observer=observer_factory(provider) if observer_factory is not None else None,
+                timeseries=timeseries,
+                profile=profile,
             )
         return result

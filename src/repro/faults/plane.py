@@ -43,6 +43,28 @@ class FunctionFaultState:
         #: Sandboxes evicted by crash events so far (reporting/tests).
         self.crash_evictions = 0
 
+    def windows(self) -> list[tuple[str, float, float, str]]:
+        """Every scheduled window as ``(kind, start, end, detail)`` tuples.
+
+        Read-only view of the already-materialised (jittered) schedule, in
+        config order — the observability layer announces these at replay
+        start without touching any stream.
+        """
+        out: list[tuple[str, float, float, str]] = []
+        for start, end, window in self._outages:
+            out.append(("outage", start, end, window.mode))
+        for start, end, storm in self._storms:
+            out.append(
+                (
+                    "latency-storm",
+                    start,
+                    end,
+                    f"compute x{storm.compute_multiplier:g}, "
+                    f"network x{storm.network_multiplier:g}",
+                )
+            )
+        return out
+
     def outage_at(self, now_rel: float) -> OutageWindow | None:
         """The outage window covering trace-relative ``now_rel``, if any."""
         for start, end, window in self._outages:

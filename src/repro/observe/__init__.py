@@ -1,0 +1,62 @@
+"""Deterministic observability for the replay engines.
+
+A pure-observer layer: typed lifecycle events (:mod:`.events`), windowed
+simulated-time metrics with an exact sharded merge (:mod:`.timeseries`),
+wire-format exporters (:mod:`.exporters`) and host-side replay profiling
+(:mod:`.profile`).  Attaching any of it never draws from an RNG and never
+reorders a scheduling decision, so an observed replay is bit-identical to
+a detached one.
+"""
+
+from .events import (
+    BreakerTransition,
+    CompositeObserver,
+    ContainerEvent,
+    EventLog,
+    FaultWindow,
+    InvocationSpan,
+    ReplayObserver,
+    WorkflowStageSpan,
+    invocation_span,
+)
+from .exporters import (
+    chrome_trace,
+    iter_spans,
+    prometheus_snapshot,
+    timeseries_csv,
+    write_chrome_trace,
+    write_event_jsonl,
+    write_prometheus_snapshot,
+    write_timeseries_csv,
+)
+from .profile import ProfileBuilder, ReplayProfile
+from .timeseries import (
+    DEFAULT_WINDOW_S,
+    TimeSeriesBuilder,
+    TimeSeriesSpec,
+)
+
+__all__ = [
+    "BreakerTransition",
+    "CompositeObserver",
+    "ContainerEvent",
+    "EventLog",
+    "FaultWindow",
+    "InvocationSpan",
+    "ReplayObserver",
+    "WorkflowStageSpan",
+    "invocation_span",
+    "chrome_trace",
+    "iter_spans",
+    "prometheus_snapshot",
+    "timeseries_csv",
+    "write_chrome_trace",
+    "write_event_jsonl",
+    "write_prometheus_snapshot",
+    "write_timeseries_csv",
+    "ProfileBuilder",
+    "ReplayProfile",
+    "DEFAULT_WINDOW_S",
+    "TimeSeriesBuilder",
+    "TimeSeriesSpec",
+]

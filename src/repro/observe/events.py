@@ -1,0 +1,334 @@
+"""Typed lifecycle events and the pure-observer protocol of the replay.
+
+The engines expose a single optional hook object — a
+:class:`ReplayObserver` — that is notified *after* every simulation
+decision has been taken: a completed invocation (with its queue-wait /
+cold-init / compute / network segments), a sandbox created or evicted, a
+circuit-breaker state transition, a scheduled fault window, a workflow
+stage completion with its parent execution.  The contract that makes this
+layer safe to thread through a bit-reproducible simulator:
+
+* **Zero cost when detached.**  Every hook site is guarded by
+  ``if observer is not None`` — a detached replay executes exactly the
+  instruction stream it executed before this layer existed.
+* **No RNG draws, no ordering changes.**  Observers receive values the
+  engine already computed; they never touch a random stream, never mutate
+  platform state, and are invoked outside every scheduling decision.  A
+  replay with observers attached is therefore bit-identical to a detached
+  one — :mod:`tests.test_observe` proves it byte-for-byte.
+
+Events are plain slotted dataclasses with ``to_dict()``; the exporters in
+:mod:`repro.observe.exporters` turn a collected stream into JSONL, Chrome
+trace-event JSON (Perfetto), Prometheus text, or CSV.  The rare event
+types are frozen; :class:`InvocationSpan` is created once per invocation
+on 100k+ traces and stays unfrozen — frozen-dataclass construction goes
+through ``object.__setattr__`` per field, which alone would eat most of
+the attached-observer overhead budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from ..faas.invocation import InvocationRecord
+
+#: Event-type tags used by ``to_dict()`` / the JSONL exporter.
+INVOCATION = "invocation"
+CONTAINER = "container"
+BREAKER = "breaker"
+FAULT_WINDOW = "fault-window"
+WORKFLOW_STAGE = "workflow-stage"
+
+
+@dataclass(slots=True)
+class InvocationSpan:
+    """One invocation as a span over simulated time, with its segments.
+
+    Derived entirely from the :class:`~repro.faas.invocation.InvocationRecord`
+    the engine already produced; ``queue_wait_s`` is admission delay,
+    ``network_s`` is the client-observed remainder once compute, cold init
+    and queueing are accounted for (gateway + payload + response transfer).
+    Non-executed requests (throttled / dropped / short-circuited) become
+    zero-length spans at their submission instant, keeping the throttle and
+    drop decisions visible in the event stream.  Unfrozen purely for
+    construction speed (see the module docstring); treat instances as
+    immutable telemetry.
+    """
+
+    function: str
+    request_index: int
+    outcome: str
+    success: bool
+    start_type: str
+    container_id: str
+    submitted_at: float
+    started_at: float
+    finished_at: float
+    queue_wait_s: float
+    cold_init_s: float
+    compute_s: float
+    network_s: float
+    attempts: int
+
+    def to_dict(self) -> dict:
+        return {"type": INVOCATION, **asdict(self)}
+
+
+@dataclass(frozen=True, slots=True)
+class ContainerEvent:
+    """A sandbox created (``kind="create"``) or evicted (``kind="evict"``).
+
+    Creations are per-sandbox; evictions may be batched (``count`` > 1)
+    when a policy sweep or an injected crash evicts a population at one
+    simulated instant.
+    """
+
+    kind: str
+    function: str
+    at: float
+    count: int = 1
+    container_id: str = ""
+    reason: str = ""
+
+    def to_dict(self) -> dict:
+        return {"type": CONTAINER, **asdict(self)}
+
+
+@dataclass(frozen=True, slots=True)
+class BreakerTransition:
+    """One circuit-breaker state change, observed post-decision."""
+
+    function: str
+    at: float
+    old_state: str
+    new_state: str
+
+    def to_dict(self) -> dict:
+        return {"type": BREAKER, **asdict(self)}
+
+
+@dataclass(frozen=True, slots=True)
+class FaultWindow:
+    """A scheduled fault window (outage or latency storm), trace-relative.
+
+    Emitted once per function at replay start from the already-materialized
+    fault schedule — reading the schedule draws nothing.
+    """
+
+    function: str
+    kind: str
+    start_s: float
+    end_s: float
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {"type": FAULT_WINDOW, **asdict(self)}
+
+
+@dataclass(frozen=True, slots=True)
+class WorkflowStageSpan:
+    """One workflow stage invocation, tied to its parent execution.
+
+    ``execution_index`` is the causal parent: every stage span of one
+    workflow execution shares it, so exporters can lay the parent→child
+    chain out as one lane (the Chrome exporter uses it as the thread id).
+    """
+
+    workflow: str
+    execution_index: int
+    stage: str
+    map_index: int
+    span: InvocationSpan
+
+    def to_dict(self) -> dict:
+        return {
+            "type": WORKFLOW_STAGE,
+            "workflow": self.workflow,
+            "execution_index": self.execution_index,
+            "stage": self.stage,
+            "map_index": self.map_index,
+            "span": asdict(self.span),
+        }
+
+
+def invocation_span(record: InvocationRecord) -> InvocationSpan:
+    """Derive the typed span (with segments) from a finished record."""
+    cold_init_s = record.cold_init_s
+    queue_wait_s = record.admission_delay_s
+    compute_s = record.provider_time_s
+    if record.executed:
+        network_s = record.client_time_s - compute_s - cold_init_s - queue_wait_s
+        if network_s < 0.0:
+            network_s = 0.0
+    else:
+        network_s = 0.0
+    return InvocationSpan(
+        record.function_name,
+        record.request_index,
+        record.outcome.value,
+        record.success,
+        record.start_type.value,
+        record.container_id,
+        record.submitted_at,
+        record.started_at,
+        record.finished_at,
+        queue_wait_s,
+        cold_init_s,
+        compute_s,
+        network_s,
+        record.attempts,
+    )
+
+
+class ReplayObserver:
+    """No-op base observer: subclass and override what you care about.
+
+    Every method is called *after* the corresponding decision with values
+    the engine already holds; implementations must not mutate their
+    arguments or any platform state (the bit-identity contract).  The
+    default implementations do nothing, so a subclass only pays for the
+    hooks it overrides.
+    """
+
+    def on_invocation(self, record: InvocationRecord) -> None:
+        """A request reached its terminal record (any outcome)."""
+
+    def on_container_create(self, function: str, container_id: str, at: float) -> None:
+        """A sandbox was created (cold start) at simulated time ``at``."""
+
+    def on_container_evict(self, function: str, count: int, at: float, reason: str) -> None:
+        """``count`` sandboxes of ``function`` were evicted at ``at``."""
+
+    def on_breaker_transition(
+        self, function: str, at: float, old_state: str, new_state: str
+    ) -> None:
+        """The function's circuit breaker changed state at ``at``."""
+
+    def on_fault_window(
+        self, function: str, kind: str, start_s: float, end_s: float, detail: str
+    ) -> None:
+        """A scheduled fault window applies to ``function`` (emitted at start)."""
+
+    def on_workflow_stage(
+        self, workflow: str, execution_index: int, stage: str, map_index: int, record: InvocationRecord
+    ) -> None:
+        """A workflow stage invocation completed within ``execution_index``."""
+
+
+class CompositeObserver(ReplayObserver):
+    """Fan one hook stream out to several observers, in order."""
+
+    def __init__(self, observers: list[ReplayObserver]):
+        self._observers = list(observers)
+        # Per-invocation dispatch is the only per-record hook, so it is an
+        # instance attribute (shadowing the class method): a lone observer's
+        # bound hook is forwarded directly, several share one closure —
+        # either way the composite adds no method frame of its own.
+        hooks = tuple(observer.on_invocation for observer in self._observers)
+        if len(hooks) == 1:
+            self.on_invocation = hooks[0]
+        elif hooks:
+
+            def _fan_out(record, _hooks=hooks):
+                for hook in _hooks:
+                    hook(record)
+
+            self.on_invocation = _fan_out
+
+    def on_invocation(self, record):
+        for observer in self._observers:
+            observer.on_invocation(record)
+
+    def on_container_create(self, function, container_id, at):
+        for observer in self._observers:
+            observer.on_container_create(function, container_id, at)
+
+    def on_container_evict(self, function, count, at, reason):
+        for observer in self._observers:
+            observer.on_container_evict(function, count, at, reason)
+
+    def on_breaker_transition(self, function, at, old_state, new_state):
+        for observer in self._observers:
+            observer.on_breaker_transition(function, at, old_state, new_state)
+
+    def on_fault_window(self, function, kind, start_s, end_s, detail):
+        for observer in self._observers:
+            observer.on_fault_window(function, kind, start_s, end_s, detail)
+
+    def on_workflow_stage(self, workflow, execution_index, stage, map_index, record):
+        for observer in self._observers:
+            observer.on_workflow_stage(workflow, execution_index, stage, map_index, record)
+
+
+class EventLog(ReplayObserver):
+    """Observer that materializes the typed event stream in arrival order.
+
+    Memory is O(events); very large replays that only need windowed series
+    should attach a :class:`~repro.observe.timeseries.TimeSeriesBuilder`
+    instead (O(active windows) memory).
+
+    The per-invocation hooks only *append* during the replay (the record
+    the engine already built, or a small tuple for workflow stages);
+    deriving the typed spans is deferred to the first :attr:`events`
+    access.  Same event stream, but the replay's hot loop pays one list
+    append instead of a 14-field span construction — the difference
+    between blowing and meeting the attached-overhead budget of
+    ``benchmarks/bench_observability.py``.  Derivation is pure, so
+    laziness cannot affect replay output.
+    """
+
+    def __init__(self) -> None:
+        #: Raw entries in arrival order: an InvocationRecord, a
+        #: ``(workflow, execution_index, stage, map_index, record)`` tuple,
+        #: or an already-typed rare event.
+        self._raw: list = []
+        self._typed: list | None = None
+        # The per-invocation hook IS the list append (instance attribute
+        # shadows the class method) — the cheapest possible hot path.
+        self.on_invocation = self._raw.append
+
+    def __len__(self) -> int:
+        return len(self._raw)
+
+    @property
+    def events(self) -> list:
+        """The typed event stream, derived (and cached) on first access."""
+        if self._typed is None or len(self._typed) != len(self._raw):
+            self._typed = [
+                entry
+                if entry.__class__ not in (InvocationRecord, tuple)
+                else invocation_span(entry)
+                if entry.__class__ is InvocationRecord
+                else WorkflowStageSpan(
+                    workflow=entry[0],
+                    execution_index=entry[1],
+                    stage=entry[2],
+                    map_index=entry[3],
+                    span=invocation_span(entry[4]),
+                )
+                for entry in self._raw
+            ]
+        return self._typed
+
+    def on_container_create(self, function, container_id, at):
+        self._raw.append(
+            ContainerEvent(kind="create", function=function, at=at, container_id=container_id)
+        )
+
+    def on_container_evict(self, function, count, at, reason):
+        self._raw.append(
+            ContainerEvent(kind="evict", function=function, at=at, count=count, reason=reason)
+        )
+
+    def on_breaker_transition(self, function, at, old_state, new_state):
+        self._raw.append(
+            BreakerTransition(function=function, at=at, old_state=old_state, new_state=new_state)
+        )
+
+    def on_fault_window(self, function, kind, start_s, end_s, detail):
+        self._raw.append(
+            FaultWindow(function=function, kind=kind, start_s=start_s, end_s=end_s, detail=detail)
+        )
+
+    def on_workflow_stage(self, workflow, execution_index, stage, map_index, record):
+        self._raw.append((workflow, execution_index, stage, map_index, record))

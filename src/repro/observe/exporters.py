@@ -1,0 +1,211 @@
+"""Exporters for the collected event stream and time series.
+
+Four wire formats, all written atomically (:mod:`repro.utils.io`):
+
+* **JSONL** — one ``event.to_dict()`` per line; the lossless archival form.
+* **Chrome trace-event JSON** — a ``{"traceEvents": [...]}`` document that
+  ``ui.perfetto.dev`` (or ``chrome://tracing``) loads directly.  Invocation
+  spans become ``ph="X"`` complete events on one track per function
+  (``pid=1``); workflow stages land on one track per *execution*
+  (``pid=2``), so the parent→child causality of a workflow reads as a
+  single lane.  Container, breaker and fault events become instant events.
+* **Prometheus text** — an end-of-run counter snapshot in the exposition
+  format, for scraping replay farms.
+* **CSV** — the windowed time series, one row per (function, window).
+
+Timestamps are simulated seconds; Chrome wants microseconds, so spans are
+scaled by 1e6.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..utils.io import atomic_write_text
+from .events import InvocationSpan, WorkflowStageSpan
+from .timeseries import TimeSeriesBuilder
+
+_US = 1_000_000.0
+
+
+def _prepare(path: str | Path) -> Path:
+    """Resolve ``path`` and create its parent directory if missing."""
+    resolved = Path(path)
+    resolved.parent.mkdir(parents=True, exist_ok=True)
+    return resolved
+
+
+def write_event_jsonl(events: Sequence, path: str | Path) -> None:
+    """One event dict per line, in collection order."""
+    lines = [json.dumps(event.to_dict()) for event in events]
+    atomic_write_text(_prepare(path), "\n".join(lines) + ("\n" if lines else ""))
+
+
+def chrome_trace(events: Sequence) -> dict:
+    """Build the Chrome trace-event document from a collected event stream."""
+    trace_events: list[dict] = []
+    function_tids: dict[str, int] = {}
+
+    def tid_for(function: str) -> int:
+        tid = function_tids.get(function)
+        if tid is None:
+            tid = len(function_tids) + 1
+            function_tids[function] = tid
+        return tid
+
+    def span_event(span: InvocationSpan, pid: int, tid: int, name: str) -> dict:
+        return {
+            "name": name,
+            "cat": span.outcome,
+            "ph": "X",
+            "pid": pid,
+            "tid": tid,
+            "ts": span.submitted_at * _US,
+            "dur": max(0.0, span.finished_at - span.submitted_at) * _US,
+            "args": {
+                "request_index": span.request_index,
+                "outcome": span.outcome,
+                "start_type": span.start_type,
+                "container_id": span.container_id,
+                "queue_wait_s": span.queue_wait_s,
+                "cold_init_s": span.cold_init_s,
+                "compute_s": span.compute_s,
+                "network_s": span.network_s,
+                "attempts": span.attempts,
+            },
+        }
+
+    for event in events:
+        if isinstance(event, InvocationSpan):
+            trace_events.append(span_event(event, 1, tid_for(event.function), event.function))
+        elif isinstance(event, WorkflowStageSpan):
+            entry = span_event(event.span, 2, event.execution_index + 1, event.stage)
+            entry["args"]["workflow"] = event.workflow
+            entry["args"]["execution_index"] = event.execution_index
+            entry["args"]["map_index"] = event.map_index
+            trace_events.append(entry)
+        else:
+            document = event.to_dict()
+            at = document.get("at", document.get("start_s", 0.0))
+            trace_events.append(
+                {
+                    "name": f"{document['type']}:{document.get('kind', document.get('new_state', ''))}",
+                    "cat": document["type"],
+                    "ph": "i",
+                    "s": "g",
+                    "pid": 1,
+                    "tid": tid_for(document.get("function", "")),
+                    "ts": at * _US,
+                    "args": document,
+                }
+            )
+    # Name the per-function tracks (metadata events).
+    for function, tid in sorted(function_tids.items(), key=lambda item: item[1]):
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": function or "platform"},
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Sequence, path: str | Path) -> None:
+    atomic_write_text(_prepare(path), json.dumps(chrome_trace(events)) + "\n")
+
+
+#: (metric suffix, result attribute, help text) for the Prometheus snapshot.
+_PROM_METRICS = (
+    ("invocations_total", "invocations", "terminal invocation records"),
+    ("executions_total", "executions", "workflow executions"),
+    ("executed_total", "executed_count", "requests that reached a sandbox"),
+    ("failures_total", "failure_count", "executed-but-failed requests"),
+    ("throttled_total", "throttled_count", "throttle rejections"),
+    ("dropped_total", "dropped_count", "admission-queue drops"),
+    ("faulted_total", "faulted_count", "fault-window failures"),
+    ("short_circuited_total", "short_circuited_count", "breaker short-circuits"),
+    ("cold_starts_total", "cold_start_count", "cold-started invocations"),
+    ("retries_total", "retry_count", "client retry attempts"),
+    ("hedges_total", "hedge_count", "hedged requests"),
+    ("cost_usd_total", "total_cost_usd", "accumulated billing"),
+    ("peak_in_flight", "peak_in_flight", "peak concurrent executions"),
+    ("simulated_span_seconds", "simulated_span_s", "simulated trace span"),
+    ("wall_clock_seconds", "wall_clock_s", "host wall clock of the replay"),
+    ("throughput_per_second", "throughput_per_s", "records per host second"),
+)
+
+
+def prometheus_snapshot(result, labels: dict | None = None, prefix: str = "repro_replay") -> str:
+    """End-of-run counters of a replay result in Prometheus text format.
+
+    ``result`` is duck-typed (:class:`~repro.workload.engine.WorkloadResult`
+    or :class:`~repro.workflows.engine.WorkflowReplayResult`); attributes a
+    result type does not have are skipped.
+    """
+    label_str = ""
+    if labels:
+        body = ",".join(f'{name}="{value}"' for name, value in sorted(labels.items()))
+        label_str = "{" + body + "}"
+    lines: list[str] = []
+    for suffix, attribute, help_text in _PROM_METRICS:
+        value = getattr(result, attribute, None)
+        if value is None:
+            continue
+        kind = "gauge" if not suffix.endswith("_total") else "counter"
+        lines.append(f"# HELP {prefix}_{suffix} {help_text}")
+        lines.append(f"# TYPE {prefix}_{suffix} {kind}")
+        lines.append(f"{prefix}_{suffix}{label_str} {float(value):g}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus_snapshot(result, path: str | Path, labels: dict | None = None) -> None:
+    atomic_write_text(_prepare(path), prometheus_snapshot(result, labels=labels))
+
+
+def timeseries_csv(builder: TimeSeriesBuilder) -> str:
+    """The windowed series as CSV (header always present, rows may be empty)."""
+    percentile_columns = [f"p{which:g}_client_s" for which in builder.spec.percentiles]
+    # Column order mirrors TimeSeriesBuilder.rows().
+    from .timeseries import _FunctionSeries
+
+    columns = [
+        "function",
+        "window",
+        "start_s",
+        *_FunctionSeries.COUNTER_NAMES,
+        "goodput_per_s",
+        "in_flight",
+        "warm_pool",
+        *percentile_columns,
+    ]
+    lines = [",".join(columns)]
+    for row in builder.rows():
+        rendered = []
+        for column in columns:
+            value = row[column]
+            if value is None:
+                rendered.append("")
+            elif isinstance(value, float):
+                rendered.append(repr(value))
+            else:
+                rendered.append(str(value))
+        lines.append(",".join(rendered))
+    return "\n".join(lines) + "\n"
+
+
+def write_timeseries_csv(builder: TimeSeriesBuilder, path: str | Path) -> None:
+    atomic_write_text(_prepare(path), timeseries_csv(builder))
+
+
+def iter_spans(events: Iterable) -> Iterable[InvocationSpan]:
+    """All invocation spans in an event stream (workflow stages unwrapped)."""
+    for event in events:
+        if isinstance(event, InvocationSpan):
+            yield event
+        elif isinstance(event, WorkflowStageSpan):
+            yield event.span

@@ -1,0 +1,84 @@
+"""Host-side wall-clock profiling of the replay machinery itself.
+
+Pure host instrumentation: :class:`ProfileBuilder` brackets the phases of
+a replay (``plan`` / ``shards`` / ``merge`` / ``stats`` for the sharded
+path, ``replay`` / ``stats`` for the serial one) with
+``time.perf_counter()`` and lands a :class:`ReplayProfile` on
+``result.profile``.  Nothing here touches simulated time or any RNG —
+profiling an identical replay twice yields identical *simulation* output
+and merely different host timings, so the profile (like ``supervision``)
+is excluded from the byte-compared ``to_dict()`` payloads.
+
+When the sharded replay ran supervised, the supervision summary is folded
+into the profile (``profile.supervision``) so one document answers both
+"where did the wall clock go" and "what did recovery cost".
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ReplayProfile:
+    """Wall-clock decomposition of one replay, in phase order."""
+
+    #: phase name -> accumulated host seconds, in first-entry order.
+    phases: dict[str, float] = field(default_factory=dict)
+    #: Total host seconds from builder construction to :meth:`ProfileBuilder.build`.
+    wall_clock_s: float = 0.0
+    #: ``SupervisionReport.to_dict()`` when the replay ran supervised.
+    supervision: dict | None = None
+
+    @property
+    def accounted_s(self) -> float:
+        """Sum of the phase timings (the rest is untracked overhead)."""
+        return sum(self.phases.values())
+
+    def to_dict(self) -> dict:
+        document: dict = {
+            "wall_clock_s": self.wall_clock_s,
+            "accounted_s": self.accounted_s,
+            "phases": dict(self.phases),
+        }
+        if self.supervision is not None:
+            document["supervision"] = self.supervision
+        return document
+
+    def rows(self) -> list[dict]:
+        """One row per phase for the CLI table renderer."""
+        total = self.wall_clock_s or 1.0
+        return [
+            {
+                "phase": name,
+                "seconds": f"{seconds:.4f}",
+                "share": f"{100.0 * seconds / total:.1f}%",
+            }
+            for name, seconds in self.phases.items()
+        ]
+
+
+class ProfileBuilder:
+    """Accumulates phase timings; reentrant per phase name."""
+
+    def __init__(self) -> None:
+        self._phases: dict[str, float] = {}
+        self._started = time.perf_counter()
+
+    @contextmanager
+    def phase(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._phases[name] = self._phases.get(name, 0.0) + elapsed
+
+    def build(self, supervision: dict | None = None) -> ReplayProfile:
+        return ReplayProfile(
+            phases=dict(self._phases),
+            wall_clock_s=time.perf_counter() - self._started,
+            supervision=supervision,
+        )

@@ -38,9 +38,11 @@ function of ``(snapshot, shard)``.
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import nullcontext
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
@@ -97,12 +99,37 @@ def _shard_requests(shard: TraceShard | ScenarioShard) -> Iterable[InvocationReq
     return WorkloadTrace.merge(*traces)
 
 
+def _shard_series(platform, timeseries):
+    """Build and attach a shard-local time-series builder, if requested.
+
+    The builder observes the shard exactly as a serial attached builder
+    would: container create/evict via the platform hooks, crash evictions
+    via the engine observer, records folded in stream order by the caller.
+    Shards are function-disjoint and one function's records keep their
+    serial relative order within the shard stream, so each
+    per-``(function, window)`` reservoir ingests the same values at the
+    same indices as serially — the merged union is then byte-identical
+    (see :mod:`repro.observe.timeseries`).
+    """
+    if timeseries is None:
+        return None
+    builder = timeseries.build()
+    platform._observer = builder
+    return builder
+
+
 def _replay_trace_shard(
-    snapshot: PlatformSnapshot, shard: TraceShard | ScenarioShard, keep_records: bool
+    snapshot: PlatformSnapshot,
+    shard: TraceShard | ScenarioShard,
+    keep_records: bool,
+    timeseries=None,
 ) -> TraceShardOutcome:
     """Worker entry point: rebuild the platform, replay one shard."""
     platform = snapshot.build(shard.functions)
     engine = WorkloadEngine(platform)
+    series = _shard_series(platform, timeseries)
+    if series is not None:
+        engine.observer = series
     requests = _shard_requests(shard)
     if keep_records:
         if not isinstance(shard, TraceShard):
@@ -111,40 +138,51 @@ def _replay_trace_shard(
         # reports the index of the request that produced it, which stays
         # correct even when the overload model resolves requests out of
         # arrival order (retries, admission queueing).
-        records = list(
-            engine.stream(requests, positions=(index for index, _ in shard.requests))
-        )
+        records = []
+        for record in engine.stream(requests, positions=(index for index, _ in shard.requests)):
+            if series is not None:
+                series.observe_record(record)
+            records.append(record)
         indexed = [(record.request_index, record) for record in records]
         return TraceShardOutcome(
             shard_index=shard.index,
             records=indexed,
             accumulator=None,
             peak_in_flight=engine.last_peak_in_flight,
+            timeseries=series,
         )
     accumulator = _ReplayAccumulator()
     positions = (
         (index for index, _ in shard.requests) if isinstance(shard, TraceShard) else None
     )
     for record in engine.stream(requests, positions=positions):
+        if series is not None:
+            series.observe_record(record)
         accumulator.add(record)
     return TraceShardOutcome(
         shard_index=shard.index,
         records=None,
         accumulator=accumulator,
         peak_in_flight=engine.last_peak_in_flight,
+        timeseries=series,
     )
 
 
 def _replay_workflow_shard(
-    snapshot: PlatformSnapshot, shard: WorkflowShard, keep_records: bool
+    snapshot: PlatformSnapshot,
+    shard: WorkflowShard,
+    keep_records: bool,
+    timeseries=None,
 ) -> WorkflowShardOutcome:
     """Worker entry point: rebuild the platform, replay one workflow shard."""
     platform = snapshot.build(shard.functions)
     engine = WorkflowEngine(platform)
+    series = _shard_series(platform, timeseries)
     accumulators, executions, first_submitted, last_finished = fold_workflow_results(
         engine.stream(
             (arrival for _, arrival in shard.arrivals),
             execution_indices=(index for index, _ in shard.arrivals),
+            observer=series,
         ),
         keep_records=keep_records,
     )
@@ -155,6 +193,7 @@ def _replay_workflow_shard(
         first_submitted=first_submitted,
         last_finished=last_finished,
         peak_in_flight=engine.last_peak_in_flight,
+        timeseries=series,
     )
 
 
@@ -223,6 +262,32 @@ def _execute(
         return [completed[shard.index] for shard in shards], None
 
 
+def _resolve_series_spec(timeseries):
+    """Normalise ``timeseries`` into a picklable spec (or ``None``)."""
+    if timeseries is None:
+        return None
+    from ..observe.timeseries import TimeSeriesSpec
+
+    if isinstance(timeseries, TimeSeriesSpec):
+        return timeseries
+    return TimeSeriesSpec(window_s=float(timeseries))
+
+
+def _merge_shard_series(spec, outcomes):
+    """Fold shard-local builders into one, in shard-index order (exact)."""
+    builder = spec.build()
+    for outcome in sorted(outcomes, key=lambda outcome: outcome.shard_index):
+        series = getattr(outcome, "timeseries", None)
+        if series is None:
+            raise CheckpointError(
+                f"shard {outcome.shard_index} outcome carries no time series — "
+                "it was checkpointed by a replay that did not request one; "
+                "re-run without resume=True (or without timeseries=) to rebuild it"
+            )
+        builder.merge(series)
+    return builder
+
+
 def _open_store(
     checkpoint_dir: Path | str | None,
     resume: bool,
@@ -250,6 +315,8 @@ def run_workload_sharded(
     supervision: SupervisorConfig | None = None,
     checkpoint_dir: Path | str | None = None,
     resume: bool = False,
+    timeseries=None,
+    profile: bool = False,
 ) -> WorkloadResult:
     """Sharded trace replay: partition, replay per shard, merge.
 
@@ -280,50 +347,80 @@ def run_workload_sharded(
     planning, shard replay and the merge — both sharded entry points time
     the same phases, so workload and workflow throughput figures compare
     like for like.
+
+    ``timeseries`` (a :class:`~repro.observe.timeseries.TimeSeriesSpec` or
+    bare window width in seconds) has every shard build a local builder
+    and folds them at merge time — exactly equal to a serial attached
+    series.  ``profile=True`` decomposes the host wall clock into
+    ``plan`` / ``shards`` / ``merge`` phases on ``result.profile``
+    (carrying the supervision report when the replay ran supervised).
     """
     if workers < 1:
         raise ConfigurationError("workers must be at least 1")
     wall_start = time.perf_counter()
-    backend = _resolve_backend(backend, workers)
-    snapshot = PlatformSnapshot.capture(platform)
-    planner = ShardPlanner()
-    if isinstance(trace, Scenario):
-        if keep_records:
-            raise ConfigurationError(
-                "scenario sharding is streaming-only (keep_records=False): exact "
-                "record ordering requires a materialised trace — build one with "
-                "scenario.build_trace() first"
-            )
-        seed = platform.simulation.seed if trace_seed is None else trace_seed
-        shards: Sequence = planner.plan_scenario(trace, seed, workers)
-        deployed = set(platform.functions())
-        for shard in shards:
-            missing = [fname for fname in shard.functions if fname not in deployed]
-            if missing:
-                raise ConfigurationError(f"scenario references undeployed functions: {missing}")
-    else:
-        shards = planner.plan_trace(iter(trace), workers)
-        for shard in shards:
-            for fname in shard.functions:
-                platform.get_function(fname)  # unknown names fail before any replay
-    store, preloaded = _open_store(checkpoint_dir, resume, snapshot, shards, keep_records)
-    todo = [shard for shard in shards if shard.index not in preloaded]
-    outcomes, report = _execute(
-        _replay_trace_shard,
-        snapshot,
-        todo,
-        keep_records,
-        workers,
-        backend,
-        supervision=supervision,
-        on_complete=store.store if store is not None else None,
+    spec = _resolve_series_spec(timeseries)
+    profiler = None
+    if profile:
+        from ..observe.profile import ProfileBuilder
+
+        profiler = ProfileBuilder()
+    plan_phase = profiler.phase("plan") if profiler is not None else nullcontext()
+    with plan_phase:
+        backend = _resolve_backend(backend, workers)
+        snapshot = PlatformSnapshot.capture(platform)
+        planner = ShardPlanner()
+        if isinstance(trace, Scenario):
+            if keep_records:
+                raise ConfigurationError(
+                    "scenario sharding is streaming-only (keep_records=False): exact "
+                    "record ordering requires a materialised trace — build one with "
+                    "scenario.build_trace() first"
+                )
+            seed = platform.simulation.seed if trace_seed is None else trace_seed
+            shards: Sequence = planner.plan_scenario(trace, seed, workers)
+            deployed = set(platform.functions())
+            for shard in shards:
+                missing = [fname for fname in shard.functions if fname not in deployed]
+                if missing:
+                    raise ConfigurationError(
+                        f"scenario references undeployed functions: {missing}"
+                    )
+        else:
+            shards = planner.plan_trace(iter(trace), workers)
+            for shard in shards:
+                for fname in shard.functions:
+                    platform.get_function(fname)  # unknown names fail before any replay
+        store, preloaded = _open_store(checkpoint_dir, resume, snapshot, shards, keep_records)
+        todo = [shard for shard in shards if shard.index not in preloaded]
+    worker = (
+        _replay_trace_shard
+        if spec is None
+        else functools.partial(_replay_trace_shard, timeseries=spec)
     )
+    shard_phase = profiler.phase("shards") if profiler is not None else nullcontext()
+    with shard_phase:
+        outcomes, report = _execute(
+            worker,
+            snapshot,
+            todo,
+            keep_records,
+            workers,
+            backend,
+            supervision=supervision,
+            on_complete=store.store if store is not None else None,
+        )
     outcomes = list(outcomes) + list(preloaded.values())
-    wall_clock_s = time.perf_counter() - wall_start
-    result = merge_trace_outcomes(
-        platform.provider, outcomes, keep_records=keep_records, wall_clock_s=wall_clock_s
-    )
+    merge_phase = profiler.phase("merge") if profiler is not None else nullcontext()
+    with merge_phase:
+        wall_clock_s = time.perf_counter() - wall_start
+        result = merge_trace_outcomes(
+            platform.provider, outcomes, keep_records=keep_records, wall_clock_s=wall_clock_s
+        )
+        if spec is not None:
+            result.timeseries = _merge_shard_series(spec, outcomes)
     result.supervision = report
+    if profiler is not None:
+        result.profile = profiler.build(supervision=report)
     return result
 
 
@@ -337,6 +434,8 @@ def run_workflows_sharded(
     supervision: SupervisorConfig | None = None,
     checkpoint_dir: Path | str | None = None,
     resume: bool = False,
+    timeseries=None,
+    profile: bool = False,
 ):
     """Sharded workflow replay: component partition, replay, merge.
 
@@ -346,39 +445,62 @@ def run_workflows_sharded(
     list is in canonical execution-index order (serial replay yields them
     in completion order; sort by ``execution_index`` to compare).
 
-    ``supervision`` / ``checkpoint_dir`` / ``resume`` behave exactly as in
-    :func:`run_workload_sharded`.  ``wall_clock_s`` starts before arrival
-    materialisation and shard planning — the same phases the workload
-    entry point times.
+    ``supervision`` / ``checkpoint_dir`` / ``resume`` / ``timeseries`` /
+    ``profile`` behave exactly as in :func:`run_workload_sharded`.
+    ``wall_clock_s`` starts before arrival materialisation and shard
+    planning — the same phases the workload entry point times.
     """
     if workers < 1:
         raise ConfigurationError("workers must be at least 1")
     wall_start = time.perf_counter()
-    backend = _resolve_backend(backend, workers)
-    snapshot = PlatformSnapshot.capture(platform)
-    arrivals = list(arrivals)
-    shards = ShardPlanner().plan_workflows(arrivals, workers)
-    deployed = set(platform.functions())
-    for shard in shards:
-        missing = [fname for fname in shard.functions if fname not in deployed]
-        if missing:
-            raise ConfigurationError(f"workflow arrivals reference undeployed functions: {missing}")
-    store, preloaded = _open_store(checkpoint_dir, resume, snapshot, shards, keep_records)
-    todo = [shard for shard in shards if shard.index not in preloaded]
-    outcomes, report = _execute(
-        _replay_workflow_shard,
-        snapshot,
-        todo,
-        keep_records,
-        workers,
-        backend,
-        supervision=supervision,
-        on_complete=store.store if store is not None else None,
+    spec = _resolve_series_spec(timeseries)
+    profiler = None
+    if profile:
+        from ..observe.profile import ProfileBuilder
+
+        profiler = ProfileBuilder()
+    plan_phase = profiler.phase("plan") if profiler is not None else nullcontext()
+    with plan_phase:
+        backend = _resolve_backend(backend, workers)
+        snapshot = PlatformSnapshot.capture(platform)
+        arrivals = list(arrivals)
+        shards = ShardPlanner().plan_workflows(arrivals, workers)
+        deployed = set(platform.functions())
+        for shard in shards:
+            missing = [fname for fname in shard.functions if fname not in deployed]
+            if missing:
+                raise ConfigurationError(
+                    f"workflow arrivals reference undeployed functions: {missing}"
+                )
+        store, preloaded = _open_store(checkpoint_dir, resume, snapshot, shards, keep_records)
+        todo = [shard for shard in shards if shard.index not in preloaded]
+    worker = (
+        _replay_workflow_shard
+        if spec is None
+        else functools.partial(_replay_workflow_shard, timeseries=spec)
     )
+    shard_phase = profiler.phase("shards") if profiler is not None else nullcontext()
+    with shard_phase:
+        outcomes, report = _execute(
+            worker,
+            snapshot,
+            todo,
+            keep_records,
+            workers,
+            backend,
+            supervision=supervision,
+            on_complete=store.store if store is not None else None,
+        )
     outcomes = list(outcomes) + list(preloaded.values())
-    wall_clock_s = time.perf_counter() - wall_start
-    result = merge_workflow_outcomes(
-        platform.provider, outcomes, keep_records=keep_records, wall_clock_s=wall_clock_s
-    )
+    merge_phase = profiler.phase("merge") if profiler is not None else nullcontext()
+    with merge_phase:
+        wall_clock_s = time.perf_counter() - wall_start
+        result = merge_workflow_outcomes(
+            platform.provider, outcomes, keep_records=keep_records, wall_clock_s=wall_clock_s
+        )
+        if spec is not None:
+            result.timeseries = _merge_shard_series(spec, outcomes)
     result.supervision = report
+    if profiler is not None:
+        result.profile = profiler.build(supervision=report)
     return result

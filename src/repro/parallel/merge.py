@@ -68,6 +68,11 @@ class TraceShardOutcome:
     #: Streaming-mode accumulator, else ``None``.
     accumulator: _ReplayAccumulator | None
     peak_in_flight: int
+    #: Shard-local :class:`~repro.observe.timeseries.TimeSeriesBuilder`
+    #: when a simulated-time series was requested; ``None`` otherwise
+    #: (and absent from checkpoints written before the field existed —
+    #: readers must ``getattr`` with a default).
+    timeseries: object | None = None
 
 
 @dataclass
@@ -81,6 +86,8 @@ class WorkflowShardOutcome:
     first_submitted: float | None
     last_finished: float | None
     peak_in_flight: int
+    #: Shard-local time-series builder (see ``TraceShardOutcome``).
+    timeseries: object | None = None
 
 
 def merge_trace_outcomes(

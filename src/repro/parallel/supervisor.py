@@ -48,6 +48,7 @@ injection applies there.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import signal
@@ -62,6 +63,10 @@ from ..exceptions import ConfigurationError, ShardReplayError
 
 #: Exit status used by injected worker crashes (visible in pool tracebacks).
 _CRASH_EXIT_STATUS = 13
+
+#: Recovery actions log here: WARNING for failures the ladder absorbed
+#: (retry, timeout kill, pool break, quarantine), INFO for degradation.
+logger = logging.getLogger(__name__)
 
 
 class InjectedWorkerFault(RuntimeError):
@@ -277,6 +282,11 @@ class ShardSupervisor:
 
     def _quarantine(self, shard, attempts: dict, results: dict, cause: BaseException | None):
         """Last resort: replay the poison shard in-process, injection-free."""
+        logger.warning(
+            "shard %d exhausted its retries (%s); replaying in-process quarantine",
+            shard.index,
+            cause if cause is not None else "worker died without a traceback",
+        )
         self.report.quarantined.append(shard.index)
         attempts[shard.index] += 1
         self.report.attempts[shard.index] = attempts[shard.index]
@@ -300,6 +310,13 @@ class ShardSupervisor:
         self.report.attempts[shard.index] = attempts[shard.index]
         if attempts[shard.index] <= self._config.max_retries:
             self.report.retries += 1
+            logger.warning(
+                "shard %d attempt %d failed (%s); retrying after %.2fs backoff",
+                shard.index,
+                attempts[shard.index],
+                cause if cause is not None else "worker died without a traceback",
+                self._config.backoff_s(attempts[shard.index]),
+            )
             eligible_at = time.monotonic() + self._config.backoff_s(attempts[shard.index])
             pending.append((shard, eligible_at))
         elif self._config.quarantine:
@@ -338,6 +355,13 @@ class ShardSupervisor:
                     self.report.attempts[shard.index] = attempts[shard.index]
                     if attempts[shard.index] <= self._config.max_retries:
                         self.report.retries += 1
+                        logger.warning(
+                            "shard %d attempt %d failed (%s); retrying after %.2fs backoff",
+                            shard.index,
+                            attempts[shard.index],
+                            error,
+                            self._config.backoff_s(attempts[shard.index]),
+                        )
                         time.sleep(self._config.backoff_s(attempts[shard.index]))
                     elif self._config.quarantine:
                         self._quarantine(shard, attempts, results, error)
@@ -421,6 +445,11 @@ class ShardSupervisor:
                 # degrade.  (Casualties from the loop above are already
                 # charged; these are the futures wait() had not returned.)
                 self.report.pool_breaks += 1
+                logger.warning(
+                    "worker pool broke (break %d); rebuilding and requeueing "
+                    "incomplete shards",
+                    self.report.pool_breaks,
+                )
                 for future, shard in list(running.items()):
                     if shard.index not in results:
                         self._charge_break_casualty(shard, attempts, results, pending, beats)
@@ -429,6 +458,12 @@ class ShardSupervisor:
                 pool = None
                 if self.report.pool_breaks >= config.degrade_after_breaks:
                     max_workers = max(config.min_workers, max_workers // 2)
+                    if max_workers != self.report.final_workers:
+                        logger.info(
+                            "degrading to %d worker(s) after %d pool break(s)",
+                            max_workers,
+                            self.report.pool_breaks,
+                        )
                     self.report.final_workers = max_workers
         finally:
             if pool is not None:
@@ -460,6 +495,12 @@ class ShardSupervisor:
                 continue
             killed.add((shard.index, attempts[shard.index]))
             self.report.timeouts += 1
+            logger.warning(
+                "shard %d heartbeat stale for %.1fs; killing worker pid %d",
+                shard.index,
+                now - stamp,
+                pid,
+            )
             try:
                 os.kill(pid, signal.SIGKILL)
             except (ProcessLookupError, PermissionError):  # already gone

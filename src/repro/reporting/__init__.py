@@ -1,5 +1,6 @@
 """Reporting layer: formats experiment results into the paper's tables/figures."""
 
+from .summaries import replay_summary
 from .tables import (
     format_table,
     table2_platform_limits,
@@ -9,6 +10,7 @@ from .tables import (
 
 __all__ = [
     "format_table",
+    "replay_summary",
     "table2_platform_limits",
     "table3_applications",
     "table9_insights",

@@ -1,0 +1,32 @@
+"""Uniform machine-readable replay summaries for the CLI ``--output`` files.
+
+Every replaying subcommand (``workload``, ``workflow``, ``fault-storm``)
+embeds the same ``"replay"`` block per replayed unit, built here, so
+scripted consumers read one schema regardless of the subcommand:
+``wall_clock_s`` and ``throughput_per_s`` always, ``supervision`` when the
+replay ran supervised, ``profile`` when host profiling was requested.
+"""
+
+from __future__ import annotations
+
+
+def replay_summary(result) -> dict:
+    """The uniform ``"replay"`` block for one replay result.
+
+    Duck-typed over :class:`~repro.workload.engine.WorkloadResult`,
+    :class:`~repro.workflows.engine.WorkflowReplayResult` and
+    :class:`~repro.experiments.resilience.ResilienceVariantResult` — all
+    carry ``wall_clock_s`` / ``throughput_per_s`` and optionally a
+    ``supervision`` dict and a ``profile`` object.
+    """
+    summary: dict = {
+        "wall_clock_s": result.wall_clock_s,
+        "throughput_per_s": result.throughput_per_s,
+    }
+    supervision = getattr(result, "supervision", None)
+    if supervision is not None:
+        summary["supervision"] = supervision
+    profile = getattr(result, "profile", None)
+    if profile is not None:
+        summary["profile"] = profile.to_dict()
+    return summary

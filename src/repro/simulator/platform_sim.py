@@ -225,6 +225,12 @@ class SimulatedPlatform(FaaSPlatform):
         #: Persistent storage attached to this deployment (S3 / Blob / GCS).
         self.object_store = ObjectStore(name=f"{self.provider.value}-storage")
         self._state: dict[str, _FunctionRuntimeState] = {}
+        #: Optional :class:`repro.observe.events.ReplayObserver`, attached
+        #: for the duration of a replay (container lifecycle hooks).  Every
+        #: hook site is ``if self._observer is not None``-guarded and fires
+        #: post-decision with already-computed values, so a detached replay
+        #: is untouched and an attached one is bit-identical.
+        self._observer = None
 
     # -------------------------------------------------------------- plumbing
     def _build_eviction_policy(self) -> EvictionPolicy:
@@ -506,6 +512,9 @@ class SimulatedPlatform(FaaSPlatform):
         supervision=None,
         checkpoint_dir=None,
         resume: bool = False,
+        observer=None,
+        timeseries=None,
+        profile: bool = False,
     ) -> WorkloadResult:
         """Replay a :class:`~repro.workload.trace.WorkloadTrace` and aggregate.
 
@@ -543,10 +552,27 @@ class SimulatedPlatform(FaaSPlatform):
         persist completed shard outcomes so an interrupted replay re-runs
         only the missing shards; both preserve bit-identical results.
         They require ``workers``.
+
+        **Observability** (all pure observers — attached or not, the
+        replay's records and summaries are bit-identical):
+
+        * ``observer`` — a :class:`repro.observe.events.ReplayObserver`
+          receiving the lifecycle event stream (serial replay only);
+        * ``timeseries`` — a :class:`repro.observe.timeseries.TimeSeriesSpec`
+          (or a plain window width in seconds) building windowed
+          simulated-time metrics, landing on ``result.timeseries``; works
+          serial *and* sharded (per-shard builders merge exactly);
+        * ``profile=True`` — host wall-clock phase profiling on
+          ``result.profile``.
         """
         if workers is not None:
             from ..parallel import run_workload_sharded
 
+            if observer is not None:
+                raise ConfigurationError(
+                    "event observers attach to serial replay only; sharded "
+                    "replay supports timeseries= (exact merge) and profile="
+                )
             return run_workload_sharded(
                 self,
                 trace,
@@ -557,13 +583,88 @@ class SimulatedPlatform(FaaSPlatform):
                 supervision=supervision,
                 checkpoint_dir=checkpoint_dir,
                 resume=resume,
+                timeseries=timeseries,
+                profile=profile,
             )
         if supervision is not None or checkpoint_dir is not None or resume:
             raise ConfigurationError(
                 "supervision/checkpoint_dir/resume apply to sharded replay only: "
                 "pass workers= as well"
             )
-        return WorkloadEngine(self).run(trace, keep_records=keep_records)
+        attach, builder, profiler = self._observation(observer, timeseries, profile)
+        engine = WorkloadEngine(self)
+        if attach is not None:
+            engine.observer = attach
+            self._observer = attach
+            self._announce_fault_windows(attach, trace)
+        try:
+            if profiler is not None:
+                with profiler.phase("replay"):
+                    result = engine.run(trace, keep_records=keep_records)
+            else:
+                result = engine.run(trace, keep_records=keep_records)
+        finally:
+            self._observer = None
+        result.timeseries = builder
+        if profiler is not None:
+            result.profile = profiler.build()
+        return result
+
+    def _observation(self, observer, timeseries, profile: bool):
+        """Resolve the observability kwargs shared by the replay entry points.
+
+        Returns ``(attached observer or None, time-series builder or None,
+        profile builder or None)``; the attached observer is the composite
+        of the caller's observer and the time-series builder.
+        """
+        builder = None
+        attach = observer
+        if timeseries is not None:
+            from ..observe.timeseries import TimeSeriesSpec
+
+            spec = (
+                timeseries
+                if isinstance(timeseries, TimeSeriesSpec)
+                else TimeSeriesSpec(window_s=float(timeseries))
+            )
+            builder = spec.build()
+            if attach is None:
+                attach = builder
+            else:
+                from ..observe.events import CompositeObserver
+
+                attach = CompositeObserver([attach, builder])
+        profiler = None
+        if profile:
+            from ..observe.profile import ProfileBuilder
+
+            profiler = ProfileBuilder()
+        return attach, builder, profiler
+
+    def _announce_fault_windows(self, observer, trace) -> None:
+        """Emit every scheduled fault window once, at replay start.
+
+        Reads the functions' already-materialised schedules — no stream is
+        touched, and runtime states are created exactly as a first dispatch
+        would create them (each function's streams derive from its own
+        name, so early creation shifts nothing).
+        """
+        if self._faults is None:
+            return
+        functions = None
+        if hasattr(trace, "functions"):
+            try:
+                functions = sorted(trace.functions())
+            except TypeError:
+                functions = None
+        if functions is None:
+            functions = sorted(self._state)
+        for fname in functions:
+            fault_state = self._runtime_state(fname).fault_state
+            if fault_state is None:
+                continue
+            for kind, start_s, end_s, detail in fault_state.windows():
+                observer.on_fault_window(fname, kind, start_s, end_s, detail)
 
     def run_workflows(
         self,
@@ -575,6 +676,9 @@ class SimulatedPlatform(FaaSPlatform):
         supervision=None,
         checkpoint_dir=None,
         resume: bool = False,
+        observer=None,
+        timeseries=None,
+        profile: bool = False,
     ):
         """Replay a time-sorted stream of workflow arrivals and aggregate.
 
@@ -596,7 +700,9 @@ class SimulatedPlatform(FaaSPlatform):
         hash-seeded trigger-edge delays are identical to serial replay.
         ``record_sink`` is unsupported in that mode.
         ``supervision``/``checkpoint_dir``/``resume`` behave exactly as in
-        :meth:`run_workload` (sharded replay only).
+        :meth:`run_workload` (sharded replay only), and so do the
+        observability kwargs ``observer``/``timeseries``/``profile``
+        (workflow stage spans carry their execution's causal index).
         """
         from ..workflows.engine import WorkflowEngine
 
@@ -605,6 +711,11 @@ class SimulatedPlatform(FaaSPlatform):
 
             if record_sink is not None:
                 raise PlatformError("record_sink is not supported with sharded replay")
+            if observer is not None:
+                raise ConfigurationError(
+                    "event observers attach to serial replay only; sharded "
+                    "replay supports timeseries= (exact merge) and profile="
+                )
             return run_workflows_sharded(
                 self,
                 arrivals,
@@ -614,15 +725,41 @@ class SimulatedPlatform(FaaSPlatform):
                 supervision=supervision,
                 checkpoint_dir=checkpoint_dir,
                 resume=resume,
+                timeseries=timeseries,
+                profile=profile,
             )
         if supervision is not None or checkpoint_dir is not None or resume:
             raise ConfigurationError(
                 "supervision/checkpoint_dir/resume apply to sharded replay only: "
                 "pass workers= as well"
             )
-        return WorkflowEngine(self).run(
-            arrivals, keep_records=keep_records, record_sink=record_sink
-        )
+        attach, builder, profiler = self._observation(observer, timeseries, profile)
+        engine = WorkflowEngine(self)
+        if attach is not None:
+            self._observer = attach
+            self._announce_fault_windows(attach, trace=None)
+        try:
+            if profiler is not None:
+                with profiler.phase("replay"):
+                    result = engine.run(
+                        arrivals,
+                        keep_records=keep_records,
+                        record_sink=record_sink,
+                        observer=attach,
+                    )
+            else:
+                result = engine.run(
+                    arrivals,
+                    keep_records=keep_records,
+                    record_sink=record_sink,
+                    observer=attach,
+                )
+        finally:
+            self._observer = None
+        result.timeseries = builder
+        if profiler is not None:
+            result.profile = profiler.build()
+        return result
 
     # ------------------------------------------------------------- internals
     def _release_container(self, fname: str, container_id: str) -> None:
@@ -634,7 +771,9 @@ class SimulatedPlatform(FaaSPlatform):
     def _acquire_container(
         self, function: DeployedFunction, state: _FunctionRuntimeState, start_at: float
     ) -> tuple[Container, StartType]:
-        self.eviction_policy.apply(state.pool, start_at)
+        evicted = self.eviction_policy.apply(state.pool, start_at)
+        if evicted and self._observer is not None:
+            self._observer.on_container_evict(function.name, evicted, start_at, "policy")
         spurious = (
             self._spurious_probability > 0
             and state.spurious_stream.random() < self._spurious_probability
@@ -654,6 +793,8 @@ class SimulatedPlatform(FaaSPlatform):
             container_id=state.pool.next_container_id(),
         )
         state.pool.add(container)
+        if self._observer is not None:
+            self._observer.on_container_create(function.name, container.container_id, start_at)
         return container, StartType.COLD
 
     # ------------------------------------------------- overload / admission

@@ -252,7 +252,15 @@ class MergeableReservoir:
     sharing a key draw identical tag sequences, which would bias a merge.
     """
 
-    __slots__ = ("capacity", "key", "seed", "seen", "_heap", "_rng", "_index")
+    __slots__ = ("capacity", "key", "seed", "seen", "_heap", "_rng", "_index", "_tags", "_tag_i")
+
+    #: Tags are drawn from the generator in blocks of this size: one
+    #: vectorized ``Generator.random(n)`` call yields the *identical*
+    #: float sequence as ``n`` scalar ``random()`` calls, so pre-drawing
+    #: changes nothing observable — it only amortizes the per-draw cost
+    #: on hot ingest paths (the attached-observer budget of
+    #: ``benchmarks/bench_observability.py``).
+    _TAG_BLOCK = 64
 
     def __init__(self, capacity: int = DEFAULT_RESERVOIR_CAPACITY, key: str = "", seed: int = 0):
         if capacity <= 0:
@@ -266,20 +274,40 @@ class MergeableReservoir:
         self._heap: list[tuple[float, str, int, float]] = []
         self._rng = derive_generator(self.seed, "mergeable-reservoir", key)
         self._index = 0
+        self._tags = None
+        self._tag_i = 0
 
     def add(self, x: float) -> None:
-        tag = float(self._rng.random())
+        i = self._tag_i
+        tags = self._tags
+        if tags is None or i == len(tags):
+            # ``_tags is None`` also covers instances unpickled from a
+            # pre-block-draw state: the generator resumes exactly where
+            # its scalar draws left off.
+            tags = self._tags = self._rng.random(self._TAG_BLOCK).tolist()
+            i = 0
+        tag = tags[i]
+        self._tag_i = i + 1
         index = self._index
         self._index += 1
         self.seen += 1
-        entry = (-tag, self.key, index, float(x))
-        if len(self._heap) < self.capacity:
-            heapq.heappush(self._heap, entry)
-        elif entry > self._heap[0]:
-            # Smaller tag than the largest kept one (heap stores -tag, so
-            # "greater entry" means "smaller tag" with deterministic
-            # (key, index) tie-break).
-            heapq.heapreplace(self._heap, entry)
+        heap = self._heap
+        if len(heap) >= self.capacity:
+            root = heap[0]
+            neg = -tag
+            if neg < root[0]:
+                # Larger tag than the largest kept one: rejected without
+                # even building the entry tuple — after ``capacity``
+                # ingests this is the overwhelmingly common case.
+                return
+            entry = (neg, self.key, index, float(x))
+            if entry > root:
+                # Smaller tag than the largest kept one (heap stores -tag,
+                # so "greater entry" means "smaller tag" with deterministic
+                # (key, index) tie-break).
+                heapq.heapreplace(heap, entry)
+            return
+        heapq.heappush(heap, (-tag, self.key, index, float(x)))
 
     def merge(self, other: "MergeableReservoir") -> None:
         """Union with ``other``: keep the ``capacity`` smallest tags overall."""

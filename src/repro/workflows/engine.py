@@ -286,6 +286,13 @@ class WorkflowReplayResult:
     #: ``WorkloadResult.supervision``); ``None`` otherwise and excluded
     #: from ``to_dict()``.
     supervision: dict | None = None
+    #: :class:`~repro.observe.timeseries.TimeSeriesBuilder` when a
+    #: simulated-time series was requested; ``None`` otherwise and (like
+    #: ``supervision``) excluded from byte-compared payloads.
+    timeseries: object | None = None
+    #: :class:`~repro.observe.profile.ReplayProfile` when host-side
+    #: profiling was requested; ``None`` otherwise.
+    profile: object | None = None
 
     @property
     def throughput_per_s(self) -> float:
@@ -416,13 +423,20 @@ class WorkflowEngine:
         arrivals: Iterable[WorkflowArrival],
         record_sink: Callable[[InvocationRecord], None] | None = None,
         execution_indices: Iterable[int] | None = None,
+        observer=None,
     ) -> Iterator[WorkflowResult]:
         """Replay ``arrivals`` lazily, yielding one result per execution.
 
         Arrivals must be sorted by ``submitted_at``.  ``record_sink``
         optionally receives every constituent
         :class:`~repro.faas.invocation.InvocationRecord` as it is produced
-        (drill-down without the engine retaining them).
+        (drill-down without the engine retaining them).  ``observer`` is a
+        :class:`~repro.observe.events.ReplayObserver`: it receives every
+        stage record with its workflow/stage attribution
+        (``on_workflow_stage``) and is forwarded to the inner workload
+        engine for container/breaker/fault events.  Observation is pure —
+        no draws, no reordering — so the yielded results are bit-identical
+        with or without it.
 
         ``execution_indices`` overrides the default ``0, 1, 2, ...``
         numbering of executions (one index per arrival, in order).  Sharded
@@ -498,12 +512,18 @@ class WorkflowEngine:
                 )
 
         inner = WorkloadEngine(platform)
+        if observer is not None:
+            inner.observer = observer
         try:
             for record in inner.stream(source()):
                 if record_sink is not None:
                     record_sink(record)
-                _, exec_index, stage_name, _ = meta.pop(record.request_index)
+                _, exec_index, stage_name, map_index = meta.pop(record.request_index)
                 state = active[exec_index]
+                if observer is not None:
+                    observer.on_workflow_stage(
+                        state.spec.name, exec_index, stage_name, map_index, record
+                    )
                 self._on_record(state, stage_name, record, base, active, pending, finished)
                 while finished:
                     yield finished.popleft()
@@ -520,6 +540,7 @@ class WorkflowEngine:
         keep_records: bool = True,
         record_sink: Callable[[InvocationRecord], None] | None = None,
         execution_indices: Iterable[int] | None = None,
+        observer=None,
     ) -> WorkflowReplayResult:
         """Replay a whole arrival stream and aggregate the outcome.
 
@@ -531,7 +552,12 @@ class WorkflowEngine:
         """
         wall_start = time.perf_counter()
         accumulators, executions, first_submitted, last_finished = fold_workflow_results(
-            self.stream(arrivals, record_sink=record_sink, execution_indices=execution_indices),
+            self.stream(
+                arrivals,
+                record_sink=record_sink,
+                execution_indices=execution_indices,
+                observer=observer,
+            ),
             keep_records=keep_records,
         )
         wall_clock_s = time.perf_counter() - wall_start

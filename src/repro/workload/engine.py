@@ -474,6 +474,13 @@ class WorkloadResult:
     #: ``None`` for serial and unsupervised runs; deliberately excluded
     #: from ``to_dict()`` so supervised results compare byte-identical.
     supervision: dict | None = None
+    #: Windowed simulated-time series (:class:`repro.observe.timeseries
+    #: .TimeSeriesBuilder`) when the replay was asked to build one;
+    #: excluded from ``to_dict()`` like ``supervision``.
+    timeseries: object | None = None
+    #: Host-side wall-clock profile (:class:`repro.observe.profile
+    #: .ReplayProfile`) when requested; excluded from ``to_dict()``.
+    profile: object | None = None
 
     @property
     def invocations(self) -> int:
@@ -722,6 +729,12 @@ class WorkloadEngine:
 
     def __init__(self, platform: "SimulatedPlatform"):
         self.platform = platform
+        #: Optional :class:`repro.observe.events.ReplayObserver`.  Hooks
+        #: fire post-decision with values the engine already computed —
+        #: never an RNG draw, never an ordering change — so an attached
+        #: observer leaves the replay bit-identical (``None`` = detached,
+        #: and every hook site is guarded so detachment costs nothing).
+        self.observer = None
         #: Peak concurrency observed by the most recent stream() pass.
         self.last_peak_in_flight = 0
         #: Set while an overload stream is active: callable returning the
@@ -890,6 +903,7 @@ class WorkloadEngine:
         controlled replay shards exactly like an unthrottled one.
         """
         platform = self.platform
+        observer = self.observer
         overload = platform._overload
         policy = platform._retry_policy
         hedge = platform._hedge
@@ -948,7 +962,9 @@ class WorkloadEngine:
             fault_state = state.fault_state
             if fault_state is not None:
                 now_rel = now_abs - base
-                fault_state.apply_crashes(state.pool, now_rel)
+                crash_evicted = fault_state.apply_crashes(state.pool, now_rel)
+                if crash_evicted and observer is not None:
+                    observer.on_container_evict(fname, crash_evicted, now_abs, "crash")
                 fault_scale = fault_state.multipliers_at(now_rel)
             fn_in_flight = in_flight_by_fn.get(fname, 0)
             record = platform._simulate_invocation(
@@ -1150,11 +1166,20 @@ class WorkloadEngine:
                     if signal is not None:
                         # Breaker verdicts apply at the instant the client
                         # observes the response — never at dispatch time.
-                        platform._runtime_state(done_fname).breaker.on_outcome(
+                        done_breaker = platform._runtime_state(done_fname).breaker
+                        before_state = done_breaker.state
+                        done_breaker.on_outcome(
                             finish,
                             signal == _SIG_SUCCESS,
                             throttle=signal == _SIG_THROTTLE,
                         )
+                        if observer is not None and done_breaker.state is not before_state:
+                            observer.on_breaker_transition(
+                                done_fname,
+                                finish,
+                                before_state.value,
+                                done_breaker.state.value,
+                            )
                     queue = queues.get(done_fname)
                     if queue is not None and len(queue) and done_fname not in drained_fnames:
                         drained_fnames.append(done_fname)
@@ -1189,26 +1214,35 @@ class WorkloadEngine:
                     hedges=record.hedges + carried[1],
                 )
 
-            if breaker is not None and sync and not breaker.allow(now_abs):
-                # The client's breaker rejects locally: the platform never
-                # sees the request, nothing new is billed, and the breaker
-                # learns nothing from its own rejections (only probe and
-                # pass-through outcomes feed the window).
-                out.append(
-                    terminal(
-                        platform._overload_record(
-                            fname,
-                            outcome=InvocationOutcome.SHORT_CIRCUITED,
-                            submitted_at=first_abs,
-                            finished_at=now_abs,
-                            attempts=attempts + 1,
-                            admission_delay_s=now_abs - first_abs,
-                            request_index=position,
-                            error="breaker-open",
+            if breaker is not None and sync:
+                before_state = breaker.state
+                allowed = breaker.allow(now_abs)
+                if observer is not None and breaker.state is not before_state:
+                    # allow() is where OPEN -> HALF_OPEN happens; observed
+                    # post-decision, nothing about the verdict changes.
+                    observer.on_breaker_transition(
+                        fname, now_abs, before_state.value, breaker.state.value
+                    )
+                if not allowed:
+                    # The client's breaker rejects locally: the platform
+                    # never sees the request, nothing new is billed, and the
+                    # breaker learns nothing from its own rejections (only
+                    # probe and pass-through outcomes feed the window).
+                    out.append(
+                        terminal(
+                            platform._overload_record(
+                                fname,
+                                outcome=InvocationOutcome.SHORT_CIRCUITED,
+                                submitted_at=first_abs,
+                                finished_at=now_abs,
+                                attempts=attempts + 1,
+                                admission_delay_s=now_abs - first_abs,
+                                request_index=position,
+                                error="breaker-open",
+                            )
                         )
                     )
-                )
-                return
+                    return
             fault_state = state.fault_state
             outage = fault_state.outage_at(now_rel) if fault_state is not None else None
             if outage is not None:
@@ -1461,6 +1495,7 @@ class WorkloadEngine:
         self,
         trace: WorkloadTrace | MergedWorkloadTrace | Iterable[InvocationRequest],
         keep_records: bool = True,
+        observer=None,
     ) -> WorkloadResult:
         """Replay a whole trace and aggregate the outcome.
 
@@ -1470,7 +1505,15 @@ class WorkloadEngine:
         time passes.  With ``keep_records=False`` the trace may also be a
         lazy request iterable (validated as it is consumed) and the replay
         aggregates in O(functions) memory.
+
+        ``observer`` receives ``on_invocation`` per terminal record in
+        stream order (resolution order under the overload model — the
+        record list itself is still sorted back to arrival order), plus
+        breaker-transition hooks from the controlled replay.
         """
+        if observer is not None:
+            self.observer = observer
+        observer = self.observer
         if isinstance(trace, (WorkloadTrace, MergedWorkloadTrace)):
             for fname in trace.functions():
                 self.platform.get_function(fname)
@@ -1478,7 +1521,15 @@ class WorkloadEngine:
         if keep_records:
             # Exact mode: materialise the records and aggregate post-hoc —
             # no per-record estimator work on the hot path.
-            records = list(self.stream(trace))
+            if observer is None:
+                records = list(self.stream(trace))
+            else:
+                records = []
+                dispatch = observer.on_invocation
+                append = records.append
+                for record in self.stream(trace):
+                    dispatch(record)
+                    append(record)
             if getattr(self.platform, "_controlled_replay", False):
                 # Throttled/queued requests resolve out of arrival order;
                 # restore it so serial and sharded record lists agree (the
@@ -1496,8 +1547,15 @@ class WorkloadEngine:
                 peak_in_flight=self.last_peak_in_flight,
             )
         accumulator = _ReplayAccumulator()
-        for record in self.stream(trace):
-            accumulator.add(record)
+        fold = accumulator.add
+        if observer is None:
+            for record in self.stream(trace):
+                fold(record)
+        else:
+            dispatch = observer.on_invocation
+            for record in self.stream(trace):
+                dispatch(record)
+                fold(record)
         wall_clock_s = time.perf_counter() - wall_start
         return streaming_result(
             self.platform.provider,

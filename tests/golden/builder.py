@@ -129,6 +129,25 @@ def summarize_storm(trace: WorkloadTrace) -> dict:
     return document
 
 
+#: Fixture name of the storm scenario's windowed time series (the
+#: observability layer's golden: window fold order, reservoir percentile
+#: state and prefix-summed levels are pinned at full float precision).
+STORM_TIMESERIES_NAME = "storm_timeseries"
+
+
+def summarize_storm_timeseries(trace: WorkloadTrace) -> dict:
+    """The storm replay's exact simulated-time series, per provider."""
+    from repro.observe import TimeSeriesSpec
+
+    spec = TimeSeriesSpec(window_s=STORM_BUCKET_S)
+    document: dict = {"seed": GOLDEN_SEED, "requests": len(trace), "providers": {}}
+    for provider in PROVIDERS:
+        platform = _storm_platform(provider)
+        result = platform.run_workload(trace, keep_records=True, timeseries=spec)
+        document["providers"][provider.value] = result.timeseries.to_dict()
+    return document
+
+
 def trace_path(name: str) -> Path:
     return GOLDEN_DIR / f"trace_{name}.json"
 
@@ -210,6 +229,11 @@ def regenerate() -> list[Path]:
         expected_path(STORM_NAME), json.dumps(summarize_storm(trace), indent=2) + "\n"
     )
     written.extend([trace_path(STORM_NAME), expected_path(STORM_NAME)])
+    atomic_write_text(
+        expected_path(STORM_TIMESERIES_NAME),
+        json.dumps(summarize_storm_timeseries(trace), indent=2) + "\n",
+    )
+    written.append(expected_path(STORM_TIMESERIES_NAME))
     return written
 
 

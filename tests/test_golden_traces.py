@@ -79,6 +79,31 @@ def test_golden_storm_summary_has_not_drifted():
         assert summary["throttled"] + summary["faulted"] + summary["failures"] > 0
 
 
+def test_golden_storm_timeseries_has_not_drifted():
+    """The storm scenario's windowed time series is pinned exactly: window
+    fold order, mergeable-reservoir percentile state and the prefix-summed
+    in-flight/warm-pool levels cannot change silently."""
+    expected_file = builder.expected_path(builder.STORM_TIMESERIES_NAME)
+    assert expected_file.exists(), (
+        "golden storm time-series fixture missing — run `make regen-golden`"
+    )
+    trace = WorkloadTrace.from_json(builder.trace_path(builder.STORM_NAME))
+    actual = builder.summarize_storm_timeseries(trace)
+    expected = json.loads(expected_file.read_text(encoding="utf-8"))
+    assert actual == expected, (
+        "golden storm time series drifted; if intentional, run `make regen-golden` "
+        "and commit the regenerated fixtures"
+    )
+    # The scenario exercises the interesting columns: the outage window
+    # registers faults/sheds and some window carries a latency percentile.
+    for series in actual["providers"].values():
+        rows = series["rows"]
+        assert any(
+            row["throttled"] + row["faulted"] + row["dropped"] > 0 for row in rows
+        )
+        assert any(row["p95_client_s"] is not None for row in rows)
+
+
 def test_golden_storm_trace_matches_its_recipe():
     recipe = builder.storm_trace()
     stored = WorkloadTrace.from_json(builder.trace_path(builder.STORM_NAME))

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -141,3 +143,77 @@ class TestCLI:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_log_level_flag_precedes_subcommand(self, capsys):
+        assert main(["--log-level", "info", "list"]) == 0
+        assert "thumbnailer" in capsys.readouterr().out
+
+    def test_rejects_unknown_log_level(self):
+        with pytest.raises(SystemExit):
+            main(["--log-level", "loud", "list"])
+
+
+class TestCLIObservability:
+    """The --observe/--trace-out/--timeseries-out/--profile replay flags."""
+
+    _BASE = ["workload", "--pattern", "poisson", "--duration", "20", "--rate", "1"]
+
+    def test_workload_observability_artifacts(self, capsys, tmp_path):
+        trace_out = tmp_path / "trace.json"
+        series_out = tmp_path / "series.csv"
+        output = tmp_path / "summary.json"
+        assert main(self._BASE + [
+            "--providers", "aws",
+            "--observe", "--trace-out", str(trace_out),
+            "--timeseries-out", str(series_out), "--timeseries-window", "5",
+            "--profile", "--output", str(output),
+        ]) == 0
+        stdout = capsys.readouterr().out
+        assert "lifecycle events observed (aws)" in stdout
+        assert "Replay profile (aws)" in stdout
+        chrome = json.loads(trace_out.read_text(encoding="utf-8"))
+        assert chrome["traceEvents"] and chrome["displayTimeUnit"] == "ms"
+        header = series_out.read_text(encoding="utf-8").splitlines()[0]
+        assert header.startswith("function,window,start_s,arrivals,")
+        document = json.loads(output.read_text(encoding="utf-8"))
+        replay = document["replay"]["aws"]
+        assert replay["wall_clock_s"] >= 0 and replay["throughput_per_s"] >= 0
+        assert set(replay["profile"]["phases"]) == {"replay"}
+
+    def test_multi_provider_outputs_are_suffixed(self, tmp_path):
+        trace_out = tmp_path / "trace.json"
+        series_out = tmp_path / "series.csv"
+        assert main(self._BASE + [
+            "--providers", "aws", "gcp",
+            "--trace-out", str(trace_out), "--timeseries-out", str(series_out),
+        ]) == 0
+        for provider in ("aws", "gcp"):
+            assert (tmp_path / f"trace-{provider}.json").exists()
+            assert (tmp_path / f"series-{provider}.csv").exists()
+        assert not trace_out.exists() and not series_out.exists()
+
+    def test_observe_rejects_sharded_replay(self, capsys):
+        assert main(self._BASE + ["--providers", "aws", "--observe", "--workers", "2"]) == 2
+
+    def test_workflow_output_carries_replay_summary(self, tmp_path, capsys):
+        output = tmp_path / "workflow.json"
+        assert main([
+            "workflow", "--workflow", "pipeline", "--duration", "15", "--rate", "0.5",
+            "--providers", "aws", "--profile", "--output", str(output),
+        ]) == 0
+        document = json.loads(output.read_text(encoding="utf-8"))
+        replay = document["replay"]["aws"]
+        assert replay["wall_clock_s"] >= 0 and replay["throughput_per_s"] >= 0
+        assert set(replay["profile"]["phases"]) == {"replay"}
+
+    def test_fault_storm_output_carries_replay_summaries(self, tmp_path, capsys):
+        output = tmp_path / "storm.json"
+        assert main([
+            "fault-storm", "--duration", "60", "--rate", "6",
+            "--outage-start", "15", "--outage-duration", "5", "--output", str(output),
+        ]) == 0
+        document = json.loads(output.read_text(encoding="utf-8"))
+        assert document["variants"]
+        for variant in document["variants"].values():
+            replay = variant["replay"]
+            assert replay["wall_clock_s"] >= 0 and replay["throughput_per_s"] >= 0
