@@ -19,7 +19,7 @@ test-cov:
 		$(PYTHON) -m pytest -x -q \
 			--cov=repro.stats --cov=repro.parallel \
 			--cov=repro.faults --cov=repro.resilience \
-			--cov=repro.observe \
+			--cov=repro.observe --cov=repro.columnar \
 			--cov-report=term-missing --cov-fail-under=80; \
 	else \
 		echo "pytest-cov not installed; running tier-1 tests without the coverage gate"; \

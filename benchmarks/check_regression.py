@@ -61,10 +61,12 @@ GATED_METRICS: dict[str, tuple[tuple[str, str], ...]] = {
         ("overload_throughput_per_s", "higher"),
         ("fault_storm_throughput_per_s", "higher"),
         ("chaos_recovery_throughput_per_s", "higher"),
+        ("columnar_throughput_per_s", "higher"),
     ),
     "workload_throughput_100k": (
         ("throughput_per_s", "higher"),
         ("peak_rss_mb", "lower"),
+        ("columnar_throughput_per_s", "higher"),
     ),
     "workflow_throughput_100k": (
         ("throughput_per_s", "higher"),

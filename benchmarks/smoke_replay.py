@@ -24,7 +24,11 @@ Four checks:
 * a crash-recovery gate (:mod:`repro.parallel.supervisor`): a worker
   killed mid-replay must be detected, the pool rebuilt and the shard
   retried, with the merged result bit-identical to serial replay, inside
-  a 60 s budget.
+  a 60 s budget;
+* a columnar-equivalence gate (:mod:`repro.columnar`): the 10k trace
+  replayed through the vectorized hot path must produce record lists and
+  streaming aggregates bit-identical to the scalar engine — serially and
+  sharded — while streaming clearly faster than scalar.
 
 The thresholds are deliberately loose — the point is to catch order-of-
 magnitude breakage, not to flake on slow CI runners.  The measured
@@ -396,6 +400,94 @@ def _smoke_chaos_recovery(workers: int) -> list[str]:
     return failures
 
 
+#: Columnar smoke: the 10k flat trace replayed scalar and columnar — the
+#: record lists (frozen dataclasses, so ``==`` is bit equality including
+#: cost breakdowns and timestamps) and the streaming aggregates must agree
+#: exactly, serially and under sharding, and the columnar streaming replay
+#: must hold a clear throughput advantage.
+COLUMNAR_BUDGET_S = 30.0
+COLUMNAR_MIN_SPEEDUP = 1.5
+
+
+def _columnar_fixture(columnar: bool):
+    platform = create_platform(Provider.AWS, SimulationConfig(seed=42, columnar=columnar))
+    fname = deploy_benchmark(platform, "dynamic-html", memory_mb=256)
+    return platform, fname
+
+
+def _smoke_columnar(workers: int) -> list[str]:
+    platform, fname = _columnar_fixture(False)
+    duration_s = 1.05 * SMOKE_INVOCATIONS / ARRIVAL_RATE_PER_S
+    trace = WorkloadTrace.synthesize(
+        fname, PoissonArrivals(ARRIVAL_RATE_PER_S), duration_s=duration_s, rng=42
+    )
+    if len(trace) < SMOKE_INVOCATIONS:
+        return [f"synthesized only {len(trace)} requests"]
+    trace = WorkloadTrace(list(trace)[:SMOKE_INVOCATIONS])
+
+    scalar = platform.run_workload(trace)
+    scalar_stream = _columnar_fixture(False)[0].run_workload(trace, keep_records=False)
+    columnar = _columnar_fixture(True)[0].run_workload(trace)
+    columnar_stream = _columnar_fixture(True)[0].run_workload(trace, keep_records=False)
+    METRICS["columnar_throughput_per_s"] = round(columnar_stream.throughput_per_s, 1)
+    speedup = (
+        columnar_stream.throughput_per_s / scalar_stream.throughput_per_s
+        if scalar_stream.throughput_per_s > 0
+        else 0.0
+    )
+    print(
+        f"bench-smoke: columnar replay: {columnar_stream.invocations} invocations in "
+        f"{columnar_stream.wall_clock_s:.2f}s ({columnar_stream.throughput_per_s:,.0f}/s "
+        f"streaming, {speedup:.1f}x scalar), records bit-checked against scalar"
+    )
+
+    failures = []
+    if columnar.records != scalar.records:
+        diverged = sum(
+            1 for a, b in zip(scalar.records, columnar.records) if a != b
+        ) + abs(len(scalar.records) - len(columnar.records))
+        failures.append(
+            f"columnar records are not bit-identical to scalar ({diverged} diverged)"
+        )
+    for attribute in (
+        "invocations",
+        "cold_start_total",
+        "failure_total",
+        "total_cost_usd",
+        "simulated_span_s",
+        "peak_in_flight",
+    ):
+        scalar_value = getattr(scalar_stream, attribute)
+        columnar_value = getattr(columnar_stream, attribute)
+        if columnar_value != scalar_value:
+            failures.append(
+                f"columnar streaming {attribute} {columnar_value!r} != scalar {scalar_value!r}"
+            )
+    for fname_, scalar_summary in scalar_stream.per_function().items():
+        columnar_summary = columnar_stream.per_function()[fname_]
+        if (
+            columnar_summary.invocations != scalar_summary.invocations
+            or columnar_summary.total_cost_usd != scalar_summary.total_cost_usd
+            or columnar_summary.client_time.percentiles != scalar_summary.client_time.percentiles
+        ):
+            failures.append(f"columnar summary of {fname_!r} diverged from scalar")
+    sharded = _columnar_fixture(True)[0].run_workload(trace, workers=workers)
+    if sharded.records != scalar.records:
+        failures.append(
+            f"sharded columnar records (x{workers}) are not bit-identical to serial scalar"
+        )
+    if speedup < COLUMNAR_MIN_SPEEDUP:
+        failures.append(
+            f"columnar streaming speedup {speedup:.2f}x < {COLUMNAR_MIN_SPEEDUP}x scalar"
+        )
+    if columnar_stream.wall_clock_s > COLUMNAR_BUDGET_S:
+        failures.append(
+            f"columnar replay took {columnar_stream.wall_clock_s:.2f}s > "
+            f"{COLUMNAR_BUDGET_S:.0f}s budget"
+        )
+    return failures
+
+
 def _emit_bench_json() -> None:
     """Write the smoke throughputs for the perf-regression gate."""
     from conftest import emit_bench_json
@@ -418,6 +510,7 @@ def main() -> int:
     failures += _smoke_overload(args.workers)
     failures += _smoke_fault_storm(args.workers)
     failures += _smoke_chaos_recovery(args.workers)
+    failures += _smoke_columnar(args.workers)
     _emit_bench_json()
     if failures:
         for failure in failures:

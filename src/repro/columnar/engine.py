@@ -1,0 +1,984 @@
+"""The vectorized (columnar) trace-replay hot loop.
+
+One flat loop replaces the scalar call stack
+(``WorkloadEngine._stream_fast`` → ``_simulate_invocation`` →
+``_simulate_reserved_invocation`` → compute / reliability / billing /
+network models) for fast-path replays: no overload admission, no fault
+plane, no client resilience, no kernel execution.  Everything a record
+shares with its function — CPU share, jitter parameters, storage transfer
+bases, billing constants, reliability thresholds — is precomputed once per
+function into a :class:`_Lane`; per invocation only the data-dependent
+draws and float arithmetic remain.
+
+**Draw-order contract.**  The loop consumes the per-function random
+streams in exactly the scalar order:
+
+1. eviction-policy apply (own per-pool stream, delegated to the policy);
+2. spurious cold-start uniform (only when the provider's probability > 0);
+3. compute stream — jitter lognormal, contention uniform, per-transfer
+   storage lognormals, cold-init draws (delegated to
+   :meth:`~repro.simulator.compute.ComputeModel.cold_init_time` — the cold
+   path is rare and data-dependent), memory normal;
+4. reliability stream — sporadic-OOM uniform (GCP, borderline lanes only),
+   availability uniform (GCP/Azure at concurrency ≥ 10);
+5. gateway lognormal;
+6. network exponentials (request, then response).
+
+Streams 2, 4, 5 and 6 are served from the pre-drawn blocks installed by
+:func:`repro.columnar.draws.install_draw_blocks`; stream 3 is heterogeneous
+and stays scalar (see :mod:`repro.columnar.draws`).  Every float operation
+is replicated in the scalar path's evaluation order, so records, streaming
+summaries, provider logs, pool state and the clock are bit-identical — the
+differential tier in ``tests/test_columnar_equivalence.py`` asserts it.
+
+Three sink modes share the loop:
+
+* **record** — per-invocation variables append to a
+  :class:`~repro.columnar.records.ColumnarRecordBlock`; record objects are
+  materialised lazily after the loop (``keep_records=True``);
+* **fold** — per-lane counters and batched
+  :meth:`~repro.stats.streaming.StreamingSummary.add_many` folds build a
+  :class:`~repro.workload.engine._ReplayAccumulator` without ever creating
+  a record (``keep_records=False``);
+* **emit** — an attached observer needs the record object and its hooks in
+  stream order, so records are built inline and handed to a callback (the
+  loop still wins the blocked draws and the inlined arithmetic).
+
+Provider-log entries are buffered as arrays and materialised into
+``state.history`` once, after the loop (bounded by ``log_retention``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..config import DYNAMIC_MEMORY, InvocationOutcome, Provider, StartType, TriggerType
+from ..exceptions import ConfigurationError
+from ..faas.billing import CostBreakdown
+from ..faas.invocation import InvocationRecord, payload_wire_bytes
+from ..simulator.containers import Container, ContainerState
+from ..simulator.reliability import ReliabilityModel
+from ..utils.units import round_up
+from .draws import BLOCK as _BLOCK
+from ..workload.engine import (
+    _PRUNE_INTERVAL,
+    _FunctionAccumulator,
+    _ReplayAccumulator,
+    WorkloadResult,
+    streaming_result,
+)
+from ..workload.trace import MergedWorkloadTrace, WorkloadTrace
+from .records import ColumnarRecordBlock, LaneMeta
+
+_HTTP = TriggerType.HTTP
+_COLD = StartType.COLD
+_WARM = StartType.WARM
+_COMPLETED = InvocationOutcome.COMPLETED
+_FAILED = InvocationOutcome.FAILED
+_CS_WARM = ContainerState.WARM
+#: ``Container.is_warm`` as a membership test, hoisted for the inlined
+#: pool operations (pick / release re-offer).
+_LIVE = (ContainerState.WARM, ContainerState.BUSY)
+
+#: Streaming-fold flush threshold: client-time / cost buffers fold into the
+#: per-function accumulator in batches of this size (element order inside a
+#: batch is preserved, so the fold is bit-identical to per-record adds).
+_FOLD_BATCH = 8192
+
+#: Provider-log buffers are trimmed to the retention bound whenever they
+#: grow past twice of it, keeping memory O(retention) without trimming on
+#: every append.
+_HISTORY_SLACK = 2
+
+
+class _Lane:
+    """Per-function constants and prebound hot-path callables."""
+
+    __slots__ = (
+        "fname",
+        "benchmark",
+        "version",
+        "memory_mb",
+        "profile",
+        "package_mb",
+        "timeout_s",
+        "peak_memory_mb",
+        "function",
+        # Overridden sandbox acquisition (IaaS's always-warm VM); ``None``
+        # selects the inlined base-platform path.
+        "acquire",
+        # pool / container plumbing.  The pick / reserve / finish-serve /
+        # release operations are inlined in the loop against the pool's
+        # internal structures: ``heap`` (the per-version MRU heap list),
+        # ``entry_lua`` and ``in_use`` are never rebound for the pool's
+        # lifetime; ``index`` IS rebound by ``prune()`` and is refreshed
+        # after every prune interval.
+        "pool",
+        "heap",
+        "entry_lua",
+        "in_use",
+        "index",
+        "cap",
+        "pool_add",
+        "release",
+        "next_container_id",
+        "in_flight",
+        # compute stream (scalar draws, inlined arithmetic)
+        "c_lognormal",
+        "c_normal",
+        # storage-model stream (the compute generator unless the platform
+        # attached a dedicated one, e.g. IaaS cloud storage)
+        "sto_lognormal",
+        "sto_random",
+        "compute_base",
+        "jit_solo",
+        "jit_conc",
+        "cold_init_time",
+        # storage
+        "contention_p",
+        "contention_slowdown",
+        "read_on",
+        "read_requests",
+        "read_base",
+        "write_on",
+        "write_requests",
+        "write_base",
+        "s_jitter",
+        "s_mean",
+        "s_sigma",
+        # reliability
+        "rel_take",
+        "rel_dynamic",
+        "rel_strict",
+        "rel_lenient_threshold",
+        "rel_borderline",
+        "rel_burst",
+        "rel_gcp",
+        "rel_highmem",
+        # gateway / payload / network
+        "gw_block",
+        "http_base",
+        "sdk_base",
+        "payload_denom",
+        "empty_upload",
+        "response_download_s",
+        "req_base",
+        "resp_base",
+        "net_block",
+        "sp_take",
+        "sp_p",
+        # billing
+        "is_vm",
+        "vm_price",
+        "min_billed",
+        "granularity",
+        "gb_price",
+        "bills_avg",
+        "mem_gb_const",
+        "mem_gran",
+        "mem_overhead",
+        "statics",
+        # provider-log buffers
+        "state",
+        "h_pt",
+        "h_used",
+        "h_cost",
+        "h_cold",
+        "h_success",
+        "h_ts",
+        # sink state
+        "lane_idx",
+        "acc",
+        "n",
+        "n_cold",
+        "n_fail",
+        "cost_buf",
+        "client_buf",
+    )
+
+
+def _build_lane(platform, fname: str) -> _Lane:
+    """Resolve one function into a precomputed lane (first appearance)."""
+    from ..simulator.platform_sim import SimulatedPlatform
+
+    function = platform.get_function(fname)
+    state = platform._state.get(fname)
+    if state is None:
+        state = platform._runtime_state(fname)
+    profile = platform._profile_for(function, state)
+    memory_mb = function.config.memory_mb
+    performance = platform.performance
+    compute = state.compute
+
+    lane = _Lane()
+    lane.fname = function.name
+    lane.benchmark = function.benchmark
+    lane.version = function.version
+    lane.memory_mb = memory_mb
+    lane.profile = profile
+    lane.package_mb = function.package.size_mb
+    lane.timeout_s = function.config.timeout_s
+    lane.peak_memory_mb = profile.peak_memory_mb
+    lane.function = function
+    # A platform that overrides sandbox acquisition (IaaS) keeps its own
+    # semantics: the loop calls the override per invocation instead of the
+    # inlined base path.
+    if type(platform)._acquire_container is SimulatedPlatform._acquire_container:
+        lane.acquire = None
+    else:
+        lane.acquire = platform._acquire_container
+
+    pool = state.pool
+    lane.pool = pool
+    # ``setdefault`` so the lane owns the very list ``_push`` would use; an
+    # empty heap entry for the version is what the first push would create.
+    lane.heap = pool._mru.setdefault(function.version, [])
+    lane.entry_lua = pool._entry_lua
+    lane.in_use = pool._in_use
+    lane.index = pool._index
+    lane.cap = pool.slot_capacity
+    lane.pool_add = pool.add
+    lane.release = pool.release
+    lane.next_container_id = pool.next_container_id
+    lane.in_flight = 0
+
+    # Compute stream: the heterogeneous scalar stream (see module docstring).
+    rng = compute._rng
+    lane.c_lognormal = rng.lognormal
+    lane.c_normal = rng.normal
+    storage_rng = compute.storage_model._rng
+    lane.sto_lognormal = storage_rng.lognormal
+    lane.sto_random = storage_rng.random
+    share = compute.cpu_share(memory_mb)
+    lane.compute_base = profile.warm_compute_s * performance.compute_speed_factor / share
+    lane.jit_solo = _jitter_params(performance.compute_jitter_cv)
+    lane.jit_conc = _jitter_params(
+        performance.compute_jitter_cv * performance.concurrency_jitter_factor
+    )
+    lane.cold_init_time = compute.cold_init_time
+
+    # Storage: per-transfer base latencies precomputed exactly as
+    # StorageLatencyModel.transfer_time computes them.  Read the profile off
+    # the live model — a platform may attach a non-default one (IaaS S3).
+    storage = compute.storage_model.profile
+    effective = compute.effective_memory(memory_mb)
+    bandwidth = compute.storage_model.bandwidth_mbps(effective) * 1024 * 1024
+    lane.contention_p = storage.contention_tail_probability
+    lane.contention_slowdown = storage.contention_slowdown
+    lane.read_on = profile.storage_read_bytes > 0 or profile.storage_read_requests > 0
+    lane.read_requests = max(1, profile.storage_read_requests)
+    lane.read_base = storage.base_latency_s + (
+        profile.storage_read_bytes // lane.read_requests
+    ) / bandwidth
+    lane.write_on = profile.storage_write_bytes > 0 or profile.storage_write_requests > 0
+    lane.write_requests = max(1, profile.storage_write_requests)
+    lane.write_base = storage.base_latency_s + (
+        profile.storage_write_bytes // lane.write_requests
+    ) / bandwidth
+    lane.s_jitter = storage.jitter_cv > 0
+    if lane.s_jitter:
+        s_sigma = float(np.sqrt(np.log(1.0 + storage.jitter_cv**2)))
+        lane.s_sigma = s_sigma
+        lane.s_mean = -(s_sigma**2) / 2.0
+    else:
+        lane.s_sigma = 0.0
+        lane.s_mean = 0.0
+
+    # Reliability: thresholds and draw gates, mirroring ReliabilityModel.
+    provider = platform.provider
+    enabled = platform.simulation.enable_failures
+    lane.rel_take = state.reliability._rng.take if enabled else None
+    lane.rel_dynamic = memory_mb == DYNAMIC_MEMORY
+    lane.rel_strict = provider in ReliabilityModel._STRICT_MEMORY_PROVIDERS
+    lane.rel_lenient_threshold = memory_mb * 1.5
+    lane.rel_borderline = memory_mb < profile.peak_memory_mb * 1.10
+    lane.rel_burst = provider in ReliabilityModel._BURST_FAILURE_PROVIDERS
+    lane.rel_gcp = provider is Provider.GCP
+    lane.rel_highmem = memory_mb >= 4096
+
+    # Gateway, payload, response and network constants.
+    invocation_profile = platform._invocation_profile
+    lane.gw_block = state.gateway_stream
+    lane.http_base = invocation_profile.http_gateway_s
+    lane.sdk_base = invocation_profile.sdk_overhead_s
+    lane.payload_denom = invocation_profile.payload_bandwidth_mbps * 1024 * 1024
+    from ..simulator.platform_sim import _EMPTY_PAYLOAD_BYTES
+
+    lane.empty_upload = _EMPTY_PAYLOAD_BYTES / lane.payload_denom
+    lane.response_download_s = profile.output_bytes / (
+        invocation_profile.response_bandwidth_mbps * 1024 * 1024
+    )
+    network = state.network
+    lane.req_base = network._request_base
+    lane.resp_base = network._response_base
+    lane.net_block = network._rng if network.profile.jitter_scale_s > 0 else None
+    lane.sp_p = platform._spurious_probability
+    lane.sp_take = state.spurious_stream.take if lane.sp_p > 0 else None
+
+    # Billing constants (the static components go through the billing
+    # model's own cache so the floats are byte-for-byte the scalar path's).
+    billing = platform.billing
+    lane.is_vm = billing.vm_hourly_price > 0
+    lane.vm_price = billing.vm_hourly_price
+    lane.min_billed = billing.minimum_billed_duration_s
+    lane.granularity = billing.duration_granularity_s
+    lane.gb_price = billing.gb_second_price
+    lane.bills_avg = billing.bills_average_memory or lane.rel_dynamic
+    lane.mem_gb_const = float(memory_mb) / 1024.0
+    lane.mem_gran = float(billing.memory_granularity_mb)
+    lane.mem_overhead = billing.billed_memory_overhead_mb
+    storage_requests = profile.storage_read_requests + profile.storage_write_requests
+    if lane.is_vm:
+        statics = {
+            (via_http, success): (0.0, 0.0, 0.0)
+            for via_http in (False, True)
+            for success in (False, True)
+        }
+    else:
+        statics = {
+            (via_http, success): billing._static_cost_components(
+                profile.output_bytes if success else 0, storage_requests, via_http
+            )
+            for via_http in (False, True)
+            for success in (False, True)
+        }
+    lane.statics = statics
+
+    # Provider-log buffers (materialised into state.history after the loop).
+    lane.state = state
+    lane.h_pt = []
+    lane.h_used = []
+    lane.h_cost = []
+    lane.h_cold = []
+    lane.h_success = []
+    lane.h_ts = []
+
+    lane.lane_idx = -1
+    lane.acc = None
+    lane.n = 0
+    lane.n_cold = 0
+    lane.n_fail = 0
+    lane.cost_buf = []
+    lane.client_buf = []
+    return lane
+
+
+def _jitter_params(cv: float) -> tuple[float, float] | None:
+    """(mean, sigma) of the lognormal jitter for ``cv``; None = no draw.
+
+    Matches ``ComputeModel._jitter``: ``sigma = float(sqrt(log(1+cv^2)))``
+    (cached as a Python float there), ``mean = -sigma**2 / 2.0``.
+    """
+    if cv <= 0:
+        return None
+    sigma = float(np.sqrt(np.log(1.0 + cv**2)))
+    return (-(sigma**2) / 2.0, sigma)
+
+
+def _flush_lane(lane: _Lane) -> None:
+    """Fold buffered per-lane stats into its _FunctionAccumulator."""
+    acc = lane.acc
+    acc.invocations += lane.n
+    acc.executed += lane.n
+    acc.cold_starts += lane.n_cold
+    acc.failures += lane.n_fail
+    total = acc.total_cost_usd
+    for value in lane.cost_buf:
+        total += value
+    acc.total_cost_usd = total
+    acc.client_time.add_many(lane.client_buf)
+    lane.n = 0
+    lane.n_cold = 0
+    lane.n_fail = 0
+    lane.cost_buf.clear()
+    lane.client_buf.clear()
+
+
+def _flush_history(lanes: dict, retention: int | None) -> None:
+    """Materialise the buffered provider-log entries into state.history.
+
+    One `_LogEntry` per *retained* invocation, built after the loop — the
+    deque (``maxlen=retention``) keeps exactly the entries a scalar replay
+    would have kept, in the same order.
+    """
+    from ..simulator.platform_sim import _LogEntry
+
+    for lane in lanes.values():
+        h_pt = lane.h_pt
+        if retention is not None and len(h_pt) > retention:
+            start = len(h_pt) - retention
+        else:
+            start = 0
+        history = lane.state.history
+        fname = lane.fname
+        h_used = lane.h_used
+        h_cost = lane.h_cost
+        h_cold = lane.h_cold
+        h_success = lane.h_success
+        h_ts = lane.h_ts
+        append = history.append
+        for i in range(start, len(h_pt)):
+            append(
+                _LogEntry(
+                    function_name=fname,
+                    provider_time_s=h_pt[i],
+                    memory_used_mb=h_used[i],
+                    cost_usd=h_cost[i],
+                    start_type=_COLD if h_cold[i] else _WARM,
+                    success=h_success[i],
+                    timestamp=h_ts[i],
+                )
+            )
+        lane.h_pt = []
+        lane.h_used = []
+        lane.h_cost = []
+        lane.h_cold = []
+        lane.h_success = []
+        lane.h_ts = []
+
+
+def _replay(
+    engine,
+    requests: Iterable,
+    positions: Iterable[int] | None,
+    block: ColumnarRecordBlock | None,
+    accumulator: _ReplayAccumulator | None,
+    emit: Callable | None,
+) -> None:
+    """The flat columnar loop.  Exactly one sink must be active:
+
+    ``block`` (record mode), ``accumulator`` (fold mode) or ``emit``
+    (observer mode, records built inline and passed to the callback).
+    """
+    platform = engine.platform
+    clock = platform.clock
+    base = clock.now()
+    retention = platform.simulation.log_retention
+    history_cap = None if retention is None else retention * _HISTORY_SLACK
+    provider = platform.provider
+    apply_eviction = platform.eviction_policy.apply
+    observer = platform._observer
+    runtime_overhead_s = platform._runtime_overhead_s
+    states = platform._state
+
+    position_iter = iter(positions) if positions is not None else itertools.count()
+
+    lanes: dict[str, _Lane] = {}
+    completions: list = []
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    isclose = math.isclose
+    ceil = math.ceil
+    seq = 0
+    last_submitted = 0.0
+    last_finish = base
+    processed = 0
+    peak = 0
+    engine.last_peak_in_flight = 0
+
+    record_mode = block is not None
+    fold_mode = accumulator is not None
+    if record_mode:
+        a_lane = block.lane.append
+        a_reqidx = block.request_index.append
+        a_sub = block.submitted_at.append
+        a_cold = block.cold.append
+        a_success = block.success.append
+        a_error = block.error.append
+        a_bt = block.benchmark_time_s.append
+        a_pt = block.provider_time_s.append
+        a_ct = block.client_time_s.append
+        a_ov = block.invocation_overhead_s.append
+        a_ci = block.cold_init_s.append
+        a_mu = block.memory_used_mb.append
+        a_bd = block.billed_duration_s.append
+        a_cc = block.compute_cost.append
+        a_http = block.via_http.append
+        a_cid = block.container_id.append
+        a_fin = block.finished_at.append
+
+    try:
+        for request in requests:
+            submitted = request.submitted_at
+            if submitted < last_submitted:
+                raise ConfigurationError(
+                    "workload requests must be sorted by submission time "
+                    f"({submitted:.6f} after {last_submitted:.6f})"
+                )
+            last_submitted = submitted
+            now = base + submitted
+
+            while completions and completions[0][0] <= now:
+                # Inlined ContainerPool.release: drop the in-flight count,
+                # re-offer the sandbox (push + entry_lua) if it freed up.
+                done = heappop(completions)
+                done_lane = done[2]
+                cid = done[3]
+                in_use = done_lane.in_use
+                remaining = in_use.get(cid, 0) - 1
+                if remaining > 0:
+                    in_use[cid] = remaining
+                else:
+                    in_use.pop(cid, None)
+                entry = done_lane.index.get(cid)
+                if entry is not None:
+                    cont = entry[1]
+                    if (
+                        cont.state in _LIVE
+                        and in_use.get(cid, 0) < done_lane.cap
+                        and done_lane.entry_lua.get(cid) != cont.last_used_at
+                    ):
+                        heappush(done_lane.heap, (-cont.last_used_at, entry[0], cont))
+                        done_lane.entry_lua[cid] = cont.last_used_at
+                done_lane.in_flight -= 1
+
+            # Monotone by the sort check above: a plain store matches
+            # VirtualClock.advance_to without the backwards-motion branch.
+            clock._now = now
+
+            fname = request.function_name
+            lane = lanes.get(fname)
+            if lane is None:
+                lane = lanes[fname] = _build_lane(platform, fname)
+                if record_mode:
+                    lane.lane_idx = block.add_lane(
+                        LaneMeta(
+                            function_name=lane.fname,
+                            benchmark=lane.benchmark,
+                            provider=provider,
+                            memory_declared_mb=lane.memory_mb,
+                            output_bytes=lane.profile.output_bytes,
+                            statics=lane.statics,
+                        )
+                    )
+                elif fold_mode:
+                    lane.acc = accumulator.per_function[lane.fname] = _FunctionAccumulator(
+                        lane.fname
+                    )
+
+            in_flight = len(completions)
+
+            # ---- sandbox acquisition (scalar: _acquire_container) --------
+            if lane.acquire is None:
+                evicted = apply_eviction(lane.pool, now)
+                if evicted and observer is not None:
+                    observer.on_container_evict(lane.fname, evicted, now, "policy")
+                container = None
+                sp_take = lane.sp_take
+                if sp_take is None or sp_take() >= lane.sp_p:
+                    # Inlined ContainerPool.pick_mru: pop stale heap entries
+                    # (superseded, dead or saturated) until a live one
+                    # surfaces; consume its entry_lua record.
+                    mru = lane.heap
+                    entry_lua = lane.entry_lua
+                    in_use = lane.in_use
+                    cap = lane.cap
+                    while mru:
+                        top = mru[0]
+                        heappop(mru)
+                        cand = top[2]
+                        cid = cand.container_id
+                        if entry_lua.get(cid) != -top[0]:
+                            continue
+                        if cand.state not in _LIVE or in_use.get(cid, 0) >= cap:
+                            entry_lua.pop(cid, None)
+                            continue
+                        entry_lua.pop(cid, None)
+                        container = cand
+                        break
+                if container is None:
+                    cold = True
+                    container_id = lane.next_container_id()
+                    container = Container(
+                        function_name=lane.fname,
+                        function_version=lane.version,
+                        memory_mb=lane.memory_mb,
+                        created_at=now,
+                        container_id=container_id,
+                    )
+                    lane.pool_add(container)
+                    if observer is not None:
+                        observer.on_container_create(lane.fname, container_id, now)
+                else:
+                    cold = False
+                    container_id = container.container_id
+            else:
+                container, start_type = lane.acquire(lane.function, lane.state, now)
+                cold = start_type is _COLD
+                container_id = container.container_id
+            # Inlined ContainerPool.reserve.
+            in_use = lane.in_use
+            in_use[container_id] = in_use.get(container_id, 0) + 1
+
+            concurrency = lane.in_flight + 1
+
+            # ---- compute sample (scalar: ComputeModel.execute) -----------
+            jit = lane.jit_conc if concurrency > 1 else lane.jit_solo
+            if jit is None:
+                compute_t = lane.compute_base
+            else:
+                compute_t = lane.compute_base * float(lane.c_lognormal(jit[0], jit[1]))
+            contention = lane.sto_random() < lane.contention_p
+            storage_t = 0.0
+            if lane.read_on:
+                read_base = lane.read_base
+                if lane.s_jitter:
+                    s_mean = lane.s_mean
+                    s_sigma = lane.s_sigma
+                    for _ in range(lane.read_requests):
+                        duration = read_base * float(lane.sto_lognormal(s_mean, s_sigma))
+                        if contention:
+                            duration *= lane.contention_slowdown
+                        storage_t += duration
+                else:
+                    for _ in range(lane.read_requests):
+                        duration = read_base
+                        if contention:
+                            duration *= lane.contention_slowdown
+                        storage_t += duration
+            if lane.write_on:
+                write_base = lane.write_base
+                if lane.s_jitter:
+                    s_mean = lane.s_mean
+                    s_sigma = lane.s_sigma
+                    for _ in range(lane.write_requests):
+                        duration = write_base * float(lane.sto_lognormal(s_mean, s_sigma))
+                        if contention:
+                            duration *= lane.contention_slowdown
+                        storage_t += duration
+                else:
+                    for _ in range(lane.write_requests):
+                        duration = write_base
+                        if contention:
+                            duration *= lane.contention_slowdown
+                        storage_t += duration
+            benchmark_time = compute_t + storage_t
+            if cold:
+                cold_init_s = lane.cold_init_time(lane.profile, lane.memory_mb, lane.package_mb)
+            else:
+                cold_init_s = 0.0
+            memory_used = float(
+                max(1.0, lane.peak_memory_mb * max(0.85, lane.c_normal(loc=1.0, scale=0.03)))
+            )
+
+            # ---- reliability check (scalar: ReliabilityModel.check) ------
+            error = None
+            rel_take = lane.rel_take
+            if rel_take is not None:
+                if not lane.rel_dynamic:
+                    if lane.rel_strict:
+                        if memory_used > lane.memory_mb:
+                            error = "out-of-memory"
+                        elif lane.rel_borderline and rel_take() < 0.05:
+                            error = "out-of-memory"
+                    elif memory_used > lane.rel_lenient_threshold:
+                        error = "out-of-memory"
+                if error is None and lane.rel_burst and concurrency >= 10:
+                    if lane.rel_gcp:
+                        probability = 0.6 if (lane.rel_highmem and concurrency >= 50) else 0.01
+                    else:
+                        probability = 0.02
+                    if rel_take() < probability:
+                        error = "unavailable"
+
+            # ---- gateway / payload / network (scalar: reserved-invocation)
+            via_http = request.trigger is _HTTP
+            # Inlined LognormalBlock.take (gateway stream).
+            gw = lane.gw_block
+            gi = gw._i
+            gv = gw._values
+            if gi == len(gv):
+                gv = gw._values = gw._rng.lognormal(gw._mean, gw._sigma, _BLOCK).tolist()
+                gi = 0
+            gw._i = gi + 1
+            gateway = (lane.http_base if via_http else lane.sdk_base) * gv[gi]
+            payload_bytes = request.payload_bytes
+            if payload_bytes is not None:
+                payload_upload_s = payload_bytes / lane.payload_denom
+            elif request.payload:
+                payload_upload_s = payload_wire_bytes(request.payload) / lane.payload_denom
+            else:
+                payload_upload_s = lane.empty_upload
+            nb = lane.net_block
+            if nb is not None:
+                # Inlined ExponentialBlock.take ×2 (request, then response).
+                ni = nb._i
+                nv = nb._values
+                if ni == len(nv):
+                    nv = nb._values = nb._rng.exponential(nb._scale, _BLOCK).tolist()
+                    ni = 0
+                request_network_s = lane.req_base + nv[ni]
+                ni += 1
+                if ni == len(nv):
+                    nv = nb._values = nb._rng.exponential(nb._scale, _BLOCK).tolist()
+                    ni = 0
+                response_network_s = lane.resp_base + nv[ni]
+                nb._i = ni + 1
+            else:
+                request_network_s = lane.req_base + 0.0
+                response_network_s = lane.resp_base + 0.0
+
+            invocation_overhead_s = request_network_s + gateway + payload_upload_s + cold_init_s
+
+            if error is not None:
+                benchmark_time_s = 0.0
+                provider_time_s = runtime_overhead_s
+                success = False
+            else:
+                benchmark_time_s = benchmark_time
+                provider_time_s = benchmark_time_s + runtime_overhead_s
+                success = True
+
+            client_time_s = (
+                invocation_overhead_s
+                + provider_time_s
+                + lane.response_download_s
+                + response_network_s
+            )
+
+            if success and provider_time_s > lane.timeout_s:
+                success = False
+                error = "timeout"
+                provider_time_s = lane.timeout_s
+                client_time_s = invocation_overhead_s + provider_time_s + response_network_s
+
+            # ---- billing (scalar: BillingModel) --------------------------
+            # Inlined round_up(max(provider_time_s, min_billed), granularity):
+            # snap to the nearest multiple when within float tolerance, else
+            # round up — op-for-op repro.utils.units.round_up.
+            v = provider_time_s if provider_time_s > lane.min_billed else lane.min_billed
+            q = v / lane.granularity
+            nearest = round(q)
+            if isclose(q, nearest, rel_tol=1e-12, abs_tol=1e-12):
+                snapped = nearest * lane.granularity
+                if snapped >= v - 1e-9:
+                    billed_duration_s = snapped
+                else:
+                    billed_duration_s = ceil(q) * lane.granularity
+            else:
+                billed_duration_s = ceil(q) * lane.granularity
+            if lane.is_vm:
+                compute_cost = provider_time_s / 3600.0 * lane.vm_price
+            elif lane.bills_avg:
+                measured = max(memory_used, 1.0) + lane.mem_overhead
+                compute_cost = (
+                    billed_duration_s
+                    * (round_up(measured, lane.mem_gran) / 1024.0)
+                    * lane.gb_price
+                )
+            else:
+                compute_cost = billed_duration_s * lane.mem_gb_const * lane.gb_price
+            request_cost, storage_cost, egress_cost = lane.statics[(via_http, success)]
+            cost_total = request_cost + compute_cost + storage_cost + egress_cost
+
+            # ---- completion bookkeeping ----------------------------------
+            finished_at = now + client_time_s
+            # Inlined ContainerPool.finish_serve (serve + touch).  The
+            # EVICTED guard is provably dead here: the policy ran before
+            # this container was picked or created in this very iteration.
+            container.invocations += 1
+            if finished_at > container.last_used_at:
+                container.last_used_at = finished_at
+            container.state = _CS_WARM
+            if lane.in_use.get(container_id, 0) < lane.cap:
+                entry = lane.index.get(container_id)
+                if entry is not None:
+                    heappush(
+                        lane.heap, (-container.last_used_at, entry[0], container)
+                    )
+                    lane.entry_lua[container_id] = container.last_used_at
+            else:
+                lane.entry_lua.pop(container_id, None)
+            heappush(completions, (finished_at, seq, lane, container_id))
+            seq += 1
+            lane.in_flight = concurrency
+            if in_flight + 1 > peak:
+                peak = in_flight + 1
+            if finished_at > last_finish:
+                last_finish = finished_at
+
+            # Provider log (materialised after the loop).
+            lane.h_pt.append(provider_time_s)
+            lane.h_used.append(memory_used)
+            lane.h_cost.append(cost_total)
+            lane.h_cold.append(cold)
+            lane.h_success.append(success)
+            lane.h_ts.append(finished_at)
+            if history_cap is not None and len(lane.h_pt) > history_cap:
+                cut = len(lane.h_pt) - retention
+                del lane.h_pt[:cut]
+                del lane.h_used[:cut]
+                del lane.h_cost[:cut]
+                del lane.h_cold[:cut]
+                del lane.h_success[:cut]
+                del lane.h_ts[:cut]
+
+            request_index = next(position_iter)
+
+            # ---- sink ----------------------------------------------------
+            if record_mode:
+                a_lane(lane.lane_idx)
+                a_reqidx(request_index)
+                a_sub(now)
+                a_cold(cold)
+                a_success(success)
+                a_error(error)
+                a_bt(benchmark_time_s)
+                a_pt(provider_time_s)
+                a_ct(client_time_s)
+                a_ov(invocation_overhead_s)
+                a_ci(cold_init_s)
+                a_mu(memory_used)
+                a_bd(billed_duration_s)
+                a_cc(compute_cost)
+                a_http(via_http)
+                a_cid(container_id)
+                a_fin(finished_at)
+            elif fold_mode:
+                if accumulator.first_submitted is None:
+                    accumulator.first_submitted = now
+                lane.n += 1
+                if cold:
+                    lane.n_cold += 1
+                if not success:
+                    lane.n_fail += 1
+                lane.cost_buf.append(cost_total)
+                lane.client_buf.append(client_time_s)
+                if len(lane.client_buf) >= _FOLD_BATCH:
+                    _flush_lane(lane)
+            else:
+                emit(
+                    InvocationRecord(
+                        function_name=lane.fname,
+                        benchmark=lane.benchmark,
+                        provider=provider,
+                        start_type=_COLD if cold else _WARM,
+                        success=success,
+                        benchmark_time_s=benchmark_time_s,
+                        provider_time_s=provider_time_s,
+                        client_time_s=client_time_s,
+                        invocation_overhead_s=invocation_overhead_s,
+                        cold_init_s=cold_init_s,
+                        memory_declared_mb=lane.memory_mb,
+                        memory_used_mb=memory_used,
+                        billed_duration_s=billed_duration_s,
+                        cost=CostBreakdown(
+                            request_cost=request_cost,
+                            compute_cost=compute_cost,
+                            storage_cost=storage_cost,
+                            egress_cost=egress_cost,
+                        ),
+                        output_bytes=lane.profile.output_bytes,
+                        container_id=container_id,
+                        submitted_at=now,
+                        started_at=now + invocation_overhead_s,
+                        finished_at=finished_at,
+                        error=error,
+                        outcome=_COMPLETED if success else _FAILED,
+                        admitted_at=now,
+                        request_index=request_index,
+                    )
+                )
+
+            processed += 1
+            if processed % _PRUNE_INTERVAL == 0:
+                for state in states.values():
+                    state.pool.prune()
+                # prune() rebinds pool._index; refresh the lane caches.
+                for pruned_lane in lanes.values():
+                    pruned_lane.index = pruned_lane.pool._index
+
+        if last_finish > clock.now():
+            clock.advance_to(last_finish)
+    finally:
+        engine.last_peak_in_flight = peak
+        while completions:
+            done = heappop(completions)
+            done[2].release(done[3])
+        if fold_mode:
+            for lane in lanes.values():
+                if lane.client_buf:
+                    _flush_lane(lane)
+            if lanes:
+                accumulator.last_finished = last_finish
+        _flush_history(lanes, retention)
+
+
+def replay_collect(engine, requests, positions=None) -> ColumnarRecordBlock:
+    """Record mode: replay into a columnar block (no record objects yet)."""
+    block = ColumnarRecordBlock()
+    _replay(engine, requests, positions, block, None, None)
+    return block
+
+
+def replay_fold(engine, requests, accumulator: _ReplayAccumulator, positions=None) -> None:
+    """Fold mode: replay straight into a streaming accumulator."""
+    _replay(engine, requests, positions, None, accumulator, None)
+
+
+def replay_emit(engine, requests, emit: Callable, positions=None) -> None:
+    """Observer mode: build records inline, hand each to ``emit``."""
+    _replay(engine, requests, positions, None, None, emit)
+
+
+def run_columnar(engine, trace, keep_records: bool, observer) -> WorkloadResult:
+    """Columnar equivalent of ``WorkloadEngine.run`` for fast-path replays."""
+    platform = engine.platform
+    if isinstance(trace, (WorkloadTrace, MergedWorkloadTrace)):
+        for fname in trace.functions():
+            platform.get_function(fname)
+    wall_start = time.perf_counter()
+    if keep_records:
+        if observer is None:
+            block = replay_collect(engine, trace)
+            records = block.materialize()
+            bounds = block.span_bounds()
+            span = bounds[1] - bounds[0] if bounds is not None else 0.0
+        else:
+            records = []
+            dispatch = observer.on_invocation
+            append = records.append
+
+            def emit(record):
+                dispatch(record)
+                append(record)
+
+            replay_emit(engine, trace, emit)
+            span = 0.0
+            if records:
+                span = max(r.finished_at for r in records) - min(
+                    r.submitted_at for r in records
+                )
+        wall_clock_s = time.perf_counter() - wall_start
+        return WorkloadResult(
+            provider=platform.provider,
+            records=records,
+            simulated_span_s=span,
+            wall_clock_s=wall_clock_s,
+            peak_in_flight=engine.last_peak_in_flight,
+        )
+    accumulator = _ReplayAccumulator()
+    if observer is None:
+        replay_fold(engine, trace, accumulator)
+    else:
+        dispatch = observer.on_invocation
+        fold = accumulator.add
+
+        def emit(record):
+            dispatch(record)
+            fold(record)
+
+        replay_emit(engine, trace, emit)
+    wall_clock_s = time.perf_counter() - wall_start
+    return streaming_result(
+        platform.provider,
+        accumulator,
+        wall_clock_s=wall_clock_s,
+        peak_in_flight=engine.last_peak_in_flight,
+    )

@@ -131,6 +131,17 @@ def _replay_trace_shard(
     if series is not None:
         engine.observer = series
     requests = _shard_requests(shard)
+    # Columnar fast path: ship the parallel arrays (record mode) or fold in
+    # the worker (streaming) instead of materialising record objects.
+    # Time-series shards and controlled replays fall through to the scalar
+    # loop — the draw blocks installed on the rebuilt platform keep those
+    # bit-identical through the stream shims.
+    columnar_ok = (
+        series is None
+        and getattr(platform, "_columnar", False)
+        and not getattr(platform, "_controlled_replay", False)
+        and not platform.execute_kernels
+    )
     if keep_records:
         if not isinstance(shard, TraceShard):
             raise ConfigurationError("record-mode shards must carry materialised requests")
@@ -138,6 +149,20 @@ def _replay_trace_shard(
         # reports the index of the request that produced it, which stays
         # correct even when the overload model resolves requests out of
         # arrival order (retries, admission queueing).
+        if columnar_ok:
+            from ..columnar.engine import replay_collect
+
+            block = replay_collect(
+                engine, requests, positions=(index for index, _ in shard.requests)
+            )
+            return TraceShardOutcome(
+                shard_index=shard.index,
+                records=None,
+                accumulator=None,
+                peak_in_flight=engine.last_peak_in_flight,
+                timeseries=None,
+                columnar=block,
+            )
         records = []
         for record in engine.stream(requests, positions=(index for index, _ in shard.requests)):
             if series is not None:
@@ -155,6 +180,17 @@ def _replay_trace_shard(
     positions = (
         (index for index, _ in shard.requests) if isinstance(shard, TraceShard) else None
     )
+    if columnar_ok:
+        from ..columnar.engine import replay_fold
+
+        replay_fold(engine, requests, accumulator, positions=positions)
+        return TraceShardOutcome(
+            shard_index=shard.index,
+            records=None,
+            accumulator=accumulator,
+            peak_in_flight=engine.last_peak_in_flight,
+            timeseries=None,
+        )
     for record in engine.stream(requests, positions=positions):
         if series is not None:
             series.observe_record(record)

@@ -73,6 +73,12 @@ class TraceShardOutcome:
     #: (and absent from checkpoints written before the field existed —
     #: readers must ``getattr`` with a default).
     timeseries: object | None = None
+    #: Record-mode columnar shards ship the whole
+    #: :class:`~repro.columnar.records.ColumnarRecordBlock` across the
+    #: process boundary instead of materialised record objects; the parent
+    #: materialises after the merge.  ``None`` on scalar shards (and absent
+    #: from older checkpoints — readers must ``getattr`` with a default).
+    columnar: object | None = None
 
 
 @dataclass
@@ -101,7 +107,11 @@ def merge_trace_outcomes(
     if keep_records:
         indexed: list[tuple[int, InvocationRecord]] = []
         for outcome in outcomes:
-            indexed.extend(outcome.records or ())
+            block = getattr(outcome, "columnar", None)
+            if block is not None:
+                indexed.extend(block.indexed_records())
+            else:
+                indexed.extend(outcome.records or ())
         indexed.sort(key=lambda pair: pair[0])
         records = [record for _, record in indexed]
         span = 0.0

@@ -49,6 +49,7 @@ from ..exceptions import (
 )
 from ..faas.billing import BillingModel, CostBreakdown, billing_model_for
 from ..faas.function import CodePackage, DeployedFunction
+from ..columnar.draws import install_draw_blocks
 from ..faults.plane import build_fault_state
 from ..resilience.breaker import CircuitBreaker
 from ..faas.invocation import InvocationRecord, InvocationRequest, payload_wire_bytes
@@ -219,6 +220,12 @@ class SimulatedPlatform(FaaSPlatform):
             or self._faults is not None
             or self._resilience is not None
         )
+        #: Columnar hot path (:mod:`repro.columnar`): blockable per-function
+        #: streams are wrapped in pre-drawn blocks at state creation, and
+        #: trace replay dispatches to the vectorized engine.  Bit-identical
+        #: to the scalar path by construction (and by the differential test
+        #: tier); hoisted here so the replay dispatch is one attribute load.
+        self._columnar = bool(self.simulation.columnar)
 
         from ..storage.object_store import ObjectStore
 
@@ -274,7 +281,7 @@ class SimulatedPlatform(FaaSPlatform):
                 breaker = CircuitBreaker(self._resilience.breaker)
             if self._client_retry_policy is not None:
                 client_retry_stream = streams.stream("client-retry", fname)
-        return _FunctionRuntimeState(
+        state = _FunctionRuntimeState(
             throttle=throttle,
             retry_stream=retry_stream,
             fault_state=fault_state,
@@ -299,6 +306,13 @@ class SimulatedPlatform(FaaSPlatform):
             language=language,
             history=deque(maxlen=retention),
         )
+        if self._columnar:
+            # Wrap the single-distribution streams in pre-drawn blocks once,
+            # for the state's lifetime: every consumer (columnar loop,
+            # controlled replay, direct invoke) then reads the same buffered
+            # sequence, and no draw is ever lost at a replay boundary.
+            install_draw_blocks(state, self)
+        return state
 
     def _runtime_state(self, fname: str) -> _FunctionRuntimeState:
         function = self.get_function(fname)

@@ -75,6 +75,34 @@ class StreamingMoments:
         if x > self.maximum:
             self.maximum = x
 
+    def add_many(self, values: Sequence[float]) -> None:
+        """Fold a batch of observations, bit-identical to ``add`` per element.
+
+        This is *not* a two-pass vectorized moment update: the columnar
+        replay path requires byte-identical state against the scalar path,
+        so the Welford recurrence is applied element by element in stream
+        order — only the attribute traffic is hoisted out of the loop.
+        """
+        count = self.count
+        mean = self.mean
+        m2 = self._m2
+        minimum = self.minimum
+        maximum = self.maximum
+        for x in values:
+            count += 1
+            delta = x - mean
+            mean += delta / count
+            m2 += delta * (x - mean)
+            if x < minimum:
+                minimum = x
+            if x > maximum:
+                maximum = x
+        self.count = count
+        self.mean = mean
+        self._m2 = m2
+        self.minimum = minimum
+        self.maximum = maximum
+
     @property
     def variance(self) -> float:
         """Sample variance (ddof=1); 0 for fewer than two samples."""
@@ -309,6 +337,46 @@ class MergeableReservoir:
             return
         heapq.heappush(heap, (-tag, self.key, index, float(x)))
 
+    def add_many(self, values: Sequence[float]) -> None:
+        """Ingest a batch, byte-identical to calling ``add`` per element.
+
+        The tag-block refill, heap admission test and tie-break tuples are
+        replicated op-for-op; only per-element attribute loads/stores are
+        hoisted, so the reservoir state (heap contents, generator position,
+        block cursor) matches the scalar ingest exactly.
+        """
+        i = self._tag_i
+        tags = self._tags
+        index = self._index
+        key = self.key
+        capacity = self.capacity
+        heap = self._heap
+        rng_random = self._rng.random
+        block = self._TAG_BLOCK
+        heapreplace = heapq.heapreplace
+        heappush = heapq.heappush
+        for x in values:
+            if tags is None or i == len(tags):
+                tags = self._tags = rng_random(block).tolist()
+                i = 0
+            tag = tags[i]
+            i += 1
+            this_index = index
+            index += 1
+            if len(heap) >= capacity:
+                root = heap[0]
+                neg = -tag
+                if neg < root[0]:
+                    continue
+                entry = (neg, key, this_index, float(x))
+                if entry > root:
+                    heapreplace(heap, entry)
+                continue
+            heappush(heap, (-tag, key, this_index, float(x)))
+        self._tag_i = i
+        self._index = index
+        self.seen += len(values)
+
     def merge(self, other: "MergeableReservoir") -> None:
         """Union with ``other``: keep the ``capacity`` smallest tags overall."""
         if other is self:
@@ -381,6 +449,16 @@ class StreamingSummary:
     def add(self, x: float) -> None:
         self.moments.add(x)
         self._reservoir.add(x)
+
+    def add_many(self, values: Sequence[float]) -> None:
+        """Batch ingest, byte-identical to ``add`` per element.
+
+        Moments and reservoir share no state, so folding the whole batch
+        into each component in turn produces exactly the state of
+        interleaved scalar ``add`` calls.
+        """
+        self.moments.add_many(values)
+        self._reservoir.add_many(values)
 
     def percentile(self, which: float) -> float:
         return self._reservoir.percentile(float(which))

@@ -76,7 +76,7 @@ def storm_trace() -> WorkloadTrace:
     )
 
 
-def _storm_platform(provider: Provider):
+def _storm_platform(provider: Provider, columnar: bool = False):
     ladder = dict(
         retry_policy="no-jitter",
         max_retries=40,
@@ -85,6 +85,7 @@ def _storm_platform(provider: Provider):
     )
     simulation = SimulationConfig(
         seed=GOLDEN_SEED,
+        columnar=columnar,
         overload=OverloadConfig(reserved_concurrency=4, **ladder),
         resilience=ResilienceConfig(stale_after_s=1.5, **ladder),
         faults=FaultPlaneConfig(outages=(OutageWindow(start_s=20.0, duration_s=10.0),)),
@@ -100,11 +101,17 @@ def _storm_platform(provider: Provider):
     return platform
 
 
-def summarize_storm(trace: WorkloadTrace) -> dict:
-    """Replay the storm trace per provider; exact counters + goodput curve."""
+def summarize_storm(trace: WorkloadTrace, columnar: bool = False) -> dict:
+    """Replay the storm trace per provider; exact counters + goodput curve.
+
+    ``columnar=True`` replays through the vectorized hot path (the storm's
+    controlled overload/fault/resilience loop composes with it via the
+    draw-block shims); the document must be byte-identical either way — the
+    golden columnar tests pin it against the *same* expected fixture.
+    """
     document: dict = {"seed": GOLDEN_SEED, "requests": len(trace), "providers": {}}
     for provider in PROVIDERS:
-        platform = _storm_platform(provider)
+        platform = _storm_platform(provider, columnar=columnar)
         result = platform.run_workload(trace, keep_records=True)
         buckets = [[0, 0] for _ in range(int(60.0 / STORM_BUCKET_S) + 1)]
         for record in result.records:
@@ -156,8 +163,10 @@ def expected_path(name: str) -> Path:
     return GOLDEN_DIR / f"expected_{name}.json"
 
 
-def _deployed_platform(provider: Provider, functions: list[str]):
-    platform = create_platform(provider, SimulationConfig(seed=GOLDEN_SEED))
+def _deployed_platform(provider: Provider, functions: list[str], columnar: bool = False):
+    platform = create_platform(
+        provider, SimulationConfig(seed=GOLDEN_SEED, columnar=columnar)
+    )
     for fname in functions:
         benchmark, memory_mb = DEPLOYMENTS[fname]
         deploy_benchmark(
@@ -169,15 +178,17 @@ def _deployed_platform(provider: Provider, functions: list[str]):
     return platform
 
 
-def summarize_trace(trace: WorkloadTrace) -> dict:
+def summarize_trace(trace: WorkloadTrace, columnar: bool = False) -> dict:
     """Replay ``trace`` on every provider and collect the exact summary doc.
 
     Floats are kept at full ``repr`` precision (JSON round-trips them
     exactly), so the comparison in the golden test is bitwise.
+    ``columnar=True`` takes the vectorized hot path; both modes must
+    produce the identical document (pinned against the same fixture).
     """
     document: dict = {"seed": GOLDEN_SEED, "requests": len(trace), "providers": {}}
     for provider in PROVIDERS:
-        platform = _deployed_platform(provider, trace.functions())
+        platform = _deployed_platform(provider, trace.functions(), columnar=columnar)
         result = platform.run_workload(trace, keep_records=False)
         per_function = {}
         for fname, summary in result.per_function().items():
@@ -221,12 +232,21 @@ def regenerate() -> list[Path]:
         trace = build().materialize()
         trace.to_json(trace_path(name), indent=2)
         expected = summarize_trace(trace)
+        # The columnar hot path pins against the *same* fixture — refuse to
+        # write a golden the vectorized replay cannot reproduce bit-exactly.
+        if summarize_trace(trace, columnar=True) != expected:
+            raise AssertionError(
+                f"columnar replay of golden trace {name!r} diverged from scalar"
+            )
         atomic_write_text(expected_path(name), json.dumps(expected, indent=2) + "\n")
         written.extend([trace_path(name), expected_path(name)])
     trace = storm_trace()
     trace.to_json(trace_path(STORM_NAME), indent=2)
+    storm_expected = summarize_storm(trace)
+    if summarize_storm(trace, columnar=True) != storm_expected:
+        raise AssertionError("columnar replay of the golden storm diverged from scalar")
     atomic_write_text(
-        expected_path(STORM_NAME), json.dumps(summarize_storm(trace), indent=2) + "\n"
+        expected_path(STORM_NAME), json.dumps(storm_expected, indent=2) + "\n"
     )
     written.extend([trace_path(STORM_NAME), expected_path(STORM_NAME)])
     atomic_write_text(

@@ -1,0 +1,343 @@
+"""Columnar replay must equal scalar replay — bit for bit.
+
+The differential tier behind the columnar hot path (see
+``docs/architecture.md``, "Columnar hot path"): every scenario is replayed
+twice on identically-seeded platforms — once scalar
+(``SimulationConfig(columnar=False)``), once columnar — and every
+observable output is compared with ``==`` (which for floats is bit
+equality, no tolerances):
+
+* the full record list, field for field, including cost breakdowns,
+  container ids, submission/start/finish timestamps and request indices;
+* streaming summaries (counts, sums, reservoir percentile state);
+* provider logs, final clock, peak in-flight, simulated span;
+* observer event streams (container create/evict, per-record hooks);
+* sharded replay (``workers=2``) on both backends, where record-mode
+  shards ship columnar blocks across the process boundary.
+
+Scenarios are hypothesis-generated over providers × arrival patterns ×
+trigger types × the overload/fault/resilience stack, plus explicit pinned
+cases for every provider, IaaS (both storage modes) and the controlled
+stack — the paths the columnar engine either inlines or must compose with
+through the draw-block shims.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.concurrency import OverloadConfig
+from repro.config import DYNAMIC_MEMORY, Provider, SimulationConfig, TriggerType
+from repro.experiments.base import deploy_benchmark
+from repro.faults import FaultPlaneConfig, LatencyStorm, OutageWindow
+from repro.parallel import run_workload_sharded
+from repro.resilience import CircuitBreakerConfig, ResilienceConfig
+from repro.simulator.iaas import IaaSPlatform
+from repro.simulator.providers import create_platform
+from repro.workload import (
+    BurstyArrivals,
+    ConstantRateArrivals,
+    PoissonArrivals,
+    WorkloadTrace,
+)
+from repro.workload.engine import WorkloadEngine
+
+PROVIDERS = (Provider.AWS, Provider.GCP, Provider.AZURE)
+
+
+# ----------------------------------------------------------------- helpers
+
+
+def _record_key(record):
+    """Every field of an InvocationRecord, as a comparable tuple."""
+    return (
+        record.function_name,
+        record.benchmark,
+        record.provider,
+        record.start_type,
+        record.success,
+        record.benchmark_time_s,
+        record.provider_time_s,
+        record.client_time_s,
+        record.invocation_overhead_s,
+        record.cold_init_s,
+        record.memory_declared_mb,
+        record.memory_used_mb,
+        record.billed_duration_s,
+        record.cost.request_cost,
+        record.cost.compute_cost,
+        record.cost.storage_cost,
+        record.cost.egress_cost,
+        record.output_bytes,
+        record.container_id,
+        record.submitted_at,
+        record.started_at,
+        record.finished_at,
+        record.error,
+        record.outcome,
+        record.admitted_at,
+        record.request_index,
+    )
+
+
+def _stream_key(result):
+    """Streaming-mode result signature: counters + summary state."""
+    rows = {
+        name: json.dumps(summary.__dict__, default=repr, sort_keys=True)
+        for name, summary in sorted(result.streaming_summaries.items())
+    }
+    return (
+        result.invocation_count,
+        result.cold_start_total,
+        result.failure_total,
+        result.executed_total,
+        result.throttled_total,
+        result.dropped_total,
+        result.faulted_total,
+        result.short_circuited_total,
+        result.retry_total,
+        result.cost_usd_total,
+        result.simulated_span_s,
+        rows,
+    )
+
+
+def _logs_key(platform, fnames):
+    out = []
+    for fname in fnames:
+        out.append(
+            [
+                (
+                    entry.provider_time_s,
+                    entry.memory_used_mb,
+                    entry.cost_usd,
+                    entry.start_type,
+                    entry.success,
+                    entry.timestamp,
+                )
+                for entry in platform._state[fname].history
+            ]
+        )
+    return out
+
+
+def _build_platform(provider, columnar, seed, **simkw):
+    simulation = SimulationConfig(seed=seed, columnar=columnar, **simkw)
+    platform = create_platform(provider, simulation=simulation)
+    memory = DYNAMIC_MEMORY if provider is Provider.AZURE else 512
+    f1 = deploy_benchmark(platform, "dynamic-html", memory_mb=memory, function_name="fn-a")
+    f2 = deploy_benchmark(platform, "thumbnailer", memory_mb=memory, function_name="fn-b")
+    return platform, (f1, f2)
+
+
+def _trace(fnames, process_a, process_b, duration_s, trigger_b):
+    t1 = WorkloadTrace.synthesize(
+        fnames[0], process_a, duration_s, rng=11, trigger=TriggerType.HTTP
+    )
+    t2 = WorkloadTrace.synthesize(fnames[1], process_b, duration_s, rng=12, trigger=trigger_b)
+    return WorkloadTrace.merge(t1, t2)
+
+
+def _replay_both(provider, trace_of, keep_records, seed=2026, observer_factory=None, **simkw):
+    """Replay one scenario scalar and columnar; return both outputs."""
+    outputs = []
+    for columnar in (False, True):
+        platform, fnames = _build_platform(provider, columnar, seed, **simkw)
+        engine = WorkloadEngine(platform)
+        observer = observer_factory() if observer_factory is not None else None
+        result = engine.run(trace_of(fnames), keep_records=keep_records, observer=observer)
+        outputs.append((result, platform, fnames, observer))
+    return outputs
+
+
+def _assert_identical(outputs, keep_records):
+    (res_s, plat_s, fnames, _), (res_c, plat_c, _, _) = outputs
+    if keep_records:
+        assert len(res_s.records) == len(res_c.records)
+        for scalar, columnar in zip(res_s.records, res_c.records):
+            assert _record_key(scalar) == _record_key(columnar)
+    else:
+        assert _stream_key(res_s) == _stream_key(res_c)
+    assert res_s.simulated_span_s == res_c.simulated_span_s
+    assert res_s.peak_in_flight == res_c.peak_in_flight
+    assert plat_s.clock.now() == plat_c.clock.now()
+    assert _logs_key(plat_s, fnames) == _logs_key(plat_c, fnames)
+
+
+# ------------------------------------------------------ hypothesis scenarios
+
+_ARRIVALS = {
+    "poisson": lambda rate: PoissonArrivals(rate),
+    "bursty": lambda rate: BurstyArrivals(
+        on_rate_per_s=rate * 3, mean_on_s=3.0, mean_off_s=6.0
+    ),
+    "constant": lambda rate: ConstantRateArrivals(rate),
+}
+
+
+def _stack_kwargs(overload, faults, resilience):
+    simkw = {}
+    if overload:
+        simkw["overload"] = OverloadConfig(per_function_reserved={"fn-a": 8})
+    if faults:
+        simkw["faults"] = FaultPlaneConfig(
+            outages=(OutageWindow(start_s=3.0, duration_s=2.5),),
+            storms=(LatencyStorm(start_s=8.0, duration_s=3.0),),
+        )
+    if resilience:
+        simkw["resilience"] = ResilienceConfig(
+            breaker=CircuitBreakerConfig(), retry_policy="exponential"
+        )
+    return simkw
+
+
+scenario = st.fixed_dictionaries(
+    {
+        "provider": st.sampled_from(PROVIDERS),
+        "pattern": st.sampled_from(sorted(_ARRIVALS)),
+        "rate": st.floats(min_value=2.0, max_value=25.0),
+        "duration_s": st.floats(min_value=4.0, max_value=15.0),
+        "trigger_b": st.sampled_from((TriggerType.SDK, TriggerType.HTTP)),
+        "overload": st.booleans(),
+        "faults": st.booleans(),
+        "resilience": st.booleans(),
+        "keep_records": st.booleans(),
+        "seed": st.integers(min_value=0, max_value=2**31 - 1),
+    }
+)
+
+
+class TestHypothesisScenarios:
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(case=scenario)
+    def test_scalar_and_columnar_replays_are_bit_identical(self, case):
+        arrivals = _ARRIVALS[case["pattern"]]
+
+        def trace_of(fnames):
+            return _trace(
+                fnames,
+                arrivals(case["rate"]),
+                arrivals(max(1.0, case["rate"] / 2)),
+                case["duration_s"],
+                case["trigger_b"],
+            )
+
+        simkw = _stack_kwargs(case["overload"], case["faults"], case["resilience"])
+        outputs = _replay_both(
+            case["provider"], trace_of, case["keep_records"], seed=case["seed"], **simkw
+        )
+        _assert_identical(outputs, case["keep_records"])
+
+
+# ------------------------------------------------------------ pinned cases
+
+
+def _mixed_trace(fnames):
+    return _trace(fnames, PoissonArrivals(20.0), PoissonArrivals(15.0), 20.0, TriggerType.SDK)
+
+
+class TestPinnedProviders:
+    @pytest.mark.parametrize("provider", PROVIDERS)
+    @pytest.mark.parametrize("keep_records", (True, False))
+    def test_fast_path(self, provider, keep_records):
+        outputs = _replay_both(provider, _mixed_trace, keep_records)
+        _assert_identical(outputs, keep_records)
+
+    @pytest.mark.parametrize("provider", PROVIDERS)
+    def test_full_stack_records(self, provider):
+        simkw = _stack_kwargs(True, True, True)
+        outputs = _replay_both(provider, _mixed_trace, True, **simkw)
+        _assert_identical(outputs, True)
+
+    @pytest.mark.parametrize("use_cloud_storage", (False, True))
+    def test_iaas(self, use_cloud_storage):
+        outputs = []
+        for columnar in (False, True):
+            simulation = SimulationConfig(seed=2026, columnar=columnar)
+            platform = IaaSPlatform(simulation=simulation, use_cloud_storage=use_cloud_storage)
+            f1 = deploy_benchmark(platform, "dynamic-html", memory_mb=1024, function_name="fn-a")
+            f2 = deploy_benchmark(platform, "thumbnailer", memory_mb=1024, function_name="fn-b")
+            engine = WorkloadEngine(platform)
+            result = engine.run(_mixed_trace((f1, f2)), keep_records=True)
+            outputs.append((result, platform, (f1, f2), None))
+        _assert_identical(outputs, True)
+
+
+class _RecordingObserver:
+    """Captures every hook call the engine makes, in order."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_container_create(self, fname, container_id, timestamp):
+        self.events.append(("create", fname, container_id, timestamp))
+
+    def on_container_evict(self, fname, count, timestamp, reason):
+        self.events.append(("evict", fname, count, timestamp, reason))
+
+    def on_invocation(self, record):
+        self.events.append(("invocation", _record_key(record)))
+
+
+class TestObserverStream:
+    @pytest.mark.parametrize("provider", PROVIDERS)
+    def test_observer_events_identical(self, provider):
+        outputs = _replay_both(
+            provider, _mixed_trace, True, observer_factory=_RecordingObserver
+        )
+        (res_s, _, _, obs_s), (res_c, _, _, obs_c) = outputs
+        assert obs_s.events == obs_c.events
+        for scalar, columnar in zip(res_s.records, res_c.records):
+            assert _record_key(scalar) == _record_key(columnar)
+
+
+class TestSharded:
+    """workers=2: columnar shards ship blocks; merged output equals serial scalar."""
+
+    @pytest.mark.parametrize("backend", ("sequential", "process"))
+    @pytest.mark.parametrize("keep_records", (True, False))
+    def test_sharded_columnar_equals_serial_scalar(self, backend, keep_records):
+        serial_platform, fnames = _build_platform(Provider.AWS, False, 2026)
+        serial = WorkloadEngine(serial_platform).run(
+            _mixed_trace(fnames), keep_records=keep_records
+        )
+        platform, fnames = _build_platform(Provider.AWS, True, 2026)
+        sharded = run_workload_sharded(
+            platform,
+            _mixed_trace(fnames),
+            workers=2,
+            backend=backend,
+            keep_records=keep_records,
+        )
+        if keep_records:
+            assert [_record_key(r) for r in sharded.records] == [
+                _record_key(r) for r in serial.records
+            ]
+        else:
+            assert _stream_key(sharded) == _stream_key(serial)
+
+    def test_sharded_timeseries_falls_back_scalar_identical(self):
+        results = []
+        for columnar in (False, True):
+            platform, fnames = _build_platform(Provider.AWS, columnar, 2026)
+            result = run_workload_sharded(
+                platform,
+                _mixed_trace(fnames),
+                workers=2,
+                keep_records=False,
+                timeseries=5.0,
+            )
+            results.append(result)
+        scalar, columnar = results
+        assert _stream_key(scalar) == _stream_key(columnar)
+        assert json.dumps(scalar.timeseries.to_dict(), sort_keys=True) == json.dumps(
+            columnar.timeseries.to_dict(), sort_keys=True
+        )

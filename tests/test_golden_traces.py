@@ -108,3 +108,29 @@ def test_golden_storm_trace_matches_its_recipe():
     recipe = builder.storm_trace()
     stored = WorkloadTrace.from_json(builder.trace_path(builder.STORM_NAME))
     assert list(stored) == list(recipe)
+
+
+def test_golden_mixed_columnar_matches_scalar_fixture():
+    """The columnar hot path reproduces the mixed golden byte-identically —
+    against the *same* expected file the scalar path is pinned to (the
+    columnar mode may never need fixtures of its own)."""
+    trace = WorkloadTrace.from_json(builder.trace_path("mixed"))
+    actual = builder.summarize_trace(trace, columnar=True)
+    expected = json.loads(builder.expected_path("mixed").read_text(encoding="utf-8"))
+    assert actual == expected, (
+        "columnar replay of the mixed golden diverged from the scalar fixture"
+    )
+
+
+def test_golden_storm_columnar_matches_scalar_fixture():
+    """The storm golden runs the controlled overload/fault/resilience loop;
+    under ``columnar=True`` it must still match the scalar fixture exactly
+    (the pre-drawn blocks feed the scalar loop through the stream shims)."""
+    trace = WorkloadTrace.from_json(builder.trace_path(builder.STORM_NAME))
+    actual = builder.summarize_storm(trace, columnar=True)
+    expected = json.loads(
+        builder.expected_path(builder.STORM_NAME).read_text(encoding="utf-8")
+    )
+    assert actual == expected, (
+        "columnar replay of the storm golden diverged from the scalar fixture"
+    )
