@@ -4,7 +4,8 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-slow test-cov compile lint ci ci-golden check-regression \
 	bench bench-smoke bench-overload bench-fault-storm bench-chaos \
-	bench-throughput bench-observability regen-golden workload workflow
+	bench-throughput bench-observability bench-population regen-golden \
+	docs docs-cli workload workflow population
 
 ## tier-1 test suite (slow-marked tests are deselected; see test-slow)
 test:
@@ -55,9 +56,21 @@ ci-golden: regen-golden
 check-regression:
 	$(PYTHON) benchmarks/check_regression.py
 
+## regenerate the CLI reference from the argparse definition
+docs-cli:
+	$(PYTHON) tools/gen_cli_docs.py
+
+## docs gate: the generated CLI reference must be diff-clean (the ci-golden
+## pattern applied to documentation), every markdown link must resolve, and
+## every runnable cookbook snippet must execute
+docs: docs-cli
+	git diff --exit-code docs/cli.md
+	$(PYTHON) tools/check_links.py
+	$(PYTHON) -m pytest tests/test_docs_examples.py -q
+
 ## what CI runs — the workflow invokes these same targets, one per step,
 ## in this order, so local `make ci` and CI can never drift
-ci: compile lint test-cov test-slow bench-smoke bench-overload bench-fault-storm bench-chaos bench-throughput bench-observability check-regression ci-golden
+ci: compile lint test-cov test-slow bench-smoke bench-overload bench-fault-storm bench-chaos bench-throughput bench-observability check-regression ci-golden docs
 
 ## regenerate all paper figures/tables (pytest-benchmark harness)
 bench:
@@ -92,6 +105,12 @@ bench-throughput:
 bench-observability:
 	$(PYTHON) -m pytest benchmarks/bench_observability.py -q -s
 
+## million-function population replay (multi-minute; emits
+## BENCH_population.json — commit the refreshed artifact, check-regression
+## gates it against baselines.json like the other committed-artifact tiers)
+bench-population:
+	$(PYTHON) -m pytest benchmarks/bench_population_replay.py -q -s
+
 ## quick trace-driven workload replay demo
 workload:
 	$(PYTHON) -m repro.cli workload --pattern mixed --duration 300 --rate 2
@@ -99,3 +118,7 @@ workload:
 ## quick DAG workflow replay demo (chain / fan-out / branch compositions)
 workflow:
 	$(PYTHON) -m repro.cli workflow --workflow pipeline --duration 300 --rate 1
+
+## quick multi-tenant population replay demo (synthetic Zipf/diurnal/burst)
+population:
+	$(PYTHON) -m repro.cli population --functions 2000 --duration 300 --rate 50 --workers 2

@@ -343,6 +343,100 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _replay_args(workflow, unit="workflow")
 
+    population = sub.add_parser(
+        "population",
+        help="multi-tenant population replay (synthetic Zipf/diurnal/burst "
+        "population, or an ingested Azure invocation-per-minute trace)",
+    )
+    population.add_argument(
+        "--functions",
+        type=int,
+        default=10_000,
+        metavar="N",
+        help="synthetic population size (default: 10000)",
+    )
+    population.add_argument(
+        "--duration", type=float, default=600.0, help="replay horizon in simulated seconds"
+    )
+    population.add_argument(
+        "--rate",
+        type=float,
+        default=200.0,
+        metavar="R",
+        help="aggregate population arrival rate (1/s), split across "
+        "functions by Zipf popularity (default: 200)",
+    )
+    population.add_argument(
+        "--tenants",
+        type=int,
+        default=None,
+        metavar="N",
+        help="tenant count (default: one tenant per 8 functions)",
+    )
+    population.add_argument(
+        "--zipf-alpha",
+        type=float,
+        default=1.1,
+        metavar="A",
+        help="Zipf popularity exponent; larger = heavier head (default: 1.1)",
+    )
+    population.add_argument(
+        "--ingest",
+        default=None,
+        metavar="CSV",
+        help="replay an Azure Functions invocation-per-minute CSV instead "
+        "of synthesizing (overrides the synthetic-population options)",
+    )
+    population.add_argument(
+        "--ingest-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="ingest only the first N trace rows (slice huge traces)",
+    )
+    population.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="sharded replay across N processes (bit-identical to serial)",
+    )
+    population.add_argument(
+        "--top-tenants",
+        type=int,
+        default=10,
+        metavar="K",
+        help="report the top K tenants by spend (default: 10)",
+    )
+    population.add_argument(
+        "--columnar",
+        action="store_true",
+        help="vectorized columnar replay hot path (bit-identical, faster)",
+    )
+    population.add_argument(
+        "--log-retention",
+        type=int,
+        default=None,
+        metavar="N",
+        help="keep only the last N provider-log entries per function "
+        "(large populations should set a small bound)",
+    )
+    population.add_argument("--seed", type=int, default=42)
+    population.add_argument(
+        "--provider",
+        default="aws",
+        choices=[p.value for p in (Provider.AWS, Provider.GCP, Provider.AZURE)],
+        help="provider to replay against (single provider: population "
+        "deployment happens inside every worker)",
+    )
+    population.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the machine-readable summary (aggregates + top-tenant "
+        "attribution) as JSON",
+    )
+
     storm = sub.add_parser(
         "fault-storm",
         help="retry-storm experiment: metastable failure vs breaker recovery",
@@ -723,6 +817,57 @@ def _run(args: argparse.Namespace) -> int:
                         provider.value: replay_summary(result.per_provider[provider])
                         for provider in providers
                     },
+                },
+            )
+        return 0
+
+    if args.command == "population":
+        from .population import PopulationSpec, TraceIngest, replay_population
+        from .simulator.providers import create_platform
+
+        simulation = SimulationConfig(
+            seed=args.seed, columnar=args.columnar, log_retention=args.log_retention
+        )
+        if args.ingest:
+            population = TraceIngest.load(args.ingest, limit=args.ingest_limit)
+        else:
+            population = PopulationSpec(
+                n_functions=args.functions,
+                duration_s=args.duration,
+                aggregate_rate_per_s=args.rate,
+                n_tenants=args.tenants,
+                zipf_alpha=args.zipf_alpha,
+            )
+        platform = create_platform(Provider(args.provider), simulation)
+        result = replay_population(
+            platform,
+            population,
+            seed=args.seed,
+            workers=args.workers,
+            top_tenants=args.top_tenants,
+        )
+        print(
+            f"# Population replay: {result.population_name} "
+            f"({result.functions_active}/{result.functions_total} functions active, "
+            f"{result.invocations} invocations over {population.duration_s:.0f}s)"
+        )
+        print(format_table([result.result.summary_row() | {"top_tenants": len(result.top_tenants)}]))
+        if result.top_tenants:
+            print("\n# Top tenants by spend")
+            print(format_table([spend.to_row() for spend in result.top_tenants]))
+        if args.output:
+            _write_output(
+                args.output,
+                {
+                    "command": "population",
+                    "seed": args.seed,
+                    "provider": args.provider,
+                    "workers": args.workers,
+                    "population": result.population_name,
+                    "functions_total": result.functions_total,
+                    "functions_active": result.functions_active,
+                    "summary": result.result.summary_row(),
+                    "top_tenants": [spend.to_row() for spend in result.top_tenants],
                 },
             )
         return 0

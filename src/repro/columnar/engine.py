@@ -470,6 +470,12 @@ def _replay(
     position_iter = iter(positions) if positions is not None else itertools.count()
 
     lanes: dict[str, _Lane] = {}
+    #: Lanes whose pool saw an eviction since the last prune interval (dict
+    #: used as an ordered set).  Pruning only these keeps the interval cost
+    #: O(dirty) instead of O(deployed functions) — the difference between
+    #: minutes and hours on million-function populations.
+    dirty_lanes: dict[_Lane, None] = {}
+    swept = False
     completions: list = []
     heappush = heapq.heappush
     heappop = heapq.heappop
@@ -567,8 +573,10 @@ def _replay(
             # ---- sandbox acquisition (scalar: _acquire_container) --------
             if lane.acquire is None:
                 evicted = apply_eviction(lane.pool, now)
-                if evicted and observer is not None:
-                    observer.on_container_evict(lane.fname, evicted, now, "policy")
+                if evicted:
+                    dirty_lanes[lane] = None
+                    if observer is not None:
+                        observer.on_container_evict(lane.fname, evicted, now, "policy")
                 container = None
                 sp_take = lane.sp_take
                 if sp_take is None or sp_take() >= lane.sp_p:
@@ -609,7 +617,10 @@ def _replay(
                     cold = False
                     container_id = container.container_id
             else:
+                # The override may evict internally; conservatively mark the
+                # lane dirty (pruning a clean pool is an O(1) no-op).
                 container, start_type = lane.acquire(lane.function, lane.state, now)
+                dirty_lanes[lane] = None
                 cold = start_type is _COLD
                 container_id = container.container_id
             # Inlined ContainerPool.reserve.
@@ -888,11 +899,22 @@ def _replay(
 
             processed += 1
             if processed % _PRUNE_INTERVAL == 0:
-                for state in states.values():
-                    state.pool.prune()
-                # prune() rebinds pool._index; refresh the lane caches.
-                for pruned_lane in lanes.values():
-                    pruned_lane.index = pruned_lane.pool._index
+                # prune() rebinds pool._index; refresh the lane caches of
+                # every pruned pool.  The first interval sweeps every state
+                # (clearing any evictions that predate this loop, exactly as
+                # the scalar engine's full _prune_pools pass would); after
+                # that only lanes evicted-from inside this loop can be dirty.
+                if swept:
+                    for dirty_lane in dirty_lanes:
+                        dirty_lane.pool.prune()
+                        dirty_lane.index = dirty_lane.pool._index
+                else:
+                    swept = True
+                    for state in states.values():
+                        state.pool.prune()
+                    for pruned_lane in lanes.values():
+                        pruned_lane.index = pruned_lane.pool._index
+                dirty_lanes.clear()
 
         if last_finish > clock.now():
             clock.advance_to(last_finish)

@@ -38,6 +38,7 @@ class Provider(str, enum.Enum):
 
     @property
     def display_name(self) -> str:
+        """Human-readable platform name used in tables and reports."""
         return {
             Provider.AWS: "AWS Lambda",
             Provider.AZURE: "Azure Functions",
@@ -55,6 +56,7 @@ class Language(str, enum.Enum):
 
     @property
     def display_name(self) -> str:
+        """Human-readable language name used in tables and reports."""
         return {Language.PYTHON: "Python", Language.NODEJS: "Node.js"}[self]
 
 
@@ -132,7 +134,29 @@ DYNAMIC_MEMORY = 0
 
 @dataclass(frozen=True)
 class FunctionConfig:
-    """Deployment-time configuration for a single serverless function."""
+    """Deployment-time configuration for a single serverless function.
+
+    Attributes
+    ----------
+    memory_mb:
+        Sandbox memory allocation in megabytes (default ``256``).  ``0``
+        (:data:`DYNAMIC_MEMORY`) means dynamically allocated, as on
+        Azure's consumption plan.  Billing and warm performance scale
+        with this value (Figure 3).
+    timeout_s:
+        Execution deadline in seconds (default ``300.0``, the common
+        provider default).  Invocations exceeding it terminate as
+        ``FAILED`` and are billed for the full timeout.
+    language:
+        Implementation language of the deployed benchmark (default
+        :attr:`Language.PYTHON`).
+    region:
+        Deployment region identifier (default ``"us-east-1"``); selects
+        the provider's region-specific network round-trip model.
+    environment:
+        Extra environment variables baked into the deployment (default
+        empty).  Part of the hash/equality key like every other field.
+    """
 
     memory_mb: int = 256
     timeout_s: float = 300.0
@@ -152,6 +176,7 @@ class FunctionConfig:
 
     @property
     def is_dynamic_memory(self) -> bool:
+        """``True`` when memory is dynamically allocated (``memory_mb == 0``)."""
         return self.memory_mb == DYNAMIC_MEMORY
 
 
@@ -162,19 +187,24 @@ class SimulationConfig:
     Attributes
     ----------
     seed:
-        Master seed for every random stream in the simulation.  Two runs with
-        the same seed and the same workload produce identical results.
+        Master seed for every random stream in the simulation (default
+        ``42``, non-negative).  Every substream derives from it by name
+        (see ``docs/determinism.md``); two runs with the same seed and the
+        same workload produce identical results.
     time_of_day_factor:
-        Multiplier applied to latency jitter to model localized spikes of
-        cloud activity (Section 4.1 discusses running experiments at fixed
+        Dimensionless multiplier (default ``1.0``, must be positive)
+        applied to latency jitter to model localized spikes of cloud
+        activity (Section 4.1 discusses running experiments at fixed
         times of day to minimize this effect).
     enable_failures:
-        Whether to inject provider reliability issues (GCP out-of-memory and
-        availability failures observed in Section 6.2 Q3).
+        Whether to inject provider reliability issues (default ``True``;
+        GCP out-of-memory and availability failures observed in
+        Section 6.2 Q3).
     network_rtt_ms:
-        Baseline client-to-region round-trip latencies used when a region
-        does not override them.  The paper reports pings of 109, 20 and 33 ms
-        to AWS, Azure and GCP respectively.
+        Baseline client-to-region round-trip latencies in milliseconds,
+        used when a region does not override them.  Defaults follow the
+        paper's reported pings: 109 ms to AWS, 20 ms to Azure, 33 ms to
+        GCP (0.1 ms for local execution).
     log_retention:
         Maximum number of provider-side log entries kept per function
         (what ``query_logs`` reads).  ``None`` (the default) keeps every
@@ -198,12 +228,13 @@ class SimulationConfig:
         client.
     columnar:
         Opt into the vectorized columnar replay hot path
-        (:mod:`repro.columnar`): per-function random draws are pre-drawn
-        in blocks, invocation records are held as parallel arrays and
-        materialised lazily, and streaming statistics fold in batches.
-        Results are bit-identical to the scalar path (proven by the
-        differential tier in ``tests/test_columnar_equivalence.py``);
-        the flag only trades memory layout for throughput.
+        (:mod:`repro.columnar`; default ``False``): per-function random
+        draws are pre-drawn in blocks, invocation records are held as
+        parallel arrays and materialised lazily, and streaming statistics
+        fold in batches.  Results are bit-identical to the scalar path
+        (proven by the differential tier in
+        ``tests/test_columnar_equivalence.py``); the flag only trades
+        memory layout for throughput.
     """
 
     seed: int = 42

@@ -25,6 +25,8 @@ import heapq
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
+import numpy as np
+
 from ..exceptions import ConfigurationError
 from ..faas.invocation import InvocationRequest
 from ..workload.scenario import FunctionTraffic, Scenario
@@ -80,6 +82,31 @@ class WorkflowShard:
     functions: tuple[str, ...]
     weight: float
     arrivals: tuple[tuple[int, WorkflowArrival], ...]
+
+
+@dataclass(frozen=True, eq=False)
+class PopulationShard:
+    """A population partition: the worker deploys and drives its members.
+
+    The parent never materialises a request, a recipe or even a function
+    name: the shard ships the (small, picklable) population object plus the
+    member indices, and the worker derives everything else from
+    ``(population, seed, index)`` — deployment recipes, arrival streams,
+    the merged request stream (see :mod:`repro.population.replay`).
+
+    ``functions`` is a short provenance *label*, not the member list — a
+    million function names would bloat every supervisor error message and
+    checkpoint fingerprint; the real membership is ``member_indices``.
+    """
+
+    index: int
+    functions: tuple[str, ...]
+    weight: float
+    seed: int
+    #: The population recipe object (``PopulationSpec`` / ``IngestedPopulation``).
+    population: object
+    #: Member indices owned by this shard, sorted ascending.
+    member_indices: np.ndarray
 
 
 def _pack(weights: Mapping[str, float], workers: int) -> list[list[str]]:
@@ -169,6 +196,47 @@ class ShardPlanner:
                     duration_s=scenario.duration_s,
                     seed=seed,
                     sources=tuple(sources),
+                )
+            )
+        return shards
+
+    def plan_population(self, population, seed: int, workers: int) -> list[PopulationShard]:
+        """Partition a population's members into at most ``workers`` shards.
+
+        Same LPT greedy as :func:`_pack`, but vectorized for million-member
+        populations: weights are the population's expected per-function
+        invocation counts (exact for ingested traces, Zipf means for
+        synthetic populations), processed heaviest-first with ascending
+        member index as the deterministic tie-break.  Shards own
+        function-disjoint member sets, so the bit-identity argument of the
+        module docstring applies unchanged.
+        """
+        if workers < 1:
+            raise ConfigurationError("workers must be at least 1")
+        weights = np.asarray(population.expected_counts(), dtype=float)
+        n = int(weights.shape[0])
+        buckets = min(workers, max(1, n))
+        order = np.argsort(-weights, kind="stable")
+        assignment = np.empty(n, dtype=np.int64)
+        load: list[tuple[float, int]] = [(0.0, bucket) for bucket in range(buckets)]
+        heapq.heapify(load)
+        for member in order:
+            total, bucket = heapq.heappop(load)
+            assignment[member] = bucket
+            heapq.heappush(load, (total + float(weights[member]), bucket))
+        shards = []
+        for bucket in range(buckets):
+            members = np.flatnonzero(assignment == bucket)
+            if members.size == 0:
+                continue
+            shards.append(
+                PopulationShard(
+                    index=len(shards),
+                    functions=(f"{population.name}[{members.size} functions]",),
+                    weight=float(weights[members].sum()),
+                    seed=int(seed),
+                    population=population,
+                    member_indices=members,
                 )
             )
         return shards

@@ -1,0 +1,162 @@
+"""App-profile catalog: what kind of function is each population member?
+
+A profile parameterizes one *kind* of application in a population: which
+benchmark kernel it runs (and therefore its calibrated compute/storage
+work profile), its memory envelope, its request-payload envelope, its
+trigger type, and how common the kind is in the population mix.  The
+default catalog (:data:`SEBS_PROFILES`) is grown toward the SeBS suite
+shape of paper Table 3: web apps dominate the mix, multimedia and utility
+processing follow, and ML inference / graph analytics form the heavy,
+rarely-invoked tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..benchmarks.base import InputSize
+from ..config import Language, TriggerType
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """One application kind in a population, with its resource envelopes.
+
+    Attributes
+    ----------
+    name:
+        Short profile identifier (used in labels and docs).
+    benchmark:
+        Registered benchmark name (:mod:`repro.benchmarks.registry`) whose
+        calibrated work profile the function executes.
+    memory_mb_choices:
+        Memory sizes (MB) a member of this profile may be deployed with;
+        one is drawn per function from the population's structure stream.
+        Resolved against the target provider's allowed memory settings at
+        deployment time (Azure collapses to dynamic allocation).
+    payload_bytes_range:
+        Inclusive ``(low, high)`` bounds on the request payload size in
+        bytes; one size is drawn per function.
+    input_size:
+        Benchmark input-size preset (:class:`repro.benchmarks.base.InputSize`).
+    trigger:
+        Trigger type of the profile's requests
+        (:class:`repro.config.TriggerType`).
+    timeout_s:
+        Function timeout in seconds (default 30.0).
+    mix_weight:
+        Relative frequency of the profile in the population mix (default
+        1.0); normalised over the catalog.
+    language:
+        Implementation language (default Python).
+    payload_items:
+        Constant request payload carried by every invocation, as sorted
+        ``(key, value)`` pairs so the profile stays hashable.
+    """
+
+    name: str
+    benchmark: str
+    memory_mb_choices: tuple[int, ...]
+    payload_bytes_range: tuple[int, int]
+    input_size: InputSize = InputSize.SMALL
+    trigger: TriggerType = TriggerType.HTTP
+    timeout_s: float = 30.0
+    mix_weight: float = 1.0
+    language: Language = Language.PYTHON
+    payload_items: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        """Validate the envelopes (positive sizes, ordered payload bounds)."""
+        if not self.memory_mb_choices:
+            raise ConfigurationError(f"profile {self.name!r} needs at least one memory size")
+        if any(size < 0 for size in self.memory_mb_choices):
+            raise ConfigurationError(f"profile {self.name!r} has a negative memory size")
+        low, high = self.payload_bytes_range
+        if low < 0 or high < low:
+            raise ConfigurationError(
+                f"profile {self.name!r} payload range must satisfy 0 <= low <= high"
+            )
+        if self.timeout_s <= 0:
+            raise ConfigurationError(f"profile {self.name!r} timeout must be positive")
+        if self.mix_weight <= 0:
+            raise ConfigurationError(f"profile {self.name!r} mix weight must be positive")
+
+    @property
+    def payload(self) -> Mapping[str, Any]:
+        """The constant request payload as a plain mapping."""
+        return dict(self.payload_items)
+
+
+#: Default population catalog, shaped like the SeBS suite (Table 3): web
+#: apps are the bulk of the tenant mix, media/utility processing follows,
+#: ML inference and graph analytics are the heavy tail.  Mix weights are
+#: relative frequencies, not traffic shares — popularity comes from the
+#: population's Zipf rate assignment, independent of the profile draw.
+SEBS_PROFILES: tuple[AppProfile, ...] = (
+    AppProfile(
+        name="dynamic-html",
+        benchmark="dynamic-html",
+        memory_mb_choices=(128, 256),
+        payload_bytes_range=(200, 1200),
+        trigger=TriggerType.HTTP,
+        timeout_s=10.0,
+        mix_weight=30.0,
+        payload_items=(("username", "tenant"),),
+    ),
+    AppProfile(
+        name="uploader",
+        benchmark="uploader",
+        memory_mb_choices=(128, 256),
+        payload_bytes_range=(256, 4096),
+        trigger=TriggerType.HTTP,
+        timeout_s=30.0,
+        mix_weight=15.0,
+    ),
+    AppProfile(
+        name="thumbnailer",
+        benchmark="thumbnailer",
+        memory_mb_choices=(256, 512),
+        payload_bytes_range=(512, 2048),
+        trigger=TriggerType.STORAGE,
+        timeout_s=30.0,
+        mix_weight=12.0,
+    ),
+    AppProfile(
+        name="compression",
+        benchmark="compression",
+        memory_mb_choices=(512, 1024),
+        payload_bytes_range=(256, 1024),
+        trigger=TriggerType.QUEUE,
+        timeout_s=60.0,
+        mix_weight=8.0,
+    ),
+    AppProfile(
+        name="image-recognition",
+        benchmark="image-recognition",
+        memory_mb_choices=(1024, 1536),
+        payload_bytes_range=(512, 2048),
+        trigger=TriggerType.HTTP,
+        timeout_s=60.0,
+        mix_weight=6.0,
+    ),
+    AppProfile(
+        name="graph-bfs",
+        benchmark="graph-bfs",
+        memory_mb_choices=(512, 1024),
+        payload_bytes_range=(128, 512),
+        trigger=TriggerType.QUEUE,
+        timeout_s=60.0,
+        mix_weight=4.0,
+    ),
+    AppProfile(
+        name="graph-pagerank",
+        benchmark="graph-pagerank",
+        memory_mb_choices=(1024, 2048),
+        payload_bytes_range=(128, 512),
+        trigger=TriggerType.TIMER,
+        timeout_s=120.0,
+        mix_weight=2.0,
+    ),
+)

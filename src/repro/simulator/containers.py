@@ -125,6 +125,11 @@ class ContainerPool:
         self._entry_lua: dict[str, float] = {}
         #: Per-pool sandbox id counter (see :meth:`next_container_id`).
         self._id_counter = itertools.count(1)
+        #: Set by :meth:`evict` / :meth:`evict_all`, cleared by :meth:`prune`.
+        #: A clean pool's prune would rebuild identical structures, so the
+        #: flag lets replay loops prune thousands of pools per interval at
+        #: O(dirty) instead of O(pools) cost.
+        self._needs_prune = False
 
     def next_container_id(self) -> str:
         """Mint a pool-scoped sandbox id, e.g. ``thumbnails-c00000007``.
@@ -278,12 +283,16 @@ class ContainerPool:
                 evicted += 1
         self._mru.clear()
         self._entry_lua.clear()
+        if evicted:
+            self._needs_prune = True
         return evicted
 
     def evict(self, containers: list[Container]) -> None:
         for container in containers:
             container.evict()
             self._entry_lua.pop(container.container_id, None)
+        if containers:
+            self._needs_prune = True
 
     def prune(self) -> None:
         """Drop evicted containers from the bookkeeping structures.
@@ -292,6 +301,9 @@ class ContainerPool:
         into it, and its memory cost is bounded by the number of cold starts,
         not the number of invocations.
         """
+        if not self._needs_prune:
+            return
+        self._needs_prune = False
         self._containers = [c for c in self._containers if c.state is not ContainerState.EVICTED]
         self._index = {
             cid: entry for cid, entry in self._index.items() if entry[1].state is not ContainerState.EVICTED

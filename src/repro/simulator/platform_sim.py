@@ -578,6 +578,46 @@ class SimulatedPlatform(FaaSPlatform):
           serial *and* sharded (per-shard builders merge exactly);
         * ``profile=True`` — host wall-clock phase profiling on
           ``result.profile``.
+
+        Parameters
+        ----------
+        trace:
+            A :class:`~repro.workload.trace.WorkloadTrace`, a lazy iterable
+            of :class:`~repro.workload.trace.InvocationRequest` (streaming
+            mode only), or — sharded streaming mode only — a
+            :class:`~repro.workload.scenario.Scenario` /
+            population-recipe scenario whose shards synthesize their own
+            arrivals.
+        keep_records:
+            ``True`` (default) keeps every invocation record;
+            ``False`` streams into O(functions)-memory accumulators.
+        workers:
+            ``None`` (default) replays serially in-process; ``N >= 1``
+            shards the replay across ``N`` processes (``1`` = sequential
+            reference backend).
+        backend:
+            Shard-execution backend override: ``"sequential"`` or
+            ``"process"`` (default ``None`` picks by ``workers``).
+        trace_seed:
+            Seed for shard-local arrival synthesis when ``trace`` is a
+            scenario (default ``None`` uses the platform seed).
+        supervision:
+            :class:`~repro.parallel.SupervisorConfig` enabling the shard
+            recovery ladder (default ``None``: a shard failure aborts).
+        checkpoint_dir:
+            Directory persisting completed shard outcomes for
+            ``resume=True`` (default ``None``: no checkpointing).
+        resume:
+            Resume from ``checkpoint_dir``, re-running only missing
+            shards (default ``False``).
+        observer:
+            :class:`~repro.observe.events.ReplayObserver` receiving
+            lifecycle events; serial replay only (default ``None``).
+        timeseries:
+            :class:`~repro.observe.timeseries.TimeSeriesSpec` or a window
+            width in seconds of simulated time (default ``None``).
+        profile:
+            Collect host wall-clock phase timings (default ``False``).
         """
         if workers is not None:
             from ..parallel import run_workload_sharded
@@ -717,6 +757,24 @@ class SimulatedPlatform(FaaSPlatform):
         :meth:`run_workload` (sharded replay only), and so do the
         observability kwargs ``observer``/``timeseries``/``profile``
         (workflow stage spans carry their execution's causal index).
+
+        Parameters
+        ----------
+        arrivals:
+            Time-sorted :class:`~repro.workflows.spec.WorkflowArrival`
+            stream, e.g. from :meth:`Scenario.build_workflow_arrivals`.
+        keep_records:
+            ``True`` (default) keeps every execution's record;
+            ``False`` streams into O(workflows + in-flight) accumulators.
+        record_sink:
+            Callable observing every constituent invocation record
+            (default ``None``; serial replay only).
+        workers, backend, supervision, checkpoint_dir, resume:
+            Sharded-replay knobs, identical to :meth:`run_workload`
+            (defaults: serial, unsupervised, no checkpointing).
+        observer, timeseries, profile:
+            Observability knobs, identical to :meth:`run_workload`
+            (defaults: all off).
         """
         from ..workflows.engine import WorkflowEngine
 

@@ -403,6 +403,20 @@ class MergeableReservoir:
             raise ConfigurationError("no samples to estimate a percentile from")
         return float(np.percentile([entry[3] for entry in self._heap], which))
 
+    def percentiles(self, which: Sequence[float]) -> list[float]:
+        """Batched :meth:`percentile`: one vectorized query for all of ``which``.
+
+        ``np.percentile`` with a vector of percentiles selects and
+        interpolates element-wise exactly as the scalar calls would, so each
+        returned value is bit-identical to ``self.percentile(q)`` — at one
+        numpy dispatch instead of ``len(which)``, which is what makes
+        summarizing hundreds of thousands of per-function reservoirs viable.
+        """
+        if not self._heap:
+            raise ConfigurationError("no samples to estimate a percentile from")
+        values = [entry[3] for entry in self._heap]
+        return [float(v) for v in np.percentile(values, list(which))]
+
 
 class StreamingSummary:
     """Single-pass replacement for :func:`repro.stats.summary.summarize`.
@@ -485,13 +499,17 @@ class StreamingSummary:
     def to_summary(self) -> DistributionSummary:
         if self.moments.count == 0:
             raise ConfigurationError("cannot summarize an empty sample set")
+        # One batched reservoir query covers the median too: __init__ and
+        # merge() both guarantee 50.0 is among the tracked percentiles.
+        wanted = self._percentiles
+        estimates = dict(zip(wanted, self._reservoir.percentiles(wanted)))
         return DistributionSummary(
             count=self.moments.count,
             mean=self.moments.mean,
             std=self.moments.std,
             minimum=self.moments.minimum,
             maximum=self.moments.maximum,
-            median=self.percentile(50.0),
-            percentiles={p: self.percentile(p) for p in self._percentiles},
+            median=estimates[50.0],
+            percentiles=estimates,
             confidence_intervals={},
         )

@@ -73,6 +73,27 @@ class Scenario:
     ``traffic`` drives flat per-function requests; ``workflow_traffic``
     drives whole DAG executions.  A scenario needs at least one source of
     either kind.
+
+    Attributes
+    ----------
+    name:
+        Scenario identifier.  Part of the RNG stream derivation
+        (``RandomStreams(seed).fork("workload", name)``), so two scenarios
+        with different names synthesize different arrivals from the same
+        seed.
+    duration_s:
+        Replay horizon in seconds of simulated time (must be positive).
+        Every arrival process stops emitting at this bound.
+    traffic:
+        Flat per-function traffic sources (default none).  Each
+        :class:`FunctionTraffic` pairs a deployed function name with an
+        :class:`~repro.workload.arrival.ArrivalProcess` and optional
+        payload.
+    workflow_traffic:
+        Whole-DAG traffic sources (default none).  Each
+        :class:`WorkflowTraffic` pairs a
+        :class:`~repro.workflows.spec.WorkflowSpec` with an arrival
+        process; see :meth:`build_workflow_arrivals`.
     """
 
     name: str
@@ -87,6 +108,7 @@ class Scenario:
             raise ConfigurationError("a scenario needs at least one traffic source")
 
     def functions(self) -> list[str]:
+        """Sorted names of every function this scenario touches (flat + DAG)."""
         names = {traffic.function_name for traffic in self.traffic}
         for workflow_traffic in self.workflow_traffic:
             names.update(workflow_traffic.workflow.functions())

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Markdown link checker for ``README.md`` and ``docs/*.md`` (CI gate).
+
+Checks, without touching the network:
+
+* every relative link target exists on disk (resolved against the file
+  containing the link);
+* every intra-repo anchor (``file.md#section`` or ``#section``) matches a
+  heading in the target file, using GitHub's slug rules (lowercase,
+  spaces to dashes, punctuation dropped);
+* bare intra-doc anchors resolve within their own file.
+
+External ``http(s)`` links are listed but not fetched — this repository
+never touches the network, and CI must not start for a docs gate.
+Exit status: 0 when every link resolves, 1 otherwise (one line per
+broken link).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links: [text](target).  Images share the syntax.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: ATX headings, used to build the per-file anchor sets.
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+#: Fenced code blocks — links inside them are illustrative, not navigation.
+FENCE = re.compile(r"^```.*?^```", re.DOTALL | re.MULTILINE)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading-to-anchor slug: lowercase, strip punctuation, dash spaces."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings keep their text
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path, cache: dict[Path, set[str]]) -> set[str]:
+    if path not in cache:
+        text = FENCE.sub("", path.read_text(encoding="utf-8"))
+        cache[path] = {github_slug(match.group(1)) for match in HEADING.finditer(text)}
+    return cache[path]
+
+
+def check_file(path: Path, cache: dict[Path, set[str]]) -> list[str]:
+    errors: list[str] = []
+    text = FENCE.sub("", path.read_text(encoding="utf-8"))
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        line = text[: match.start()].count("\n") + 1
+        where = f"{path.relative_to(REPO_ROOT)}:{line}"
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue  # external; never fetched
+        if target.startswith("#"):
+            if github_slug(target[1:]) not in anchors_of(path, cache):
+                errors.append(f"{where}: broken intra-doc anchor {target!r}")
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            errors.append(f"{where}: missing link target {target!r}")
+            continue
+        if anchor:
+            if resolved.suffix != ".md":
+                errors.append(f"{where}: anchor on non-markdown target {target!r}")
+            elif github_slug(anchor) not in anchors_of(resolved, cache):
+                errors.append(f"{where}: broken anchor {target!r}")
+    return errors
+
+
+def main() -> int:
+    files = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+    cache: dict[Path, set[str]] = {}
+    errors: list[str] = []
+    checked = 0
+    for path in files:
+        if not path.exists():
+            errors.append(f"{path.relative_to(REPO_ROOT)}: file missing")
+            continue
+        errors.extend(check_file(path, cache))
+        checked += 1
+    if errors:
+        print("\n".join(errors))
+        print(f"\n{len(errors)} broken link(s) across {checked} file(s)")
+        return 1
+    print(f"all markdown links resolve across {checked} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

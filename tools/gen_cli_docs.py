@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Generate ``docs/cli.md`` from the ``sebs-repro`` argparse definition.
+
+The CLI reference is *generated*, never hand-edited: ``make docs-cli``
+rewrites the file from :func:`repro.cli._build_parser`, and ``make docs``
+(run by CI) regenerates it and fails on any diff — exactly the
+``ci-golden`` pattern, applied to documentation.  Flags therefore cannot
+drift from the code that defines them.
+
+Output is deterministic: it depends only on the parser definition (no
+timestamps, no environment), so regeneration is a no-op unless the CLI
+actually changed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cli import _build_parser  # noqa: E402
+
+OUTPUT = REPO_ROOT / "docs" / "cli.md"
+
+HEADER = """\
+# CLI reference
+
+<!-- GENERATED FILE — do not edit by hand.
+     Regenerate with `make docs-cli`; `make docs` (CI) fails on drift. -->
+
+The `sebs-repro` driver: `PYTHONPATH=src python -m repro.cli <command>`.
+
+## Exit codes
+
+| code | meaning |
+| --- | --- |
+| 0 | success |
+| 1 | unclassified error |
+| 2 | invalid configuration (`ConfigurationError`, bad flag combinations) |
+| 3 | shard failure after exhausted supervision (`ShardReplayError`) |
+| 4 | checkpoint misuse (e.g. `--resume` without `--checkpoint-dir`) |
+"""
+
+
+def _escape(text: str) -> str:
+    return text.replace("|", "\\|").replace("\n", " ")
+
+
+def _flag_cell(action: argparse.Action) -> str:
+    if action.option_strings:
+        name = ", ".join(f"`{option}`" for option in action.option_strings)
+    else:
+        name = f"`{action.dest}`"
+    metavar = action.metavar
+    if metavar is None and action.choices is not None:
+        metavar = "{" + ",".join(str(choice) for choice in action.choices) + "}"
+    elif metavar is None and action.option_strings and action.nargs != 0 and not isinstance(
+        action, (argparse._StoreTrueAction, argparse._StoreFalseAction)
+    ):
+        metavar = action.dest.upper()
+    if metavar and not isinstance(metavar, str):
+        metavar = " ".join(str(part) for part in metavar)
+    return f"{name} `{metavar}`" if metavar else name
+
+
+def _default_cell(action: argparse.Action) -> str:
+    if isinstance(action, (argparse._StoreTrueAction, argparse._StoreFalseAction)):
+        return "off" if isinstance(action, argparse._StoreTrueAction) else "on"
+    if not action.option_strings:
+        return "required"
+    if action.default is None or action.default is argparse.SUPPRESS:
+        return "—"
+    if isinstance(action.default, (list, tuple)):
+        return _escape(" ".join(str(item) for item in action.default)) or "—"
+    return _escape(f"`{action.default}`")
+
+
+def _actions_table(parser: argparse.ArgumentParser) -> list[str]:
+    rows = ["| flag | default | description |", "| --- | --- | --- |"]
+    count = 0
+    for action in parser._actions:
+        if isinstance(action, (argparse._HelpAction, argparse._SubParsersAction)):
+            continue
+        rows.append(
+            f"| {_flag_cell(action)} | {_default_cell(action)} "
+            f"| {_escape(action.help or '')} |"
+        )
+        count += 1
+    return rows if count else []
+
+
+def render() -> str:
+    parser = _build_parser()
+    lines = [HEADER]
+
+    global_rows = _actions_table(parser)
+    if global_rows:
+        lines += ["## Global flags", "", *global_rows, ""]
+
+    subparsers = next(
+        action for action in parser._actions if isinstance(action, argparse._SubParsersAction)
+    )
+    help_by_name = {
+        choice.dest: choice.help for choice in subparsers._choices_actions
+    }
+    lines += ["## Commands", ""]
+    lines += ["| command | summary |", "| --- | --- |"]
+    for name in subparsers.choices:
+        summary = _escape(help_by_name.get(name) or "")
+        lines.append(f"| [`{name}`](#{name.replace(' ', '-')}) | {summary} |")
+    lines.append("")
+
+    for name, command in subparsers.choices.items():
+        lines += [f"## {name}", ""]
+        summary = help_by_name.get(name)
+        if summary:
+            lines += [f"{summary.strip().rstrip('.')}.", ""]
+        rows = _actions_table(command)
+        if rows:
+            lines += [*rows, ""]
+        else:
+            lines += ["No flags.", ""]
+
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def main() -> int:
+    text = render()
+    previous = OUTPUT.read_text(encoding="utf-8") if OUTPUT.exists() else None
+    if previous != text:
+        OUTPUT.write_text(text, encoding="utf-8")
+        print(f"wrote {OUTPUT.relative_to(REPO_ROOT)}")
+    else:
+        print(f"{OUTPUT.relative_to(REPO_ROOT)} is up to date")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
